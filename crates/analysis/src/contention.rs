@@ -1,0 +1,183 @@
+//! Contention: simultaneously bursty servers (§5, §7).
+//!
+//! "We define contention as the number of servers that are simultaneously
+//! bursty during each 1 ms data point of the run." Contention level 0 means
+//! no bursts; level 1 is a single burst (which effectively sees no buffer
+//! contention).
+
+use crate::burst::burst_threshold;
+use millisampler::AlignedRackRun;
+use serde::{Deserialize, Serialize};
+
+/// The per-sample contention series for an aligned rack run.
+pub fn contention_series(run: &AlignedRackRun, link_bps: u64) -> Vec<u32> {
+    let threshold = burst_threshold(run.interval, link_bps);
+    let n = run.len();
+    let mut out = vec![0u32; n];
+    for server in &run.servers {
+        for (i, &b) in server.in_bytes.iter().enumerate() {
+            if b > threshold {
+                out[i] += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Run-level contention statistics (the quantities of Figs. 9, 12, 15).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionStats {
+    /// Mean contention over every sample of the run (zeros included).
+    pub avg: f64,
+    /// 90th-percentile contention over every sample.
+    pub p90: u32,
+    /// Maximum contention.
+    pub max: u32,
+    /// Minimum contention over samples with at least one bursty server
+    /// (§7.3 computes the min "across points with at least one active
+    /// server"); `None` if the run has no bursty sample at all.
+    pub min_active: Option<u32>,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl ContentionStats {
+    /// Computes statistics from a contention series.
+    pub fn from_series(series: &[u32]) -> Self {
+        let samples = series.len();
+        let avg = if samples == 0 {
+            0.0
+        } else {
+            series.iter().map(|&c| c as f64).sum::<f64>() / samples as f64
+        };
+        let mut sorted = series.to_vec();
+        sorted.sort_unstable();
+        let p90 = if samples == 0 {
+            0
+        } else {
+            sorted[((samples as f64 - 1.0) * 0.9).round() as usize]
+        };
+        let max = sorted.last().copied().unwrap_or(0);
+        let min_active = series.iter().filter(|&&c| c > 0).min().copied();
+        ContentionStats {
+            avg,
+            p90,
+            max,
+            min_active,
+            samples,
+        }
+    }
+}
+
+/// The §2.1 closed form: the maximum fraction of the shared buffer a
+/// fully-loaded queue gets with `s` active queues and parameter `alpha`:
+/// `T = α/(1 + α·s)` (as a fraction of the shared buffer). For `s = 0`
+/// this is the single-queue limit with the queue itself active, i.e.
+/// contention level `s` counts *other* active queues... the paper's Fig. 1
+/// x-axis is the total number of active queues `S ≥ 1`.
+pub fn queue_share(alpha: f64, s: usize) -> f64 {
+    assert!(alpha > 0.0);
+    alpha / (1.0 + alpha * s as f64)
+}
+
+/// Buffer share drop between two contention levels, as a fraction of the
+/// share at the lower level — §7.3's "drop in buffer share" metric.
+pub fn share_drop(alpha: f64, s_low: u32, s_high: u32) -> f64 {
+    debug_assert!(s_low <= s_high);
+    let lo = queue_share(alpha, s_low.max(1) as usize);
+    let hi = queue_share(alpha, s_high.max(1) as usize);
+    1.0 - hi / lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millisampler::HostSeries;
+    use ms_dcsim::Ns;
+
+    const LINK: u64 = 12_500_000_000;
+    const HI: u64 = 800_000; // > 781,250 threshold
+
+    fn run(servers: Vec<Vec<u64>>) -> AlignedRackRun {
+        let n = servers[0].len();
+        let hosts = servers
+            .into_iter()
+            .enumerate()
+            .map(|(h, in_bytes)| {
+                let mut s = HostSeries::zeroed(h as u32, Ns::ZERO, Ns::from_millis(1), n);
+                s.in_bytes = in_bytes;
+                s
+            })
+            .collect();
+        AlignedRackRun {
+            rack: 0,
+            start: Ns::ZERO,
+            interval: Ns::from_millis(1),
+            servers: hosts,
+        }
+    }
+
+    #[test]
+    fn counts_simultaneous_bursty_servers() {
+        let r = run(vec![
+            vec![HI, HI, 0, 0],
+            vec![HI, 0, HI, 0],
+            vec![HI, 0, 0, 0],
+        ]);
+        assert_eq!(contention_series(&r, LINK), vec![3, 1, 1, 0]);
+    }
+
+    #[test]
+    fn stats_include_zero_samples_in_avg() {
+        let s = vec![3, 1, 1, 0];
+        let stats = ContentionStats::from_series(&s);
+        assert!((stats.avg - 1.25).abs() < 1e-12);
+        assert_eq!(stats.max, 3);
+        assert_eq!(stats.min_active, Some(1));
+        assert_eq!(stats.samples, 4);
+    }
+
+    #[test]
+    fn min_active_ignores_idle_samples() {
+        let stats = ContentionStats::from_series(&[0, 0, 5, 7, 0]);
+        assert_eq!(stats.min_active, Some(5));
+        let idle = ContentionStats::from_series(&[0, 0]);
+        assert_eq!(idle.min_active, None);
+    }
+
+    #[test]
+    fn p90_of_uniform_series() {
+        let s: Vec<u32> = (0..100).collect();
+        let stats = ContentionStats::from_series(&s);
+        assert_eq!(stats.p90, 89);
+    }
+
+    #[test]
+    fn queue_share_matches_paper_anchors() {
+        // §2.1: α=1 → B/2 for one queue, B/3 each for two.
+        assert!((queue_share(1.0, 1) - 0.5).abs() < 1e-12);
+        assert!((queue_share(1.0, 2) - 1.0 / 3.0).abs() < 1e-12);
+        // §2.1: α=2 → 2B/3 and 2B/5.
+        assert!((queue_share(2.0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((queue_share(2.0, 2) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_drop_examples_from_paper() {
+        // §7.3: "runs ... experience buffer share drop from 50% to 33.3%
+        // which is a 33.4% drop from its peak" (min contention 1 → p90 2).
+        let d = share_drop(1.0, 1, 2);
+        assert!((d - (1.0 / 3.0)).abs() < 0.01, "{d}");
+        // §5: buffer between 0.5 and 0.25 for contention 1 → 3.
+        let d3 = share_drop(1.0, 1, 3);
+        assert!((d3 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_has_zero_stats() {
+        let stats = ContentionStats::from_series(&[]);
+        assert_eq!(stats.avg, 0.0);
+        assert_eq!(stats.max, 0);
+        assert_eq!(stats.min_active, None);
+    }
+}

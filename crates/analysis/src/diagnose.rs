@@ -1,0 +1,219 @@
+//! Diagnostic analyses over Millisampler history (§4.2).
+//!
+//! The paper highlights that the on-host week of runs "permits diagnostic
+//! analysis of atypical events, including firmware bugs, kernel locking
+//! errors, and large congestion events. For instance, Millisampler helped
+//! uncover a NIC firmware bug by isolating examples of packet loss
+//! although utilization was low at fine time-scales." This module encodes
+//! those signatures as detectors over [`HostSeries`] runs.
+
+use millisampler::HostSeries;
+use serde::{Deserialize, Serialize};
+
+/// A diagnostic finding over a window of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// First bucket of the suspicious window.
+    pub start: usize,
+    /// One past the last bucket.
+    pub end: usize,
+    /// What the window looks like.
+    pub kind: FindingKind,
+}
+
+/// Diagnostic signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// Retransmissions while the link is nearly idle: congestion cannot
+    /// explain the loss — NIC/firmware/host suspect (§4.2).
+    LossAtLowUtilization {
+        /// Retransmit bytes in the window.
+        retx_bytes: u64,
+        /// Mean utilization over the window (fraction of line rate).
+        utilization: f64,
+    },
+    /// A gap in an otherwise-active series: the host NIC kept receiving
+    /// but the kernel processed nothing — the §4.6 locking-bug signature
+    /// (traffic resumes right after, often as an apparent burst).
+    SamplerBlackout {
+        /// Bytes per bucket immediately before the gap.
+        rate_before: u64,
+        /// Bytes per bucket immediately after the gap.
+        rate_after: u64,
+    },
+}
+
+/// Finds windows with retransmissions but near-idle utilization.
+///
+/// `window` is the analysis granularity in buckets; a window is flagged
+/// when it contains retransmit bytes while mean utilization stays below
+/// `max_utilization` (e.g. 0.10).
+pub fn loss_at_low_utilization(
+    series: &HostSeries,
+    link_bps: u64,
+    window: usize,
+    max_utilization: f64,
+) -> Vec<Finding> {
+    assert!(window > 0);
+    let capacity = series.interval.bytes_at_rate(link_bps).max(1) as f64;
+    let mut out = Vec::new();
+    let n = series.len();
+    let mut i = 0;
+    while i < n {
+        let end = (i + window).min(n);
+        let retx: u64 = series.in_retx[i..end].iter().sum();
+        if retx > 0 {
+            let vol: u64 = series.in_bytes[i..end].iter().sum();
+            let util = vol as f64 / (capacity * (end - i) as f64);
+            if util < max_utilization {
+                out.push(Finding {
+                    start: i,
+                    end,
+                    kind: FindingKind::LossAtLowUtilization {
+                        retx_bytes: retx,
+                        utilization: util,
+                    },
+                });
+            }
+        }
+        i = end;
+    }
+    out
+}
+
+/// Finds blackout gaps: ≥ `min_gap` consecutive all-zero buckets flanked
+/// by activity of at least `min_rate` bytes/bucket on both sides.
+pub fn sampler_blackouts(series: &HostSeries, min_gap: usize, min_rate: u64) -> Vec<Finding> {
+    assert!(min_gap > 0);
+    let v = &series.in_bytes;
+    let n = v.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if v[i] == 0 {
+            let start = i;
+            while i < n && v[i] == 0 {
+                i += 1;
+            }
+            let len = i - start;
+            if len >= min_gap && start > 0 && i < n {
+                let before = v[start - 1];
+                let after = v[i];
+                if before >= min_rate && after >= min_rate {
+                    out.push(Finding {
+                        start,
+                        end: i,
+                        kind: FindingKind::SamplerBlackout {
+                            rate_before: before,
+                            rate_after: after,
+                        },
+                    });
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_dcsim::Ns;
+
+    const LINK: u64 = 12_500_000_000;
+
+    fn series(in_bytes: Vec<u64>, in_retx: Vec<u64>) -> HostSeries {
+        let n = in_bytes.len();
+        let mut s = HostSeries::zeroed(0, Ns::ZERO, Ns::from_millis(1), n);
+        s.in_bytes = in_bytes;
+        s.in_retx = in_retx;
+        s
+    }
+
+    #[test]
+    fn flags_retx_on_idle_link() {
+        // 10 buckets at ~1% utilization with retx in the middle.
+        let mut in_bytes = vec![15_000u64; 10];
+        in_bytes[5] = 20_000;
+        let mut in_retx = vec![0u64; 10];
+        in_retx[5] = 4_500;
+        let s = series(in_bytes, in_retx);
+        let findings = loss_at_low_utilization(&s, LINK, 10, 0.10);
+        assert_eq!(findings.len(), 1);
+        match findings[0].kind {
+            FindingKind::LossAtLowUtilization { retx_bytes, utilization } => {
+                assert_eq!(retx_bytes, 4_500);
+                assert!(utilization < 0.02);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn congestion_loss_not_flagged() {
+        // Retx during a genuine full-rate burst: utilization explains it.
+        let in_bytes = vec![1_500_000u64; 10];
+        let mut in_retx = vec![0u64; 10];
+        in_retx[5] = 50_000;
+        let s = series(in_bytes, in_retx);
+        assert!(loss_at_low_utilization(&s, LINK, 10, 0.10).is_empty());
+    }
+
+    #[test]
+    fn clean_idle_link_not_flagged() {
+        let s = series(vec![1_000; 20], vec![0; 20]);
+        assert!(loss_at_low_utilization(&s, LINK, 5, 0.10).is_empty());
+    }
+
+    #[test]
+    fn window_granularity_respected() {
+        // Retx in the second window only.
+        let mut in_retx = vec![0u64; 20];
+        in_retx[15] = 100;
+        let s = series(vec![100; 20], in_retx);
+        let findings = loss_at_low_utilization(&s, LINK, 10, 0.10);
+        assert_eq!(findings.len(), 1);
+        assert_eq!((findings[0].start, findings[0].end), (10, 20));
+    }
+
+    #[test]
+    fn blackout_detected_between_activity() {
+        let mut v = vec![500_000u64; 30];
+        for b in v.iter_mut().take(20).skip(10) {
+            *b = 0;
+        }
+        let s = series(v, vec![0; 30]);
+        let f = sampler_blackouts(&s, 5, 100_000);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].start, f[0].end), (10, 20));
+    }
+
+    #[test]
+    fn short_gaps_and_quiet_edges_ignored() {
+        // 2-bucket gap: below min_gap.
+        let mut v = vec![500_000u64; 10];
+        v[4] = 0;
+        v[5] = 0;
+        let s = series(v, vec![0; 10]);
+        assert!(sampler_blackouts(&s, 5, 100_000).is_empty());
+        // Long gap but idle before it: not a blackout, just idleness.
+        let mut v2 = vec![0u64; 30];
+        for b in v2.iter_mut().skip(20) {
+            *b = 500_000;
+        }
+        let s2 = series(v2, vec![0; 30]);
+        assert!(sampler_blackouts(&s2, 5, 100_000).is_empty());
+    }
+
+    #[test]
+    fn leading_and_trailing_zeros_not_blackouts() {
+        let mut v = vec![0u64; 30];
+        for b in v.iter_mut().take(20).skip(10) {
+            *b = 500_000;
+        }
+        let s = series(v, vec![0; 30]);
+        assert!(sampler_blackouts(&s, 5, 100_000).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # ms-analysis — bursts, contention, and loss from Millisampler data
+//!
+//! Implements the paper's analysis pipeline over [`millisampler`] rack
+//! runs:
+//!
+//! * [`burst`] — burst detection per §5: "a burst is any consecutive set
+//!   of one or more sample data points that exceeds 50 % of line rate",
+//!   plus per-burst volume, length, connection counts, and retransmit
+//!   association.
+//! * [`contention`] — per-sample contention (the number of simultaneously
+//!   bursty servers in the rack), run-level statistics, and the queue
+//!   buffer-share mapping `T(S) = αB/(1+αS)` of §2.1.
+//! * [`classify`] — the §8 joint methodology: contended vs. non-contended
+//!   bursts (max contention over the burst's lifetime), lossy bursts
+//!   (retransmit-bit bytes within the burst window plus an RTT-scale
+//!   slack, per §4.6's "look for retransmissions that occur an RTT
+//!   later").
+//! * [`dataset`] — multi-rack aggregation: rack categorization into
+//!   RegA-High / RegA-Typical by average contention, and the dataset
+//!   summary rows of Tables 1 and 2.
+//! * [`stats`] — CDFs, quantiles, box-plot summaries, Pearson correlation,
+//!   and bucketed series used to print the paper's figures.
+//! * [`diagnose`] — the §4.2 diagnostic signatures over stored runs:
+//!   loss-at-low-utilization (the NIC firmware-bug war story) and sampler
+//!   blackout gaps (the §4.6 kernel-stall signature).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod classify;
+pub mod contention;
+pub mod dataset;
+pub mod diagnose;
+pub mod stats;
+
+pub use burst::{detect_bursts, Burst};
+pub use classify::{analyze_run, RunAnalysis};
+pub use contention::{contention_series, queue_share, ContentionStats};
+pub use dataset::{DatasetSummary, RackCategory, RackHourObservation};
+pub use stats::{BoxStats, Cdf};

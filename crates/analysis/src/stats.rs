@@ -1,0 +1,300 @@
+//! Statistics utilities for reproducing the paper's exhibits.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), by nearest-rank; NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Classic nearest-rank: the ⌈q·n⌉-th smallest sample.
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The fraction of samples `≤ x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// `n` evenly spaced `(value, cumulative %)` points for printing the
+    /// CDF curve the way the paper's figures plot them.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = (i as f64 + 1.0) / n as f64;
+                (self.quantile(q), 100.0 * q)
+            })
+            .collect()
+    }
+}
+
+/// Five-number-plus-mean summary for box plots (Fig. 13 style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Summarizes samples; `None` when empty.
+    pub fn from_values(values: Vec<f64>) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let cdf = Cdf::new(values);
+        Some(BoxStats {
+            min: cdf.quantile(0.0),
+            p25: cdf.quantile(0.25),
+            median: cdf.median(),
+            p75: cdf.quantile(0.75),
+            p90: cdf.quantile(0.9),
+            max: cdf.quantile(1.0),
+            mean: cdf.mean(),
+            n: cdf.len(),
+        })
+    }
+}
+
+/// Pearson correlation coefficient; NaN for degenerate inputs.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Average ranks (1-based, ties share the mean rank).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over average ranks); robust to the
+/// nonlinearity of e.g. the volume→contention relationship (Fig. 14).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Groups `(x, y)` pairs into x-buckets of `width` and summarizes each
+/// bucket's `y` values — the Fig. 14 presentation (contention distribution
+/// per ingress-volume bucket) and the Figs. 16/18/19 loss-rate-per-bucket
+/// presentation.
+pub fn bucketed(pairs: &[(f64, f64)], width: f64) -> Vec<(f64, BoxStats)> {
+    assert!(width > 0.0);
+    let mut buckets: std::collections::BTreeMap<i64, Vec<f64>> = Default::default();
+    for &(x, y) in pairs {
+        if x.is_nan() || y.is_nan() {
+            continue;
+        }
+        let b = (x / width).floor() as i64;
+        buckets.entry(b).or_default().push(y);
+    }
+    buckets
+        .into_iter()
+        .filter_map(|(b, ys)| {
+            BoxStats::from_values(ys).map(|s| ((b as f64 + 0.5) * width, s))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let cdf = Cdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(cdf.median(), 50.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert_eq!(cdf.quantile(0.9), 90.0);
+        assert!((cdf.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_at_or_below_counts_ties() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(3.0), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_nan() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.median().is_nan());
+        assert!(cdf.is_empty());
+        assert!(cdf.curve(10).is_empty());
+    }
+
+    #[test]
+    fn nan_samples_dropped() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let cdf = Cdf::new(vec![5.0, 1.0, 9.0, 3.0, 7.0]);
+        let curve = cdf.curve(10);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 100.0);
+    }
+
+    #[test]
+    fn boxstats_summary() {
+        let s = BoxStats::from_values((0..=10).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.n, 11);
+        assert!(BoxStats::from_values(vec![]).is_none());
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_nan() {
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear_relations() {
+        let xs: Vec<f64> = (1..60).map(|i| i as f64).collect();
+        // Strongly nonlinear but perfectly monotone.
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp().min(1e300)).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+        let neg: Vec<f64> = xs.iter().map(|x| 1.0 / x).collect();
+        assert!((spearman(&xs, &neg) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+        // Constant series: undefined (zero variance in ranks).
+        assert!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 5.0]), vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn bucketed_groups_by_x() {
+        let pairs = vec![(0.5, 1.0), (0.9, 3.0), (2.5, 10.0)];
+        let out = bucketed(&pairs, 1.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0.5); // bucket [0,1) center
+        assert_eq!(out[0].1.n, 2);
+        assert_eq!(out[0].1.mean, 2.0);
+        assert_eq!(out[1].0, 2.5);
+        assert_eq!(out[1].1.n, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the analysis layer: burst detection exactly
+//! partitions above-threshold samples, contention equals column sums, and
+//! statistics behave like statistics.
+
+use millisampler::{AlignedRackRun, HostSeries};
+use ms_analysis::burst::{burst_threshold, detect_bursts};
+use ms_analysis::contention::contention_series;
+use ms_analysis::stats::Cdf;
+use ms_analysis::{analyze_run, Burst};
+use ms_dcsim::Ns;
+use proptest::prelude::*;
+
+const LINK: u64 = 12_500_000_000;
+
+fn series_from(host: u32, values: Vec<u64>) -> HostSeries {
+    let mut s = HostSeries::zeroed(host, Ns::ZERO, Ns::from_millis(1), values.len());
+    s.conns = values.iter().map(|&v| v / 100_000).collect();
+    s.in_retx = values.iter().map(|&v| if v % 7 == 0 { v / 50 } else { 0 }).collect();
+    s.in_bytes = values;
+    s
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..1_600_000, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bursts_partition_above_threshold_samples(values in arb_values()) {
+        let s = series_from(0, values.clone());
+        let threshold = burst_threshold(s.interval, LINK);
+        let bursts = detect_bursts(&s, LINK);
+        // Every above-threshold sample is covered by exactly one burst;
+        // every burst sample is above threshold.
+        let mut covered = vec![false; values.len()];
+        for b in &bursts {
+            for i in b.start..b.end() {
+                prop_assert!(!covered[i], "overlapping bursts");
+                covered[i] = true;
+                prop_assert!(values[i] > threshold);
+            }
+        }
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(covered[i], v > threshold, "sample {} miscovered", i);
+        }
+        // Bursts are maximal: the sample before each start and after each
+        // end is at or below threshold.
+        for b in &bursts {
+            if b.start > 0 {
+                prop_assert!(values[b.start - 1] <= threshold);
+            }
+            if b.end() < values.len() {
+                prop_assert!(values[b.end()] <= threshold);
+            }
+        }
+        // Burst volume equals the sum of its samples.
+        for b in &bursts {
+            let sum: u64 = values[b.start..b.end()].iter().sum();
+            prop_assert_eq!(b.bytes, sum);
+        }
+    }
+
+    #[test]
+    fn contention_equals_per_sample_bursty_count(
+        rows in prop::collection::vec(prop::collection::vec(0u64..1_600_000, 30), 1..6)
+    ) {
+        let servers: Vec<HostSeries> = rows
+            .iter()
+            .enumerate()
+            .map(|(h, v)| series_from(h as u32, v.clone()))
+            .collect();
+        let run = AlignedRackRun {
+            rack: 0,
+            start: Ns::ZERO,
+            interval: Ns::from_millis(1),
+            servers,
+        };
+        let threshold = burst_threshold(run.interval, LINK);
+        let contention = contention_series(&run, LINK);
+        for i in 0..30 {
+            let expect = rows.iter().filter(|r| r[i] > threshold).count() as u32;
+            prop_assert_eq!(contention[i], expect);
+        }
+    }
+
+    #[test]
+    fn classified_bursts_consistent_with_run(rows in prop::collection::vec(
+        prop::collection::vec(0u64..1_600_000, 40), 1..5
+    )) {
+        let servers: Vec<HostSeries> = rows
+            .iter()
+            .enumerate()
+            .map(|(h, v)| series_from(h as u32, v.clone()))
+            .collect();
+        let run = AlignedRackRun {
+            rack: 0,
+            start: Ns::ZERO,
+            interval: Ns::from_millis(1),
+            servers,
+        };
+        let a = analyze_run(&run, LINK, 3);
+        // Each classified burst's max contention is at least 1 (itself)
+        // and at most the number of servers.
+        for b in &a.bursts {
+            prop_assert!(b.max_contention >= 1);
+            prop_assert!(b.max_contention <= rows.len() as u32);
+            prop_assert_eq!(b.contended, b.max_contention >= 2);
+            prop_assert_eq!(b.lossy, b.retx_bytes > 0);
+        }
+        // Totals agree with raw sums.
+        let expect_in: u64 = rows.iter().flatten().sum();
+        prop_assert_eq!(a.total_in_bytes, expect_in);
+        // bursty_servers counts rows with any above-threshold sample.
+        let threshold = burst_threshold(run.interval, LINK);
+        let expect_bursty = rows.iter().filter(|r| r.iter().any(|&v| v > threshold)).count();
+        prop_assert_eq!(a.bursty_servers, expect_bursty);
+    }
+
+    #[test]
+    fn cdf_quantiles_are_monotone_and_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let cdf = Cdf::new(values.clone());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q);
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(cdf.quantile(0.0) >= min - 1e-9);
+        prop_assert!(cdf.quantile(1.0) <= max + 1e-9);
+    }
+
+    #[test]
+    fn cdf_fraction_inverts_quantile(values in prop::collection::vec(0f64..1e6, 2..300), q in 0.05f64..0.95) {
+        let cdf = Cdf::new(values);
+        let v = cdf.quantile(q);
+        let frac = cdf.fraction_at_or_below(v);
+        // fraction(quantile(q)) >= q (ties can only push it up).
+        prop_assert!(frac + 1e-9 >= q, "q={} v={} frac={}", q, v, frac);
+    }
+
+    #[test]
+    fn burst_len_ms_consistency(start in 0usize..100, len in 1usize..50) {
+        let b = Burst { server: 0, start, len, bytes: 0, avg_conns: 0.0 };
+        prop_assert_eq!(b.end(), start + len);
+        prop_assert!((b.len_ms(1.0) - len as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,295 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out.
+//!
+//! These are *outcome* ablations (loss, completion, accuracy) rather than
+//! time measurements, so they use a custom harness (`harness = false`)
+//! that prints comparison tables:
+//!
+//! 1. **α sweep** — drops and ECN marks for the same incast workload under
+//!    DT α ∈ {0.25, 0.5, 1, 2, 4} (§2.2: the choice of α matters most at
+//!    low contention).
+//! 2. **Buffer sharing policy** — DT vs. complete sharing vs. static
+//!    partition under a contended incast (§9/§10 motivation).
+//! 3. **ECN threshold sweep** around the deployed 120 KB.
+//! 4. **Fabric smoothing on/off** for ML-style transfers — the §8.1
+//!    hypothesis for why RegA-High loses less.
+//! 5. **Sketch width** — estimate error vs. true flow counts for 64/128/
+//!    256-bit direct bitmaps and the multiresolution variant.
+
+use ms_dcsim::{Ns, SharingPolicy};
+use ms_sketch::{mix64, FlowSketch, MultiresBitmap};
+use ms_transport::CcAlgorithm;
+use ms_workload::sim::{RackSim, RackSimConfig};
+use ms_workload::tasks::FlowSpec;
+
+fn incast(dst: usize, conns: u32, bytes: u64, paced: Option<u64>) -> FlowSpec {
+    FlowSpec {
+        dst_server: dst,
+        connections: conns,
+        total_bytes: bytes,
+        algorithm: CcAlgorithm::Dctcp,
+        paced_bps: paced,
+        task: 1,
+    }
+}
+
+/// A contended scenario: three queues receive staggered heavy incasts.
+fn contended_sim(mut cfg: RackSimConfig) -> RackSim {
+    cfg.sampler.buckets = 200;
+    cfg.warmup = Ns::from_millis(10);
+    let mut sim = RackSim::new(cfg);
+    for (i, dst) in [0usize, 1, 2].iter().enumerate() {
+        sim.schedule_flow(
+            Ns::from_millis(20 + 3 * i as u64),
+            incast(*dst, 120, 20_000_000, None),
+        );
+        sim.schedule_flow(
+            Ns::from_millis(120 + 3 * i as u64),
+            incast(*dst, 120, 20_000_000, None),
+        );
+    }
+    sim
+}
+
+fn alpha_sweep() {
+    println!("\n## ablation: DT alpha sweep (same contended incast workload)");
+    println!("{:>8} {:>16} {:>16} {:>12}", "alpha", "discard_bytes", "ingress_bytes", "completed");
+    for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut cfg = RackSimConfig::new(8, 7);
+        cfg.rack.switch.alpha = alpha;
+        let mut sim = contended_sim(cfg);
+        let report = sim.run_sync_window(0);
+        println!(
+            "{alpha:>8} {:>16} {:>16} {:>12}",
+            report.switch_discard_bytes, report.switch_ingress_bytes, report.conns_completed
+        );
+    }
+    println!("(expectation: low alpha starves bursts -> more drops; very high alpha lets one");
+    println!(" queue hog the quadrant, hurting the later-arriving incasts)");
+}
+
+fn policy_comparison() {
+    println!("\n## ablation: buffer sharing policy (same contended incast workload)");
+    println!("{:>18} {:>16} {:>12}", "policy", "discard_bytes", "completed");
+    for (name, policy) in [
+        ("dynamic_threshold", SharingPolicy::DynamicThreshold),
+        ("complete_sharing", SharingPolicy::CompleteSharing),
+        ("static_partition", SharingPolicy::StaticPartition),
+    ] {
+        let mut cfg = RackSimConfig::new(8, 7);
+        cfg.rack.switch.policy = policy;
+        let mut sim = contended_sim(cfg);
+        let report = sim.run_sync_window(0);
+        println!(
+            "{name:>18} {:>16} {:>12}",
+            report.switch_discard_bytes, report.conns_completed
+        );
+    }
+    println!("(expectation: static partition drops most — no multiplexing; complete sharing");
+    println!(" lets the first burst monopolize the quadrant at the expense of later ones)");
+}
+
+fn ecn_sweep() {
+    println!("\n## ablation: ECN threshold sweep (deployed value: 120 KB)");
+    println!("{:>10} {:>16} {:>16}", "thresh_kb", "discard_bytes", "marked_ingress?");
+    for kb in [30u64, 60, 120, 240, 480] {
+        let mut cfg = RackSimConfig::new(8, 7);
+        cfg.rack.switch.ecn_threshold = kb * 1024;
+        let mut sim = contended_sim(cfg);
+        let report = sim.run_sync_window(0);
+        let ecn: u64 = report
+            .rack_run
+            .as_ref()
+            .map(|r| r.servers.iter().map(|s| s.in_ecn.iter().sum::<u64>()).sum())
+            .unwrap_or(0);
+        println!("{kb:>10} {:>16} {ecn:>16}", report.switch_discard_bytes);
+    }
+    println!("(expectation: lower threshold -> more marks, fewer drops but lower throughput;");
+    println!(" higher threshold -> fewer marks, drops reappear as DCTCP reacts too late)");
+}
+
+fn smoothing_ablation() {
+    println!("\n## ablation: fabric smoothing of ML transfers (the §8.1 hypothesis)");
+    println!("{:>10} {:>16} {:>12}", "paced", "discard_bytes", "completed");
+    for (name, pace) in [("off", None), ("10Gbps", Some(10_000_000_000u64))] {
+        let mut cfg = RackSimConfig::new(8, 11);
+        cfg.sampler.buckets = 300;
+        cfg.warmup = Ns::from_millis(10);
+        let mut sim = RackSim::new(cfg);
+        // Six "trainers" receive synchronized 10MB steps.
+        for step in 0..3u64 {
+            for dst in 0..6usize {
+                sim.schedule_flow(
+                    Ns::from_millis(20 + step * 80),
+                    incast(dst, 6, 10_000_000, pace),
+                );
+            }
+        }
+        let report = sim.run_sync_window(0);
+        println!(
+            "{name:>10} {:>16} {:>12}",
+            report.switch_discard_bytes, report.conns_completed
+        );
+    }
+    println!("(expectation: paced arrivals keep queues near the ECN threshold and avoid the");
+    println!(" drops that unpaced synchronized multi-MB steps cause — RegA-High's low loss)");
+}
+
+fn sampling_interval_ablation() {
+    use millisampler::RunConfig;
+    use ms_analysis::detect_bursts;
+    use ms_workload::sim::GroConfig;
+    println!("\n## ablation: sampling interval (why the paper uses 1 ms, §5/§4.6)");
+    println!(
+        "{:>10} {:>6} {:>8} {:>12} {:>16}",
+        "interval", "gro", "bursts", "max_rate_pct", "over_linerate"
+    );
+    for (interval, buckets) in [
+        (Ns::from_micros(100), 2000usize),
+        (Ns::from_millis(1), 400),
+        (Ns::from_millis(10), 40),
+    ] {
+        for gro in [false, true] {
+            let mut cfg = RackSimConfig::new(8, 41);
+            cfg.sampler = RunConfig {
+                interval,
+                buckets,
+                count_flows: true,
+            };
+            cfg.warmup = Ns::from_millis(10);
+            if gro {
+                cfg.gro = Some(GroConfig::default());
+            }
+            let mut sim = RackSim::new(cfg);
+            // A few separated multi-ms bursts.
+            for i in 0..3u64 {
+                sim.schedule_flow(
+                    Ns::from_millis(20 + i * 60),
+                    incast(2, 8, 5_000_000, None),
+                );
+            }
+            let report = sim.run_sync_window(0);
+            let Some(run) = report.rack_run else { continue };
+            let bursts = detect_bursts(&run.servers[2], 12_500_000_000).len();
+            let cap = interval.bytes_at_rate(12_500_000_000).max(1);
+            let max_rate = run.servers[2]
+                .in_bytes
+                .iter()
+                .map(|&b| 100 * b / cap)
+                .max()
+                .unwrap_or(0);
+            let over = run.servers[2].in_bytes.iter().filter(|&&b| b > cap).count();
+            println!(
+                "{:>10} {:>6} {:>8} {:>11}% {:>16}",
+                format!("{interval}"),
+                gro,
+                bursts,
+                max_rate,
+                over
+            );
+        }
+    }
+    println!("(100µs + GRO shows >line-rate artifacts (§4.6); 10ms smears distinct bursts");
+    println!(" together; 1ms resolves bursts without artifacts — the paper's choice)");
+}
+
+fn sketch_width_ablation() {
+    println!("\n## ablation: flow sketch width vs. true connection count");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>14}",
+        "true_n", "bits64", "bits128", "bits256", "multires128x8"
+    );
+    for n in [4u64, 12, 50, 150, 400, 1000] {
+        let mut s64 = FlowSketch::<1>::new();
+        let mut s128 = FlowSketch::<2>::new();
+        let mut s256 = FlowSketch::<4>::new();
+        let mut mr: MultiresBitmap<2, 8> = MultiresBitmap::new();
+        for i in 0..n {
+            let h = mix64(i * 2654435761 + n);
+            s64.insert(h);
+            s128.insert(h);
+            s256.insert(h);
+            mr.insert(h);
+        }
+        println!(
+            "{n:>8} {:>10.1} {:>10.1} {:>10.1} {:>14.1}",
+            s64.estimate(),
+            s128.estimate(),
+            s256.estimate(),
+            mr.estimate()
+        );
+    }
+    println!("(the deployed 128-bit sketch is precise to ~a dozen and saturates ~500-600,");
+    println!(" exactly the §4.2 characterization; wider sketches push the saturation out)");
+}
+
+fn fabric_hop_ablation() {
+    use ms_workload::sim::FabricHopConfig;
+    println!("\n## ablation: parametric pacing vs an explicit fabric hop (§8.1)");
+    println!("{:>22} {:>16} {:>14}", "smoothing", "tor_discards", "fabric_drops");
+    for (name, pace, hop) in [
+        ("none", None, None),
+        ("pacer_11Gbps", Some(11_000_000_000u64), None),
+        (
+            "fabric_trunk_25Gbps",
+            None,
+            Some(FabricHopConfig {
+                rate_bps: 25_000_000_000,
+                buffer_bytes: 24 * 1024 * 1024,
+            }),
+        ),
+    ] {
+        let mut cfg = RackSimConfig::new(8, 31);
+        cfg.sampler.buckets = 250;
+        cfg.warmup = Ns::from_millis(10);
+        cfg.fabric_hop = hop;
+        let mut sim = RackSim::new(cfg);
+        if let Some(bps) = pace {
+            sim.set_fabric_smoothing(bps);
+        }
+        sim.schedule_flow(Ns::from_millis(30), incast(1, 150, 25_000_000, None));
+        let fabric_drops_before = sim.fabric_drops();
+        let report = sim.run_sync_window(0);
+        println!(
+            "{name:>22} {:>16} {:>14}",
+            report.switch_discard_bytes,
+            sim_fabric_drops(&sim) - fabric_drops_before
+        );
+        let _ = report;
+    }
+    println!("(both forms of smoothing protect the shallow ToR buffer; the explicit hop");
+    println!(" shows the paper's point that RegA-High's congestion moved INTO the fabric)");
+}
+
+fn sim_fabric_drops(sim: &RackSim) -> u64 {
+    sim.fabric_drops()
+}
+
+fn dynamic_alpha_ablation() {
+    println!("\n## ablation: fixed vs contention-tuned DT alpha (§9 probe)");
+    println!("{:>18} {:>16} {:>12}", "alpha_policy", "discard_bytes", "completed");
+    for (name, tune) in [("fixed_1.0", None), ("tuned_5ms", Some(Ns::from_millis(5)))] {
+        let mut cfg = RackSimConfig::new(8, 33);
+        cfg.alpha_tune_period = tune;
+        let mut sim = contended_sim(cfg);
+        let report = sim.run_sync_window(0);
+        println!(
+            "{name:>18} {:>16} {:>12}",
+            report.switch_discard_bytes, report.conns_completed
+        );
+    }
+    println!("(the tuner raises alpha when few queues are active — absorbing lone bursts —");
+    println!(" and lowers it under contention; §9 asks whether this is worth operating)");
+}
+
+fn main() {
+    // `cargo bench` passes flags like --bench; ignore them.
+    println!("=== millisampler-rs ablation benches ===");
+    alpha_sweep();
+    policy_comparison();
+    ecn_sweep();
+    smoothing_ablation();
+    fabric_hop_ablation();
+    dynamic_alpha_ablation();
+    sampling_interval_ablation();
+    sketch_width_ablation();
+}

@@ -1,0 +1,20 @@
+//! # ms-bench — the experiment harness
+//!
+//! Shared machinery for the `repro` binary (one subcommand per paper table
+//! and figure — see `DESIGN.md` §3 for the index) and for the Criterion
+//! microbenchmarks:
+//!
+//! * [`sweep`] — runs whole-region SyncMillisampler sweeps (every rack ×
+//!   selected hours), in parallel across worker threads with crossbeam,
+//!   deterministically regardless of thread count.
+//! * [`report`] — row/CSV formatting helpers so every experiment both
+//!   prints the paper-style series and leaves a machine-readable file
+//!   under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod sweep;
+
+pub use sweep::{sweep_region, RegionData, SweepConfig};

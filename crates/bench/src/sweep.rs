@@ -1,0 +1,238 @@
+//! Region-scale sweeps: every rack × selected hours, in parallel.
+
+use crossbeam::channel;
+use ms_analysis::dataset::RackHourObservation;
+use ms_analysis::{analyze_run, RackCategory};
+use ms_workload::placement::{build_region, RackClass, RegionKind, RegionSpec};
+use ms_workload::scenario::{rack_sim_for, ScenarioConfig};
+use std::collections::BTreeSet;
+
+/// Configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Racks per region.
+    pub racks: usize,
+    /// Servers per rack.
+    pub servers: usize,
+    /// Hours of day to run (e.g. `vec![7]` for the busy hour, `0..24` for
+    /// diurnal figures).
+    pub hours: Vec<usize>,
+    /// Scenario knobs (window length, MSS, warm-up).
+    pub scenario: ScenarioConfig,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Loss-association slack in buckets (§8 methodology; 5 × 1 ms covers
+    /// the 4 ms min-RTO).
+    pub loss_slack: usize,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            racks: 60,
+            servers: 24,
+            hours: vec![7],
+            scenario: ScenarioConfig::default(),
+            seed: 42,
+            loss_slack: 5,
+            threads: 0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Effective worker thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+
+    /// Server link rate used by the analyses.
+    pub fn link_bps(&self) -> u64 {
+        12_500_000_000
+    }
+}
+
+/// The outcome of sweeping one region.
+#[derive(Debug, Clone)]
+pub struct RegionData {
+    /// Which region archetype.
+    pub kind: RegionKind,
+    /// The placement (for Figs. 10–11).
+    pub spec: RegionSpec,
+    /// One observation per `(rack, hour)` cell, sorted by `(rack, hour)`.
+    pub obs: Vec<RackHourObservation>,
+    /// The sweep configuration used.
+    pub config: SweepConfig,
+}
+
+impl RegionData {
+    /// Observations for one hour.
+    pub fn at_hour(&self, hour: usize) -> impl Iterator<Item = &RackHourObservation> {
+        self.obs.iter().filter(move |o| o.hour == hour)
+    }
+
+    /// Busy-hour (hour 7) average contention per rack, the categorization
+    /// input of §7.1. Racks with no busy-hour observation are skipped.
+    pub fn busy_hour_avg_contention(&self) -> Vec<(u32, f64)> {
+        self.at_hour(7)
+            .map(|o| (o.rack_id, o.analysis.contention_stats.avg))
+            .collect()
+    }
+
+    /// RegA-High rack ids (top 20 % by busy-hour average contention).
+    /// Meaningless for RegB (the paper does not split RegB).
+    pub fn high_contention_racks(&self) -> BTreeSet<u32> {
+        ms_analysis::dataset::categorize_rega_racks(&self.busy_hour_avg_contention(), 0.2)
+    }
+
+    /// The §8 category of a rack, given the categorization set.
+    pub fn category_of(&self, rack_id: u32, high: &BTreeSet<u32>) -> RackCategory {
+        match self.kind {
+            RegionKind::RegB => RackCategory::RegB,
+            RegionKind::RegA => {
+                if high.contains(&rack_id) {
+                    RackCategory::RegAHigh
+                } else {
+                    RackCategory::RegATypical
+                }
+            }
+        }
+    }
+
+    /// Ground-truth placement class of a rack (for validating that the
+    /// contention-based categorization recovers the ML-dense set).
+    pub fn placement_class(&self, rack_id: u32) -> RackClass {
+        self.spec.racks[rack_id as usize].class
+    }
+}
+
+/// Sweeps a region: simulates every `(rack, hour)` cell and analyzes the
+/// resulting rack runs. Parallel over cells; the output order (and every
+/// value in it) is independent of thread count.
+pub fn sweep_region(kind: RegionKind, cfg: &SweepConfig) -> RegionData {
+    let spec = build_region(kind, cfg.racks, cfg.servers, cfg.seed);
+    let link = cfg.link_bps();
+
+    let mut cells: Vec<(u32, usize)> = Vec::new();
+    for rack in 0..cfg.racks as u32 {
+        for &hour in &cfg.hours {
+            cells.push((rack, hour));
+        }
+    }
+
+    let (tx, rx) = channel::unbounded::<RackHourObservation>();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = cfg.effective_threads();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cells = &cells;
+            let spec = &spec;
+            let next = &next;
+            scope.spawn(move |_| {
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (rack_id, hour) = cells[i];
+                    let rack_spec = &spec.racks[rack_id as usize];
+                    let mut sim =
+                        rack_sim_for(rack_spec, &spec.diurnal, hour, 0, &cfg.scenario);
+                    let report = sim.run_sync_window(rack_id);
+                    let analysis = match &report.rack_run {
+                        Some(run) => analyze_run(run, link, cfg.loss_slack),
+                        None => {
+                            // A silent rack: an empty analysis.
+                            let empty = millisampler::AlignedRackRun {
+                                rack: rack_id,
+                                start: ms_dcsim::Ns::ZERO,
+                                interval: cfg.scenario.interval,
+                                servers: Vec::new(),
+                            };
+                            analyze_run(&empty, link, cfg.loss_slack)
+                        }
+                    };
+                    let _ = tx.send(RackHourObservation {
+                        rack_id,
+                        hour,
+                        analysis,
+                        switch_discard_bytes: report.switch_discard_bytes,
+                        switch_ingress_bytes: report.switch_ingress_bytes,
+                    });
+                }
+            });
+        }
+        drop(tx);
+    })
+    .expect("sweep worker panicked");
+
+    let mut obs: Vec<RackHourObservation> = rx.into_iter().collect();
+    obs.sort_by_key(|o| (o.rack_id, o.hour));
+
+    RegionData {
+        kind,
+        spec,
+        obs,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            racks: 4,
+            servers: 8,
+            hours: vec![7],
+            scenario: ScenarioConfig {
+                buckets: 100,
+                warmup: ms_dcsim::Ns::from_millis(20),
+                ..ScenarioConfig::default()
+            },
+            seed: 7,
+            loss_slack: 5,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_in_order() {
+        let data = sweep_region(RegionKind::RegA, &tiny_cfg());
+        assert_eq!(data.obs.len(), 4);
+        let ids: Vec<u32> = data.obs.iter().map(|o| o.rack_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(data.obs.iter().all(|o| o.hour == 7));
+    }
+
+    #[test]
+    fn sweep_deterministic_across_thread_counts() {
+        let one = sweep_region(RegionKind::RegA, &SweepConfig { threads: 1, ..tiny_cfg() });
+        let four = sweep_region(RegionKind::RegA, &SweepConfig { threads: 4, ..tiny_cfg() });
+        assert_eq!(one.obs.len(), four.obs.len());
+        for (a, b) in one.obs.iter().zip(&four.obs) {
+            assert_eq!(a.rack_id, b.rack_id);
+            assert_eq!(a.analysis.total_in_bytes, b.analysis.total_in_bytes);
+            assert_eq!(a.analysis.bursts, b.analysis.bursts);
+            assert_eq!(a.switch_discard_bytes, b.switch_discard_bytes);
+        }
+    }
+
+    #[test]
+    fn traffic_actually_flows_in_sweeps() {
+        let data = sweep_region(RegionKind::RegB, &tiny_cfg());
+        let total: u64 = data.obs.iter().map(|o| o.analysis.total_in_bytes).sum();
+        assert!(total > 0, "sweep produced no traffic");
+    }
+}

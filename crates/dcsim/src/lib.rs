@@ -1,0 +1,54 @@
+//! # ms-dcsim — packet-level data center rack simulator
+//!
+//! This crate is the substrate on which the Millisampler reproduction runs:
+//! a deterministic, discrete-event, packet-metadata-level simulator of a data
+//! center rack as described in §3 of *"A Microscopic View of Bursts, Buffer
+//! Contention, and Loss in Data Centers"* (IMC 2022).
+//!
+//! It provides:
+//!
+//! * [`time::Ns`] — nanosecond simulation time,
+//! * [`engine::EventQueue`] — a deterministic event queue with FIFO
+//!   tie-breaking for simultaneous events,
+//! * [`packet::Packet`] — segment metadata (no payload bytes are simulated),
+//! * [`link::Link`] — rate + propagation-delay links with serialization,
+//! * [`switch::SharedBufferSwitch`] — a shared-memory ToR switch with
+//!   **Dynamic Threshold** buffer sharing (Choudhury–Hahne), buffer
+//!   quadrants, per-queue dedicated reserves, a static ECN marking
+//!   threshold, and per-queue/1-minute discard counters,
+//! * [`host::Host`] — server model with a multi-queue NIC, RSS-style flow
+//!   steering across simulated CPUs, and a host clock with injectable skew,
+//! * [`fault`] — fault injection (random drop, NIC stalls) in the style of
+//!   smoltcp's example fault injectors,
+//! * [`topology::RackConfig`] — the numeric rack configuration from §3 of
+//!   the paper (12.5 Gbps server links, 16 MB buffer in four 4 MB quadrants,
+//!   ~3.6 MB shared per quadrant, α = 1, 120 KB ECN threshold).
+//!
+//! The simulator is *sans-io* in spirit: this crate owns no main loop.
+//! Higher layers (`ms-transport`, `ms-workload`) pull events from the queue
+//! and drive the network objects explicitly, which keeps every component
+//! independently testable and the whole simulation bit-for-bit deterministic
+//! for a given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fault;
+pub mod host;
+pub mod link;
+pub mod packet;
+pub mod pcap;
+pub mod rng;
+pub mod switch;
+pub mod time;
+pub mod topology;
+
+pub use engine::EventQueue;
+pub use host::{Host, HostId};
+pub use link::Link;
+pub use packet::{Direction, EcnCodepoint, FlowId, Packet, PacketKind};
+pub use rng::SimRng;
+pub use switch::{EnqueueOutcome, SharedBufferSwitch, SharingPolicy, SwitchConfig};
+pub use time::Ns;
+pub use topology::RackConfig;

@@ -1,0 +1,254 @@
+//! Point-to-point links.
+//!
+//! A [`Link`] models serialization at a fixed rate plus a fixed propagation
+//! delay. It keeps a `busy_until` horizon: a packet offered at time `t`
+//! starts serializing at `max(t, busy_until)`, occupies the wire for
+//! `size / rate`, and arrives at the far end one propagation delay after its
+//! last bit leaves. This is the classic store-and-forward model.
+//!
+//! Links deliberately have **no queue of their own** — queueing happens in
+//! the switch ([`crate::switch`]) or is closed-loop-limited by transport
+//! windows at the hosts. Where a sender could otherwise offer unbounded
+//! packets (e.g. the fabric-side pacer), callers use [`Link::idle_at`] to
+//! self-clock.
+
+use crate::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Counters every link maintains; cheap enough to keep always-on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets fully serialized onto the wire.
+    pub packets: u64,
+    /// Bytes fully serialized onto the wire.
+    pub bytes: u64,
+}
+
+/// A unidirectional link with a fixed rate and propagation delay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    rate_bps: u64,
+    prop_delay: Ns,
+    busy_until: Ns,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link. `rate_bps` must be positive.
+    pub fn new(rate_bps: u64, prop_delay: Ns) -> Self {
+        assert!(rate_bps > 0, "link rate must be positive");
+        Link {
+            rate_bps,
+            prop_delay,
+            busy_until: Ns::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The link rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// The propagation delay.
+    pub fn prop_delay(&self) -> Ns {
+        self.prop_delay
+    }
+
+    /// When the wire becomes free (>= any earlier `transmit` completion).
+    pub fn idle_at(&self) -> Ns {
+        self.busy_until
+    }
+
+    /// Whether the wire is free at `now`.
+    pub fn is_idle(&self, now: Ns) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Offers a packet of `size` bytes to the link at time `now`.
+    ///
+    /// Returns `(departed, arrived)`: when the last bit leaves this end and
+    /// when it reaches the far end. The caller is responsible for scheduling
+    /// the arrival event (sans-io: the link never touches the event queue).
+    pub fn transmit(&mut self, now: Ns, size: u32) -> (Ns, Ns) {
+        let start = self.busy_until.max(now);
+        let departed = start + Ns::tx_time(size as u64, self.rate_bps);
+        self.busy_until = departed;
+        self.stats.packets += 1;
+        self.stats.bytes += size as u64;
+        let arrived = departed + self.prop_delay;
+        (departed, arrived)
+    }
+
+    /// Resets the busy horizon and counters (between independent runs).
+    pub fn reset(&mut self) {
+        self.busy_until = Ns::ZERO;
+        self.stats = LinkStats::default();
+    }
+}
+
+/// A token-bucket pacer used to smooth traffic (e.g. modeling fabric-side
+/// smoothing of ML traffic arriving at RegA-High racks, §8.1, and the
+/// multicast rate limiting noted under Fig. 3 of the paper).
+///
+/// The pacer answers one question: *given the pacing rate, at what time may
+/// the next `size`-byte packet be released?* Callers hold packets until then.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pacer {
+    rate_bps: u64,
+    /// Maximum burst the bucket may accumulate, in bytes.
+    burst_bytes: u64,
+    /// Tokens available at `updated`.
+    tokens: f64,
+    updated: Ns,
+}
+
+impl Pacer {
+    /// Creates a pacer at `rate_bps` allowing bursts of `burst_bytes`.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bps > 0, "pacing rate must be positive");
+        Pacer {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            updated: Ns::ZERO,
+        }
+    }
+
+    /// The pacing rate in bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    fn refill(&mut self, now: Ns) {
+        if now > self.updated {
+            let dt = (now - self.updated).as_nanos() as f64;
+            self.tokens = (self.tokens + dt * self.rate_bps as f64 / 8e9)
+                .min(self.burst_bytes as f64);
+            self.updated = now;
+        }
+    }
+
+    /// Consumes tokens for a `size`-byte packet and returns the earliest
+    /// time it may be released (`now` if tokens suffice, later otherwise).
+    ///
+    /// The bucket is allowed to go negative, which yields correct long-run
+    /// rates for packets larger than the configured burst.
+    pub fn release_at(&mut self, now: Ns, size: u32) -> Ns {
+        self.refill(now);
+        self.tokens -= size as f64;
+        if self.tokens >= 0.0 {
+            now
+        } else {
+            // Time until the deficit refills.
+            let deficit_bytes = -self.tokens;
+            let wait_ns = deficit_bytes * 8e9 / self.rate_bps as f64;
+            now + Ns(wait_ns.ceil() as u64)
+        }
+    }
+
+    /// Resets to a full bucket at time zero.
+    pub fn reset(&mut self) {
+        self.tokens = self.burst_bytes as f64;
+        self.updated = Ns::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: u64 = 1_000_000_000;
+
+    #[test]
+    fn back_to_back_serialization() {
+        let mut l = Link::new(12 * GBPS + 500_000_000, Ns::from_micros(1));
+        // 1500B at 12.5G = 960ns.
+        let (d1, a1) = l.transmit(Ns::ZERO, 1500);
+        assert_eq!(d1, Ns(960));
+        assert_eq!(a1, Ns(960) + Ns::from_micros(1));
+        // Second packet offered at t=0 must wait for the wire.
+        let (d2, _) = l.transmit(Ns::ZERO, 1500);
+        assert_eq!(d2, Ns(1920));
+    }
+
+    #[test]
+    fn idle_wire_transmits_immediately() {
+        let mut l = Link::new(100 * GBPS, Ns::ZERO);
+        l.transmit(Ns::ZERO, 1500);
+        // Offer the next packet long after the first completed.
+        let (d, _) = l.transmit(Ns::from_millis(1), 1500);
+        assert_eq!(d, Ns::from_millis(1) + Ns(120));
+    }
+
+    #[test]
+    fn link_counts_bytes_and_packets() {
+        let mut l = Link::new(GBPS, Ns::ZERO);
+        l.transmit(Ns::ZERO, 1000);
+        l.transmit(Ns::ZERO, 500);
+        assert_eq!(l.stats(), LinkStats { packets: 2, bytes: 1500 });
+    }
+
+    #[test]
+    fn sustained_rate_matches_configured_rate() {
+        let mut l = Link::new(10 * GBPS, Ns::ZERO);
+        let mut last = Ns::ZERO;
+        for _ in 0..10_000 {
+            let (d, _) = l.transmit(Ns::ZERO, 1500);
+            last = d;
+        }
+        // 10k * 1500B * 8 bits at 10G = 12ms.
+        let expect = Ns::from_micros(12_000);
+        let err = last.as_nanos().abs_diff(expect.as_nanos());
+        assert!(err < 10_000, "drift {err}ns over 12ms");
+    }
+
+    #[test]
+    fn pacer_allows_initial_burst_then_paces() {
+        // 1 Gbps pacer, 3000B bucket.
+        let mut p = Pacer::new(GBPS, 3000);
+        assert_eq!(p.release_at(Ns::ZERO, 1500), Ns::ZERO);
+        assert_eq!(p.release_at(Ns::ZERO, 1500), Ns::ZERO);
+        // Bucket exhausted: third packet waits 1500B*8/1G = 12us.
+        let t = p.release_at(Ns::ZERO, 1500);
+        assert_eq!(t, Ns::from_micros(12));
+    }
+
+    #[test]
+    fn pacer_long_run_rate() {
+        let mut p = Pacer::new(GBPS, 1500);
+        let mut t = Ns::ZERO;
+        let n = 1000u64;
+        for _ in 0..n {
+            t = p.release_at(t, 1500);
+        }
+        // n packets at 1 Gbps: about n * 12us.
+        let expect = (n - 1) * 12_000;
+        assert!(
+            t.as_nanos().abs_diff(expect) < expect / 100,
+            "paced finish {t} vs expected ~{expect}ns"
+        );
+    }
+
+    #[test]
+    fn pacer_refill_caps_at_burst() {
+        let mut p = Pacer::new(GBPS, 1500);
+        p.release_at(Ns::ZERO, 1500);
+        // Wait far longer than needed to refill; bucket must cap at 1500.
+        let now = Ns::from_secs(1);
+        assert_eq!(p.release_at(now, 1500), now);
+        // Immediately again: must wait a full serialization.
+        assert!(p.release_at(now, 1500) > now);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_link_rejected() {
+        let _ = Link::new(0, Ns::ZERO);
+    }
+}

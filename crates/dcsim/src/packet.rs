@@ -1,0 +1,190 @@
+//! Packet (segment) metadata.
+//!
+//! The simulator is metadata-level: a [`Packet`] carries everything the
+//! switch, transport, and Millisampler need (sizes, sequence numbers, ECN
+//! codepoints, the diagnostic retransmit bit) but no payload bytes. This is
+//! the standard fidelity level for congestion-control simulation (ns-2,
+//! htsim) and keeps multi-region sweeps tractable.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node (a server in the rack, or a remote/fabric-side sender).
+pub type NodeId = u32;
+
+/// Identifies a transport connection (five-tuple surrogate).
+///
+/// The flow id doubles as the value hashed by RSS dispatch and by the
+/// Millisampler flow sketch, exactly as a five-tuple hash would be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// A stable 64-bit hash of the flow id (fmix64 finalizer), used for RSS
+    /// CPU steering and for sketch bucket selection. Flow ids are assigned
+    /// sequentially by the simulator, so they must be whitened before use as
+    /// hash values.
+    pub fn hash64(self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// ECN codepoint carried in the (simulated) IP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EcnCodepoint {
+    /// Not ECN-capable transport (e.g. pure control traffic).
+    NotEct,
+    /// ECN-capable, not marked.
+    Ect,
+    /// Congestion experienced — set by the switch when the queue exceeds the
+    /// static marking threshold.
+    Ce,
+}
+
+/// Whether a packet carries data or is a (delayed) cumulative ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A data segment: `seq..seq + payload` bytes of the flow's stream.
+    Data,
+    /// A cumulative ACK up to `ack_seq`, echoing ECN marks (DCTCP-style).
+    Ack,
+    /// A rack-local multicast datagram (used by the §4.5 validation tool).
+    Multicast,
+}
+
+/// Direction of a packet relative to a *host* — the Millisampler filter's
+/// frame of reference ("ingress" is traffic entering the host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Entering the host (received from the ToR).
+    Ingress,
+    /// Leaving the host (sent toward the ToR).
+    Egress,
+}
+
+/// Segment metadata flowing through the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The connection this packet belongs to.
+    pub flow: FlowId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node (for multicast, the group id).
+    pub dst: NodeId,
+    /// Data or ACK.
+    pub kind: PacketKind,
+    /// Total wire size in bytes (what links serialize and buffers hold).
+    pub size: u32,
+    /// First stream byte carried (Data), or cumulative ACK point (Ack).
+    pub seq: u64,
+    /// For ACKs: how many of the bytes being acknowledged arrived CE-marked.
+    /// DCTCP uses this to estimate the marked fraction. Zero for data.
+    pub ecn_echo_bytes: u32,
+    /// ECN codepoint (mutated by the switch on marking).
+    pub ecn: EcnCodepoint,
+    /// The Meta-style diagnostic retransmit bit: set on the first outgoing
+    /// packet of a connection after a timeout or fast retransmission (§4.2).
+    /// Millisampler counts bytes of packets carrying this bit as
+    /// "retransmitted bytes".
+    pub retx_bit: bool,
+    /// True if this segment is itself a retransmission of earlier data
+    /// (used by tests and loss accounting; not visible to Millisampler,
+    /// which only sees `retx_bit`, mirroring the deployment).
+    pub is_retransmission: bool,
+}
+
+impl Packet {
+    /// Convenience constructor for a data segment.
+    pub fn data(flow: FlowId, src: NodeId, dst: NodeId, seq: u64, size: u32) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Data,
+            size,
+            seq,
+            ecn_echo_bytes: 0,
+            ecn: EcnCodepoint::Ect,
+            retx_bit: false,
+            is_retransmission: false,
+        }
+    }
+
+    /// Convenience constructor for a cumulative ACK.
+    ///
+    /// ACKs are 64 bytes on the wire and not ECN-capable (we do not model
+    /// ACK marking; the reverse path is uncongested in the rack scenarios).
+    pub fn ack(flow: FlowId, src: NodeId, dst: NodeId, ack_seq: u64, ecn_echo_bytes: u32) -> Self {
+        Packet {
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Ack,
+            size: 64,
+            seq: ack_seq,
+            ecn_echo_bytes,
+            ecn: EcnCodepoint::NotEct,
+            retx_bit: false,
+            is_retransmission: false,
+        }
+    }
+
+    /// Convenience constructor for a multicast datagram to `group`.
+    pub fn multicast(flow: FlowId, src: NodeId, group: NodeId, size: u32) -> Self {
+        Packet {
+            flow,
+            src,
+            dst: group,
+            kind: PacketKind::Multicast,
+            size,
+            seq: 0,
+            ecn_echo_bytes: 0,
+            ecn: EcnCodepoint::NotEct,
+            retx_bit: false,
+            is_retransmission: false,
+        }
+    }
+
+    /// Whether the switch marked this packet CE.
+    pub fn is_ce(&self) -> bool {
+        self.ecn == EcnCodepoint::Ce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_whitens_sequential_ids() {
+        // Sequential flow ids must land on different CPUs/sketch bits:
+        // check the low 2 bits (CPU selection on a 4-CPU host) vary.
+        let cpus: std::collections::HashSet<u64> =
+            (0..16u64).map(|i| FlowId(i).hash64() & 3).collect();
+        assert!(cpus.len() >= 3, "hash should spread over CPUs: {cpus:?}");
+    }
+
+    #[test]
+    fn hash64_is_stable() {
+        // The sketch relies on the hash being a pure function.
+        assert_eq!(FlowId(12345).hash64(), FlowId(12345).hash64());
+        assert_ne!(FlowId(1).hash64(), FlowId(2).hash64());
+    }
+
+    #[test]
+    fn constructors_set_kinds() {
+        let d = Packet::data(FlowId(1), 10, 20, 0, 1500);
+        assert_eq!(d.kind, PacketKind::Data);
+        assert_eq!(d.ecn, EcnCodepoint::Ect);
+        let a = Packet::ack(FlowId(1), 20, 10, 1500, 0);
+        assert_eq!(a.kind, PacketKind::Ack);
+        assert_eq!(a.size, 64);
+        let m = Packet::multicast(FlowId(2), 10, 900, 1500);
+        assert_eq!(m.kind, PacketKind::Multicast);
+    }
+}

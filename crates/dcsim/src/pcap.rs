@@ -1,0 +1,241 @@
+//! Libpcap-format export of simulated traffic.
+//!
+//! Following smoltcp's practice of letting every example dump a `--pcap`
+//! trace, this module synthesizes minimal Ethernet/IPv4/TCP frames from
+//! packet metadata so simulated traffic can be inspected in Wireshark or
+//! tcpdump. Sequence numbers, ECN codepoints, cumulative ACKs, and sizes
+//! are faithful; payload bytes are zeros (the simulator carries none).
+//!
+//! The encoding is the classic pcap container (magic `0xa1b2c3d4`,
+//! microsecond timestamps, LINKTYPE_ETHERNET).
+
+use crate::packet::{EcnCodepoint, Packet, PacketKind};
+use crate::time::Ns;
+use std::io::{self, Write};
+
+/// How many payload bytes to include per packet (`snaplen`-style cap).
+/// Headers are always complete; payloads are zero-filled.
+const MAX_CAPTURED_PAYLOAD: usize = 64;
+
+const ETH_HDR: usize = 14;
+const IP_HDR: usize = 20;
+const TCP_HDR: usize = 20;
+
+/// Writes a pcap stream of simulated packets.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    out: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer, emitting the pcap global header immediately.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        // magic, version 2.4, thiszone 0, sigfigs 0, snaplen, ethernet.
+        out.write_all(&0xa1b2_c3d4u32.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?;
+        out.write_all(&4u16.to_le_bytes())?;
+        out.write_all(&0i32.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?;
+        out.write_all(&65_535u32.to_le_bytes())?;
+        out.write_all(&1u32.to_le_bytes())?; // LINKTYPE_ETHERNET
+        Ok(PcapWriter { out, packets: 0 })
+    }
+
+    /// Number of packets written.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn mac_for(node: u32) -> [u8; 6] {
+        // Locally-administered MACs derived from the node id.
+        let b = node.to_be_bytes();
+        [0x02, 0x00, b[0], b[1], b[2], b[3]]
+    }
+
+    fn ip_for(node: u32) -> [u8; 4] {
+        // 10.x.y.z from the node id.
+        let b = node.to_be_bytes();
+        [10, b[1], b[2], b[3]]
+    }
+
+    /// Appends one simulated packet at simulation time `now`.
+    pub fn write_packet(&mut self, now: Ns, pkt: &Packet) -> io::Result<()> {
+        let payload_len = (pkt.size as usize)
+            .saturating_sub(ETH_HDR + IP_HDR + TCP_HDR)
+            .min(MAX_CAPTURED_PAYLOAD);
+        let captured = ETH_HDR + IP_HDR + TCP_HDR + payload_len;
+        let original = (pkt.size as usize).max(ETH_HDR + IP_HDR + TCP_HDR);
+
+        // Record header: ts_sec, ts_usec, incl_len, orig_len.
+        let us = now.as_nanos() / 1_000;
+        self.out.write_all(&((us / 1_000_000) as u32).to_le_bytes())?;
+        self.out.write_all(&((us % 1_000_000) as u32).to_le_bytes())?;
+        self.out.write_all(&(captured as u32).to_le_bytes())?;
+        self.out.write_all(&(original as u32).to_le_bytes())?;
+
+        // Ethernet.
+        self.out.write_all(&Self::mac_for(pkt.dst))?;
+        self.out.write_all(&Self::mac_for(pkt.src))?;
+        self.out.write_all(&0x0800u16.to_be_bytes())?; // IPv4
+
+        // IPv4 header.
+        let total_len = (original - ETH_HDR) as u16;
+        let ecn_bits: u8 = match pkt.ecn {
+            EcnCodepoint::NotEct => 0b00,
+            EcnCodepoint::Ect => 0b10,
+            EcnCodepoint::Ce => 0b11,
+        };
+        // The Meta-style diagnostic retransmit bit lives in an unused IP
+        // header bit; we place it in the DSCP field's low bit so it is
+        // visible in dissectors.
+        let dscp: u8 = if pkt.retx_bit { 0b000001 } else { 0 };
+        let mut ip = [0u8; IP_HDR];
+        ip[0] = 0x45; // v4, ihl 5
+        ip[1] = (dscp << 2) | ecn_bits;
+        ip[2..4].copy_from_slice(&total_len.to_be_bytes());
+        ip[8] = 64; // TTL
+        ip[9] = 6; // TCP
+        ip[12..16].copy_from_slice(&Self::ip_for(pkt.src));
+        ip[16..20].copy_from_slice(&Self::ip_for(pkt.dst));
+        let csum = ipv4_checksum(&ip);
+        ip[10..12].copy_from_slice(&csum.to_be_bytes());
+        self.out.write_all(&ip)?;
+
+        // TCP header: ports derived from the flow id so Wireshark groups
+        // streams correctly.
+        let port = 1024 + (pkt.flow.0 % 60_000) as u16;
+        let mut tcp = [0u8; TCP_HDR];
+        let (sport, dport, seq, ack, flags) = match pkt.kind {
+            PacketKind::Data | PacketKind::Multicast => {
+                (port, 80u16, pkt.seq as u32, 0u32, 0x18u8) // PSH|ACK
+            }
+            PacketKind::Ack => (80u16, port, 0u32, pkt.seq as u32, 0x10u8), // ACK
+        };
+        tcp[0..2].copy_from_slice(&sport.to_be_bytes());
+        tcp[2..4].copy_from_slice(&dport.to_be_bytes());
+        tcp[4..8].copy_from_slice(&seq.to_be_bytes());
+        tcp[8..12].copy_from_slice(&ack.to_be_bytes());
+        tcp[12] = 5 << 4; // data offset
+        tcp[13] = flags;
+        tcp[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes()); // window
+        self.out.write_all(&tcp)?;
+
+        // Zero payload up to the snap cap.
+        self.out.write_all(&[0u8; MAX_CAPTURED_PAYLOAD][..payload_len])?;
+
+        self.packets += 1;
+        Ok(())
+    }
+}
+
+fn ipv4_checksum(header: &[u8; IP_HDR]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in header.chunks(2) {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn capture(pkts: &[(Ns, Packet)]) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for (t, p) in pkts {
+            w.write_packet(*t, p).unwrap();
+        }
+        w.into_inner()
+    }
+
+    #[test]
+    fn global_header_is_valid_pcap() {
+        let bytes = capture(&[]);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(&bytes[20..24], &1u32.to_le_bytes(), "ethernet linktype");
+    }
+
+    #[test]
+    fn record_lengths_are_consistent() {
+        let pkt = Packet::data(FlowId(7), 3, 5, 1500, 1500);
+        let bytes = capture(&[(Ns::from_micros(1_500_000), pkt)]);
+        // Record header at offset 24.
+        let incl = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        let orig = u32::from_le_bytes(bytes[36..40].try_into().unwrap()) as usize;
+        assert_eq!(orig, 1500);
+        assert_eq!(incl, 14 + 20 + 20 + 64);
+        assert_eq!(bytes.len(), 24 + 16 + incl);
+        // Timestamp: 1.5 seconds.
+        let sec = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        let usec = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+        assert_eq!((sec, usec), (1, 500_000));
+    }
+
+    #[test]
+    fn ecn_and_retx_bits_encoded_in_ip_header() {
+        let mut pkt = Packet::data(FlowId(1), 1, 2, 0, 200);
+        pkt.ecn = EcnCodepoint::Ce;
+        pkt.retx_bit = true;
+        let bytes = capture(&[(Ns::ZERO, pkt)]);
+        let ip_tos = bytes[24 + 16 + 14 + 1];
+        assert_eq!(ip_tos & 0b11, 0b11, "CE codepoint");
+        assert_eq!(ip_tos >> 2, 0b000001, "retx bit in DSCP");
+    }
+
+    #[test]
+    fn ipv4_checksum_verifies() {
+        let pkt = Packet::data(FlowId(1), 1, 2, 0, 1000);
+        let bytes = capture(&[(Ns::ZERO, pkt)]);
+        let ip = &bytes[24 + 16 + 14..24 + 16 + 14 + 20];
+        // Recomputing over the header including the stored checksum must
+        // yield zero (ones-complement property).
+        let mut sum = 0u32;
+        for chunk in ip.chunks(2) {
+            sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        assert_eq!(!(sum as u16), 0);
+    }
+
+    #[test]
+    fn acks_swap_ports_and_carry_ack_number() {
+        let ack = Packet::ack(FlowId(42), 5, 3, 123_456, 0);
+        let bytes = capture(&[(Ns::ZERO, ack)]);
+        let tcp = &bytes[24 + 16 + 14 + 20..];
+        let dport = u16::from_be_bytes([tcp[2], tcp[3]]);
+        assert_eq!(dport, 1024 + 42);
+        let ackno = u32::from_be_bytes([tcp[8], tcp[9], tcp[10], tcp[11]]);
+        assert_eq!(ackno, 123_456);
+        assert_eq!(tcp[13], 0x10, "pure ACK flag");
+    }
+
+    #[test]
+    fn tiny_packets_never_underflow() {
+        // A 64B wire ACK: headers (54B) plus the 10B remainder as payload.
+        let ack = Packet::ack(FlowId(1), 1, 2, 0, 0);
+        let bytes = capture(&[(Ns::ZERO, ack)]);
+        let incl = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        let orig = u32::from_le_bytes(bytes[36..40].try_into().unwrap()) as usize;
+        assert_eq!(incl, 14 + 20 + 20 + 10);
+        assert_eq!(orig, 64);
+        // And a hypothetical sub-header packet clamps rather than panics.
+        let mut tiny = Packet::ack(FlowId(1), 1, 2, 0, 0);
+        tiny.size = 10;
+        let bytes = capture(&[(Ns::ZERO, tiny)]);
+        let orig = u32::from_le_bytes(bytes[36..40].try_into().unwrap()) as usize;
+        assert_eq!(orig, 54, "clamped to full header size");
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic random number generation for the simulator.
+//!
+//! Every stochastic decision in the simulation (workload arrivals, flow
+//! sizes, fault injection, clock skew) draws from a [`SimRng`], a SplitMix64
+//! generator. SplitMix64 is tiny, fast, has no dependencies, passes BigCrush
+//! on its intended use, and — most importantly here — makes it trivial to
+//! derive independent, reproducible sub-streams (per rack, per server, per
+//! task) from a single experiment seed via [`SimRng::fork`].
+//!
+//! We intentionally do not use the `rand` crate in the substrate so that
+//! determinism does not hinge on an external crate's stream stability across
+//! versions; the workload crate uses `rand` distributions *seeded through*
+//! this type.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Lemire's multiply-shift rejection-free approximation is fine here:
+        // bias is < 2^-64 * n which is immaterial for workload sampling.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrival sampling in workloads.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// A bounded Pareto sample (shape `alpha`, range `[lo, hi]`).
+    ///
+    /// Flow sizes in data centers are heavy-tailed; bounded Pareto keeps the
+    /// tail while guaranteeing the sampler terminates with sane values.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+        let u = self.next_f64().clamp(1e-12, 1.0 - 1e-12);
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Derives an independent child generator. Children with distinct labels
+    /// produce decorrelated streams; the parent advances once.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        // Mix the label through one extra SplitMix round so that fork(0) and
+        // fork(1) differ in every bit, not just the low ones.
+        let base = self.next_u64();
+        let mut z = base ^ label.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        z = (z ^ (z >> 32)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        SimRng::new(z ^ (z >> 32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(7);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut r = SimRng::new(9);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.gen_range(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn exp_mean_roughly_correct() {
+        let mut r = SimRng::new(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut r = SimRng::new(13);
+        for _ in 0..10_000 {
+            let v = r.bounded_pareto(1.2, 1_000.0, 1_000_000.0);
+            assert!((1_000.0..=1_000_001.0).contains(&v), "got {v}");
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut root = SimRng::new(5);
+        let mut c0 = root.fork(0);
+        let mut c1 = root.fork(1);
+        let same = (0..64).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SimRng::new(17);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,764 @@
+//! Shared-memory ToR switch with Dynamic Threshold buffer sharing.
+//!
+//! This module implements the switch described in §2.1 and §3 of the paper:
+//!
+//! * one packet buffer shared across interfaces, divided into **quadrants**
+//!   (the studied ToR has 16 MB split into four 4 MB quadrants);
+//! * each egress queue maps to one quadrant (a function of input and output
+//!   port in hardware; here, a configurable map defaulting to
+//!   `queue % quadrants`);
+//! * per queue, a small **dedicated reserve** is always admissible; the rest
+//!   of the quadrant (~3.6 MB) is a **shared pool** governed by the
+//!   Dynamic Threshold (DT) algorithm of Choudhury & Hahne:
+//!
+//!   > a packet is admitted to queue *q* iff *q*'s shared-pool occupancy is
+//!   > below `T(t) = α · (B_shared − Q_shared(t))`,
+//!
+//!   where `Q_shared(t)` is the quadrant's total shared occupancy. With
+//!   `α = 1` (the fleet default), a single active queue may take at most
+//!   half the shared pool, two active queues a third each, and in general
+//!   `T = α·B / (1 + α·S)` for `S` fully-loaded queues — the formula behind
+//!   Fig. 1;
+//! * a **static ECN marking threshold** (120 KB deployed fleet-wide):
+//!   ECN-capable packets are CE-marked on enqueue when the queue's total
+//!   occupancy exceeds the threshold;
+//! * per-queue and per-switch counters, including **congestion discards
+//!   aggregated at one-minute granularity** — the production counters used
+//!   for Figs. 14 and 17.
+//!
+//! The switch holds packets; it never schedules events. Egress serialization
+//! is the caller's job (pair each queue with a [`crate::link::Link`] and pull
+//! via [`SharedBufferSwitch::dequeue`] when the link goes idle).
+
+use crate::packet::{EcnCodepoint, Packet};
+use crate::time::Ns;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the shared pool is apportioned among queues.
+///
+/// The studied fleet runs Dynamic Threshold; the alternatives exist for
+/// the ablation benches motivated by §9/§10 (buffer-sharing algorithm
+/// design is exactly what the paper's measurements are meant to inform).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SharingPolicy {
+    /// Choudhury–Hahne DT: admit while queue shared usage < α·(free pool).
+    DynamicThreshold,
+    /// No per-queue limit: admit while the pool physically fits the packet
+    /// (one queue can starve all others).
+    CompleteSharing,
+    /// Fixed per-queue cap: shared capacity divided evenly over the
+    /// queues of the quadrant (no statistical multiplexing).
+    StaticPartition,
+}
+
+/// Static configuration of the shared-memory switch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// Number of egress queues (one per server in the rack scenarios).
+    pub num_queues: usize,
+    /// Number of buffer quadrants.
+    pub num_quadrants: usize,
+    /// Bytes of buffer per quadrant (dedicated reserves + shared pool).
+    pub quadrant_bytes: u64,
+    /// Dedicated reserve per queue, always admissible.
+    pub dedicated_per_queue: u64,
+    /// The DT α parameter.
+    pub alpha: f64,
+    /// Static ECN marking threshold on per-queue occupancy, in bytes.
+    pub ecn_threshold: u64,
+    /// Shared-pool apportioning policy.
+    pub policy: SharingPolicy,
+}
+
+impl SwitchConfig {
+    /// The ToR studied in the paper (§3): 16 MB buffer in four 4 MB
+    /// quadrants, ~0.4 MB of each quadrant set aside as dedicated reserves
+    /// (leaving ~3.6 MB shared), α = 1, and a 120 KB ECN threshold.
+    ///
+    /// The dedicated reserve is spread evenly over the queues mapped to a
+    /// quadrant, so the shared pool is 3.6 MB regardless of rack size.
+    pub fn meta_tor(num_queues: usize) -> Self {
+        let num_quadrants = 4;
+        let queues_per_quadrant = num_queues.div_ceil(num_quadrants).max(1);
+        SwitchConfig {
+            num_queues,
+            num_quadrants,
+            quadrant_bytes: 4 * 1024 * 1024,
+            dedicated_per_queue: (400 * 1024) / queues_per_quadrant as u64,
+            alpha: 1.0,
+            ecn_threshold: 120 * 1024,
+            policy: SharingPolicy::DynamicThreshold,
+        }
+    }
+
+    /// Shared-pool capacity of one quadrant (quadrant minus reserves).
+    pub fn shared_capacity(&self) -> u64 {
+        let queues_per_quadrant = self.num_queues.div_ceil(self.num_quadrants).max(1);
+        self.quadrant_bytes
+            .saturating_sub(self.dedicated_per_queue * queues_per_quadrant as u64)
+    }
+
+    /// The quadrant a queue maps to.
+    pub fn quadrant_of(&self, queue: usize) -> usize {
+        queue % self.num_quadrants
+    }
+
+    /// The closed-form fully-loaded per-queue limit `T = αB/(1 + αS)` from
+    /// §2.1, as a fraction of the shared buffer, for `s` active queues.
+    ///
+    /// This is the curve plotted in Fig. 1.
+    pub fn steady_state_share(alpha: f64, s: usize) -> f64 {
+        alpha / (1.0 + alpha * s as f64)
+    }
+}
+
+/// Result of offering a packet to the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Admitted; `marked` reports whether the packet was CE-marked.
+    Enqueued {
+        /// Whether the ECN threshold caused a CE mark.
+        marked: bool,
+    },
+    /// Discarded: the queue's shared occupancy was at or above the dynamic
+    /// threshold (or the pool was physically full).
+    Dropped,
+}
+
+impl EnqueueOutcome {
+    /// Whether the packet was admitted.
+    pub fn accepted(&self) -> bool {
+        matches!(self, EnqueueOutcome::Enqueued { .. })
+    }
+}
+
+/// Which pool a buffered packet's bytes were drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pool {
+    Dedicated,
+    Shared,
+}
+
+#[derive(Debug, Clone)]
+struct Buffered {
+    pkt: Packet,
+    pool: Pool,
+}
+
+/// Per-queue live state and counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Packets admitted.
+    pub enq_packets: u64,
+    /// Bytes admitted.
+    pub enq_bytes: u64,
+    /// Packets discarded by DT admission.
+    pub drop_packets: u64,
+    /// Bytes discarded by DT admission.
+    pub drop_bytes: u64,
+    /// Packets CE-marked on enqueue.
+    pub marked_packets: u64,
+    /// Bytes CE-marked on enqueue.
+    pub marked_bytes: u64,
+    /// High-water mark of queue occupancy in bytes.
+    pub max_occupancy: u64,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    fifo: VecDeque<Buffered>,
+    dedicated_used: u64,
+    shared_used: u64,
+    stats: QueueStats,
+}
+
+impl QueueState {
+    fn new() -> Self {
+        QueueState {
+            fifo: VecDeque::new(),
+            dedicated_used: 0,
+            shared_used: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.dedicated_used + self.shared_used
+    }
+}
+
+/// One-minute aggregate counters, mirroring production switch telemetry
+/// ("production switches at Meta only support collecting traffic volume
+/// statistics at 1 minute time granularity", §7.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinuteBin {
+    /// Bytes admitted across all queues during the minute.
+    pub ingress_bytes: u64,
+    /// Bytes discarded across all queues during the minute.
+    pub discard_bytes: u64,
+    /// Packets discarded across all queues during the minute.
+    pub discard_packets: u64,
+}
+
+/// The shared-memory switch.
+#[derive(Debug)]
+pub struct SharedBufferSwitch {
+    cfg: SwitchConfig,
+    queues: Vec<QueueState>,
+    /// Shared-pool occupancy per quadrant.
+    shared_occupancy: Vec<u64>,
+    /// 1-minute telemetry bins, indexed by minute number.
+    minutes: Vec<MinuteBin>,
+    /// Multicast groups: group id → member queues.
+    groups: Vec<(u32, Vec<usize>)>,
+    /// Optional depth probe: (queue, samples).
+    depth_probe: Option<(usize, Vec<(Ns, u64)>)>,
+}
+
+impl SharedBufferSwitch {
+    /// Builds a switch from configuration.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        assert!(cfg.num_queues > 0, "switch needs at least one queue");
+        assert!(cfg.num_quadrants > 0, "switch needs at least one quadrant");
+        assert!(cfg.alpha > 0.0, "DT alpha must be positive");
+        let queues = (0..cfg.num_queues).map(|_| QueueState::new()).collect();
+        let shared_occupancy = vec![0; cfg.num_quadrants];
+        SharedBufferSwitch {
+            cfg,
+            queues,
+            shared_occupancy,
+            minutes: Vec::new(),
+            groups: Vec::new(),
+            depth_probe: None,
+        }
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Retunes the DT α parameter at runtime. §9 of the paper discusses
+    /// adapting buffer sharing to measured contention; the ablation
+    /// benches use this to evaluate a simple contention-driven tuner.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        assert!(alpha > 0.0, "DT alpha must be positive");
+        self.cfg.alpha = alpha;
+    }
+
+    /// Attaches a depth probe to `queue`: occupancy is recorded after
+    /// every admission to that queue (opt-in; used by tests and debugging,
+    /// never by the sweeps). Dequeues are not timestamped by the switch,
+    /// so the probe traces the occupancy's upper envelope — which is what
+    /// ECN-marking and overflow analysis need.
+    pub fn probe_queue_depth(&mut self, queue: usize) {
+        assert!(queue < self.cfg.num_queues);
+        self.depth_probe = Some((queue, Vec::new()));
+    }
+
+    /// The recorded `(time, occupancy)` samples of the probed queue.
+    pub fn depth_samples(&self) -> &[(Ns, u64)] {
+        self.depth_probe
+            .as_ref()
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn note_depth(&mut self, queue: usize, now: Ns) {
+        if let Some((probed, _)) = self.depth_probe {
+            if probed == queue {
+                let occ = self.queues[queue].occupancy();
+                if let Some((_, log)) = &mut self.depth_probe {
+                    log.push((now, occ));
+                }
+            }
+        }
+    }
+
+    /// Registers (or extends) a multicast group delivering to `queues`.
+    pub fn join_multicast(&mut self, group: u32, queue: usize) {
+        assert!(queue < self.cfg.num_queues);
+        if let Some((_, members)) = self.groups.iter_mut().find(|(g, _)| *g == group) {
+            if !members.contains(&queue) {
+                members.push(queue);
+            }
+        } else {
+            self.groups.push((group, vec![queue]));
+        }
+    }
+
+    /// Member queues of a multicast group (empty if unknown).
+    pub fn multicast_members(&self, group: u32) -> &[usize] {
+        self.groups
+            .iter()
+            .find(|(g, _)| *g == group)
+            .map(|(_, m)| m.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The dynamic threshold `α·(B_shared − Q_shared)` currently governing
+    /// admission in `quadrant`.
+    pub fn dynamic_threshold(&self, quadrant: usize) -> u64 {
+        let free = self
+            .cfg
+            .shared_capacity()
+            .saturating_sub(self.shared_occupancy[quadrant]);
+        (self.cfg.alpha * free as f64) as u64
+    }
+
+    /// Current occupancy (bytes) of a queue, both pools.
+    pub fn queue_occupancy(&self, queue: usize) -> u64 {
+        self.queues[queue].occupancy()
+    }
+
+    /// Current packet count of a queue.
+    pub fn queue_len(&self, queue: usize) -> usize {
+        self.queues[queue].fifo.len()
+    }
+
+    /// Shared-pool occupancy of a quadrant.
+    pub fn shared_occupancy(&self, quadrant: usize) -> u64 {
+        self.shared_occupancy[quadrant]
+    }
+
+    /// Number of queues in `quadrant` currently holding packets — the `S`
+    /// of the §2.1 analysis.
+    pub fn active_queues(&self, quadrant: usize) -> usize {
+        (0..self.cfg.num_queues)
+            .filter(|&q| self.cfg.quadrant_of(q) == quadrant && !self.queues[q].fifo.is_empty())
+            .count()
+    }
+
+    /// Per-queue counters.
+    pub fn queue_stats(&self, queue: usize) -> &QueueStats {
+        &self.queues[queue].stats
+    }
+
+    /// The 1-minute telemetry bins recorded so far.
+    pub fn minute_bins(&self) -> &[MinuteBin] {
+        &self.minutes
+    }
+
+    fn minute_bin_mut(&mut self, now: Ns) -> &mut MinuteBin {
+        let idx = (now.as_nanos() / 60_000_000_000) as usize;
+        if self.minutes.len() <= idx {
+            self.minutes.resize(idx + 1, MinuteBin::default());
+        }
+        &mut self.minutes[idx]
+    }
+
+    /// Offers `pkt` to egress `queue` at time `now`.
+    ///
+    /// Admission follows DT: the packet takes dedicated-reserve space if any
+    /// remains for this queue; otherwise it needs shared-pool space, granted
+    /// only if the queue's shared usage is strictly below the dynamic
+    /// threshold *and* the pool physically fits the packet.
+    ///
+    /// On admission, the stored packet is CE-marked if it is ECN-capable and
+    /// the queue's occupancy (after enqueue) exceeds the ECN threshold.
+    pub fn try_enqueue(&mut self, queue: usize, mut pkt: Packet, now: Ns) -> EnqueueOutcome {
+        assert!(queue < self.cfg.num_queues, "queue {queue} out of range");
+        let quadrant = self.cfg.quadrant_of(queue);
+        let size = pkt.size as u64;
+
+        let pool = if self.queues[queue].dedicated_used + size <= self.cfg.dedicated_per_queue {
+            Pool::Dedicated
+        } else {
+            let fits_pool =
+                self.shared_occupancy[quadrant] + size <= self.cfg.shared_capacity();
+            let under_limit = match self.cfg.policy {
+                SharingPolicy::DynamicThreshold => {
+                    self.queues[queue].shared_used < self.dynamic_threshold(quadrant)
+                }
+                SharingPolicy::CompleteSharing => true,
+                SharingPolicy::StaticPartition => {
+                    let queues_per_quadrant =
+                        self.cfg.num_queues.div_ceil(self.cfg.num_quadrants).max(1);
+                    let cap = self.cfg.shared_capacity() / queues_per_quadrant as u64;
+                    self.queues[queue].shared_used + size <= cap
+                }
+            };
+            if under_limit && fits_pool {
+                Pool::Shared
+            } else {
+                let q = &mut self.queues[queue];
+                q.stats.drop_packets += 1;
+                q.stats.drop_bytes += size;
+                let bin = self.minute_bin_mut(now);
+                bin.discard_bytes += size;
+                bin.discard_packets += 1;
+                return EnqueueOutcome::Dropped;
+            }
+        };
+
+        match pool {
+            Pool::Dedicated => self.queues[queue].dedicated_used += size,
+            Pool::Shared => {
+                self.queues[queue].shared_used += size;
+                self.shared_occupancy[quadrant] += size;
+            }
+        }
+
+        let q = &mut self.queues[queue];
+        let occupancy = q.occupancy();
+        q.stats.enq_packets += 1;
+        q.stats.enq_bytes += size;
+        q.stats.max_occupancy = q.stats.max_occupancy.max(occupancy);
+
+        let mut marked = false;
+        if pkt.ecn == EcnCodepoint::Ect && occupancy > self.cfg.ecn_threshold {
+            pkt.ecn = EcnCodepoint::Ce;
+            marked = true;
+            q.stats.marked_packets += 1;
+            q.stats.marked_bytes += size;
+        }
+
+        q.fifo.push_back(Buffered { pkt, pool });
+        self.minute_bin_mut(now).ingress_bytes += size;
+        self.note_depth(queue, now);
+        EnqueueOutcome::Enqueued { marked }
+    }
+
+    /// Pops the head-of-line packet of `queue`, releasing its buffer space.
+    pub fn dequeue(&mut self, queue: usize) -> Option<Packet> {
+        let quadrant = self.cfg.quadrant_of(queue);
+        let q = &mut self.queues[queue];
+        let Buffered { pkt, pool } = q.fifo.pop_front()?;
+        let size = pkt.size as u64;
+        match pool {
+            Pool::Dedicated => {
+                debug_assert!(q.dedicated_used >= size);
+                q.dedicated_used -= size;
+            }
+            Pool::Shared => {
+                debug_assert!(q.shared_used >= size);
+                q.shared_used -= size;
+                debug_assert!(self.shared_occupancy[quadrant] >= size);
+                self.shared_occupancy[quadrant] -= size;
+            }
+        }
+        Some(pkt)
+    }
+
+    /// Sum of discard bytes over all queues (cumulative).
+    pub fn total_discard_bytes(&self) -> u64 {
+        self.queues.iter().map(|q| q.stats.drop_bytes).sum()
+    }
+
+    /// Sum of admitted bytes over all queues (cumulative).
+    pub fn total_ingress_bytes(&self) -> u64 {
+        self.queues.iter().map(|q| q.stats.enq_bytes).sum()
+    }
+
+    /// Debug-time invariant check: per-queue shared usage must sum to the
+    /// quadrant occupancy, and occupancy must never exceed capacity.
+    pub fn check_invariants(&self) {
+        for quadrant in 0..self.cfg.num_quadrants {
+            let sum: u64 = (0..self.cfg.num_queues)
+                .filter(|&q| self.cfg.quadrant_of(q) == quadrant)
+                .map(|q| self.queues[q].shared_used)
+                .sum();
+            assert_eq!(
+                sum, self.shared_occupancy[quadrant],
+                "quadrant {quadrant} shared accounting diverged"
+            );
+            assert!(
+                self.shared_occupancy[quadrant] <= self.cfg.shared_capacity(),
+                "quadrant {quadrant} over capacity"
+            );
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            assert!(
+                q.dedicated_used <= self.cfg.dedicated_per_queue,
+                "queue {i} dedicated over reserve"
+            );
+            let fifo_bytes: u64 = q.fifo.iter().map(|b| b.pkt.size as u64).sum();
+            assert_eq!(fifo_bytes, q.occupancy(), "queue {i} byte accounting");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn small_cfg() -> SwitchConfig {
+        SwitchConfig {
+            num_queues: 4,
+            num_quadrants: 1,
+            quadrant_bytes: 100_000,
+            dedicated_per_queue: 2_000,
+            alpha: 1.0,
+            ecn_threshold: 20_000,
+            policy: SharingPolicy::DynamicThreshold,
+        }
+    }
+
+    fn pkt(flow: u64, size: u32) -> Packet {
+        Packet::data(FlowId(flow), 100, 0, 0, size)
+    }
+
+    #[test]
+    fn meta_tor_shared_capacity_close_to_paper() {
+        let cfg = SwitchConfig::meta_tor(32);
+        // Paper: "about 3.6MB" shared per 4MB quadrant.
+        let shared = cfg.shared_capacity();
+        assert!(
+            (3_500_000..=3_800_000).contains(&shared),
+            "shared {shared}"
+        );
+    }
+
+    #[test]
+    fn steady_state_share_matches_fig1_anchors() {
+        // α=1: single queue gets B/2, two queues get B/3 each (§2.1).
+        assert!((SwitchConfig::steady_state_share(1.0, 1) - 0.5).abs() < 1e-12);
+        assert!((SwitchConfig::steady_state_share(1.0, 2) - 1.0 / 3.0).abs() < 1e-12);
+        // α=2: 2B/3 for one queue, 2B/5 for each of two (§2.1).
+        assert!((SwitchConfig::steady_state_share(2.0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((SwitchConfig::steady_state_share(2.0, 2) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedicated_reserve_always_admits() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        // Fill the shared pool from queue 1 so DT would refuse queue 0.
+        let mut i = 0;
+        loop {
+            i += 1;
+            if !sw.try_enqueue(1, pkt(i, 1500), Ns::ZERO).accepted() {
+                break;
+            }
+        }
+        // Queue 0 still gets its dedicated reserve.
+        assert!(sw.try_enqueue(0, pkt(999, 1500), Ns::ZERO).accepted());
+        assert_eq!(sw.queue_occupancy(0), 1500);
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn single_queue_saturates_at_half_shared_pool_alpha_1() {
+        let cfg = small_cfg();
+        let shared_cap = cfg.shared_capacity(); // 100k - 4*2k = 92k
+        let mut sw = SharedBufferSwitch::new(cfg.clone());
+        let mut i = 0;
+        loop {
+            i += 1;
+            if !sw.try_enqueue(0, pkt(i, 1000), Ns::ZERO).accepted() {
+                break;
+            }
+        }
+        // DT fixpoint: shared usage ~ shared_cap/2 (within one packet),
+        // plus the dedicated reserve.
+        let shared_used = sw.shared_occupancy(0);
+        let target = shared_cap / 2;
+        assert!(
+            shared_used.abs_diff(target) <= 1000,
+            "shared {shared_used} vs target {target}"
+        );
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn two_queues_settle_at_third_each() {
+        let cfg = small_cfg();
+        let shared_cap = cfg.shared_capacity();
+        let mut sw = SharedBufferSwitch::new(cfg);
+        // Alternate enqueues so both queues grow together.
+        let mut i = 0;
+        let mut blocked = [false; 2];
+        while !(blocked[0] && blocked[1]) {
+            for q in 0..2 {
+                i += 1;
+                if !sw.try_enqueue(q, pkt(i, 500), Ns::ZERO).accepted() {
+                    blocked[q] = true;
+                }
+            }
+        }
+        for q in 0..2 {
+            let used = sw.queues[q].shared_used;
+            let target = shared_cap / 3;
+            assert!(
+                used.abs_diff(target) <= 1500,
+                "queue {q} shared {used} vs {target}"
+            );
+        }
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn dequeue_is_fifo_and_releases_space() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        for i in 0..5 {
+            let mut p = pkt(i, 1000);
+            p.seq = i * 1000;
+            assert!(sw.try_enqueue(2, p, Ns::ZERO).accepted());
+        }
+        let occ_before = sw.queue_occupancy(2);
+        for i in 0..5 {
+            let p = sw.dequeue(2).expect("packet");
+            assert_eq!(p.seq, i * 1000);
+        }
+        assert_eq!(sw.queue_occupancy(2), 0);
+        assert!(occ_before > 0);
+        assert!(sw.dequeue(2).is_none());
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold_only() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let mut marked_seen = false;
+        let mut unmarked_seen = false;
+        for i in 0..40 {
+            match sw.try_enqueue(0, pkt(i, 1000), Ns::ZERO) {
+                EnqueueOutcome::Enqueued { marked } => {
+                    // Threshold is 20k: first ~20 packets unmarked.
+                    if sw.queue_occupancy(0) <= 20_000 {
+                        assert!(!marked);
+                        unmarked_seen = true;
+                    }
+                    marked_seen |= marked;
+                }
+                EnqueueOutcome::Dropped => break,
+            }
+        }
+        assert!(marked_seen && unmarked_seen);
+    }
+
+    #[test]
+    fn non_ect_packets_never_marked() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        for i in 0..40 {
+            let mut p = pkt(i, 1000);
+            p.ecn = EcnCodepoint::NotEct;
+            if let EnqueueOutcome::Enqueued { marked } = sw.try_enqueue(0, p, Ns::ZERO) {
+                assert!(!marked);
+            }
+        }
+        assert_eq!(sw.queue_stats(0).marked_packets, 0);
+    }
+
+    #[test]
+    fn drops_are_counted_per_queue_and_per_minute() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let mut drops = 0;
+        for i in 0..200 {
+            if !sw.try_enqueue(0, pkt(i, 1500), Ns::from_secs(61)).accepted() {
+                drops += 1;
+            }
+        }
+        assert!(drops > 0);
+        assert_eq!(sw.queue_stats(0).drop_packets, drops);
+        // Second minute bin (index 1) holds the drops.
+        assert_eq!(sw.minute_bins()[1].discard_packets, drops);
+        assert_eq!(sw.minute_bins()[0], MinuteBin::default());
+    }
+
+    #[test]
+    fn multicast_membership() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        sw.join_multicast(7, 0);
+        sw.join_multicast(7, 3);
+        sw.join_multicast(7, 3); // idempotent
+        assert_eq!(sw.multicast_members(7), &[0, 3]);
+        assert!(sw.multicast_members(9).is_empty());
+    }
+
+    #[test]
+    fn freeing_space_reopens_admission() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let mut i = 0;
+        loop {
+            i += 1;
+            if !sw.try_enqueue(0, pkt(i, 1000), Ns::ZERO).accepted() {
+                break;
+            }
+        }
+        // Drain half the queue; DT threshold rises as the pool frees.
+        let n = sw.queue_len(0) / 2;
+        for _ in 0..n {
+            sw.dequeue(0);
+        }
+        assert!(sw.try_enqueue(0, pkt(9999, 1000), Ns::ZERO).accepted());
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn depth_probe_traces_admissions() {
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        sw.probe_queue_depth(1);
+        sw.try_enqueue(1, pkt(1, 1000), Ns(10));
+        sw.try_enqueue(0, pkt(2, 500), Ns(20)); // other queue: not traced
+        sw.try_enqueue(1, pkt(3, 1000), Ns(30));
+        assert_eq!(sw.depth_samples(), &[(Ns(10), 1000), (Ns(30), 2000)]);
+        // Runtime alpha retuning is visible in admission behaviour.
+        sw.set_alpha(0.25);
+        assert!(sw.dynamic_threshold(0) < sw.config().shared_capacity() / 2);
+    }
+
+    #[test]
+    fn complete_sharing_lets_one_queue_take_the_pool() {
+        let mut sw = SharedBufferSwitch::new(SwitchConfig {
+            policy: SharingPolicy::CompleteSharing,
+            ..small_cfg()
+        });
+        let mut i = 0;
+        loop {
+            i += 1;
+            if !sw.try_enqueue(0, pkt(i, 1000), Ns::ZERO).accepted() {
+                break;
+            }
+        }
+        // The queue filled the whole shared pool (not just the DT half).
+        let cap = sw.config().shared_capacity();
+        assert!(sw.shared_occupancy(0) + 1000 > cap, "{}", sw.shared_occupancy(0));
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn static_partition_caps_each_queue_at_its_slice() {
+        let cfg = SwitchConfig {
+            policy: SharingPolicy::StaticPartition,
+            ..small_cfg()
+        };
+        let slice = cfg.shared_capacity() / 4; // 4 queues, 1 quadrant
+        let mut sw = SharedBufferSwitch::new(cfg);
+        let mut i = 0;
+        loop {
+            i += 1;
+            if !sw.try_enqueue(0, pkt(i, 1000), Ns::ZERO).accepted() {
+                break;
+            }
+        }
+        assert!(sw.queues[0].shared_used <= slice);
+        assert!(sw.queues[0].shared_used + 1000 > slice);
+        // Other queues still get their slices even though queue 0 is full.
+        assert!(sw.try_enqueue(1, pkt(9999, 1000), Ns::ZERO).accepted());
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn higher_alpha_grants_bigger_share() {
+        let mut lo = SharedBufferSwitch::new(SwitchConfig {
+            alpha: 0.5,
+            ..small_cfg()
+        });
+        let mut hi = SharedBufferSwitch::new(SwitchConfig {
+            alpha: 4.0,
+            ..small_cfg()
+        });
+        for sw in [&mut lo, &mut hi] {
+            let mut i = 0;
+            loop {
+                i += 1;
+                if !sw.try_enqueue(0, pkt(i, 500), Ns::ZERO).accepted() {
+                    break;
+                }
+            }
+        }
+        assert!(hi.queue_occupancy(0) > lo.queue_occupancy(0));
+    }
+}

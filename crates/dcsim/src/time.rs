@@ -1,0 +1,214 @@
+//! Simulation time.
+//!
+//! All simulation time is kept in integer nanoseconds ([`Ns`]). Integer time
+//! makes event ordering exact and the simulation reproducible: there is no
+//! floating-point drift, and two events scheduled for "the same time" compare
+//! equal rather than almost-equal.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulation time, or a duration, in nanoseconds.
+///
+/// `Ns` is deliberately a single type for both instants and durations —
+/// the simulator's arithmetic is simple enough that the instant/duration
+/// distinction adds more ceremony than safety, and this mirrors how the
+/// paper's eBPF filter works with raw `ktime` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero time — the start of every simulation.
+    pub const ZERO: Ns = Ns(0);
+    /// The largest representable time; used as an "infinite" deadline.
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Constructs from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Ns(ns)
+    }
+
+    /// Constructs from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Ns(us * 1_000)
+    }
+
+    /// Constructs from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float, for reporting only (never for event math).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    pub const fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub const fn checked_add(self, rhs: Ns) -> Option<Ns> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Ns(v)),
+            None => None,
+        }
+    }
+
+    /// The transmission (serialization) time of `bytes` at `rate_bps`.
+    ///
+    /// Rounds up to the next nanosecond so that back-to-back packets never
+    /// serialize faster than line rate due to truncation.
+    pub fn tx_time(bytes: u64, rate_bps: u64) -> Ns {
+        debug_assert!(rate_bps > 0, "link rate must be positive");
+        let bits = bytes as u128 * 8 * 1_000_000_000;
+        Ns(bits.div_ceil(rate_bps as u128) as u64)
+    }
+
+    /// How many bytes a link at `rate_bps` drains in this duration
+    /// (truncating).
+    pub fn bytes_at_rate(self, rate_bps: u64) -> u64 {
+        (self.0 as u128 * rate_bps as u128 / 8 / 1_000_000_000) as u64
+    }
+
+    /// `self` as a multiple of `interval`, i.e. which sampling bucket this
+    /// instant falls into given a bucket width. This is exactly the bucket
+    /// computation the Millisampler tc filter performs per packet.
+    pub const fn bucket_index(self, interval: Ns) -> u64 {
+        self.0 / interval.0
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Ns::from_secs(2), Ns::from_millis(2000));
+        assert_eq!(Ns::from_millis(1), Ns::from_micros(1000));
+        assert_eq!(Ns::from_micros(1), Ns::from_nanos(1000));
+    }
+
+    #[test]
+    fn tx_time_at_line_rates() {
+        // 1500 B at 12.5 Gbps = 960 ns exactly.
+        assert_eq!(Ns::tx_time(1500, 12_500_000_000), Ns(960));
+        // 1500 B at 100 Gbps = 120 ns exactly.
+        assert_eq!(Ns::tx_time(1500, 100_000_000_000), Ns(120));
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        // 1 byte at 3 bps: 8/3 s -> must round up to a whole ns above 2.66e9.
+        let t = Ns::tx_time(1, 3);
+        assert_eq!(t, Ns(2_666_666_667));
+    }
+
+    #[test]
+    fn bytes_at_rate_inverts_tx_time_approximately() {
+        let rate = 12_500_000_000;
+        let t = Ns::tx_time(1_000_000, rate);
+        let b = t.bytes_at_rate(rate);
+        assert!((1_000_000..=1_000_001).contains(&b), "got {b}");
+    }
+
+    #[test]
+    fn bucket_index_matches_filter_semantics() {
+        let interval = Ns::from_millis(1);
+        assert_eq!(Ns::from_micros(999).bucket_index(interval), 0);
+        assert_eq!(Ns::from_millis(1).bucket_index(interval), 1);
+        assert_eq!(Ns::from_micros(2500).bucket_index(interval), 2);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Ns(5).saturating_sub(Ns(10)), Ns::ZERO);
+        assert_eq!(Ns(10).saturating_sub(Ns(5)), Ns(5));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Ns(12)), "12ns");
+        assert_eq!(format!("{}", Ns(1500)), "1.500us");
+        assert_eq!(format!("{}", Ns(2_000_000)), "2.000ms");
+        assert_eq!(format!("{}", Ns(3_500_000_000)), "3.500s");
+    }
+}

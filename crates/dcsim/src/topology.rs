@@ -1,0 +1,115 @@
+//! Rack topology configuration.
+//!
+//! [`RackConfig`] gathers the numeric parameters of the studied deployment
+//! (§3 of the paper) in one place, with the paper's values as defaults, so
+//! experiments and tests never scatter magic numbers.
+
+use crate::switch::SwitchConfig;
+use crate::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulated rack and its attachment to the fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RackConfig {
+    /// Servers in the rack (each with its own ToR egress queue).
+    pub num_servers: usize,
+    /// Simulated CPUs per server (per-CPU Millisampler counters).
+    pub cpus_per_server: usize,
+    /// Server link rate, bits/s. The studied type: 50 Gbps NIC shared by
+    /// 4 servers → 12.5 Gbps per server.
+    pub server_link_bps: u64,
+    /// Server link propagation delay.
+    pub server_link_delay: Ns,
+    /// Remote (fabric-side) sender NIC rate, bits/s.
+    pub remote_nic_bps: u64,
+    /// One-way fabric latency between a remote sender and the ToR.
+    pub fabric_delay: Ns,
+    /// MSS used by transports, bytes on the wire per full segment.
+    pub mss: u32,
+    /// ToR switch configuration.
+    pub switch: SwitchConfig,
+}
+
+impl RackConfig {
+    /// The §3 deployment: `num_servers` at 12.5 Gbps each, 4 CPUs per
+    /// server, 25 Gbps remote senders ~20 µs across the fabric, and the
+    /// 16 MB / α=1 / 120 KB-ECN ToR.
+    pub fn meta_defaults(num_servers: usize) -> Self {
+        RackConfig {
+            num_servers,
+            cpus_per_server: 4,
+            server_link_bps: 12_500_000_000,
+            server_link_delay: Ns::from_micros(1),
+            remote_nic_bps: 25_000_000_000,
+            fabric_delay: Ns::from_micros(20),
+            mss: 1500,
+            switch: SwitchConfig::meta_tor(num_servers),
+        }
+    }
+
+    /// The base round-trip time between a remote sender and a rack server
+    /// when queues are empty: two fabric traversals, two server-link
+    /// propagation delays, plus one full-size serialization at each hop.
+    pub fn base_rtt(&self) -> Ns {
+        let data_tx = Ns::tx_time(self.mss as u64, self.server_link_bps)
+            + Ns::tx_time(self.mss as u64, self.remote_nic_bps);
+        let ack_tx = Ns::tx_time(64, self.server_link_bps);
+        self.fabric_delay * 2 + self.server_link_delay * 2 + data_tx + ack_tx
+    }
+
+    /// Bytes that constitute 50 % of server line rate over `interval` —
+    /// the paper's burst threshold (§5: "any consecutive set of one or more
+    /// sample data points that exceeds 50% of line rate").
+    pub fn burst_threshold_bytes(&self, interval: Ns) -> u64 {
+        interval.bytes_at_rate(self.server_link_bps) / 2
+    }
+
+    /// How many bytes one server link drains per 1 ms — the scale factor
+    /// that makes "the switch buffers about 1 ms worth of packets per
+    /// queue" (§5) concrete.
+    pub fn bytes_per_ms(&self) -> u64 {
+        Ns::from_millis(1).bytes_at_rate(self.server_link_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_defaults_match_paper() {
+        let cfg = RackConfig::meta_defaults(32);
+        assert_eq!(cfg.server_link_bps, 12_500_000_000);
+        assert_eq!(cfg.switch.alpha, 1.0);
+        assert_eq!(cfg.switch.ecn_threshold, 120 * 1024);
+        assert_eq!(cfg.switch.quadrant_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn base_rtt_is_tens_of_microseconds() {
+        let cfg = RackConfig::meta_defaults(32);
+        let rtt = cfg.base_rtt();
+        assert!(
+            rtt >= Ns::from_micros(40) && rtt <= Ns::from_micros(100),
+            "rtt {rtt}"
+        );
+    }
+
+    #[test]
+    fn one_ms_of_buffer_close_to_max_queue_share() {
+        // §5: switch buffers ~1ms/queue. Max per-queue share at α=1 is
+        // ~1.8MB; 1ms at 12.5Gbps is ~1.56MB: same order, slightly less.
+        let cfg = RackConfig::meta_defaults(32);
+        let per_ms = cfg.bytes_per_ms();
+        let max_share = cfg.switch.shared_capacity() / 2;
+        assert!(per_ms as f64 / max_share as f64 > 0.7);
+        assert!((per_ms as f64 / max_share as f64) < 1.3);
+    }
+
+    #[test]
+    fn burst_threshold_at_1ms() {
+        let cfg = RackConfig::meta_defaults(32);
+        // 12.5 Gbps → 1.5625 MB/ms → threshold 781250 B.
+        assert_eq!(cfg.burst_threshold_bytes(Ns::from_millis(1)), 781_250);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the shared-buffer switch: under arbitrary
+//! enqueue/dequeue interleavings the buffer accounting must balance, the
+//! pool must never exceed capacity, and FIFO order must hold per queue.
+
+use ms_dcsim::packet::FlowId;
+use ms_dcsim::{Ns, Packet, SharedBufferSwitch, SharingPolicy, SwitchConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { queue: usize, size: u32 },
+    Dequeue { queue: usize },
+}
+
+fn op_strategy(queues: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..queues, 64u32..9000).prop_map(|(queue, size)| Op::Enqueue { queue, size }),
+        2 => (0..queues).prop_map(|queue| Op::Dequeue { queue }),
+    ]
+}
+
+fn config(policy: SharingPolicy, alpha: f64) -> SwitchConfig {
+    SwitchConfig {
+        num_queues: 6,
+        num_quadrants: 2,
+        quadrant_bytes: 200_000,
+        dedicated_per_queue: 4_000,
+        alpha,
+        ecn_threshold: 30_000,
+        policy,
+    }
+}
+
+fn run_ops(cfg: SwitchConfig, ops: &[Op]) {
+    let mut sw = SharedBufferSwitch::new(cfg.clone());
+    // Track expected FIFO sequence numbers per queue.
+    let mut next_seq = vec![0u64; cfg.num_queues];
+    let mut expect_seq: Vec<std::collections::VecDeque<u64>> =
+        vec![Default::default(); cfg.num_queues];
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Enqueue { queue, size } => {
+                let mut pkt = Packet::data(FlowId(i as u64), 100, queue as u32, 0, size);
+                pkt.seq = next_seq[queue];
+                if sw.try_enqueue(queue, pkt, Ns(i as u64)).accepted() {
+                    expect_seq[queue].push_back(next_seq[queue]);
+                }
+                next_seq[queue] += 1;
+            }
+            Op::Dequeue { queue } => {
+                let got = sw.dequeue(queue);
+                let want = expect_seq[queue].pop_front();
+                assert_eq!(got.map(|p| p.seq), want, "FIFO violated on queue {queue}");
+            }
+        }
+        sw.check_invariants();
+        for quadrant in 0..cfg.num_quadrants {
+            assert!(sw.shared_occupancy(quadrant) <= cfg.shared_capacity());
+        }
+    }
+    // Drain everything; accounting must return to zero.
+    for queue in 0..cfg.num_queues {
+        while sw.dequeue(queue).is_some() {}
+        assert_eq!(sw.queue_occupancy(queue), 0);
+    }
+    for quadrant in 0..cfg.num_quadrants {
+        assert_eq!(sw.shared_occupancy(quadrant), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dt_switch_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+        run_ops(config(SharingPolicy::DynamicThreshold, 1.0), &ops);
+    }
+
+    #[test]
+    fn dt_low_alpha_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+        run_ops(config(SharingPolicy::DynamicThreshold, 0.25), &ops);
+    }
+
+    #[test]
+    fn complete_sharing_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+        run_ops(config(SharingPolicy::CompleteSharing, 1.0), &ops);
+    }
+
+    #[test]
+    fn static_partition_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+        run_ops(config(SharingPolicy::StaticPartition, 1.0), &ops);
+    }
+
+    #[test]
+    fn admitted_bytes_conserved(ops in prop::collection::vec(op_strategy(4), 1..300)) {
+        // Bytes in == bytes held + bytes dequeued, per queue.
+        let cfg = config(SharingPolicy::DynamicThreshold, 2.0);
+        let mut sw = SharedBufferSwitch::new(cfg);
+        let mut admitted = [0u64; 4];
+        let mut dequeued = [0u64; 4];
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Enqueue { queue, size } => {
+                    let queue = queue % 4;
+                    let pkt = Packet::data(FlowId(i as u64), 100, queue as u32, 0, size);
+                    if sw.try_enqueue(queue, pkt, Ns(i as u64)).accepted() {
+                        admitted[queue] += size as u64;
+                    }
+                }
+                Op::Dequeue { queue } => {
+                    let queue = queue % 4;
+                    if let Some(p) = sw.dequeue(queue) {
+                        dequeued[queue] += p.size as u64;
+                    }
+                }
+            }
+        }
+        for queue in 0..4 {
+            prop_assert_eq!(
+                admitted[queue],
+                dequeued[queue] + sw.queue_occupancy(queue),
+                "queue {} leaked bytes", queue
+            );
+        }
+    }
+
+    #[test]
+    fn ecn_marks_only_above_threshold(
+        sizes in prop::collection::vec(64u32..9000, 1..120)
+    ) {
+        let cfg = config(SharingPolicy::DynamicThreshold, 1.0);
+        let threshold = cfg.ecn_threshold;
+        let mut sw = SharedBufferSwitch::new(cfg);
+        for (i, &size) in sizes.iter().enumerate() {
+            let before = sw.queue_occupancy(0);
+            let pkt = Packet::data(FlowId(i as u64), 100, 0, 0, size);
+            if let ms_dcsim::EnqueueOutcome::Enqueued { marked } =
+                sw.try_enqueue(0, pkt, Ns::ZERO)
+            {
+                let after = before + size as u64;
+                prop_assert_eq!(marked, after > threshold,
+                    "mark decision wrong at occupancy {}", after);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Compact on-disk encoding for run series.
+//!
+//! The deployment compresses completed runs before storing them on the host
+//! ("the aggregated counters from periodically executed runs, compressed
+//! and stored on the host for about a week, typically a few hundred
+//! megabytes", §4.2). Counter series are long arrays of small, bursty
+//! values — mostly zeros with occasional spikes — so **zig-zag delta +
+//! LEB128 varint** encoding compresses them by an order of magnitude
+//! without a general-purpose compressor dependency.
+
+use crate::run::HostSeries;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ms_dcsim::Ns;
+
+/// Errors produced while decoding stored runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended mid-value.
+    Truncated,
+    /// A varint ran past the maximum length for u64.
+    Overlong,
+    /// The header did not carry the expected magic bytes.
+    BadMagic,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "encoded run truncated"),
+            DecodeError::Overlong => write!(f, "overlong varint"),
+            DecodeError::BadMagic => write!(f, "bad magic (not a millisampler run)"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"MSR1";
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::Overlong)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_series(buf: &mut BytesMut, series: &[u64]) {
+    let mut prev = 0i64;
+    for &v in series {
+        let delta = v as i64 - prev;
+        put_varint(buf, zigzag(delta));
+        prev = v as i64;
+    }
+}
+
+fn get_series(buf: &mut Bytes, len: usize) -> Result<Vec<u64>, DecodeError> {
+    let mut out = Vec::with_capacity(len);
+    let mut prev = 0i64;
+    for _ in 0..len {
+        let delta = unzigzag(get_varint(buf)?);
+        prev += delta;
+        out.push(prev.max(0) as u64);
+    }
+    Ok(out)
+}
+
+/// Encodes a completed run for storage.
+pub fn encode(series: &HostSeries) -> Bytes {
+    let mut buf = BytesMut::with_capacity(series.len() * 2 + 64);
+    buf.put_slice(MAGIC);
+    put_varint(&mut buf, series.host as u64);
+    put_varint(&mut buf, series.start.as_nanos());
+    put_varint(&mut buf, series.interval.as_nanos());
+    put_varint(&mut buf, series.len() as u64);
+    for s in [
+        &series.in_bytes,
+        &series.in_retx,
+        &series.out_bytes,
+        &series.out_retx,
+        &series.in_ecn,
+        &series.conns,
+    ] {
+        put_series(&mut buf, s);
+    }
+    buf.freeze()
+}
+
+/// Decodes a stored run.
+pub fn decode(data: &Bytes) -> Result<HostSeries, DecodeError> {
+    let mut buf = data.clone();
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let host = get_varint(&mut buf)? as u32;
+    let start = Ns(get_varint(&mut buf)?);
+    let interval = Ns(get_varint(&mut buf)?);
+    let len = get_varint(&mut buf)? as usize;
+    // Cap series length to a sane bound so corrupt headers cannot trigger
+    // huge allocations.
+    if len > 1 << 24 {
+        return Err(DecodeError::Overlong);
+    }
+    let in_bytes = get_series(&mut buf, len)?;
+    let in_retx = get_series(&mut buf, len)?;
+    let out_bytes = get_series(&mut buf, len)?;
+    let out_retx = get_series(&mut buf, len)?;
+    let in_ecn = get_series(&mut buf, len)?;
+    let conns = get_series(&mut buf, len)?;
+    Ok(HostSeries {
+        host,
+        start,
+        interval,
+        in_bytes,
+        in_retx,
+        out_bytes,
+        out_retx,
+        in_ecn,
+        conns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> HostSeries {
+        let mut s = HostSeries::zeroed(5, Ns::from_millis(17), Ns::from_millis(1), 2000);
+        // Sparse bursty pattern, like real traffic.
+        for i in (100..140).chain(900..960) {
+            s.in_bytes[i] = 1_400_000 + (i as u64 * 13) % 100_000;
+            s.conns[i] = 30 + (i as u64 % 5);
+        }
+        s.in_retx[120] = 4_500;
+        s.in_ecn[130] = 90_000;
+        s
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let s = sample_series();
+        let enc = encode(&s);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec, s);
+    }
+
+    #[test]
+    fn compresses_sparse_series_substantially() {
+        let s = sample_series();
+        let raw = s.len() * 6 * 8; // six u64 series
+        let enc = encode(&s).len();
+        assert!(
+            enc * 5 < raw,
+            "encoded {enc} should be <20% of raw {raw}"
+        );
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let s = sample_series();
+        let enc = encode(&s);
+        let cut = enc.slice(0..enc.len() / 2);
+        assert!(matches!(decode(&cut), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let junk = Bytes::from_static(b"NOPE1234567890");
+        assert_eq!(decode(&junk), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn empty_run_round_trips() {
+        let s = HostSeries::zeroed(1, Ns::ZERO, Ns::from_millis(1), 0);
+        let dec = decode(&encode(&s)).unwrap();
+        assert_eq!(dec, s);
+    }
+}

@@ -1,0 +1,181 @@
+//! Run configuration and per-host run output.
+
+use ms_dcsim::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one Millisampler run.
+///
+/// The deployment schedules runs with three interval values — 10 ms, 1 ms,
+/// and 100 µs — and always 2000 buckets, so observation periods range from
+/// 200 ms to 20 s (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Sampling interval (bucket width).
+    pub interval: Ns,
+    /// Number of time buckets (fixed at 2000 in deployment).
+    pub buckets: usize,
+    /// Whether to update the flow sketch per packet (§4.3 measures the
+    /// hot path with and without flow counting).
+    pub count_flows: bool,
+}
+
+impl RunConfig {
+    /// 1 ms × 2000 buckets = 2 s — the configuration behind every analysis
+    /// in the paper (§5 explains why 1 ms is the sweet spot).
+    pub fn one_ms() -> Self {
+        RunConfig {
+            interval: Ns::from_millis(1),
+            buckets: 2000,
+            count_flows: true,
+        }
+    }
+
+    /// 100 µs × 2000 buckets = 200 ms.
+    pub fn hundred_us() -> Self {
+        RunConfig {
+            interval: Ns::from_micros(100),
+            buckets: 2000,
+            count_flows: true,
+        }
+    }
+
+    /// 10 ms × 2000 buckets = 20 s.
+    pub fn ten_ms() -> Self {
+        RunConfig {
+            interval: Ns::from_millis(10),
+            buckets: 2000,
+            count_flows: true,
+        }
+    }
+
+    /// Total observation period.
+    pub fn duration(&self) -> Ns {
+        self.interval * self.buckets as u64
+    }
+}
+
+/// The aggregated output of one run on one host: per-bucket totals summed
+/// over CPUs, plus per-bucket connection-count estimates.
+///
+/// `start` is in the **host's clock**; SyncMillisampler uses it to align
+/// runs across hosts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSeries {
+    /// Host identifier (rack-local server index in the simulations).
+    pub host: u32,
+    /// Host-clock timestamp of the first packet of the run.
+    pub start: Ns,
+    /// Bucket width.
+    pub interval: Ns,
+    /// Ingress bytes per bucket.
+    pub in_bytes: Vec<u64>,
+    /// Ingress retransmit-bit bytes per bucket.
+    pub in_retx: Vec<u64>,
+    /// Egress bytes per bucket.
+    pub out_bytes: Vec<u64>,
+    /// Egress retransmit-bit bytes per bucket.
+    pub out_retx: Vec<u64>,
+    /// Ingress ECN CE-marked bytes per bucket.
+    pub in_ecn: Vec<u64>,
+    /// Estimated active connections per bucket (sketch estimate).
+    pub conns: Vec<u64>,
+}
+
+impl HostSeries {
+    /// An all-zero series (used by the filter's read-out).
+    pub fn zeroed(host: u32, start: Ns, interval: Ns, buckets: usize) -> Self {
+        HostSeries {
+            host,
+            start,
+            interval,
+            in_bytes: vec![0; buckets],
+            in_retx: vec![0; buckets],
+            out_bytes: vec![0; buckets],
+            out_retx: vec![0; buckets],
+            in_ecn: vec![0; buckets],
+            conns: vec![0; buckets],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.in_bytes.len()
+    }
+
+    /// Whether the series has no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.in_bytes.is_empty()
+    }
+
+    /// Host-clock end of the observation window.
+    pub fn end(&self) -> Ns {
+        self.start + self.interval * self.len() as u64
+    }
+
+    /// Total ingress bytes over the run.
+    pub fn total_in_bytes(&self) -> u64 {
+        self.in_bytes.iter().sum()
+    }
+
+    /// Total ingress retransmit bytes over the run.
+    pub fn total_in_retx(&self) -> u64 {
+        self.in_retx.iter().sum()
+    }
+
+    /// Ingress link utilization of bucket `i` against `link_bps`.
+    pub fn utilization(&self, i: usize, link_bps: u64) -> f64 {
+        let capacity = self.interval.bytes_at_rate(link_bps);
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.in_bytes[i] as f64 / capacity as f64
+    }
+
+    /// Average ingress utilization over the whole run.
+    pub fn avg_utilization(&self, link_bps: u64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let capacity = self.interval.bytes_at_rate(link_bps) * self.len() as u64;
+        self.total_in_bytes() as f64 / capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_configs_span_200ms_to_20s() {
+        assert_eq!(RunConfig::hundred_us().duration(), Ns::from_millis(200));
+        assert_eq!(RunConfig::one_ms().duration(), Ns::from_secs(2));
+        assert_eq!(RunConfig::ten_ms().duration(), Ns::from_secs(20));
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut s = HostSeries::zeroed(0, Ns::ZERO, Ns::from_millis(1), 4);
+        // 12.5 Gbps → 1,562,500 B/ms capacity.
+        s.in_bytes[0] = 1_562_500; // 100%
+        s.in_bytes[1] = 781_250; // 50%
+        assert!((s.utilization(0, 12_500_000_000) - 1.0).abs() < 1e-9);
+        assert!((s.utilization(1, 12_500_000_000) - 0.5).abs() < 1e-9);
+        assert!((s.avg_utilization(12_500_000_000) - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_accounts_for_all_buckets() {
+        let s = HostSeries::zeroed(0, Ns::from_millis(5), Ns::from_millis(1), 2000);
+        assert_eq!(s.end(), Ns::from_millis(2005));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = HostSeries::zeroed(3, Ns(123), Ns::from_millis(1), 8);
+        s.in_bytes[2] = 42;
+        s.conns[2] = 7;
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HostSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

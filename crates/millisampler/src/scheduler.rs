@@ -1,0 +1,219 @@
+//! The user-space scheduling agent.
+//!
+//! The deployed agent attaches the tc filter, enables collection
+//! periodically ("occasional execution minimizes overhead", §4.1), rotates
+//! through the three sampling intervals, stores completed runs, and — per
+//! §4.4 — prioritizes SyncMillisampler requests, which are scheduled far
+//! enough in the future that no periodic run will be active:
+//!
+//! > "we schedule SyncMillisampler data collection far enough in advance
+//! > that no run will be active, then prioritize scheduled
+//! > SyncMillisampler runs over periodic collection."
+//!
+//! [`Scheduler`] is a pure decision procedure (sans-io again): given the
+//! current time it returns the next [`RunRequest`]; the simulation driver
+//! performs it against the host's [`crate::TcFilter`].
+
+use crate::run::RunConfig;
+use ms_dcsim::Ns;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Gap between the end of one periodic run and the start of the next.
+    pub period: Ns,
+    /// Interval rotation for periodic runs.
+    pub rotation: Vec<RunConfig>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            // Deployment runs occasionally; in simulations this is dense.
+            period: Ns::from_secs(60),
+            rotation: vec![
+                RunConfig::one_ms(),
+                RunConfig::ten_ms(),
+                RunConfig::hundred_us(),
+            ],
+        }
+    }
+}
+
+/// A run the agent should perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRequest {
+    /// When to enable the filter.
+    pub enable_at: Ns,
+    /// Configuration for this run.
+    pub config: RunConfig,
+    /// Whether this is a SyncMillisampler-scheduled run.
+    pub synced: bool,
+}
+
+/// Errors from sync-run scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncScheduleError {
+    /// Requested start is not far enough in the future to guarantee no
+    /// periodic run is active at that time.
+    TooSoon,
+    /// Another sync run is already pending.
+    AlreadyPending,
+}
+
+/// The per-host scheduling agent.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    next_rotation: usize,
+    /// When the next periodic run may start.
+    next_periodic_at: Ns,
+    pending_sync: Option<RunRequest>,
+}
+
+impl Scheduler {
+    /// Creates an agent; the first periodic run is immediately eligible.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        assert!(!cfg.rotation.is_empty(), "rotation must not be empty");
+        Scheduler {
+            cfg,
+            next_rotation: 0,
+            next_periodic_at: Ns::ZERO,
+            pending_sync: None,
+        }
+    }
+
+    /// The longest run duration in the rotation — the lead time a sync
+    /// request must allow so no periodic run can still be active.
+    pub fn min_sync_lead(&self) -> Ns {
+        let longest = self
+            .cfg
+            .rotation
+            .iter()
+            .map(|c| c.duration())
+            .max()
+            .unwrap_or(Ns::ZERO);
+        longest + self.cfg.period
+    }
+
+    /// Registers a SyncMillisampler run at `start_at` (from the control
+    /// plane). Fails if too soon or if one is already pending.
+    pub fn request_sync(
+        &mut self,
+        now: Ns,
+        start_at: Ns,
+        config: RunConfig,
+    ) -> Result<(), SyncScheduleError> {
+        if self.pending_sync.is_some() {
+            return Err(SyncScheduleError::AlreadyPending);
+        }
+        if start_at < now + self.min_sync_lead() {
+            return Err(SyncScheduleError::TooSoon);
+        }
+        self.pending_sync = Some(RunRequest {
+            enable_at: start_at,
+            config,
+            synced: true,
+        });
+        Ok(())
+    }
+
+    /// Returns the next run to perform at or after `now`.
+    ///
+    /// A pending sync run wins over periodic collection; periodic runs are
+    /// deferred past the sync run's completion.
+    pub fn next_run(&mut self, now: Ns) -> RunRequest {
+        if let Some(sync) = self.pending_sync.take() {
+            // Defer periodic work until after the sync run finishes.
+            self.next_periodic_at = sync.enable_at + sync.config.duration() + self.cfg.period;
+            return sync;
+        }
+        let config = self.cfg.rotation[self.next_rotation];
+        self.next_rotation = (self.next_rotation + 1) % self.cfg.rotation.len();
+        let enable_at = self.next_periodic_at.max(now);
+        self.next_periodic_at = enable_at + config.duration() + self.cfg.period;
+        RunRequest {
+            enable_at,
+            config,
+            synced: false,
+        }
+    }
+
+    /// Whether a sync run is pending.
+    pub fn has_pending_sync(&self) -> bool {
+        self.pending_sync.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_runs_rotate_intervals() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let a = s.next_run(Ns::ZERO);
+        let b = s.next_run(a.enable_at + a.config.duration());
+        let c = s.next_run(b.enable_at + b.config.duration());
+        let d = s.next_run(c.enable_at + c.config.duration());
+        assert_eq!(a.config, RunConfig::one_ms());
+        assert_eq!(b.config, RunConfig::ten_ms());
+        assert_eq!(c.config, RunConfig::hundred_us());
+        assert_eq!(d.config, RunConfig::one_ms(), "rotation wraps");
+        assert!(!a.synced);
+    }
+
+    #[test]
+    fn periodic_runs_never_overlap() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let mut now = Ns::ZERO;
+        let mut prev_end = Ns::ZERO;
+        for _ in 0..10 {
+            let r = s.next_run(now);
+            assert!(r.enable_at >= prev_end, "runs overlap");
+            prev_end = r.enable_at + r.config.duration();
+            now = prev_end;
+        }
+    }
+
+    #[test]
+    fn sync_request_needs_lead_time() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let now = Ns::from_secs(100);
+        let too_soon = now + Ns::from_secs(1);
+        assert_eq!(
+            s.request_sync(now, too_soon, RunConfig::one_ms()),
+            Err(SyncScheduleError::TooSoon)
+        );
+        let ok = now + s.min_sync_lead() + Ns::from_secs(1);
+        assert_eq!(s.request_sync(now, ok, RunConfig::one_ms()), Ok(()));
+        assert!(s.has_pending_sync());
+    }
+
+    #[test]
+    fn sync_run_preempts_periodic() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let now = Ns::from_secs(10);
+        let at = now + s.min_sync_lead() + Ns::from_secs(5);
+        s.request_sync(now, at, RunConfig::one_ms()).unwrap();
+        let r = s.next_run(now);
+        assert!(r.synced);
+        assert_eq!(r.enable_at, at);
+        // Next periodic run is pushed past the sync run.
+        let p = s.next_run(now);
+        assert!(!p.synced);
+        assert!(p.enable_at >= at + RunConfig::one_ms().duration());
+    }
+
+    #[test]
+    fn only_one_sync_pending() {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let now = Ns::ZERO;
+        let at = now + s.min_sync_lead() + Ns::from_secs(1);
+        s.request_sync(now, at, RunConfig::one_ms()).unwrap();
+        assert_eq!(
+            s.request_sync(now, at + Ns::from_secs(10), RunConfig::one_ms()),
+            Err(SyncScheduleError::AlreadyPending)
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! On-host run storage.
+//!
+//! User space stores completed runs compressed on local disk and serves
+//! them on demand, retaining about a week of history (§4.2). [`HostStore`]
+//! models that store: encoded runs keyed by their start time, a retention
+//! window enforced on insert, and a byte budget so the history stays at
+//! "typically a few hundred megabytes". Thread-safe via a `parking_lot`
+//! mutex because the SyncMillisampler control plane fetches from stores
+//! concurrently with the local agent appending.
+
+use crate::codec::{self, DecodeError};
+use crate::run::HostSeries;
+use bytes::Bytes;
+use ms_dcsim::Ns;
+use parking_lot::Mutex;
+
+/// Retention/budget configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Runs older than this (relative to the newest run) are evicted.
+    pub retention: Ns,
+    /// Maximum total encoded bytes; oldest runs evicted past it.
+    pub max_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            // "stored on the host for about a week"
+            retention: Ns::from_secs(7 * 24 * 3600),
+            // "typically a few hundred megabytes"
+            max_bytes: 512 * 1024 * 1024,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    start: Ns,
+    data: Bytes,
+}
+
+/// The on-host run history.
+#[derive(Debug)]
+pub struct HostStore {
+    cfg: StoreConfig,
+    /// Entries sorted by start time (appends are in time order).
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl HostStore {
+    /// Creates an empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        HostStore {
+            cfg,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends a completed run (encoding it) and enforces retention.
+    pub fn append(&self, series: &HostSeries) {
+        let data = codec::encode(series);
+        let mut entries = self.entries.lock();
+        let start = series.start;
+        entries.push(Entry { start, data });
+        entries.sort_by_key(|e| e.start);
+
+        // Time-based retention relative to the newest run.
+        let newest = entries.last().map(|e| e.start).unwrap_or(Ns::ZERO);
+        let cutoff = newest.saturating_sub(self.cfg.retention);
+        entries.retain(|e| e.start >= cutoff);
+
+        // Byte-budget retention: drop oldest first.
+        let mut total: usize = entries.iter().map(|e| e.data.len()).sum();
+        while total > self.cfg.max_bytes && entries.len() > 1 {
+            let victim = entries.remove(0);
+            total -= victim.data.len();
+        }
+    }
+
+    /// Number of stored runs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Total encoded bytes held.
+    pub fn stored_bytes(&self) -> usize {
+        self.entries.lock().iter().map(|e| e.data.len()).sum()
+    }
+
+    /// Fetches and decodes all runs whose start time falls in
+    /// `[from, to)` — the on-demand serving path used by the
+    /// SyncMillisampler control plane and by diagnostic queries.
+    pub fn fetch_range(&self, from: Ns, to: Ns) -> Result<Vec<HostSeries>, DecodeError> {
+        let entries = self.entries.lock();
+        entries
+            .iter()
+            .filter(|e| e.start >= from && e.start < to)
+            .map(|e| codec::decode(&e.data))
+            .collect()
+    }
+
+    /// Fetches the most recent run, if any.
+    pub fn latest(&self) -> Result<Option<HostSeries>, DecodeError> {
+        let entries = self.entries.lock();
+        entries.last().map(|e| codec::decode(&e.data)).transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_at(start_ms: u64) -> HostSeries {
+        let mut s = HostSeries::zeroed(0, Ns::from_millis(start_ms), Ns::from_millis(1), 100);
+        s.in_bytes[0] = start_ms;
+        s
+    }
+
+    #[test]
+    fn append_and_fetch_round_trip() {
+        let store = HostStore::new(StoreConfig::default());
+        store.append(&series_at(1000));
+        store.append(&series_at(5000));
+        let runs = store
+            .fetch_range(Ns::from_millis(0), Ns::from_millis(10_000))
+            .unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].in_bytes[0], 1000);
+        assert_eq!(runs[1].in_bytes[0], 5000);
+    }
+
+    #[test]
+    fn fetch_range_is_half_open() {
+        let store = HostStore::new(StoreConfig::default());
+        store.append(&series_at(1000));
+        store.append(&series_at(2000));
+        let runs = store
+            .fetch_range(Ns::from_millis(1000), Ns::from_millis(2000))
+            .unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].start, Ns::from_millis(1000));
+    }
+
+    #[test]
+    fn time_retention_evicts_old_runs() {
+        let store = HostStore::new(StoreConfig {
+            retention: Ns::from_secs(10),
+            max_bytes: usize::MAX,
+        });
+        store.append(&series_at(0));
+        store.append(&series_at(15_000));
+        // A run at t=20s sets the retention cutoff to t=10s: the run at
+        // t=0 falls out, the one at t=15s survives.
+        store.append(&series_at(20_000));
+        assert_eq!(store.len(), 2, "run at t=0 evicted");
+        let runs = store.fetch_range(Ns::ZERO, Ns::from_secs(100)).unwrap();
+        assert_eq!(runs[0].start, Ns::from_millis(15_000));
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first() {
+        let per_run = codec::encode(&series_at(0)).len();
+        let store = HostStore::new(StoreConfig {
+            retention: Ns::MAX,
+            max_bytes: per_run * 3 + 2,
+        });
+        for i in 0..10 {
+            store.append(&series_at(i * 1000));
+        }
+        assert!(store.len() <= 4, "len {}", store.len());
+        assert!(store.stored_bytes() <= per_run * 4);
+        // Latest survives.
+        assert_eq!(store.latest().unwrap().unwrap().start, Ns::from_millis(9000));
+    }
+
+    #[test]
+    fn latest_on_empty_is_none() {
+        let store = HostStore::new(StoreConfig::default());
+        assert!(store.latest().unwrap().is_none());
+    }
+}

@@ -1,0 +1,366 @@
+//! SyncMillisampler — rack-synchronized collection (§4.4–4.5).
+//!
+//! A centralized control plane schedules concurrent Millisampler runs
+//! across every server of a rack, then combines the per-host results into
+//! one rack-level dataset:
+//!
+//! 1. **Scheduling**: pick a start time far enough ahead that no periodic
+//!    run can be active, and register it with every host's [`Scheduler`]
+//!    (sync runs preempt periodic collection).
+//! 2. **Collection**: each host's run starts at its own first packet after
+//!    enablement, so starts differ by up to the traffic's idle gaps plus
+//!    NTP clock error.
+//! 3. **Alignment**: the recorded start times place each series on the
+//!    (approximately) common clock; series are resampled onto a uniform
+//!    grid by linear interpolation.
+//! 4. **Trimming**: only the overlapping window common to all servers is
+//!    kept ("after selecting only the overlapping interval, the average
+//!    length of a SyncMillisampler run is 1.85 seconds", §5).
+
+use crate::run::{HostSeries, RunConfig};
+use crate::scheduler::{Scheduler, SyncScheduleError};
+use ms_dcsim::Ns;
+use serde::{Deserialize, Serialize};
+
+/// The rack-level result: every server's series resampled onto one uniform
+/// timeline (`start`, `interval`) and trimmed to the common window.
+///
+/// Servers that observed no traffic during the window appear as all-zero
+/// series, so indexing by server id is always valid — contention analysis
+/// needs "this server was not bursty", not "this server is missing".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignedRackRun {
+    /// Rack identifier.
+    pub rack: u32,
+    /// Uniform timeline start (on the nominal common clock).
+    pub start: Ns,
+    /// Bucket width.
+    pub interval: Ns,
+    /// One aligned series per server, indexed by server id.
+    pub servers: Vec<HostSeries>,
+}
+
+impl AlignedRackRun {
+    /// Number of buckets in the common window.
+    pub fn len(&self) -> usize {
+        self.servers.first().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Whether the run has no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Duration of the common window.
+    pub fn duration(&self) -> Ns {
+        self.interval * self.len() as u64
+    }
+}
+
+/// Resamples one counter series onto a grid whose origin sits `offset`
+/// source-buckets after the series start (`offset` may be negative when
+/// the series started *after* the grid origin).
+///
+/// Grid bucket `j` linearly blends source buckets `⌊j+offset⌋` and
+/// `⌊j+offset⌋+1`; out-of-range source buckets contribute zero. This is
+/// linear interpolation on the cumulative series, conserving volume to
+/// rounding.
+fn resample(src: &[u64], offset: f64, out_len: usize) -> Vec<u64> {
+    let at = |k: i64| -> f64 {
+        if k < 0 {
+            0.0
+        } else {
+            src.get(k as usize).copied().unwrap_or(0) as f64
+        }
+    };
+    let mut out = Vec::with_capacity(out_len);
+    for j in 0..out_len {
+        let pos = j as f64 + offset;
+        let k = pos.floor();
+        let frac = pos - k;
+        out.push(((1.0 - frac) * at(k as i64) + frac * at(k as i64 + 1)).round() as u64);
+    }
+    out
+}
+
+/// The SyncMillisampler control plane for one rack.
+#[derive(Debug, Clone)]
+pub struct SyncCoordinator {
+    rack: u32,
+    config: RunConfig,
+    /// Extra slack added beyond the minimum scheduling lead.
+    margin: Ns,
+}
+
+impl SyncCoordinator {
+    /// Creates a coordinator collecting with `config`.
+    pub fn new(rack: u32, config: RunConfig) -> Self {
+        SyncCoordinator {
+            rack,
+            config,
+            margin: Ns::from_secs(1),
+        }
+    }
+
+    /// The rack this coordinator drives.
+    pub fn rack(&self) -> u32 {
+        self.rack
+    }
+
+    /// The run configuration used for sync runs.
+    pub fn config(&self) -> RunConfig {
+        self.config
+    }
+
+    /// Schedules a simultaneous run on every host, returning the agreed
+    /// start time. All-or-nothing: if any host refuses, none are left with
+    /// a pending request.
+    pub fn schedule(
+        &self,
+        now: Ns,
+        schedulers: &mut [Scheduler],
+    ) -> Result<Ns, SyncScheduleError> {
+        let lead = schedulers
+            .iter()
+            .map(|s| s.min_sync_lead())
+            .max()
+            .unwrap_or(Ns::ZERO);
+        let start_at = now + lead + self.margin;
+        for i in 0..schedulers.len() {
+            if let Err(e) = schedulers[i].request_sync(now, start_at, self.config) {
+                // Roll back the ones already registered by draining them.
+                for s in schedulers[..i].iter_mut() {
+                    let _ = s.next_run(now);
+                }
+                return Err(e);
+            }
+        }
+        Ok(start_at)
+    }
+
+    /// Combines fetched per-host series into an [`AlignedRackRun`].
+    ///
+    /// `num_servers` fixes the rack width; hosts without a series (no
+    /// packet during the run) become all-zero rows. Returns `None` when no
+    /// host collected anything or the common window is empty.
+    pub fn assemble(
+        &self,
+        series: Vec<HostSeries>,
+        num_servers: usize,
+    ) -> Option<AlignedRackRun> {
+        let interval = self.config.interval;
+        debug_assert!(series.iter().all(|s| s.interval == interval));
+        let active: Vec<&HostSeries> = series.iter().filter(|s| !s.is_empty()).collect();
+        if active.is_empty() {
+            return None;
+        }
+
+        // Common (trimmed) window. Hosts start on their first packet, so
+        // a mostly-idle host whose first packet lands late in the window
+        // must not collapse the intersection to nothing: only "prompt"
+        // hosts — those starting within half a nominal run of the earliest
+        // start — define the window. Late starters are still resampled
+        // into it (their pre-start buckets read as zero, which is also
+        // what the switch delivered to them).
+        let earliest = active.iter().map(|s| s.start).min()?;
+        let prompt_cutoff = earliest + self.config.duration() / 2;
+        let prompt: Vec<&&HostSeries> =
+            active.iter().filter(|s| s.start <= prompt_cutoff).collect();
+        let start = prompt.iter().map(|s| s.start).max()?;
+        let end = prompt.iter().map(|s| s.end()).min()?;
+        if end <= start {
+            return None;
+        }
+        let out_len = ((end - start).as_nanos() / interval.as_nanos()) as usize;
+        if out_len == 0 {
+            return None;
+        }
+
+        let mut servers: Vec<HostSeries> = (0..num_servers as u32)
+            .map(|h| HostSeries::zeroed(h, start, interval, out_len))
+            .collect();
+
+        for s in &active {
+            // Signed source offset of the grid origin, in buckets.
+            let offset = (start.as_nanos() as f64 - s.start.as_nanos() as f64)
+                / interval.as_nanos() as f64;
+            let host = s.host as usize;
+            if host >= servers.len() {
+                continue;
+            }
+            let dst = &mut servers[host];
+            dst.in_bytes = resample(&s.in_bytes, offset, out_len);
+            dst.in_retx = resample(&s.in_retx, offset, out_len);
+            dst.out_bytes = resample(&s.out_bytes, offset, out_len);
+            dst.out_retx = resample(&s.out_retx, offset, out_len);
+            dst.in_ecn = resample(&s.in_ecn, offset, out_len);
+            dst.conns = resample(&s.conns, offset, out_len);
+        }
+
+        Some(AlignedRackRun {
+            rack: self.rack,
+            start,
+            interval,
+            servers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerConfig;
+
+    fn series(host: u32, start: Ns, values: &[u64]) -> HostSeries {
+        let mut s = HostSeries::zeroed(host, start, Ns::from_millis(1), values.len());
+        s.in_bytes = values.to_vec();
+        s
+    }
+
+    fn coordinator() -> SyncCoordinator {
+        SyncCoordinator::new(
+            7,
+            RunConfig {
+                interval: Ns::from_millis(1),
+                buckets: 2000,
+                count_flows: true,
+            },
+        )
+    }
+
+    #[test]
+    fn aligned_starts_pass_through() {
+        let c = coordinator();
+        let a = series(0, Ns::from_millis(10), &[1, 2, 3, 4]);
+        let b = series(1, Ns::from_millis(10), &[5, 6, 7, 8]);
+        let run = c.assemble(vec![a, b], 2).unwrap();
+        assert_eq!(run.len(), 4);
+        assert_eq!(run.servers[0].in_bytes, vec![1, 2, 3, 4]);
+        assert_eq!(run.servers[1].in_bytes, vec![5, 6, 7, 8]);
+        assert_eq!(run.start, Ns::from_millis(10));
+    }
+
+    #[test]
+    fn trimming_to_common_window() {
+        let c = coordinator();
+        // Host 0 starts 2ms earlier and ends earlier.
+        let a = series(0, Ns::from_millis(8), &[9, 9, 1, 2, 3, 4]);
+        let b = series(1, Ns::from_millis(10), &[5, 6, 7, 8, 9]);
+        let run = c.assemble(vec![a, b], 2).unwrap();
+        // Common window: [10ms, 14ms) = 4 buckets.
+        assert_eq!(run.start, Ns::from_millis(10));
+        assert_eq!(run.len(), 4);
+        assert_eq!(run.servers[0].in_bytes, vec![1, 2, 3, 4]);
+        assert_eq!(run.servers[1].in_bytes, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn fractional_offset_interpolates_linearly() {
+        let c = coordinator();
+        // Host 1 started 0.5ms after host 0: its samples blend 50/50.
+        let a = series(0, Ns::from_millis(10), &[100, 100, 100, 100]);
+        let b = series(1, Ns::from_micros(9_500), &[0, 200, 400, 600]);
+        let run = c.assemble(vec![a, b], 2).unwrap();
+        assert_eq!(run.start, Ns::from_millis(10));
+        // Grid starts half-way into b's bucket 0: (0+200)/2, (200+400)/2, …
+        assert_eq!(run.servers[1].in_bytes[0], 100);
+        assert_eq!(run.servers[1].in_bytes[1], 300);
+        assert_eq!(run.servers[1].in_bytes[2], 500);
+    }
+
+    #[test]
+    fn interpolation_approximately_conserves_volume() {
+        let c = coordinator();
+        let spiky: Vec<u64> = (0..100).map(|i| if i % 7 == 0 { 1_000_000 } else { 0 }).collect();
+        let a = series(0, Ns::from_millis(0), &vec![1; 100]);
+        let b = series(1, Ns::from_micros(300), &spiky);
+        let run = c.assemble(vec![a, b.clone()], 2).unwrap();
+        let total_src: u64 = spiky.iter().sum();
+        let total_dst: u64 = run.servers[1].in_bytes.iter().sum();
+        let err = total_src.abs_diff(total_dst) as f64 / total_src as f64;
+        // Edges lose at most ~2 buckets of volume.
+        assert!(err < 0.05, "volume error {err}");
+    }
+
+    #[test]
+    fn idle_servers_become_zero_rows() {
+        let c = coordinator();
+        let a = series(2, Ns::from_millis(10), &[1, 2, 3]);
+        let run = c.assemble(vec![a], 4).unwrap();
+        assert_eq!(run.servers.len(), 4);
+        assert!(run.servers[0].in_bytes.iter().all(|&v| v == 0));
+        assert!(run.servers[1].in_bytes.iter().all(|&v| v == 0));
+        assert_eq!(run.servers[2].in_bytes, vec![1, 2, 3]);
+        assert!(run.servers[3].in_bytes.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn late_starter_does_not_collapse_the_window() {
+        // Config duration is 2s; a host whose first packet arrives 1.5s
+        // after the others must not shrink the common window to nothing.
+        let c = coordinator();
+        let a = series(0, Ns::from_millis(10), &vec![7; 1000]);
+        let b = series(1, Ns::from_millis(12), &vec![9; 1000]);
+        let mut late_vals = vec![0u64; 100];
+        late_vals[0] = 42;
+        let late = series(2, Ns::from_millis(1510), &late_vals);
+        let run = c.assemble(vec![a, b, late], 3).unwrap();
+        // Window defined by the prompt hosts: [12ms, 1010ms) = 998 buckets.
+        assert_eq!(run.start, Ns::from_millis(12));
+        assert_eq!(run.len(), 998);
+        // The late host's data lands in (approximately) bucket 1498... out
+        // of range of this window, so its row is all zero — matching what
+        // the prompt window could have observed.
+        assert!(run.servers[2].in_bytes.iter().all(|&v| v == 0));
+        // Prompt hosts' data is present.
+        assert!(run.servers[0].in_bytes.iter().sum::<u64>() > 0);
+        assert!(run.servers[1].in_bytes.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn moderately_late_starter_contributes_partial_data() {
+        let c = coordinator();
+        // Prompt hosts cover [0, 100ms); a host starting at 50ms (within
+        // half a run) participates in the window computation.
+        let a = series(0, Ns::ZERO, &vec![5; 100]);
+        let b = series(1, Ns::from_millis(50), &vec![11; 100]);
+        let run = c.assemble(vec![a, b], 2).unwrap();
+        // Window: [50ms, 100ms) = 50 buckets.
+        assert_eq!(run.start, Ns::from_millis(50));
+        assert_eq!(run.len(), 50);
+        assert!(run.servers[1].in_bytes.iter().all(|&v| v == 11));
+    }
+
+    #[test]
+    fn disjoint_windows_yield_none() {
+        let c = coordinator();
+        let a = series(0, Ns::from_millis(0), &[1, 2]);
+        let b = series(1, Ns::from_millis(100), &[3, 4]);
+        assert!(c.assemble(vec![a, b], 2).is_none());
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        let c = coordinator();
+        assert!(c.assemble(vec![], 8).is_none());
+    }
+
+    #[test]
+    fn schedule_registers_all_hosts_atomically() {
+        let c = coordinator();
+        let mut scheds: Vec<Scheduler> = (0..4)
+            .map(|_| Scheduler::new(SchedulerConfig::default()))
+            .collect();
+        let now = Ns::from_secs(5);
+        let at = c.schedule(now, &mut scheds).unwrap();
+        assert!(at > now);
+        assert!(scheds.iter().all(|s| s.has_pending_sync()));
+        // A second schedule fails (one pending each) and must not leave a
+        // half-registered state... all were already pending, so the error
+        // is AlreadyPending on host 0.
+        assert_eq!(
+            c.schedule(now, &mut scheds),
+            Err(SyncScheduleError::AlreadyPending)
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! # ms-sketch — flow-counting sketches
+//!
+//! Millisampler estimates the number of active connections per sampling
+//! interval with a **128-bit sketch** (§4.2 of the paper, citing Estan,
+//! Varghese & Fisk's bitmap algorithms). The paper's characterization:
+//!
+//! > "the connection count is an approximation that is precise up to a
+//! > dozen connections and saturates at around 500 connections per
+//! > sampling interval."
+//!
+//! This crate provides that sketch ([`FlowSketch`]: a direct bitmap with a
+//! linear-counting estimator) plus a [`MultiresBitmap`] (multiresolution
+//! bitmap, also from Estan–Varghese) used by the ablation benchmarks to
+//! quantify what a wider/adaptive sketch would buy.
+//!
+//! Both sketches are stateless across intervals — they count *distinct flow
+//! hashes observed in one interval* and are cleared for the next. As §4.2
+//! notes, this means there is no information about whether a flow active in
+//! one interval was also active in the next; the analysis layer works with
+//! per-interval estimates only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// A direct bitmap sketch of `B` bits with linear-counting estimation.
+///
+/// Inserting sets bit `hash % B`; the estimate for `z` zero bits out of `B`
+/// is `B · ln(B/z)`. With `B = 128` this is accurate to within ~±1 up to a
+/// dozen flows, usable to a few hundred, and saturates (all bits set ⇒
+/// estimate caps) around 500 — matching the deployed Millisampler.
+///
+/// The generic parameter is in **64-bit words** so the whole sketch is plain
+/// `u64` ops on the hot path: `FlowSketch<2>` is the 128-bit deployment
+/// configuration, re-exported as [`FlowSketch128`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSketch<const WORDS: usize = 2> {
+    #[serde(with = "serde_words")]
+    bits: [u64; WORDS],
+}
+
+/// The 128-bit sketch deployed in Millisampler.
+pub type FlowSketch128 = FlowSketch<2>;
+
+mod serde_words {
+    use serde::de::Error;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer, const W: usize>(
+        words: &[u64; W],
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        words.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>, const W: usize>(
+        d: D,
+    ) -> Result<[u64; W], D::Error> {
+        let v: Vec<u64> = Vec::deserialize(d)?;
+        v.try_into()
+            .map_err(|_| D::Error::custom("wrong sketch width"))
+    }
+}
+
+impl<const WORDS: usize> Default for FlowSketch<WORDS> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const WORDS: usize> FlowSketch<WORDS> {
+    /// Number of bits in the sketch.
+    pub const BITS: u64 = (WORDS as u64) * 64;
+
+    /// Creates an empty sketch.
+    pub const fn new() -> Self {
+        FlowSketch { bits: [0; WORDS] }
+    }
+
+    /// Records a flow by its 64-bit hash. O(1), branch-free except the
+    /// word index. This is the operation on the Millisampler per-packet
+    /// hot path.
+    #[inline]
+    pub fn insert(&mut self, flow_hash: u64) {
+        let bit = flow_hash % Self::BITS;
+        let word = (bit / 64) as usize;
+        self.bits[word] |= 1u64 << (bit % 64);
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn ones(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether no flow has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Linear-counting estimate of the number of distinct flows inserted.
+    ///
+    /// Returns the saturation cap when every bit is set. For `B = 128` the
+    /// cap is `128 · ln(128) ≈ 621`, which is the "saturates at around 500"
+    /// regime the paper describes (estimates become meaningless past ~500).
+    pub fn estimate(&self) -> f64 {
+        let b = Self::BITS as f64;
+        let zeros = (Self::BITS - self.ones() as u64) as f64;
+        if zeros == 0.0 {
+            // Fully saturated: report the cap rather than infinity.
+            b * b.ln()
+        } else {
+            b * (b / zeros).ln()
+        }
+    }
+
+    /// Estimate rounded to the nearest whole flow count.
+    pub fn estimate_rounded(&self) -> u64 {
+        self.estimate().round() as u64
+    }
+
+    /// Merges another sketch (union of flow sets). Used when aggregating
+    /// per-CPU sketches for one time bucket into a host-level estimate.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Clears the sketch for the next interval.
+    pub fn clear(&mut self) {
+        self.bits = [0; WORDS];
+    }
+}
+
+/// A two-level multiresolution bitmap (Estan–Varghese §4): a coarse bitmap
+/// sampled at rate `1/RATIO` backs up a fine direct bitmap, extending the
+/// usable counting range at the same memory cost growth.
+///
+/// Used only by ablation benchmarks ("what if Millisampler used a wider
+/// sketch?"); the deployment uses [`FlowSketch128`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiresBitmap<const WORDS: usize = 2, const RATIO: u64 = 8> {
+    fine: FlowSketch<WORDS>,
+    coarse: FlowSketch<WORDS>,
+}
+
+impl<const WORDS: usize, const RATIO: u64> Default for MultiresBitmap<WORDS, RATIO> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const WORDS: usize, const RATIO: u64> MultiresBitmap<WORDS, RATIO> {
+    /// Creates an empty multiresolution bitmap.
+    pub const fn new() -> Self {
+        MultiresBitmap {
+            fine: FlowSketch::new(),
+            coarse: FlowSketch::new(),
+        }
+    }
+
+    /// Records a flow hash. The fine bitmap sees every flow; the coarse
+    /// bitmap sees the deterministic `1/RATIO` subset of hash space.
+    #[inline]
+    pub fn insert(&mut self, flow_hash: u64) {
+        self.fine.insert(flow_hash);
+        // Use high bits for the sampling decision so it is independent of
+        // the bit-position bits used inside the bitmaps.
+        if (flow_hash >> 58) % RATIO == 0 {
+            self.coarse.insert(flow_hash.rotate_left(17));
+        }
+    }
+
+    /// Estimates distinct flows: the fine estimate while it is reliable,
+    /// else the scaled coarse estimate.
+    pub fn estimate(&self) -> f64 {
+        let bits = FlowSketch::<WORDS>::BITS as f64;
+        // The fine bitmap is considered reliable while under ~85% full —
+        // past that, linear counting error explodes.
+        if (self.fine.ones() as f64) < bits * 0.85 {
+            self.fine.estimate()
+        } else {
+            self.coarse.estimate() * RATIO as f64
+        }
+    }
+
+    /// Clears both levels.
+    pub fn clear(&mut self) {
+        self.fine.clear();
+        self.coarse.clear();
+    }
+}
+
+/// Whitens a raw 64-bit value (fmix64 finalizer) for sketch use.
+///
+/// Callers should normally pass an already well-mixed hash (e.g.
+/// `FlowId::hash64` from `ms-dcsim`); this helper is for callers that
+/// only have raw identifiers.
+pub fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distinct_hashes(n: u64, seed: u64) -> Vec<u64> {
+        (0..n).map(|i| mix64(i * 2654435761 + seed)).collect()
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let s = FlowSketch128::new();
+        assert_eq!(s.estimate_rounded(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_flow_estimates_one() {
+        let mut s = FlowSketch128::new();
+        s.insert(mix64(42));
+        assert_eq!(s.estimate_rounded(), 1);
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_inflate() {
+        let mut s = FlowSketch128::new();
+        for _ in 0..1000 {
+            s.insert(mix64(7));
+        }
+        assert_eq!(s.estimate_rounded(), 1);
+    }
+
+    #[test]
+    fn precise_up_to_a_dozen() {
+        // The paper's claim: precise up to ~a dozen connections.
+        for n in 1..=12u64 {
+            let mut s = FlowSketch128::new();
+            for h in distinct_hashes(n, 99) {
+                s.insert(h);
+            }
+            let est = s.estimate_rounded();
+            assert!(est.abs_diff(n) <= 2, "n={n} estimated {est}");
+        }
+    }
+
+    #[test]
+    fn usable_to_a_few_hundred() {
+        let mut s = FlowSketch128::new();
+        for h in distinct_hashes(300, 5) {
+            s.insert(h);
+        }
+        let est = s.estimate();
+        // Within ~35% at 300 flows (sketch variance grows near saturation).
+        assert!((195.0..=405.0).contains(&est), "est {est}");
+    }
+
+    #[test]
+    fn saturates_around_500() {
+        let mut s = FlowSketch128::new();
+        for h in distinct_hashes(5000, 11) {
+            s.insert(h);
+        }
+        let est = s.estimate();
+        // Cap is 128·ln(128) ≈ 621: far below 5000, i.e. saturated.
+        assert!(est < 700.0, "est {est}");
+        // And the cap is stable: inserting more changes nothing.
+        let before = s.estimate();
+        for h in distinct_hashes(1000, 13) {
+            s.insert(h);
+        }
+        assert_eq!(s.estimate(), before);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let hs = distinct_hashes(50, 3);
+        let mut a = FlowSketch128::new();
+        let mut b = FlowSketch128::new();
+        let mut u = FlowSketch128::new();
+        for (i, h) in hs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.insert(*h);
+            } else {
+                b.insert(*h);
+            }
+            u.insert(*h);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FlowSketch128::new();
+        s.insert(mix64(1));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn qualitative_separation_few_vs_dozens_vs_hundreds() {
+        // §4.2: the tool's value is distinguishing "a few" from "dozens"
+        // from "hundreds" of connections (heavy incast detection).
+        let est_for = |n: u64| {
+            let mut s = FlowSketch128::new();
+            for h in distinct_hashes(n, n) {
+                s.insert(h);
+            }
+            s.estimate()
+        };
+        let few = est_for(3);
+        let dozens = est_for(40);
+        let hundreds = est_for(400);
+        assert!(few < dozens / 2.0);
+        assert!(dozens < hundreds / 2.0);
+    }
+
+    #[test]
+    fn multires_tracks_beyond_direct_saturation() {
+        let mut m: MultiresBitmap<2, 8> = MultiresBitmap::new();
+        let mut d = FlowSketch128::new();
+        for h in distinct_hashes(2000, 21) {
+            m.insert(h);
+            d.insert(h);
+        }
+        // Direct bitmap is capped (~621); multires should still be within
+        // ~2x of the truth at 2000 flows.
+        assert!(d.estimate() < 700.0);
+        let est = m.estimate();
+        assert!((1000.0..=4000.0).contains(&est), "multires {est}");
+    }
+
+    #[test]
+    fn multires_matches_direct_at_low_counts() {
+        let mut m: MultiresBitmap<2, 8> = MultiresBitmap::new();
+        for h in distinct_hashes(10, 33) {
+            m.insert(h);
+        }
+        let est = m.estimate();
+        assert!((7.0..=14.0).contains(&est), "est {est}");
+    }
+
+    #[test]
+    fn wider_sketches_extend_precision() {
+        // 256-bit sketch should be much closer at 300 flows than 128-bit.
+        let hs = distinct_hashes(300, 77);
+        let mut s128 = FlowSketch::<2>::new();
+        let mut s256 = FlowSketch::<4>::new();
+        for h in &hs {
+            s128.insert(*h);
+            s256.insert(*h);
+        }
+        let e128 = (s128.estimate() - 300.0).abs();
+        let e256 = (s256.estimate() - 300.0).abs();
+        assert!(e256 < e128, "256-bit err {e256} vs 128-bit err {e128}");
+    }
+}

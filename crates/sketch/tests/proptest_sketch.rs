@@ -1,0 +1,84 @@
+//! Property-based tests for the flow sketches.
+
+use ms_sketch::{mix64, FlowSketch128};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn insert_is_idempotent(hashes in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut once = FlowSketch128::new();
+        let mut twice = FlowSketch128::new();
+        for &h in &hashes {
+            once.insert(h);
+            twice.insert(h);
+            twice.insert(h);
+        }
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent(
+        xs in prop::collection::vec(any::<u64>(), 0..64),
+        ys in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let build = |hs: &[u64]| {
+            let mut s = FlowSketch128::new();
+            for &h in hs {
+                s.insert(h);
+            }
+            s
+        };
+        let a = build(&xs);
+        let b = build(&ys);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        let mut aa = ab;
+        aa.merge(&ab);
+        prop_assert_eq!(aa, ab, "merge must be idempotent");
+    }
+
+    #[test]
+    fn estimate_monotone_under_inserts(hashes in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut s = FlowSketch128::new();
+        let mut prev = 0.0f64;
+        for &h in &hashes {
+            s.insert(h);
+            let e = s.estimate();
+            prop_assert!(e + 1e-9 >= prev, "estimate decreased: {} -> {}", prev, e);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn estimate_bounded_by_insert_count(n in 1u64..100) {
+        // With well-mixed distinct hashes, the estimate never exceeds what
+        // n inserts could possibly justify (collisions only reduce it), and
+        // small counts are recovered almost exactly.
+        let mut s = FlowSketch128::new();
+        for i in 0..n {
+            s.insert(mix64(i.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xABCDEF));
+        }
+        let e = s.estimate();
+        // Linear-counting positive bias at small n is tiny; allow slack.
+        prop_assert!(e <= n as f64 * 1.6 + 3.0, "n={} estimate={}", n, e);
+        if n <= 10 {
+            prop_assert!((e - n as f64).abs() <= 3.0, "n={} estimate={}", n, e);
+        }
+    }
+
+    #[test]
+    fn ones_matches_distinct_bit_positions(hashes in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut s = FlowSketch128::new();
+        let mut bits = std::collections::BTreeSet::new();
+        for &h in &hashes {
+            s.insert(h);
+            bits.insert(h % 128);
+        }
+        prop_assert_eq!(s.ones() as usize, bits.len());
+    }
+}

@@ -1,0 +1,588 @@
+//! Congestion control algorithms.
+//!
+//! The Meta network runs **DCTCP** for in-region traffic and **Cubic** for
+//! inter-region traffic (§3). **Reno** is included as the textbook baseline
+//! used in ablations. All three implement [`CongestionControl`], a
+//! byte-based interface fed by the [`crate::Sender`].
+//!
+//! Windows are in bytes. All algorithms:
+//! * start in slow start with a 10-MSS initial window,
+//! * halve-ish on fast retransmit (algorithm-specific factor),
+//! * collapse to 1 MSS on retransmission timeout,
+//! * never fall below 1 MSS.
+
+use ms_dcsim::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Which congestion control algorithm a sender runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcAlgorithm {
+    /// Data Center TCP: ECN-proportional backoff (in-region default).
+    Dctcp,
+    /// Cubic (inter-region traffic).
+    Cubic,
+    /// Classic NewReno (baseline).
+    Reno,
+}
+
+impl CcAlgorithm {
+    /// Instantiates the algorithm for a given MSS.
+    pub fn build(self, mss: u32) -> Box<dyn CongestionControl> {
+        match self {
+            CcAlgorithm::Dctcp => Box::new(Dctcp::new(mss)),
+            CcAlgorithm::Cubic => Box::new(Cubic::new(mss)),
+            CcAlgorithm::Reno => Box::new(Reno::new(mss)),
+        }
+    }
+}
+
+/// Events fed from the sender's ACK clock into a congestion controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AckInfo {
+    /// Time the ACK was processed.
+    pub now: Ns,
+    /// Newly acknowledged bytes (cumulative progress).
+    pub acked_bytes: u64,
+    /// Of those, bytes the receiver reported as CE-marked.
+    pub marked_bytes: u64,
+    /// RTT sample attached to this ACK, if it produced one.
+    pub rtt: Option<Ns>,
+    /// Bytes in flight after this ACK.
+    pub in_flight: u64,
+}
+
+/// A byte-based congestion control algorithm.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Processes an acknowledgment.
+    fn on_ack(&mut self, info: AckInfo);
+    /// A fast retransmit fired (entering loss recovery).
+    fn on_fast_retransmit(&mut self, now: Ns);
+    /// A retransmission timeout fired.
+    fn on_timeout(&mut self, now: Ns);
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u64;
+    /// Slow-start threshold in bytes (u64::MAX before the first loss).
+    fn ssthresh(&self) -> u64;
+    /// Algorithm name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// Initial window in **bytes**: 10 segments of a standard 1500 B MSS
+/// (RFC 6928's IW10). Kept byte-denominated so simulations that use jumbo
+/// segments to cut event counts do not inflate the incast first-wave size,
+/// which would distort the §8 loss dynamics.
+const INITIAL_WINDOW_BYTES: u64 = 15_000;
+
+/// Upper bound on any congestion window (64 MB). Real stacks are bounded by
+/// socket buffer sizes; an explicit cap also keeps byte arithmetic far from
+/// overflow under pathological ACK streams.
+pub const MAX_CWND: u64 = 64 * 1024 * 1024;
+
+fn initial_cwnd(mss: u32) -> u64 {
+    INITIAL_WINDOW_BYTES.max(2 * mss as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Reno
+// ---------------------------------------------------------------------------
+
+/// NewReno: slow start, AIMD congestion avoidance, ECN treated as loss
+/// (at most one multiplicative decrease per RTT, RFC 3168 style).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reno {
+    mss: u32,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Accumulated ACKed bytes for CA growth.
+    acked_accum: u64,
+    /// Bytes ACKed since the last ECN-triggered reduction; used to limit
+    /// ECN reductions to one per window.
+    bytes_since_ecn_cut: u64,
+}
+
+impl Reno {
+    /// Creates a Reno controller.
+    pub fn new(mss: u32) -> Self {
+        Reno {
+            mss,
+            cwnd: initial_cwnd(mss),
+            ssthresh: u64::MAX,
+            acked_accum: 0,
+            bytes_since_ecn_cut: u64::MAX / 2,
+        }
+    }
+
+    fn halve(&mut self) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss as u64);
+        self.cwnd = self.ssthresh;
+    }
+}
+
+impl CongestionControl for Reno {
+    fn on_ack(&mut self, info: AckInfo) {
+        // ECN: cut once per window of data, like a loss but without retx.
+        if info.marked_bytes > 0 && self.bytes_since_ecn_cut >= self.cwnd {
+            self.halve();
+            self.bytes_since_ecn_cut = 0;
+            return;
+        }
+        self.bytes_since_ecn_cut = self.bytes_since_ecn_cut.saturating_add(info.acked_bytes);
+
+        if self.cwnd < self.ssthresh {
+            // Slow start: cwnd grows by the bytes acknowledged.
+            self.cwnd = (self.cwnd + info.acked_bytes).min(MAX_CWND);
+        } else {
+            // Congestion avoidance: +1 MSS per cwnd of ACKed bytes.
+            self.acked_accum += info.acked_bytes;
+            if self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += self.mss as u64;
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _now: Ns) {
+        self.halve();
+    }
+
+    fn on_timeout(&mut self, _now: Ns) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss as u64);
+        self.cwnd = self.mss as u64;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(self.mss as u64)
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cubic
+// ---------------------------------------------------------------------------
+
+/// Cubic (RFC 8312, without the TCP-friendly region — DC RTTs are so small
+/// that the cubic region dominates anyway; documented simplification).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cubic {
+    mss: u32,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Window size before the last reduction, in bytes.
+    w_max: f64,
+    /// Time of the last reduction.
+    epoch_start: Option<Ns>,
+    /// Pending ECN cut limiter (one per window).
+    bytes_since_ecn_cut: u64,
+}
+
+/// Cubic scaling constant (RFC 8312), in MSS/s³ units.
+const CUBIC_C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const CUBIC_BETA: f64 = 0.7;
+
+impl Cubic {
+    /// Creates a Cubic controller.
+    pub fn new(mss: u32) -> Self {
+        Cubic {
+            mss,
+            cwnd: initial_cwnd(mss),
+            ssthresh: u64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            bytes_since_ecn_cut: u64::MAX / 2,
+        }
+    }
+
+    fn reduce(&mut self, now: Ns) {
+        self.w_max = self.cwnd as f64;
+        self.cwnd = ((self.cwnd as f64 * CUBIC_BETA) as u64).max(2 * self.mss as u64);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = Some(now);
+    }
+
+    fn cubic_window(&self, now: Ns) -> u64 {
+        let Some(epoch) = self.epoch_start else {
+            return self.cwnd;
+        };
+        let mss = self.mss as f64;
+        let w_max_seg = self.w_max / mss;
+        let k = (w_max_seg * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        let t = (now.saturating_sub(epoch)).as_secs_f64();
+        let w = CUBIC_C * (t - k).powi(3) + w_max_seg;
+        (w * mss) as u64
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, info: AckInfo) {
+        if info.marked_bytes > 0 && self.bytes_since_ecn_cut >= self.cwnd {
+            self.reduce(info.now);
+            self.bytes_since_ecn_cut = 0;
+            return;
+        }
+        self.bytes_since_ecn_cut = self.bytes_since_ecn_cut.saturating_add(info.acked_bytes);
+
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + info.acked_bytes).min(MAX_CWND);
+        } else {
+            let target = self.cubic_window(info.now);
+            if target > self.cwnd {
+                // Approach the cubic target gradually (per-ACK step bounded
+                // by cwnd growth of at most one MSS per MSS acked).
+                let step = (target - self.cwnd).min(info.acked_bytes);
+                self.cwnd += step;
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, now: Ns) {
+        self.reduce(now);
+    }
+
+    fn on_timeout(&mut self, now: Ns) {
+        self.reduce(now);
+        self.cwnd = self.mss as u64;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(self.mss as u64)
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DCTCP
+// ---------------------------------------------------------------------------
+
+/// Data Center TCP (Alizadeh et al., SIGCOMM 2010).
+///
+/// Maintains `α`, an EWMA of the fraction `F` of bytes that were CE-marked
+/// per observation window (one RTT of data), with gain `g = 1/16`:
+///
+/// ```text
+/// α ← (1 − g)·α + g·F
+/// ```
+///
+/// and on windows containing any mark reduces `cwnd ← cwnd·(1 − α/2)`.
+/// Because the reduction is proportional to the *extent* of congestion,
+/// DCTCP holds queues near the marking threshold — which is exactly why
+/// the paper's ToRs can run a 120 KB ECN threshold against a multi-MB
+/// buffer, and why persistent-contention racks adapt so well (§8.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dctcp {
+    mss: u32,
+    cwnd: u64,
+    ssthresh: u64,
+    /// The EWMA marked fraction.
+    alpha: f64,
+    /// EWMA gain.
+    g: f64,
+    /// Bytes acked in the current observation window.
+    window_acked: u64,
+    /// Marked bytes acked in the current observation window.
+    window_marked: u64,
+    /// Window boundary: when `total_acked` crosses this, fold the window.
+    window_end: u64,
+    /// Total bytes acked over the connection lifetime.
+    total_acked: u64,
+    acked_accum: u64,
+}
+
+impl Dctcp {
+    /// Creates a DCTCP controller with the standard gain `g = 1/16`.
+    pub fn new(mss: u32) -> Self {
+        Dctcp {
+            mss,
+            cwnd: initial_cwnd(mss),
+            ssthresh: u64::MAX,
+            alpha: 1.0, // start conservative, as deployed implementations do
+            g: 1.0 / 16.0,
+            window_acked: 0,
+            window_marked: 0,
+            window_end: 0,
+            total_acked: 0,
+            acked_accum: 0,
+        }
+    }
+
+    /// The current α estimate (exposed for tests and telemetry).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn fold_window(&mut self) {
+        if self.window_acked == 0 {
+            return;
+        }
+        let f = self.window_marked as f64 / self.window_acked as f64;
+        self.alpha = (1.0 - self.g) * self.alpha + self.g * f;
+        if self.window_marked > 0 {
+            // Proportional reduction, at most once per window.
+            let new = (self.cwnd as f64 * (1.0 - self.alpha / 2.0)) as u64;
+            self.cwnd = new.max(2 * self.mss as u64);
+            self.ssthresh = self.ssthresh.min(self.cwnd);
+        }
+        self.window_acked = 0;
+        self.window_marked = 0;
+        self.window_end = self.total_acked + self.cwnd;
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn on_ack(&mut self, info: AckInfo) {
+        self.total_acked += info.acked_bytes;
+        self.window_acked += info.acked_bytes;
+        self.window_marked += info.marked_bytes.min(info.acked_bytes);
+
+        if self.total_acked >= self.window_end {
+            self.fold_window();
+        }
+
+        // Growth: DCTCP uses standard slow start / congestion avoidance.
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + info.acked_bytes).min(MAX_CWND);
+        } else {
+            self.acked_accum += info.acked_bytes;
+            if self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += self.mss as u64;
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _now: Ns) {
+        // Loss: DCTCP falls back to a Reno-style halving.
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss as u64);
+        self.cwnd = self.ssthresh;
+        self.window_end = self.total_acked + self.cwnd;
+    }
+
+    fn on_timeout(&mut self, _now: Ns) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss as u64);
+        self.cwnd = self.mss as u64;
+        self.window_end = self.total_acked + self.cwnd;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(self.mss as u64)
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1500;
+
+    fn clean_ack(acked: u64, in_flight: u64) -> AckInfo {
+        AckInfo {
+            now: Ns::ZERO,
+            acked_bytes: acked,
+            marked_bytes: 0,
+            rtt: Some(Ns::from_micros(100)),
+            in_flight,
+        }
+    }
+
+    #[test]
+    fn all_start_at_initial_window() {
+        for alg in [CcAlgorithm::Dctcp, CcAlgorithm::Cubic, CcAlgorithm::Reno] {
+            let cc = alg.build(MSS);
+            assert_eq!(cc.cwnd(), 10 * MSS as u64, "{}", cc.name());
+        }
+    }
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mut cc = Reno::new(MSS);
+        let before = cc.cwnd();
+        // Ack a full window.
+        cc.on_ack(clean_ack(before, 0));
+        assert_eq!(cc.cwnd(), 2 * before);
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_is_linear() {
+        let mut cc = Reno::new(MSS);
+        cc.on_fast_retransmit(Ns::ZERO); // force ssthresh = cwnd
+        let base = cc.cwnd();
+        // One full window of ACKs ≈ +1 MSS.
+        cc.on_ack(clean_ack(base, 0));
+        assert_eq!(cc.cwnd(), base + MSS as u64);
+    }
+
+    #[test]
+    fn reno_timeout_collapses_to_one_mss() {
+        let mut cc = Reno::new(MSS);
+        cc.on_ack(clean_ack(30_000, 0));
+        cc.on_timeout(Ns::ZERO);
+        assert_eq!(cc.cwnd(), MSS as u64);
+        assert!(cc.ssthresh() < u64::MAX);
+    }
+
+    #[test]
+    fn reno_ecn_cuts_once_per_window() {
+        let mut cc = Reno::new(MSS);
+        let before = cc.cwnd();
+        let marked = AckInfo {
+            marked_bytes: MSS as u64,
+            ..clean_ack(MSS as u64, before)
+        };
+        cc.on_ack(marked);
+        let after_first = cc.cwnd();
+        assert!(after_first < before);
+        // Immediately-following marks in the same window are absorbed.
+        cc.on_ack(AckInfo {
+            marked_bytes: MSS as u64,
+            ..clean_ack(MSS as u64, before)
+        });
+        assert_eq!(cc.cwnd(), after_first);
+    }
+
+    #[test]
+    fn dctcp_alpha_tracks_marked_fraction() {
+        let mut cc = Dctcp::new(MSS);
+        // Feed many windows with 30% marks: alpha should approach 0.3.
+        for _ in 0..2000 {
+            let w = cc.cwnd();
+            cc.on_ack(AckInfo {
+                now: Ns::ZERO,
+                acked_bytes: w,
+                marked_bytes: (w as f64 * 0.3) as u64,
+                rtt: None,
+                in_flight: 0,
+            });
+        }
+        let a = cc.alpha();
+        assert!((a - 0.3).abs() < 0.07, "alpha {a}");
+    }
+
+    #[test]
+    fn dctcp_alpha_decays_without_marks() {
+        let mut cc = Dctcp::new(MSS);
+        for _ in 0..200 {
+            let w = cc.cwnd();
+            cc.on_ack(clean_ack(w, 0));
+        }
+        assert!(cc.alpha() < 0.01, "alpha {}", cc.alpha());
+    }
+
+    #[test]
+    fn dctcp_gentle_reduction_under_light_marking() {
+        // DCTCP's reduction should be far gentler than halving when few
+        // bytes are marked — the property that keeps throughput high at
+        // the 120KB ECN threshold.
+        let mut dctcp = Dctcp::new(MSS);
+        let mut reno = Reno::new(MSS);
+        // Warm both to the same moderate window with clean ACKs.
+        for _ in 0..20 {
+            let w = dctcp.cwnd();
+            dctcp.on_ack(clean_ack(w, 0));
+            let w = reno.cwnd();
+            reno.on_ack(clean_ack(w, 0));
+        }
+        // Decay alpha to a small steady-state first.
+        for _ in 0..300 {
+            let w = dctcp.cwnd();
+            dctcp.on_ack(clean_ack(w, 0));
+        }
+        let d_before = dctcp.cwnd();
+        let r_before = reno.cwnd();
+        // One lightly-marked window each (5% of bytes marked).
+        let w = dctcp.cwnd();
+        dctcp.on_ack(AckInfo {
+            now: Ns::ZERO,
+            acked_bytes: w,
+            marked_bytes: w / 20,
+            rtt: None,
+            in_flight: 0,
+        });
+        let w = reno.cwnd();
+        reno.on_ack(AckInfo {
+            now: Ns::ZERO,
+            acked_bytes: w,
+            marked_bytes: w / 20,
+            rtt: None,
+            in_flight: 0,
+        });
+        let d_drop = 1.0 - dctcp.cwnd() as f64 / d_before as f64;
+        let r_drop = 1.0 - reno.cwnd() as f64 / r_before as f64;
+        assert!(
+            d_drop < r_drop / 2.0,
+            "dctcp drop {d_drop:.3} vs reno {r_drop:.3}"
+        );
+    }
+
+    #[test]
+    fn dctcp_timeout_collapses() {
+        let mut cc = Dctcp::new(MSS);
+        cc.on_ack(clean_ack(100_000, 0));
+        cc.on_timeout(Ns::ZERO);
+        assert_eq!(cc.cwnd(), MSS as u64);
+    }
+
+    #[test]
+    fn cubic_recovers_toward_w_max() {
+        let mut cc = Cubic::new(MSS);
+        // Grow a few slow-start rounds (keep W_max modest so the cubic
+        // plateau time K = cbrt(W_max·(1−β)/C) stays in seconds).
+        for _ in 0..4 {
+            let w = cc.cwnd();
+            cc.on_ack(clean_ack(w, 0));
+        }
+        let peak = cc.cwnd();
+        cc.on_fast_retransmit(Ns::ZERO);
+        let floor = cc.cwnd();
+        assert!((floor as f64) < peak as f64 * 0.75);
+        // Feed ACKs over simulated time; window should climb back to W_max.
+        let mut now = Ns::ZERO;
+        for _ in 0..4000 {
+            now += Ns::from_millis(5);
+            cc.on_ack(AckInfo {
+                now,
+                acked_bytes: MSS as u64,
+                marked_bytes: 0,
+                rtt: None,
+                in_flight: 0,
+            });
+        }
+        assert!(
+            cc.cwnd() as f64 >= peak as f64 * 0.9,
+            "cwnd {} vs peak {peak}",
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn cwnd_never_below_one_mss() {
+        for alg in [CcAlgorithm::Dctcp, CcAlgorithm::Cubic, CcAlgorithm::Reno] {
+            let mut cc = alg.build(MSS);
+            for _ in 0..10 {
+                cc.on_timeout(Ns::ZERO);
+            }
+            assert!(cc.cwnd() >= MSS as u64, "{}", cc.name());
+        }
+    }
+}

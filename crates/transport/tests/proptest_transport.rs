@@ -1,0 +1,161 @@
+//! Property-based transport tests: reliability under arbitrary loss
+//! patterns, receiver reassembly under arbitrary reordering, and
+//! congestion-window sanity under arbitrary ACK streams.
+
+use ms_dcsim::{EventQueue, FlowId, Ns, Packet};
+use ms_transport::{CcAlgorithm, Receiver, Sender, SenderConfig};
+use proptest::prelude::*;
+
+/// Minimal lossy loopback: fixed delay, drop set by data-packet ordinal.
+fn transfer_completes(bytes: u64, drop_ordinals: &[u64], alg: CcAlgorithm) -> bool {
+    #[derive(Debug)]
+    enum Ev {
+        ToRx(Packet),
+        ToTx(Packet),
+        TxTimer,
+        RxTimer,
+    }
+    let cfg = SenderConfig {
+        algorithm: alg,
+        ..SenderConfig::default()
+    };
+    let mut tx = Sender::new(FlowId(1), 9, 1, &cfg);
+    let mut rx = Receiver::new(FlowId(1), 1, 9);
+    let mut q = EventQueue::new();
+    let delay = Ns::from_micros(30);
+    let mut data_seen = 0u64;
+
+    tx.push(bytes);
+    tx.close();
+
+    let send = |q: &mut EventQueue<Ev>, pkts: Vec<Packet>, data_seen: &mut u64| {
+        for p in pkts {
+            match p.kind {
+                ms_dcsim::PacketKind::Data => {
+                    *data_seen += 1;
+                    if drop_ordinals.contains(data_seen) {
+                        continue;
+                    }
+                    q.schedule_in(delay, Ev::ToRx(p));
+                }
+                _ => q.schedule_in(delay, Ev::ToTx(p)),
+            }
+        }
+    };
+
+    let first = tx.poll_send(Ns::ZERO);
+    send(&mut q, first, &mut data_seen);
+    if let Some(t) = tx.next_timer() {
+        q.schedule(t, Ev::TxTimer);
+    }
+
+    let deadline = Ns::from_secs(60);
+    while let Some((now, ev)) = q.pop_until(deadline) {
+        match ev {
+            Ev::ToRx(p) => {
+                let ack = rx.on_data(now, &p);
+                send(&mut q, ack.into_iter().collect(), &mut data_seen);
+                if let Some(t) = rx.next_timer() {
+                    q.schedule(t.max(now), Ev::RxTimer);
+                }
+            }
+            Ev::ToTx(p) => {
+                let out = tx.on_ack(now, &p);
+                send(&mut q, out, &mut data_seen);
+                if let Some(t) = tx.next_timer() {
+                    q.schedule(t.max(now), Ev::TxTimer);
+                }
+            }
+            Ev::TxTimer => {
+                let out = tx.on_timer(now);
+                send(&mut q, out, &mut data_seen);
+                if let Some(t) = tx.next_timer() {
+                    q.schedule(t.max(now), Ev::TxTimer);
+                }
+            }
+            Ev::RxTimer => {
+                let ack = rx.on_timer(now);
+                send(&mut q, ack.into_iter().collect(), &mut data_seen);
+            }
+        }
+        if tx.is_complete() {
+            return rx.stats().bytes_delivered == bytes;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_loss_pattern_is_recovered(
+        bytes in 1_000u64..200_000,
+        drops in prop::collection::btree_set(1u64..60, 0..12),
+    ) {
+        let drops: Vec<u64> = drops.into_iter().collect();
+        prop_assert!(
+            transfer_completes(bytes, &drops, CcAlgorithm::Dctcp),
+            "transfer stalled: {} bytes, drops {:?}", bytes, drops
+        );
+    }
+
+    #[test]
+    fn all_algorithms_survive_burst_loss(
+        start in 1u64..20,
+        run_len in 1u64..8,
+    ) {
+        // Drop a contiguous run of packets (burst loss, the hard case for
+        // cumulative-ACK recovery).
+        let drops: Vec<u64> = (start..start + run_len).collect();
+        for alg in [CcAlgorithm::Dctcp, CcAlgorithm::Cubic, CcAlgorithm::Reno] {
+            prop_assert!(
+                transfer_completes(100_000, &drops, alg),
+                "{:?} stalled on burst loss {:?}", alg, drops
+            );
+        }
+    }
+
+    #[test]
+    fn receiver_reassembles_any_arrival_order(
+        order in Just(()).prop_perturb(|_, mut rng| {
+            let mut idx: Vec<usize> = (0..20).collect();
+            // Fisher-Yates with proptest's rng.
+            for i in (1..idx.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                idx.swap(i, j);
+            }
+            idx
+        })
+    ) {
+        let mut rx = Receiver::new(FlowId(1), 1, 9);
+        let mut last_ack = 0;
+        for (t, &i) in order.iter().enumerate() {
+            let pkt = Packet::data(FlowId(1), 9, 1, i as u64 * 1500, 1500);
+            if let Some(ack) = rx.on_data(Ns(t as u64 * 1000), &pkt) {
+                prop_assert!(ack.seq >= last_ack, "cumulative ACK went backwards");
+                last_ack = ack.seq;
+            }
+        }
+        // After all 20 segments arrive (in any order), everything is
+        // delivered exactly once.
+        prop_assert_eq!(rx.rcv_nxt(), 20 * 1500);
+        prop_assert_eq!(rx.stats().bytes_delivered, 20 * 1500);
+    }
+
+    #[test]
+    fn cwnd_stays_positive_under_arbitrary_acks(
+        acks in prop::collection::vec((0u64..200_000, 0u32..20_000), 1..100)
+    ) {
+        let cfg = SenderConfig::default();
+        let mut tx = Sender::new(FlowId(1), 9, 1, &cfg);
+        tx.push(1_000_000);
+        tx.poll_send(Ns::ZERO);
+        for (i, &(seq, ecn)) in acks.iter().enumerate() {
+            let ack = Packet::ack(FlowId(1), 1, 9, seq, ecn);
+            tx.on_ack(Ns(i as u64 * 10_000), &ack);
+            prop_assert!(tx.cwnd() >= 1500, "cwnd collapsed below 1 MSS");
+            prop_assert!(tx.in_flight() <= 1_000_000);
+        }
+    }
+}

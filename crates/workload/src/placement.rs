@@ -1,0 +1,470 @@
+//! Task placement and region construction.
+//!
+//! §7.1 of the paper traces RegA's bimodal contention to placement: 20 % of
+//! racks were densely packed with instances of one machine-learning task
+//! (computation-near-storage constraints), running far fewer distinct tasks
+//! (median 8 vs. 14) with the dominant task on 60–100 % of servers. RegB
+//! spread similar workloads more uniformly (median 15 tasks, moderate
+//! dominance), yielding a uniform contention distribution.
+//!
+//! [`build_region`] reproduces those placement *policies*; everything
+//! downstream (contention, loss) emerges from simulating the placed tasks.
+
+use crate::diurnal::Diurnal;
+use crate::tasks::TaskKind;
+use ms_dcsim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Region archetypes from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Bimodal region: mostly diverse racks + ML-dense racks.
+    RegA,
+    /// Uniform, busier region.
+    RegB,
+}
+
+/// Placement class of one rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RackClass {
+    /// Diverse task mix (RegA-Typical and most of RegB).
+    Diverse,
+    /// Dominated by a single ML training task (RegA-High).
+    MlDense,
+}
+
+/// One task instance placed on one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskInstance {
+    /// Region-unique task identity (a "service").
+    pub task: u64,
+    /// Traffic archetype of the task.
+    pub kind: TaskKind,
+    /// Rack-local server index this instance runs on.
+    pub server: usize,
+}
+
+/// A placed rack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackSpec {
+    /// Rack id within its region.
+    pub rack_id: u32,
+    /// Placement class.
+    pub class: RackClass,
+    /// Per-rack base load multiplier (before diurnal scaling).
+    pub load_factor: f64,
+    /// Per-(rack,hour) load jitter amplitude (RegB is noisier).
+    pub hourly_jitter: f64,
+    /// One task instance per server.
+    pub tasks: Vec<TaskInstance>,
+    /// Deterministic seed for this rack's traffic.
+    pub seed: u64,
+}
+
+impl RackSpec {
+    /// Number of servers (one instance each).
+    pub fn num_servers(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of distinct tasks placed on the rack (Fig. 10's metric).
+    pub fn distinct_tasks(&self) -> usize {
+        let mut ids: Vec<u64> = self.tasks.iter().map(|t| t.task).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Fraction of servers running the rack's dominant task
+    /// (Fig. 11's metric), in percent.
+    pub fn dominant_task_share(&self) -> f64 {
+        let mut counts = std::collections::BTreeMap::new();
+        for t in &self.tasks {
+            *counts.entry(t.task).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        100.0 * max as f64 / self.tasks.len().max(1) as f64
+    }
+
+    /// Number of servers running ML trainer instances.
+    pub fn ml_servers(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == TaskKind::MlTrainer)
+            .count()
+    }
+}
+
+/// A placed region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Which archetype this region was built as.
+    pub kind: RegionKind,
+    /// All racks.
+    pub racks: Vec<RackSpec>,
+    /// The region's diurnal profile.
+    pub diurnal: Diurnal,
+}
+
+/// Weighted task-kind sample.
+fn sample_kind(rng: &mut SimRng, weights: &[(TaskKind, f64)]) -> TaskKind {
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut x = rng.next_f64() * total;
+    for (kind, w) in weights {
+        if x < *w {
+            return *kind;
+        }
+        x -= w;
+    }
+    weights.last().unwrap().0
+}
+
+/// Assigns `servers` to `t` distinct tasks with mild-Zipf weights, so a
+/// natural dominant task emerges without single-task domination.
+fn assign_diverse(
+    rng: &mut SimRng,
+    servers: usize,
+    t: usize,
+    kinds: &[(TaskKind, f64)],
+    next_task_id: &mut u64,
+) -> Vec<TaskInstance> {
+    let task_ids: Vec<u64> = (0..t)
+        .map(|_| {
+            let id = *next_task_id;
+            *next_task_id += 1;
+            id
+        })
+        .collect();
+    let task_kinds: Vec<TaskKind> = (0..t).map(|_| sample_kind(rng, kinds)).collect();
+    // Mild Zipf: weight of task i ∝ 1/(i+2). For t≈14 the top task lands
+    // around 20-30% of servers — the RegA-Typical median of 25% (§7.1).
+    let weights: Vec<f64> = (0..t).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(servers);
+    for server in 0..servers {
+        let mut x = rng.next_f64() * total;
+        let mut idx = t - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                idx = i;
+                break;
+            }
+            x -= w;
+        }
+        out.push(TaskInstance {
+            task: task_ids[idx],
+            kind: task_kinds[idx],
+            server,
+        });
+    }
+    out
+}
+
+/// Assigns `servers` round-robin over `t` fresh tasks — the near-uniform
+/// spread of the few non-ML fillers on ML-dense racks (each filler task
+/// has only 1-2 instances there, so all `t` tasks are realized).
+fn assign_uniform(
+    rng: &mut SimRng,
+    servers: usize,
+    t: usize,
+    kinds: &[(TaskKind, f64)],
+    next_task_id: &mut u64,
+) -> Vec<TaskInstance> {
+    let task_ids: Vec<u64> = (0..t)
+        .map(|_| {
+            let id = *next_task_id;
+            *next_task_id += 1;
+            id
+        })
+        .collect();
+    let task_kinds: Vec<TaskKind> = (0..t).map(|_| sample_kind(rng, kinds)).collect();
+    (0..servers)
+        .map(|server| {
+            let idx = server % t.max(1);
+            TaskInstance {
+                task: task_ids[idx],
+                kind: task_kinds[idx],
+                server,
+            }
+        })
+        .collect()
+}
+
+const REGA_DIVERSE_KINDS: &[(TaskKind, f64)] = &[
+    (TaskKind::Web, 0.25),
+    (TaskKind::CacheFollower, 0.25),
+    (TaskKind::Batch, 0.25),
+    (TaskKind::Background, 0.25),
+];
+
+const REGB_KINDS: &[(TaskKind, f64)] = &[
+    (TaskKind::Web, 0.25),
+    (TaskKind::CacheFollower, 0.30),
+    (TaskKind::Batch, 0.25),
+    (TaskKind::Background, 0.20),
+];
+
+/// Non-ML filler tasks on ML-dense racks. A little storage traffic keeps
+/// ML-dense racks from being entirely loss-free (Table 2: 0.36 % of their
+/// bursts still lose).
+const ML_RACK_FILLER_KINDS: &[(TaskKind, f64)] = &[
+    (TaskKind::Web, 0.33),
+    (TaskKind::Background, 0.40),
+    (TaskKind::Batch, 0.20),
+    (TaskKind::CacheFollower, 0.07),
+];
+
+/// Builds a region of `num_racks` racks with `servers_per_rack` servers.
+///
+/// Deterministic in `seed`.
+pub fn build_region(
+    kind: RegionKind,
+    num_racks: usize,
+    servers_per_rack: usize,
+    seed: u64,
+) -> RegionSpec {
+    let mut rng = SimRng::new(seed ^ 0xA11CE);
+    let mut next_task_id: u64 = 1;
+    let mut racks = Vec::with_capacity(num_racks);
+
+    // The single region-wide ML task co-located densely in RegA (§7.1:
+    // "the top task in each of the RegA-High racks was the same").
+    let rega_ml_task = next_task_id;
+    next_task_id += 1;
+
+    for rack_id in 0..num_racks as u32 {
+        let mut rack_rng = rng.fork(rack_id as u64);
+        let spec = match kind {
+            RegionKind::RegA => {
+                let ml_dense = (rack_id as usize) >= num_racks - num_racks / 5;
+                if ml_dense {
+                    // RegA-High: dominant ML task on ~60-95% of servers,
+                    // few distinct tasks overall (median 8).
+                    let share = 0.58 + 0.38 * rack_rng.next_f64();
+                    let ml_servers = ((servers_per_rack as f64) * share).round() as usize;
+                    let filler_servers = servers_per_rack - ml_servers;
+                    let filler_t = (7 + rack_rng.gen_range(5) as usize).min(filler_servers.max(1));
+                    let mut tasks = Vec::with_capacity(servers_per_rack);
+                    for server in 0..ml_servers {
+                        tasks.push(TaskInstance {
+                            task: rega_ml_task,
+                            kind: TaskKind::MlTrainer,
+                            server,
+                        });
+                    }
+                    let mut filler = assign_uniform(
+                        &mut rack_rng,
+                        servers_per_rack - ml_servers,
+                        filler_t,
+                        ML_RACK_FILLER_KINDS,
+                        &mut next_task_id,
+                    );
+                    for f in &mut filler {
+                        f.server += ml_servers;
+                    }
+                    tasks.extend(filler);
+                    RackSpec {
+                        rack_id,
+                        class: RackClass::MlDense,
+                        load_factor: 0.9 + 0.4 * rack_rng.next_f64(),
+                        hourly_jitter: 0.10,
+                        tasks,
+                        seed: rack_rng.next_u64(),
+                    }
+                } else {
+                    // RegA-Typical: diverse, 10-18 distinct tasks.
+                    let t = 10 + rack_rng.gen_range(9) as usize;
+                    let tasks = assign_diverse(
+                        &mut rack_rng,
+                        servers_per_rack,
+                        t,
+                        REGA_DIVERSE_KINDS,
+                        &mut next_task_id,
+                    );
+                    RackSpec {
+                        rack_id,
+                        class: RackClass::Diverse,
+                        load_factor: 1.0 + 1.4 * rack_rng.next_f64(),
+                        hourly_jitter: 0.10,
+                        tasks,
+                        seed: rack_rng.next_u64(),
+                    }
+                }
+            }
+            RegionKind::RegB => {
+                // A continuum of ML density [0, 0.55) plus a busy diverse
+                // mix: contention spreads uniformly rather than bimodally.
+                let ml_frac = 0.55 * rack_rng.next_f64();
+                let ml_servers = ((servers_per_rack as f64) * ml_frac).round() as usize;
+                let ml_task = if ml_servers > 0 {
+                    let id = next_task_id;
+                    next_task_id += 1;
+                    Some(id)
+                } else {
+                    None
+                };
+                let t = 12 + rack_rng.gen_range(7) as usize; // 12..=18
+                let mut tasks = Vec::with_capacity(servers_per_rack);
+                for server in 0..ml_servers {
+                    tasks.push(TaskInstance {
+                        task: ml_task.unwrap(),
+                        kind: TaskKind::MlTrainer,
+                        server,
+                    });
+                }
+                let mut rest = assign_diverse(
+                    &mut rack_rng,
+                    servers_per_rack - ml_servers,
+                    t,
+                    REGB_KINDS,
+                    &mut next_task_id,
+                );
+                for r in &mut rest {
+                    r.server += ml_servers;
+                }
+                tasks.extend(rest);
+                RackSpec {
+                    rack_id,
+                    class: RackClass::Diverse,
+                    load_factor: 1.0 + 1.8 * rack_rng.next_f64(),
+                    hourly_jitter: 0.35,
+                    tasks,
+                    seed: rack_rng.next_u64(),
+                }
+            }
+        };
+        racks.push(spec);
+    }
+
+    RegionSpec {
+        kind,
+        racks,
+        diurnal: Diurnal::meta_like(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn median(mut v: Vec<f64>) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    #[test]
+    fn rega_has_one_fifth_ml_dense() {
+        let r = build_region(RegionKind::RegA, 100, 32, 1);
+        let dense = r.racks.iter().filter(|r| r.class == RackClass::MlDense).count();
+        assert_eq!(dense, 20);
+    }
+
+    #[test]
+    fn rega_high_runs_fewer_distinct_tasks() {
+        // Fig. 10: median 8 tasks on RegA-High vs 14 on RegA-Typical.
+        let r = build_region(RegionKind::RegA, 200, 32, 2);
+        let dense: Vec<f64> = r
+            .racks
+            .iter()
+            .filter(|r| r.class == RackClass::MlDense)
+            .map(|r| r.distinct_tasks() as f64)
+            .collect();
+        let diverse: Vec<f64> = r
+            .racks
+            .iter()
+            .filter(|r| r.class == RackClass::Diverse)
+            .map(|r| r.distinct_tasks() as f64)
+            .collect();
+        let md = median(dense);
+        let mv = median(diverse);
+        assert!((6.0..=10.0).contains(&md), "MlDense median {md}");
+        assert!((11.0..=17.0).contains(&mv), "Diverse median {mv}");
+    }
+
+    #[test]
+    fn rega_high_dominant_share_is_60_to_100() {
+        let r = build_region(RegionKind::RegA, 200, 32, 3);
+        for rack in r.racks.iter().filter(|r| r.class == RackClass::MlDense) {
+            let share = rack.dominant_task_share();
+            assert!((55.0..=100.0).contains(&share), "share {share}");
+            assert!(rack.ml_servers() >= rack.num_servers() / 2);
+        }
+    }
+
+    #[test]
+    fn rega_typical_dominant_share_is_moderate() {
+        // §7.1: RegA-Typical median dominant share 25%, p90 38%.
+        let r = build_region(RegionKind::RegA, 300, 32, 4);
+        let shares: Vec<f64> = r
+            .racks
+            .iter()
+            .filter(|r| r.class == RackClass::Diverse)
+            .map(|r| r.dominant_task_share())
+            .collect();
+        let m = median(shares.clone());
+        assert!((18.0..=35.0).contains(&m), "median {m}");
+        let mut s = shares;
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p90 = s[(s.len() as f64 * 0.9) as usize];
+        assert!(p90 <= 55.0, "p90 {p90}");
+    }
+
+    #[test]
+    fn rega_high_shares_one_ml_task_region_wide() {
+        // §7.1: "the top task in each of the RegA-High racks was the same".
+        let r = build_region(RegionKind::RegA, 100, 32, 5);
+        let ml_ids: std::collections::BTreeSet<u64> = r
+            .racks
+            .iter()
+            .flat_map(|rack| rack.tasks.iter())
+            .filter(|t| t.kind == TaskKind::MlTrainer)
+            .map(|t| t.task)
+            .collect();
+        assert_eq!(ml_ids.len(), 1, "one region-wide ML task");
+    }
+
+    #[test]
+    fn regb_ml_density_is_a_continuum() {
+        let r = build_region(RegionKind::RegB, 300, 32, 6);
+        let fracs: Vec<f64> = r
+            .racks
+            .iter()
+            .map(|rack| rack.ml_servers() as f64 / rack.num_servers() as f64)
+            .collect();
+        let zero = fracs.iter().filter(|&&f| f == 0.0).count();
+        let high = fracs.iter().filter(|&&f| f > 0.4).count();
+        let mid = fracs.iter().filter(|&&f| (0.1..=0.4).contains(&f)).count();
+        assert!(zero > 0 && high > 0 && mid > 0, "z{zero} m{mid} h{high}");
+    }
+
+    #[test]
+    fn every_server_gets_exactly_one_task() {
+        for kind in [RegionKind::RegA, RegionKind::RegB] {
+            let r = build_region(kind, 50, 32, 7);
+            for rack in &r.racks {
+                assert_eq!(rack.tasks.len(), 32);
+                let mut servers: Vec<usize> = rack.tasks.iter().map(|t| t.server).collect();
+                servers.sort_unstable();
+                assert_eq!(servers, (0..32).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_deterministic() {
+        let a = build_region(RegionKind::RegA, 40, 32, 9);
+        let b = build_region(RegionKind::RegA, 40, 32, 9);
+        assert_eq!(a, b);
+        let c = build_region(RegionKind::RegA, 40, 32, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn regb_noisier_hour_to_hour() {
+        let a = build_region(RegionKind::RegA, 10, 32, 11);
+        let b = build_region(RegionKind::RegB, 10, 32, 11);
+        let ja = a.racks[0].hourly_jitter;
+        let jb = b.racks[0].hourly_jitter;
+        assert!(jb > ja, "RegB jitter {jb} should exceed RegA {ja}");
+    }
+}

@@ -1,0 +1,1430 @@
+//! The rack simulation driver.
+//!
+//! [`RackSim`] owns the event loop that couples every substrate:
+//!
+//! ```text
+//!  TaskGen ──FlowSpec──▶ Sender ──segments──▶ source NIC ─(pacer)─▶ fabric
+//!                                                                    │
+//!                                   ┌────────────────────────────────┘
+//!                                   ▼
+//!                     ToR SharedBufferSwitch (DT admission, ECN mark)
+//!                                   │ per-server 12.5G downlink
+//!                                   ▼
+//!        Host ─▶ TcFilter.record(ingress) ─▶ Receiver ─ACK─▶ TcFilter(egress)
+//!                                   │                          │
+//!                                   └──────────◀ fabric ◀──────┘
+//! ```
+//!
+//! Data flows fabric→rack (ingress, the direction the paper analyzes);
+//! ACKs return over an uncongested reverse path (§3: "most of the
+//! congestion in our network happens in the server-link connecting the ToR
+//! to the servers", which is why ECN is deployed only at the ToR).
+//!
+//! The loop is fully deterministic: `BTreeMap` flow tables, FIFO-stable
+//! event ordering, and every random decision drawn from seeded forks.
+
+use crate::tasks::{FlowSpec, TaskGen, TaskKind, WorkItem};
+use millisampler::{AlignedRackRun, PacketMeta, RunConfig, SyncCoordinator, TcFilter};
+use ms_dcsim::link::Pacer;
+use ms_dcsim::packet::{NodeId, PacketKind};
+use ms_dcsim::switch::MinuteBin;
+use ms_dcsim::{
+    Direction, EventQueue, FlowId, Host, Link, Ns, Packet, RackConfig, SharedBufferSwitch, SimRng,
+};
+use ms_transport::{CcAlgorithm, Receiver, Sender, SenderConfig};
+use std::collections::BTreeMap;
+
+/// Receive-side segment coalescing (GRO/LRO) at the host NIC.
+///
+/// §4.6 of the paper: "the tc layer sees segments ... after the receiver's
+/// offloaded reassembly. Thus, the filter may see 64 KB segments,
+/// potentially inflating burstiness at very fine timescales (e.g., 100 µs
+/// buckets). At such rates, we often see periods of data rates in excess
+/// of line speed." Enabling GRO reproduces that artifact: bytes that
+/// physically arrived across a bucket boundary are recorded at the flush
+/// instant.
+#[derive(Debug, Clone, Copy)]
+pub struct GroConfig {
+    /// Maximum coalesced super-segment (64 KB in Linux).
+    pub max_bytes: u32,
+    /// Flush timeout after the first held packet.
+    pub timeout: Ns,
+}
+
+impl Default for GroConfig {
+    fn default() -> Self {
+        GroConfig {
+            max_bytes: 65_535,
+            timeout: Ns::from_micros(30),
+        }
+    }
+}
+
+/// An explicit fabric hop between the senders and the ToR: a single
+/// shared FIFO drained at the trunk rate. When the aggregate offered rate
+/// exceeds the trunk, queueing here smooths bursts *before* the rack —
+/// the emergent version of the §8.1 fabric-smoothing effect (the pacer in
+/// [`RackSim::set_fabric_smoothing`] is the parametric version).
+#[derive(Debug, Clone, Copy)]
+pub struct FabricHopConfig {
+    /// Trunk rate in bits/s (e.g. one 100 Gbps uplink).
+    pub rate_bps: u64,
+    /// Fabric buffer in bytes (fabric ASICs are deeper than ToRs, §8.1).
+    pub buffer_bytes: u64,
+}
+
+/// Configuration of one rack simulation.
+#[derive(Debug, Clone)]
+pub struct RackSimConfig {
+    /// Topology and switch parameters.
+    pub rack: RackConfig,
+    /// Millisampler run configuration for the sync window.
+    pub sampler: RunConfig,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Maximum absolute host clock offset (uniform in ±this).
+    pub max_clock_skew: Ns,
+    /// Traffic warm-up before samplers enable (lets cwnds converge).
+    pub warmup: Ns,
+    /// Receive-side coalescing (off by default; §4.6 artifact study).
+    pub gro: Option<GroConfig>,
+    /// Explicit fabric hop (off by default; §8.1 ablation).
+    pub fabric_hop: Option<FabricHopConfig>,
+    /// Contention-driven DT α retuning period (off by default; §9 probe).
+    pub alpha_tune_period: Option<Ns>,
+}
+
+impl RackSimConfig {
+    /// Paper-like defaults on a rack of `num_servers`.
+    pub fn new(num_servers: usize, seed: u64) -> Self {
+        RackSimConfig {
+            rack: RackConfig::meta_defaults(num_servers),
+            sampler: RunConfig::one_ms(),
+            seed,
+            // NTP with interleaved mode achieves sub-ms sync (§4.5).
+            max_clock_skew: Ns::from_micros(300),
+            warmup: Ns::from_millis(150),
+            gro: None,
+            fabric_hop: None,
+            alpha_tune_period: None,
+        }
+    }
+}
+
+/// Aggregate outcome of one simulated sync window.
+#[derive(Debug, Clone)]
+pub struct RackSimReport {
+    /// The assembled SyncMillisampler run (None if the rack was silent).
+    pub rack_run: Option<AlignedRackRun>,
+    /// Ground truth: bytes the switch discarded (whole simulation).
+    pub switch_discard_bytes: u64,
+    /// Ground truth: bytes admitted by the switch (whole simulation).
+    pub switch_ingress_bytes: u64,
+    /// 1-minute switch telemetry bins.
+    pub minute_bins: Vec<MinuteBin>,
+    /// Connection groups started.
+    pub flows_started: u64,
+    /// Connections completed (all bytes delivered and acknowledged).
+    pub conns_completed: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Generator wakeup.
+    Gen { idx: usize },
+    /// Start the connections of a flow spec.
+    StartFlow { spec: FlowSpec },
+    /// Packet reaches the ToR ingress pipeline.
+    TorArrive { pkt: Packet },
+    /// Egress link for `queue` is free to pull the next packet.
+    TorDrain { queue: usize },
+    /// Packet reaches a rack server.
+    HostDeliver { pkt: Packet },
+    /// ACK reaches the fabric-side sender.
+    SourceDeliver { pkt: Packet },
+    /// Sender RTO check.
+    SenderTimer { flow: FlowId },
+    /// Receiver delayed-ACK check.
+    ReceiverTimer { flow: FlowId },
+    /// Release the next datagram of a paced multicast burst.
+    McastSend {
+        group: u32,
+        remaining: u32,
+        size: u32,
+        paced_bps: u64,
+    },
+    /// Next keepalive packet of a server's persistent-connection chatter.
+    Chatter { server: usize },
+    /// GRO aggregation timeout for a host: flush the pending super-segment.
+    GroFlush { server: usize, gen: u64 },
+    /// Periodic DT α retuning tick (the §9 "dynamic buffer sharing" probe).
+    AlphaTune,
+    /// Packet reaches the explicit fabric hop's queue.
+    FabricArrive { pkt: Packet },
+    /// The fabric trunk is free to serialize the next packet.
+    FabricDrain,
+    /// Enable all samplers (the synchronized run start).
+    EnableSamplers,
+    /// Agent mode: enable this host's filter for its next scheduled run.
+    AgentEnable { server: usize },
+    /// Agent mode: run window elapsed — read, store, detach, reschedule.
+    AgentCollect { server: usize },
+}
+
+#[derive(Debug)]
+struct FlowState {
+    sender: Sender,
+    receiver: Receiver,
+    /// The sender's NIC toward the fabric.
+    src_link: Link,
+    /// Fabric-side smoothing, if the spec asked for it.
+    pacer: Option<Pacer>,
+    sender_deadline: Option<Ns>,
+    receiver_deadline: Option<Ns>,
+}
+
+/// A full rack simulation.
+pub struct RackSim {
+    cfg: RackSimConfig,
+    q: EventQueue<Ev>,
+    rng: SimRng,
+    switch: SharedBufferSwitch,
+    hosts: Vec<Host>,
+    filters: Vec<TcFilter>,
+    /// Per-server ToR→server downlink.
+    tor_links: Vec<Link>,
+    draining: Vec<bool>,
+    flows: BTreeMap<u64, FlowState>,
+    next_flow: u64,
+    /// Multicast rate limiter state is carried in events; groups live in
+    /// the switch.
+    mcast_pacers: BTreeMap<u32, Pacer>,
+    generators: Vec<TaskGen>,
+    sender_cfg: SenderConfig,
+    flows_started: u64,
+    conns_completed: u64,
+    /// Hard ceiling on events, as a runaway guard.
+    event_budget: u64,
+    /// Pacing applied to flows that do not specify their own — models
+    /// upstream fabric congestion smoothing *all* traffic arriving at a
+    /// rack (the §8.1 hypothesis for RegA-High's low loss).
+    default_pacing: Option<u64>,
+    /// Per-server chatter state: (pool of persistent flow ids, mean gap).
+    chatter: BTreeMap<usize, (u64, Ns)>,
+    /// Per-server NIC-level drop injectors (fault injection, §4.2's
+    /// firmware-bug scenario).
+    nic_drops: BTreeMap<usize, ms_dcsim::fault::DropInjector>,
+    /// Per-server pending GRO super-segment.
+    gro_pending: Vec<Option<GroPending>>,
+    gro_gen: u64,
+    /// Explicit fabric hop state: FIFO + trunk link + occupancy.
+    fabric: Option<FabricState>,
+    /// Per-host user-space agents (agent mode): scheduler + on-host store.
+    agents: Vec<Option<AgentState>>,
+    /// Optional pcap capture of all host-delivered packets.
+    pcap: Option<ms_dcsim::pcap::PcapWriter<Box<dyn std::io::Write>>>,
+}
+
+/// The §4.1 user-space agent for one host: schedules periodic runs with
+/// interval rotation, reads completed runs, and stores them compressed.
+#[derive(Debug)]
+struct AgentState {
+    scheduler: millisampler::Scheduler,
+    store: millisampler::HostStore,
+    /// Config of the run currently in flight.
+    current: Option<millisampler::RunConfig>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroPending {
+    pkt: Packet,
+    gen: u64,
+}
+
+#[derive(Debug)]
+struct FabricState {
+    cfg: FabricHopConfig,
+    fifo: std::collections::VecDeque<Packet>,
+    occupancy: u64,
+    link: Link,
+    draining: bool,
+    /// Packets dropped at the fabric hop.
+    drops: u64,
+}
+
+impl RackSim {
+    /// Builds a rack simulation with no workload attached yet.
+    pub fn new(cfg: RackSimConfig) -> Self {
+        let mut rng = SimRng::new(cfg.seed);
+        let s = cfg.rack.num_servers;
+        let mut hosts: Vec<Host> = (0..s as u32)
+            .map(|id| {
+                Host::new(
+                    id,
+                    cfg.rack.cpus_per_server,
+                    cfg.rack.server_link_bps,
+                    cfg.rack.server_link_delay,
+                )
+            })
+            .collect();
+        // NTP skew: uniform in ±max_clock_skew per host.
+        let skew = cfg.max_clock_skew.as_nanos() as i64;
+        for h in hosts.iter_mut() {
+            if skew > 0 {
+                let off = rng.gen_range((2 * skew + 1) as u64) as i64 - skew;
+                h.set_clock_offset(off);
+            }
+        }
+        let filters = (0..s)
+            .map(|_| TcFilter::new(&cfg.sampler, cfg.rack.cpus_per_server))
+            .collect();
+        let tor_links = (0..s)
+            .map(|_| Link::new(cfg.rack.server_link_bps, cfg.rack.server_link_delay))
+            .collect();
+        let sender_cfg = SenderConfig {
+            mss: cfg.rack.mss,
+            algorithm: CcAlgorithm::Dctcp,
+            ..SenderConfig::default()
+        };
+        let mut sim = RackSim {
+            switch: SharedBufferSwitch::new(cfg.rack.switch.clone()),
+            q: EventQueue::new(),
+            rng,
+            hosts,
+            filters,
+            tor_links,
+            draining: vec![false; s],
+            flows: BTreeMap::new(),
+            next_flow: 1,
+            mcast_pacers: BTreeMap::new(),
+            generators: Vec::new(),
+            sender_cfg,
+            flows_started: 0,
+            conns_completed: 0,
+            event_budget: 500_000_000,
+            default_pacing: None,
+            chatter: BTreeMap::new(),
+            nic_drops: BTreeMap::new(),
+            gro_pending: vec![None; s],
+            gro_gen: 0,
+            fabric: cfg.fabric_hop.map(|fc| FabricState {
+                cfg: fc,
+                fifo: std::collections::VecDeque::new(),
+                occupancy: 0,
+                link: Link::new(fc.rate_bps, Ns::from_micros(5)),
+                draining: false,
+                drops: 0,
+            }),
+            agents: (0..s).map(|_| None).collect(),
+            pcap: None,
+            cfg,
+        };
+        if let Some(period) = sim.cfg.alpha_tune_period {
+            sim.q.schedule(period, Ev::AlphaTune);
+        }
+        sim
+    }
+
+    /// Installs a NIC-level random drop injector on `server` (fault
+    /// injection): packets vanish at the NIC *before* the tc filter sees
+    /// them — the firmware-bug signature Millisampler helped isolate
+    /// ("packet loss although utilization was low", §4.2).
+    pub fn inject_nic_drops(&mut self, server: usize, seed: u64, probability: f64) {
+        self.nic_drops
+            .insert(server, ms_dcsim::fault::DropInjector::new(seed, probability));
+    }
+
+    /// Packets discarded at the explicit fabric hop so far.
+    pub fn fabric_drops(&self) -> u64 {
+        self.fabric.as_ref().map(|f| f.drops).unwrap_or(0)
+    }
+
+    /// Starts the §4.1 user-space agent on `server`: periodic Millisampler
+    /// runs (rotating through the scheduler's interval configurations),
+    /// each read out on completion and appended, compressed, to the
+    /// host's run store. Drive the simulation with [`RackSim::run_until`]
+    /// and read history back with [`RackSim::agent_store`].
+    pub fn start_agent(&mut self, server: usize, cfg: millisampler::SchedulerConfig) {
+        let mut scheduler = millisampler::Scheduler::new(cfg);
+        let first = scheduler.next_run(self.q.now());
+        self.agents[server] = Some(AgentState {
+            scheduler,
+            store: millisampler::HostStore::new(millisampler::store::StoreConfig::default()),
+            current: Some(first.config),
+        });
+        self.q
+            .schedule(first.enable_at.max(self.q.now()), Ev::AgentEnable { server });
+    }
+
+    /// The on-host store of `server`'s agent (None if no agent started).
+    pub fn agent_store(&self, server: usize) -> Option<&millisampler::HostStore> {
+        self.agents[server].as_ref().map(|a| &a.store)
+    }
+
+    /// Captures every packet delivered to any rack server into a pcap
+    /// stream (smoltcp-style `--pcap` support: open the file in Wireshark
+    /// to inspect simulated traffic, ECN marks, and the retransmit bit).
+    pub fn attach_pcap<W: std::io::Write + 'static>(&mut self, writer: W) -> std::io::Result<()> {
+        self.pcap = Some(ms_dcsim::pcap::PcapWriter::new(
+            Box::new(writer) as Box<dyn std::io::Write>
+        )?);
+        Ok(())
+    }
+
+    fn handle_agent_enable(&mut self, server: usize, now: Ns) {
+        let Some(agent) = self.agents[server].as_ref() else {
+            return;
+        };
+        let Some(run_cfg) = agent.current else {
+            return;
+        };
+        let filter = &mut self.filters[server];
+        filter.reconfigure(&run_cfg);
+        filter.attach();
+        filter.enable();
+        // User code "waits until the expected run time has passed" (§4.1)
+        // plus a little slack, then reads and detaches.
+        let collect_at = now + run_cfg.duration() + Ns::from_millis(5);
+        self.q.schedule(collect_at, Ev::AgentCollect { server });
+    }
+
+    fn handle_agent_collect(&mut self, server: usize, now: Ns) {
+        let series = self.filters[server].read(server as u32);
+        self.filters[server].detach();
+        let Some(agent) = self.agents[server].as_mut() else {
+            return;
+        };
+        if let Some(series) = series {
+            agent.store.append(&series);
+        }
+        let next = agent.scheduler.next_run(now);
+        agent.current = Some(next.config);
+        self.q
+            .schedule(next.enable_at.max(now), Ev::AgentEnable { server });
+    }
+
+    /// Enables persistent-connection chatter on `server`: tiny keepalive
+    /// packets arrive at ~`pkts_per_sec`, drawn from a pool of `pool`
+    /// long-lived connections. Production servers keep many mostly-idle
+    /// connections whose occasional packets dominate the *outside-burst*
+    /// connection counts of Fig. 8; this models that standing population
+    /// without simulating full transports for it (the byte volume is
+    /// negligible — a few Mbit/s).
+    pub fn enable_chatter(&mut self, server: usize, pool: u64, pkts_per_sec: u64) {
+        assert!(pool > 0 && pkts_per_sec > 0);
+        let gap = Ns(1_000_000_000 / pkts_per_sec.max(1));
+        self.chatter.insert(server, (pool, gap));
+        // Stagger the first packet deterministically per server.
+        let first = Ns(self.rng.gen_range(gap.as_nanos().max(1)));
+        self.q
+            .schedule(self.q.now() + first, Ev::Chatter { server });
+    }
+
+    fn handle_chatter(&mut self, server: usize, now: Ns) {
+        let Some(&(pool, gap)) = self.chatter.get(&server) else {
+            return;
+        };
+        // A keepalive from one of the server's persistent connections.
+        // Flow ids live in a reserved namespace so they never collide with
+        // transport flows; size is a typical TCP keepalive/heartbeat.
+        let which = self.rng.gen_range(pool);
+        let flow = FlowId(0x4000_0000_0000_0000 | ((server as u64) << 32) | which);
+        let pkt = Packet::data(flow, 30_000 + server as NodeId, server as NodeId, 0, 200);
+        self.q
+            .schedule(now + self.cfg.rack.fabric_delay, Ev::TorArrive { pkt });
+        let next = Ns((self.rng.exp(gap.as_nanos() as f64)).max(1.0) as u64);
+        self.q.schedule(now + next, Ev::Chatter { server });
+    }
+
+    /// Applies fabric smoothing: flows without their own pacing arrive
+    /// paced at `bps` (aggregate per connection group). Models the paper's
+    /// observation that upstream fabric congestion smooths traffic before
+    /// it reaches heavily-loaded racks (§8.1).
+    pub fn set_fabric_smoothing(&mut self, bps: u64) {
+        self.default_pacing = Some(bps);
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &RackSimConfig {
+        &self.cfg
+    }
+
+    /// Attaches a traffic generator; its first wakeup is scheduled.
+    pub fn add_generator(&mut self, generator: TaskGen) {
+        let idx = self.generators.len();
+        let at = generator.next_wakeup();
+        self.generators.push(generator);
+        self.q.schedule(at.max(self.q.now()), Ev::Gen { idx });
+    }
+
+    /// Subscribes a server to a rack-local multicast group (Fig. 3 tool).
+    pub fn join_multicast(&mut self, group: u32, server: usize) {
+        self.switch.join_multicast(group, server);
+    }
+
+    /// Schedules a paced multicast burst at `at` (validation tooling).
+    pub fn schedule_multicast_burst(
+        &mut self,
+        at: Ns,
+        group: u32,
+        packets: u32,
+        size: u32,
+        paced_bps: u64,
+    ) {
+        self.q.schedule(
+            at,
+            Ev::McastSend {
+                group,
+                remaining: packets,
+                size,
+                paced_bps,
+            },
+        );
+    }
+
+    /// Schedules a single flow spec directly (bypassing generators); used
+    /// by the validation tools and examples.
+    pub fn schedule_flow(&mut self, at: Ns, spec: FlowSpec) {
+        self.q.schedule(at, Ev::StartFlow { spec });
+    }
+
+    /// Ground-truth switch discard bytes so far.
+    pub fn switch_discards(&self) -> u64 {
+        self.switch.total_discard_bytes()
+    }
+
+    /// Attaches an occupancy probe to `server`'s ToR egress queue (see
+    /// [`SharedBufferSwitch::probe_queue_depth`]).
+    pub fn probe_queue_depth(&mut self, server: usize) {
+        self.switch.probe_queue_depth(server);
+    }
+
+    /// The probed queue's `(time, occupancy)` admission samples.
+    pub fn depth_samples(&self) -> &[(Ns, u64)] {
+        self.switch.depth_samples()
+    }
+
+    /// Installs a kernel/NIC stall on `server` during `[from, to)`
+    /// (fault injection, §4.6): the NIC keeps receiving but the tc filter
+    /// records nothing, so the sampled series shows a hole even though
+    /// the switch delivered traffic.
+    pub fn inject_stall(&mut self, server: usize, from: Ns, to: Ns) {
+        self.hosts[server].set_stall(from, to);
+    }
+
+    /// Direct read access to a host's sampler output (for examples/tests).
+    pub fn read_filter(&self, server: usize) -> Option<millisampler::HostSeries> {
+        self.filters[server].read(server as u32)
+    }
+
+    // ----- internal plumbing -------------------------------------------
+
+    fn record_host(&mut self, server: usize, now: Ns, dir: Direction, pkt: &Packet) {
+        let host = &self.hosts[server];
+        if host.is_stalled(now) {
+            return; // §4.6: stalled kernels blind the sampler
+        }
+        let cpu = host.rss_cpu(pkt.flow);
+        let local = host.local_clock(now);
+        let meta = PacketMeta {
+            direction: dir,
+            bytes: pkt.size,
+            ecn_ce: pkt.is_ce(),
+            retx_bit: pkt.retx_bit,
+            flow_hash: pkt.flow.hash64(),
+        };
+        self.filters[server].record(cpu, local, &meta);
+    }
+
+    /// Pushes sender-emitted packets onto the fabric path toward the ToR.
+    fn send_from_source(&mut self, flow: u64, pkts: Vec<Packet>, now: Ns) {
+        let has_fabric = self.fabric.is_some();
+        let Some(state) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        for pkt in pkts {
+            let release = match &mut state.pacer {
+                Some(p) => p.release_at(now, pkt.size),
+                None => now,
+            };
+            let (_dep, arrive) = state.src_link.transmit(release, pkt.size);
+            if has_fabric {
+                self.q.schedule(arrive, Ev::FabricArrive { pkt });
+            } else {
+                self.q.schedule(arrive, Ev::TorArrive { pkt });
+            }
+        }
+    }
+
+    fn handle_fabric_arrive(&mut self, pkt: Packet, now: Ns) {
+        let fabric = self.fabric.as_mut().expect("fabric event without fabric");
+        if fabric.occupancy + pkt.size as u64 > fabric.cfg.buffer_bytes {
+            fabric.drops += 1;
+            return;
+        }
+        fabric.occupancy += pkt.size as u64;
+        fabric.fifo.push_back(pkt);
+        if !fabric.draining {
+            fabric.draining = true;
+            let at = fabric.link.idle_at().max(now);
+            self.q.schedule(at, Ev::FabricDrain);
+        }
+    }
+
+    fn handle_fabric_drain(&mut self, now: Ns) {
+        let fabric = self.fabric.as_mut().expect("fabric event without fabric");
+        match fabric.fifo.pop_front() {
+            Some(pkt) => {
+                fabric.occupancy -= pkt.size as u64;
+                let (departed, arrived) = fabric.link.transmit(now, pkt.size);
+                self.q.schedule(arrived, Ev::TorArrive { pkt });
+                self.q.schedule(departed, Ev::FabricDrain);
+            }
+            None => {
+                fabric.draining = false;
+            }
+        }
+    }
+
+    fn handle_alpha_tune(&mut self, now: Ns) {
+        let Some(period) = self.cfg.alpha_tune_period else {
+            return;
+        };
+        // A simple contention-driven tuner in the spirit of §2.2/§9: when
+        // few queues are active, grant each a large share (high α, absorb
+        // bursts); as contention rises, fall back toward fair small
+        // shares (low α, stability).
+        let s_max = (0..self.cfg.rack.switch.num_quadrants)
+            .map(|q| self.switch.active_queues(q))
+            .max()
+            .unwrap_or(0);
+        let alpha = (4.0 / (1.0 + s_max as f64)).clamp(0.25, 4.0);
+        self.switch.set_alpha(alpha);
+        self.q.schedule(now + period, Ev::AlphaTune);
+    }
+
+    fn sync_sender_timer(&mut self, flow: u64) {
+        let Some(state) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        if let Some(t) = state.sender.next_timer() {
+            let due = t.max(self.q.now());
+            if state.sender_deadline != Some(due) {
+                state.sender_deadline = Some(due);
+                self.q.schedule(due, Ev::SenderTimer { flow: FlowId(flow) });
+            }
+        } else {
+            state.sender_deadline = None;
+        }
+    }
+
+    fn sync_receiver_timer(&mut self, flow: u64) {
+        let Some(state) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        if let Some(t) = state.receiver.next_timer() {
+            let due = t.max(self.q.now());
+            if state.receiver_deadline != Some(due) {
+                state.receiver_deadline = Some(due);
+                self.q
+                    .schedule(due, Ev::ReceiverTimer { flow: FlowId(flow) });
+            }
+        } else {
+            state.receiver_deadline = None;
+        }
+    }
+
+    fn start_flow(&mut self, spec: &FlowSpec, now: Ns) {
+        self.flows_started += 1;
+        let conns = spec.connections.max(1);
+        let per_conn = (spec.total_bytes / conns as u64).max(1);
+        for _c in 0..conns {
+            let id = self.next_flow;
+            self.next_flow += 1;
+            let flow = FlowId(id);
+            // Each connection gets its own fabric-side source node+NIC
+            // (incast peers are distinct machines).
+            let src_node: NodeId = 10_000 + id as NodeId;
+            let dst_node = spec.dst_server as NodeId;
+            let sender_cfg = SenderConfig {
+                algorithm: spec.algorithm,
+                ..self.sender_cfg.clone()
+            };
+            let mut sender = Sender::new(flow, src_node, dst_node, &sender_cfg);
+            sender.push(per_conn);
+            sender.close();
+            let receiver = Receiver::new(flow, dst_node, src_node);
+            let pacer = spec
+                .paced_bps
+                .or(self.default_pacing)
+                .map(|bps| Pacer::new((bps / conns as u64).max(1_000_000), 2 * self.cfg.rack.mss as u64));
+            // §3: in-region traffic runs DCTCP across tens of µs; the
+            // smaller inter-region share runs Cubic across a WAN-scale
+            // RTT. A Cubic algorithm choice implies an inter-region
+            // sender, so its fabric delay is three orders larger.
+            let delay = if spec.algorithm == CcAlgorithm::Cubic {
+                self.cfg.rack.fabric_delay * 500 // ~10 ms one way
+            } else {
+                self.cfg.rack.fabric_delay
+            };
+            let src_link = Link::new(self.cfg.rack.remote_nic_bps, delay);
+            self.flows.insert(
+                id,
+                FlowState {
+                    sender,
+                    receiver,
+                    src_link,
+                    pacer,
+                    sender_deadline: None,
+                    receiver_deadline: None,
+                },
+            );
+            // Tiny per-connection stagger: distinct machines never fire in
+            // the same nanosecond.
+            let stagger = Ns(self.rng.gen_range(20_000)); // 0-20us
+            let start = now + stagger;
+            let pkts = {
+                let state = self.flows.get_mut(&id).unwrap();
+                state.sender.poll_send(start)
+            };
+            // Transmit with the staggered clock.
+            self.send_from_source(id, pkts, start);
+            self.sync_sender_timer(id);
+        }
+    }
+
+    fn handle_tor_arrive(&mut self, pkt: Packet, now: Ns) {
+        match pkt.kind {
+            PacketKind::Multicast => {
+                // Replicate into every member queue.
+                let members: Vec<usize> = self.switch.multicast_members(pkt.dst).to_vec();
+                for queue in members {
+                    let mut copy = pkt;
+                    copy.dst = queue as NodeId;
+                    if self.switch.try_enqueue(queue, copy, now).accepted() {
+                        self.kick_drain(queue, now);
+                    }
+                }
+            }
+            PacketKind::Data => {
+                let queue = pkt.dst as usize;
+                debug_assert!(queue < self.cfg.rack.num_servers);
+                if self.switch.try_enqueue(queue, pkt, now).accepted() {
+                    self.kick_drain(queue, now);
+                }
+                // Drops are silent at the switch; transport recovers.
+            }
+            PacketKind::Ack => unreachable!("ACKs do not traverse the ToR ingress path"),
+        }
+    }
+
+    fn kick_drain(&mut self, queue: usize, now: Ns) {
+        if !self.draining[queue] {
+            self.draining[queue] = true;
+            let at = self.tor_links[queue].idle_at().max(now);
+            self.q.schedule(at, Ev::TorDrain { queue });
+        }
+    }
+
+    fn handle_tor_drain(&mut self, queue: usize, now: Ns) {
+        match self.switch.dequeue(queue) {
+            Some(pkt) => {
+                let (departed, arrived) = self.tor_links[queue].transmit(now, pkt.size);
+                self.q.schedule(arrived, Ev::HostDeliver { pkt });
+                self.q.schedule(departed, Ev::TorDrain { queue });
+            }
+            None => {
+                self.draining[queue] = false;
+            }
+        }
+    }
+
+    fn handle_host_deliver(&mut self, pkt: Packet, now: Ns) {
+        let server = pkt.dst as usize;
+        // NIC-level fault injection: the packet vanishes before the kernel
+        // (and thus the tc filter) ever sees it.
+        if let Some(inj) = self.nic_drops.get_mut(&server) {
+            if inj.should_drop() {
+                return;
+            }
+        }
+        if self.cfg.gro.is_some() && pkt.kind == PacketKind::Data {
+            self.gro_offer(server, pkt, now);
+        } else {
+            self.deliver_to_host(server, pkt, now);
+        }
+    }
+
+    /// The kernel receive path proper: tc filter, then the socket.
+    fn deliver_to_host(&mut self, server: usize, pkt: Packet, now: Ns) {
+        if let Some(w) = &mut self.pcap {
+            let _ = w.write_packet(now, &pkt);
+        }
+        self.record_host(server, now, Direction::Ingress, &pkt);
+        self.hosts[server].note_rx(pkt.size);
+        if pkt.kind == PacketKind::Multicast {
+            return; // validation traffic has no transport above it
+        }
+        let flow = pkt.flow.0;
+        let Some(state) = self.flows.get_mut(&flow) else {
+            return; // flow already torn down (late duplicate)
+        };
+        if let Some(ack) = state.receiver.on_data(now, &pkt) {
+            self.emit_ack(server, ack, now);
+        }
+        self.sync_receiver_timer(flow);
+    }
+
+    /// Receive-side coalescing: contiguous same-flow segments merge into
+    /// one super-segment (≤ `max_bytes`), delivered to the kernel at the
+    /// flush instant — which is what inflates apparent burstiness at very
+    /// fine sampling intervals (§4.6).
+    fn gro_offer(&mut self, server: usize, pkt: Packet, now: Ns) {
+        let gcfg = self.cfg.gro.expect("gro_offer without GRO config");
+        match &mut self.gro_pending[server] {
+            Some(pending)
+                if pending.pkt.flow == pkt.flow
+                    && pending.pkt.seq + pending.pkt.size as u64 == pkt.seq
+                    && pending.pkt.size + pkt.size <= gcfg.max_bytes
+                    && pending.pkt.retx_bit == pkt.retx_bit =>
+            {
+                pending.pkt.size += pkt.size;
+                if pkt.is_ce() {
+                    pending.pkt.ecn = ms_dcsim::EcnCodepoint::Ce;
+                }
+            }
+            slot => {
+                let old = slot.take();
+                if let Some(p) = old {
+                    self.deliver_to_host(server, p.pkt, now);
+                }
+                self.gro_gen += 1;
+                let gen = self.gro_gen;
+                self.gro_pending[server] = Some(GroPending { pkt, gen });
+                self.q
+                    .schedule(now + gcfg.timeout, Ev::GroFlush { server, gen });
+            }
+        }
+    }
+
+    fn handle_gro_flush(&mut self, server: usize, gen: u64, now: Ns) {
+        if let Some(pending) = self.gro_pending[server] {
+            if pending.gen == gen {
+                self.gro_pending[server] = None;
+                self.deliver_to_host(server, pending.pkt, now);
+            }
+        }
+    }
+
+    fn emit_ack(&mut self, server: usize, ack: Packet, now: Ns) {
+        self.record_host(server, now, Direction::Egress, &ack);
+        self.hosts[server].note_tx(ack.size);
+        let (_dep, arrive_at_tor) = self.hosts[server].uplink_mut().transmit(now, ack.size);
+        // Reverse path: ToR → fabric → source, uncongested.
+        let at = arrive_at_tor + self.cfg.rack.fabric_delay;
+        self.q.schedule(at, Ev::SourceDeliver { pkt: ack });
+    }
+
+    fn handle_source_deliver(&mut self, ack: Packet, now: Ns) {
+        let flow = ack.flow.0;
+        let Some(state) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        let out = state.sender.on_ack(now, &ack);
+        let complete = state.sender.is_complete();
+        self.send_from_source(flow, out, now);
+        if complete {
+            self.conns_completed += 1;
+            self.flows.remove(&flow);
+        } else {
+            self.sync_sender_timer(flow);
+        }
+    }
+
+    fn handle_sender_timer(&mut self, flow: u64, now: Ns) {
+        let Some(state) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        state.sender_deadline = None;
+        let out = state.sender.on_timer(now);
+        self.send_from_source(flow, out, now);
+        self.sync_sender_timer(flow);
+    }
+
+    fn handle_receiver_timer(&mut self, flow: u64, now: Ns) {
+        let (server, ack) = {
+            let Some(state) = self.flows.get_mut(&flow) else {
+                return;
+            };
+            state.receiver_deadline = None;
+            let server = state.sender.dst() as usize;
+            (server, state.receiver.on_timer(now))
+        };
+        if let Some(ack) = ack {
+            self.emit_ack(server, ack, now);
+        }
+        self.sync_receiver_timer(flow);
+    }
+
+    fn handle_mcast_send(
+        &mut self,
+        group: u32,
+        remaining: u32,
+        size: u32,
+        paced_bps: u64,
+        now: Ns,
+    ) {
+        if remaining == 0 {
+            return;
+        }
+        let pacer = self
+            .mcast_pacers
+            .entry(group)
+            .or_insert_with(|| Pacer::new(paced_bps, 2 * size as u64));
+        let release = pacer.release_at(now, size);
+        let flow = FlowId(u64::MAX - group as u64);
+        let pkt = Packet::multicast(flow, 20_000 + group, group, size);
+        let at = release + self.cfg.rack.fabric_delay;
+        self.q.schedule(at, Ev::TorArrive { pkt });
+        if remaining > 1 {
+            self.q.schedule(
+                release.max(now),
+                Ev::McastSend {
+                    group,
+                    remaining: remaining - 1,
+                    size,
+                    paced_bps,
+                },
+            );
+        }
+    }
+
+    fn handle_gen(&mut self, idx: usize, now: Ns) {
+        let items = self.generators[idx].poll(now);
+        let kind = self.generators[idx].kind();
+        for item in items {
+            match item {
+                WorkItem::Flow(spec) => {
+                    // ML steps get per-server jitter (the shared clock is
+                    // synchronized to ~ms, not ns); others start now.
+                    let jitter = match kind {
+                        TaskKind::MlTrainer => Ns(self.rng.gen_range(1_500_000)),
+                        _ => Ns::ZERO,
+                    };
+                    self.q.schedule(now + jitter, Ev::StartFlow { spec });
+                }
+                WorkItem::MulticastBurst {
+                    group,
+                    packets,
+                    size,
+                    paced_bps,
+                } => {
+                    self.q.schedule(
+                        now,
+                        Ev::McastSend {
+                            group,
+                            remaining: packets,
+                            size,
+                            paced_bps,
+                        },
+                    );
+                }
+            }
+        }
+        let next = self.generators[idx].next_wakeup();
+        self.q.schedule(next.max(now), Ev::Gen { idx });
+    }
+
+    fn step(&mut self, now: Ns, ev: Ev) {
+        match ev {
+            Ev::Gen { idx } => self.handle_gen(idx, now),
+            Ev::StartFlow { spec } => self.start_flow(&spec, now),
+            Ev::TorArrive { pkt } => self.handle_tor_arrive(pkt, now),
+            Ev::TorDrain { queue } => self.handle_tor_drain(queue, now),
+            Ev::HostDeliver { pkt } => self.handle_host_deliver(pkt, now),
+            Ev::SourceDeliver { pkt } => self.handle_source_deliver(pkt, now),
+            Ev::SenderTimer { flow } => self.handle_sender_timer(flow.0, now),
+            Ev::ReceiverTimer { flow } => self.handle_receiver_timer(flow.0, now),
+            Ev::McastSend {
+                group,
+                remaining,
+                size,
+                paced_bps,
+            } => self.handle_mcast_send(group, remaining, size, paced_bps, now),
+            Ev::Chatter { server } => self.handle_chatter(server, now),
+            Ev::GroFlush { server, gen } => self.handle_gro_flush(server, gen, now),
+            Ev::AlphaTune => self.handle_alpha_tune(now),
+            Ev::FabricArrive { pkt } => self.handle_fabric_arrive(pkt, now),
+            Ev::FabricDrain => self.handle_fabric_drain(now),
+            Ev::AgentEnable { server } => self.handle_agent_enable(server, now),
+            Ev::AgentCollect { server } => self.handle_agent_collect(server, now),
+            Ev::EnableSamplers => {
+                for f in &mut self.filters {
+                    f.attach();
+                    f.enable();
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation until `deadline` (events past it stay queued).
+    pub fn run_until(&mut self, deadline: Ns) {
+        while let Some((now, ev)) = self.q.pop_until(deadline) {
+            self.step(now, ev);
+            if self.q.events_processed() > self.event_budget {
+                panic!(
+                    "event budget exceeded at {now} ({} events) — runaway workload?",
+                    self.q.events_processed()
+                );
+            }
+        }
+    }
+
+    /// Runs a full SyncMillisampler window: warm up, enable all samplers
+    /// simultaneously, run out the observation period, read every filter,
+    /// and assemble the aligned rack run.
+    pub fn run_sync_window(&mut self, rack_id: u32) -> RackSimReport {
+        let warmup = self.cfg.warmup;
+        self.q.schedule(warmup.max(self.q.now()), Ev::EnableSamplers);
+        // Slack after the nominal end so late buckets fill and the filters
+        // self-terminate.
+        let horizon = warmup + self.cfg.sampler.duration() + Ns::from_millis(50);
+        self.run_until(horizon);
+
+        let series: Vec<millisampler::HostSeries> = (0..self.cfg.rack.num_servers)
+            .filter_map(|s| self.filters[s].read(s as u32))
+            .collect();
+        let coordinator = SyncCoordinator::new(rack_id, self.cfg.sampler);
+        let rack_run = coordinator.assemble(series, self.cfg.rack.num_servers);
+
+        RackSimReport {
+            rack_run,
+            switch_discard_bytes: self.switch.total_discard_bytes(),
+            switch_ingress_bytes: self.switch.total_ingress_bytes(),
+            minute_bins: self.switch.minute_bins().to_vec(),
+            flows_started: self.flows_started,
+            conns_completed: self.conns_completed,
+            events: self.q.events_processed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(seed: u64) -> RackSimConfig {
+        let mut cfg = RackSimConfig::new(8, seed);
+        // Short window: 200 buckets of 1ms.
+        cfg.sampler.buckets = 200;
+        cfg.warmup = Ns::from_millis(20);
+        cfg
+    }
+
+    fn incast_spec(dst: usize, conns: u32, bytes: u64) -> FlowSpec {
+        FlowSpec {
+            dst_server: dst,
+            connections: conns,
+            total_bytes: bytes,
+            algorithm: CcAlgorithm::Dctcp,
+            paced_bps: None,
+            task: 1,
+        }
+    }
+
+    #[test]
+    fn single_flow_delivers_and_is_sampled() {
+        let mut sim = RackSim::new(quick_cfg(1));
+        sim.schedule_flow(Ns::from_millis(30), incast_spec(2, 1, 2_000_000));
+        let report = sim.run_sync_window(0);
+        assert_eq!(report.conns_completed, 1);
+        let run = report.rack_run.expect("sampled data");
+        let total: u64 = run.servers[2].in_bytes.iter().sum();
+        // All 2MB should be visible (alignment trims a little).
+        assert!(total > 1_800_000, "sampled {total}");
+        // Other servers silent.
+        assert_eq!(run.servers[3].in_bytes.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn sampled_rate_never_exceeds_line_rate() {
+        let mut sim = RackSim::new(quick_cfg(2));
+        sim.schedule_flow(Ns::from_millis(25), incast_spec(0, 40, 12_000_000));
+        let report = sim.run_sync_window(0);
+        let run = report.rack_run.unwrap();
+        let per_ms_cap = Ns::from_millis(1).bytes_at_rate(12_500_000_000);
+        for (i, &b) in run.servers[0].in_bytes.iter().enumerate() {
+            assert!(
+                b <= per_ms_cap + per_ms_cap / 10,
+                "bucket {i} carried {b} > line rate {per_ms_cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_incast_causes_switch_drops_and_sampled_retx() {
+        // 200 senders dump ~3 MB of initial windows into one queue within
+        // an RTT — past the ~1.8 MB DT cap before any ECN feedback can
+        // land (§3: "even a small congestion window per sender can result
+        // in packet loss due to the large number of senders").
+        let mut sim = RackSim::new(quick_cfg(3));
+        sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 200, 30_000_000));
+        sim.schedule_flow(Ns::from_millis(80), incast_spec(1, 200, 30_000_000));
+        let report = sim.run_sync_window(0);
+        assert!(
+            report.switch_discard_bytes > 0,
+            "incast should overflow the queue"
+        );
+        let run = report.rack_run.unwrap();
+        let retx: u64 = run.servers[1].in_retx.iter().sum();
+        assert!(retx > 0, "drops must surface as sampled retransmit bytes");
+    }
+
+    #[test]
+    fn paced_flow_avoids_drops() {
+        let mut sim = RackSim::new(quick_cfg(4));
+        let mut spec = incast_spec(2, 6, 10_000_000);
+        spec.paced_bps = Some(9_000_000_000);
+        sim.schedule_flow(Ns::from_millis(30), spec);
+        let report = sim.run_sync_window(0);
+        assert_eq!(
+            report.switch_discard_bytes, 0,
+            "paced transfer below line rate should not drop"
+        );
+        assert_eq!(report.conns_completed, 6);
+    }
+
+    #[test]
+    fn ecn_marks_appear_under_queue_buildup() {
+        let mut sim = RackSim::new(quick_cfg(5));
+        sim.schedule_flow(Ns::from_millis(30), incast_spec(3, 30, 8_000_000));
+        let report = sim.run_sync_window(0);
+        let run = report.rack_run.unwrap();
+        let ecn: u64 = run.servers[3].in_ecn.iter().sum();
+        assert!(ecn > 0, "queue > 120KB must CE-mark ECT traffic");
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_simultaneously() {
+        let mut sim = RackSim::new(quick_cfg(6));
+        for s in 0..8 {
+            sim.join_multicast(77, s);
+        }
+        // 1000 × 1500 B at 2 Gbps ≈ a 6 ms burst: long enough that the
+        // ±300 µs clock-skew trim at the window edges is a small fraction
+        // of the volume (single-bucket bursts legitimately lose up to one
+        // bucket to alignment, like the real tool).
+        sim.schedule_multicast_burst(Ns::from_millis(50), 77, 1000, 1500, 2_000_000_000);
+        let report = sim.run_sync_window(0);
+        let run = report.rack_run.unwrap();
+        let sums: Vec<u64> = run
+            .servers
+            .iter()
+            .map(|s| s.in_bytes.iter().sum::<u64>())
+            .collect();
+        let max = *sums.iter().max().unwrap();
+        let min = *sums.iter().min().unwrap();
+        assert!(min > 1_300_000, "every member sees the burst: {sums:?}");
+        assert!(
+            max as f64 / min as f64 <= 1.15,
+            "replicated volumes should agree: {sums:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut sim = RackSim::new(quick_cfg(seed));
+            sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 20, 4_000_000));
+            let r = sim.run_sync_window(0);
+            (
+                r.switch_discard_bytes,
+                r.events,
+                r.rack_run.map(|rr| rr.servers[1].in_bytes.clone()),
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn generators_drive_traffic_end_to_end() {
+        let mut sim = RackSim::new(quick_cfg(11));
+        let rng = SimRng::new(77);
+        sim.add_generator(TaskGen::new(TaskKind::Web, 0, 1, 4.0, rng, None));
+        let report = sim.run_sync_window(0);
+        assert!(report.flows_started > 3, "{}", report.flows_started);
+        let run = report.rack_run.expect("web traffic sampled");
+        assert!(run.servers[0].in_bytes.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn stalled_kernel_blinds_the_sampler_but_not_the_switch() {
+        // §4.6: "Millisampler will see no data even though the network
+        // interface card is receiving".
+        let run_with = |stall: bool| {
+            let mut sim = RackSim::new(quick_cfg(13));
+            let mut spec = incast_spec(2, 6, 20_000_000);
+            spec.paced_bps = Some(8_000_000_000);
+            sim.schedule_flow(Ns::from_millis(25), spec);
+            if stall {
+                sim.inject_stall(2, Ns::from_millis(30), Ns::from_millis(40));
+            }
+            let report = sim.run_sync_window(0);
+            let sampled = report
+                .rack_run
+                .map(|r| r.servers[2].in_bytes.iter().sum::<u64>())
+                .unwrap_or(0);
+            (sampled, report.switch_ingress_bytes)
+        };
+        let (clean_sampled, clean_switch) = run_with(false);
+        let (stalled_sampled, stalled_switch) = run_with(true);
+        // The switch delivered the same traffic either way...
+        assert_eq!(clean_switch, stalled_switch);
+        // ...but the sampler missed the stalled 10ms (8Gbps ≈ 10MB/10ms).
+        assert!(
+            clean_sampled > stalled_sampled + 5_000_000,
+            "clean {clean_sampled} vs stalled {stalled_sampled}"
+        );
+    }
+
+    #[test]
+    fn chatter_keeps_connection_counts_alive_outside_bursts() {
+        let mut sim = RackSim::new(quick_cfg(14));
+        sim.enable_chatter(1, 40, 8_000);
+        let report = sim.run_sync_window(0);
+        let run = report.rack_run.expect("chatter sampled");
+        let conns = &run.servers[1].conns;
+        let nonzero = conns.iter().filter(|&&c| c > 0).count();
+        assert!(
+            nonzero * 2 > conns.len(),
+            "chatter should be visible in most samples ({nonzero}/{})",
+            conns.len()
+        );
+        // And it must not register as bursty traffic.
+        let threshold = 781_250u64;
+        assert!(run.servers[1].in_bytes.iter().all(|&b| b < threshold));
+    }
+
+    #[test]
+    fn fabric_smoothing_reduces_incast_loss() {
+        let run_with = |smooth: bool| {
+            let mut sim = RackSim::new(quick_cfg(15));
+            if smooth {
+                sim.set_fabric_smoothing(11_000_000_000);
+            }
+            sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
+            sim.run_sync_window(0).switch_discard_bytes
+        };
+        let rough = run_with(false);
+        let smooth = run_with(true);
+        assert!(rough > 0, "unsmoothed heavy incast must drop");
+        assert!(
+            smooth < rough / 4,
+            "smoothing should cut drops: {smooth} vs {rough}"
+        );
+    }
+
+    #[test]
+    fn inter_region_cubic_flows_complete_over_wan_rtt() {
+        let mut sim = RackSim::new(quick_cfg(22));
+        let mut spec = incast_spec(0, 2, 2_000_000);
+        spec.algorithm = CcAlgorithm::Cubic;
+        sim.schedule_flow(Ns::from_millis(25), spec);
+        let report = sim.run_sync_window(0);
+        assert_eq!(report.conns_completed, 2);
+        // The 10ms-scale RTT slows delivery visibly versus in-region: the
+        // transfer needs several RTTs of slow start, so the bytes arrive
+        // spread over tens of ms rather than ~2ms.
+        let run = report.rack_run.unwrap();
+        let busy_ms = run.servers[0].in_bytes.iter().filter(|&&b| b > 0).count();
+        assert!(busy_ms >= 4, "cubic/WAN transfer spread over {busy_ms}ms");
+    }
+
+    #[test]
+    fn pcap_capture_produces_a_valid_trace() {
+        let path = std::env::temp_dir().join("ms_sim_capture_test.pcap");
+        {
+            let mut sim = RackSim::new(quick_cfg(21));
+            let f = std::fs::File::create(&path).unwrap();
+            sim.attach_pcap(std::io::BufWriter::new(f)).unwrap();
+            sim.schedule_flow(Ns::from_millis(25), incast_spec(0, 4, 1_000_000));
+            sim.run_sync_window(0);
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(bytes.len() > 24 + 16, "capture has records");
+        assert_eq!(&bytes[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        // Walk all records: lengths must chain exactly to EOF.
+        let mut off = 24;
+        let mut records = 0;
+        while off < bytes.len() {
+            let incl =
+                u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+            off += 16 + incl;
+            records += 1;
+        }
+        assert_eq!(off, bytes.len(), "record chain must be exact");
+        // ~1MB at 4500B MSS... quick_cfg uses the 1500B meta defaults:
+        // ~667 data packets delivered.
+        assert!(records > 500, "records {records}");
+    }
+
+    #[test]
+    fn agent_mode_runs_the_full_collect_store_lifecycle() {
+        use millisampler::{RunConfig, SchedulerConfig};
+        let mut sim = RackSim::new(quick_cfg(20));
+        // Short rotation so several runs fit in one second of sim time.
+        let agent_cfg = SchedulerConfig {
+            period: Ns::from_millis(30),
+            rotation: vec![
+                RunConfig {
+                    interval: Ns::from_millis(1),
+                    buckets: 100,
+                    count_flows: true,
+                },
+                RunConfig {
+                    interval: Ns::from_micros(100),
+                    buckets: 100,
+                    count_flows: true,
+                },
+            ],
+        };
+        sim.start_agent(2, agent_cfg);
+        // Steady traffic spanning the whole horizon so every run observes
+        // packets (400 MB paced at 4 Gbps ≈ 800 ms).
+        let mut spec = incast_spec(2, 4, 400_000_000);
+        spec.paced_bps = Some(4_000_000_000);
+        sim.schedule_flow(Ns::from_millis(1), spec);
+        sim.run_until(Ns::from_millis(900));
+
+        let store = sim.agent_store(2).expect("agent started");
+        assert!(store.len() >= 4, "several runs stored, got {}", store.len());
+        let runs = store.fetch_range(Ns::ZERO, Ns::MAX).unwrap();
+        // Rotation alternated intervals.
+        let intervals: std::collections::BTreeSet<u64> =
+            runs.iter().map(|r| r.interval.as_nanos()).collect();
+        assert_eq!(intervals.len(), 2, "both rotation intervals ran");
+        // Every stored run carries traffic.
+        assert!(runs.iter().all(|r| r.total_in_bytes() > 0));
+        // No agent on other servers.
+        assert!(sim.agent_store(0).is_none());
+    }
+
+    #[test]
+    fn nic_drop_injection_shows_retx_at_low_utilization() {
+        // §4.2: the firmware-bug signature — retransmissions while the
+        // link is mostly idle.
+        let mut sim = RackSim::new(quick_cfg(16));
+        let mut spec = incast_spec(3, 2, 3_000_000);
+        spec.paced_bps = Some(2_000_000_000); // gentle traffic, ~16% util
+        sim.schedule_flow(Ns::from_millis(25), spec);
+        sim.inject_nic_drops(3, 99, 0.02);
+        let report = sim.run_sync_window(0);
+        assert_eq!(report.switch_discard_bytes, 0, "switch is innocent");
+        let run = report.rack_run.unwrap();
+        let retx: u64 = run.servers[3].in_retx.iter().sum();
+        assert!(retx > 0, "NIC drops must surface as retransmissions");
+        let util: f64 = run.servers[3]
+            .in_bytes
+            .iter()
+            .map(|&b| b as f64 / 1_562_500.0)
+            .sum::<f64>()
+            / run.len() as f64;
+        assert!(util < 0.4, "utilization stays low ({util:.2})");
+    }
+
+    #[test]
+    fn gro_coalesces_and_inflates_fine_timescale_rates() {
+        // §4.6: with receive coalescing, 100µs buckets can exceed line
+        // rate because held bytes are stamped at the flush instant.
+        let run_with = |gro: bool| {
+            let mut cfg = quick_cfg(17);
+            cfg.sampler.interval = Ns::from_micros(100);
+            cfg.sampler.buckets = 2000; // 200ms window
+            if gro {
+                cfg.gro = Some(GroConfig::default());
+            }
+            let mut sim = RackSim::new(cfg);
+            let mut spec = incast_spec(1, 1, 8_000_000);
+            spec.paced_bps = Some(11_000_000_000);
+            sim.schedule_flow(Ns::from_millis(25), spec);
+            let report = sim.run_sync_window(0);
+            let run = report.rack_run.unwrap();
+            let cap_100us = 156_250u64; // line rate per 100µs
+            let over = run.servers[1]
+                .in_bytes
+                .iter()
+                .filter(|&&b| b > cap_100us)
+                .count();
+            (over, run.servers[1].in_bytes.iter().sum::<u64>())
+        };
+        let (over_plain, vol_plain) = run_with(false);
+        let (over_gro, vol_gro) = run_with(true);
+        assert_eq!(over_plain, 0, "without GRO, rates never exceed line rate");
+        assert!(over_gro > 0, "GRO must create >line-rate artifacts at 100µs");
+        // Total volume is preserved either way (GRO only re-times bytes).
+        let diff = vol_plain.abs_diff(vol_gro);
+        assert!(diff < vol_plain / 10, "{vol_plain} vs {vol_gro}");
+    }
+
+    #[test]
+    fn fabric_hop_smooths_bursts_entering_the_rack() {
+        // §8.1 emergent version: a tight trunk upstream queues the incast
+        // so it arrives at the ToR near trunk rate instead of as a wall.
+        let run_with = |fabric: bool| {
+            let mut cfg = quick_cfg(18);
+            if fabric {
+                cfg.fabric_hop = Some(FabricHopConfig {
+                    rate_bps: 25_000_000_000,
+                    buffer_bytes: 24 * 1024 * 1024,
+                });
+            }
+            let mut sim = RackSim::new(cfg);
+            sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
+            let r = sim.run_sync_window(0);
+            (r.switch_discard_bytes, r.conns_completed)
+        };
+        let (rough_drops, _) = run_with(false);
+        let (smooth_drops, completed) = run_with(true);
+        assert!(rough_drops > 0);
+        assert!(
+            smooth_drops < rough_drops / 2,
+            "fabric queueing should absorb the wall: {smooth_drops} vs {rough_drops}"
+        );
+        assert_eq!(completed, 150, "every connection still completes");
+    }
+
+    #[test]
+    fn alpha_tuner_adapts_to_contention() {
+        let mut cfg = quick_cfg(19);
+        cfg.alpha_tune_period = Some(Ns::from_millis(5));
+        let mut sim = RackSim::new(cfg);
+        // Sustained traffic to several queues so the tuner sees activity.
+        for dst in 0..4 {
+            let mut spec = incast_spec(dst, 4, 30_000_000);
+            spec.paced_bps = Some(8_000_000_000);
+            sim.schedule_flow(Ns::from_millis(20), spec);
+        }
+        let report = sim.run_sync_window(0);
+        // The tuner ran (no panic, traffic flowed); with ~2 active queues
+        // per quadrant the tuned alpha differs from the default 1.0 —
+        // verified indirectly by completion without excess drops.
+        assert!(report.conns_completed > 0);
+    }
+
+    #[test]
+    fn connection_counts_visible_in_sampler() {
+        let mut sim = RackSim::new(quick_cfg(12));
+        sim.schedule_flow(Ns::from_millis(30), incast_spec(4, 50, 8_000_000));
+        let report = sim.run_sync_window(0);
+        let run = report.rack_run.unwrap();
+        let peak_conns = run.servers[4].conns.iter().copied().max().unwrap_or(0);
+        assert!(
+            (25..=100).contains(&peak_conns),
+            "sketch should see ~50 conns, got {peak_conns}"
+        );
+    }
+}

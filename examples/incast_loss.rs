@@ -1,0 +1,65 @@
+//! The §8 microcosm: how incast fan-in and buffer contention jointly
+//! determine loss.
+//!
+//! Sweeps the number of incast connections into one server, with and
+//! without competing bursts on neighboring servers (which shrink the DT
+//! buffer share), and reports drops and sampled retransmit bytes.
+//!
+//! ```sh
+//! cargo run --release -p ms-bench --example incast_loss
+//! ```
+
+use ms_dcsim::Ns;
+use ms_transport::CcAlgorithm;
+use ms_workload::sim::{RackSim, RackSimConfig};
+use ms_workload::tasks::FlowSpec;
+
+fn incast(dst: usize, conns: u32, total: u64) -> FlowSpec {
+    FlowSpec {
+        dst_server: dst,
+        connections: conns,
+        total_bytes: total,
+        algorithm: CcAlgorithm::Dctcp,
+        paced_bps: None,
+        task: dst as u64 + 1,
+    }
+}
+
+fn run_case(conns: u32, contended: bool, seed: u64) -> (u64, u64) {
+    let mut cfg = RackSimConfig::new(8, seed);
+    cfg.sampler.buckets = 200;
+    cfg.warmup = Ns::from_millis(10);
+    let mut sim = RackSim::new(cfg);
+    // The burst under study: ~100 KB per connection into server 0.
+    sim.schedule_flow(Ns::from_millis(30), incast(0, conns, conns as u64 * 100_000));
+    if contended {
+        // Competing bursts occupy the shared pool of the same quadrant
+        // (servers 0 and 4 share quadrant 0 on an 8-server rack).
+        sim.schedule_flow(Ns::from_millis(29), incast(4, 60, 8_000_000));
+    }
+    let report = sim.run_sync_window(0);
+    let retx = report
+        .rack_run
+        .map(|r| r.servers[0].in_retx.iter().sum::<u64>())
+        .unwrap_or(0);
+    (report.switch_discard_bytes, retx)
+}
+
+fn main() {
+    println!("incast fan-in vs loss, with and without buffer contention");
+    println!("(DT alpha=1: an uncontended queue may take ~1.8MB; contention shrinks that)\n");
+    println!(
+        "{:>7} | {:>16} {:>14} | {:>16} {:>14}",
+        "conns", "solo_drop_bytes", "solo_retx", "contended_drops", "contended_retx"
+    );
+    for conns in [10, 25, 50, 100, 150, 200, 300] {
+        let (solo_drops, solo_retx) = run_case(conns, false, 42);
+        let (cont_drops, cont_retx) = run_case(conns, true, 42);
+        println!(
+            "{conns:>7} | {solo_drops:>16} {solo_retx:>14} | {cont_drops:>16} {cont_retx:>14}"
+        );
+    }
+    println!("\nreading: small incasts are absorbed; at high fan-in the aggregate initial");
+    println!("windows overflow even an empty queue (§3); with contention the DT share is");
+    println!("smaller and loss appears at lower fan-in (§8.2, Fig. 19).");
+}

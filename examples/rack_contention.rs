@@ -1,0 +1,81 @@
+//! Simulate one placed rack for an hour of the day and reproduce the
+//! paper's per-run analysis: contention series, burst classification, and
+//! the buffer-share arithmetic of §2.1/§7.3.
+//!
+//! ```sh
+//! cargo run --release -p ms-bench --example rack_contention [ml]
+//! ```
+//!
+//! Pass `ml` to simulate an ML-dense (RegA-High-like) rack instead of a
+//! diverse (RegA-Typical-like) one.
+
+use ms_analysis::contention::queue_share;
+use ms_workload::placement::{build_region, RackClass, RegionKind};
+use ms_workload::scenario::{rack_sim_for, ScenarioConfig};
+
+fn main() {
+    let want_ml = std::env::args().any(|a| a == "ml");
+    let region = build_region(RegionKind::RegA, 50, 24, 7);
+    let spec = region
+        .racks
+        .iter()
+        .find(|r| (r.class == RackClass::MlDense) == want_ml)
+        .expect("region has both classes");
+
+    println!(
+        "rack {}: class {:?}, {} distinct tasks, dominant task on {:.0}% of servers",
+        spec.rack_id,
+        spec.class,
+        spec.distinct_tasks(),
+        spec.dominant_task_share()
+    );
+
+    let cfg = ScenarioConfig::default(); // 500 x 1ms window
+    let mut sim = rack_sim_for(spec, &region.diurnal, /* busy hour */ 7, 0, &cfg);
+    let report = sim.run_sync_window(spec.rack_id);
+    let Some(run) = report.rack_run else {
+        println!("rack was silent this window");
+        return;
+    };
+    let a = ms_analysis::analyze_run(&run, 12_500_000_000, 5);
+
+    let cs = &a.contention_stats;
+    println!(
+        "\ncontention: avg {:.2}, p90 {}, max {}, min-active {:?} over {} samples",
+        cs.avg, cs.p90, cs.max, cs.min_active, cs.samples
+    );
+    if let Some(min) = cs.min_active {
+        let share_hi = queue_share(1.0, min.max(1) as usize);
+        let share_lo = queue_share(1.0, cs.p90.max(1) as usize);
+        println!(
+            "buffer share per queue swings {:.1}% -> {:.1}% of the shared pool (drop {:.0}%)",
+            100.0 * share_hi,
+            100.0 * share_lo,
+            100.0 * (1.0 - share_lo / share_hi)
+        );
+    }
+
+    println!(
+        "\nbursts: {} total, {:.1}% contended, {:.2}% lossy",
+        a.bursts.len(),
+        100.0 * a.contended_fraction(),
+        100.0 * a.lossy_fraction()
+    );
+
+    // A compact raster of the first 120 ms: which servers were bursty when.
+    println!("\nburst raster (first 120 samples; '#' = bursty):");
+    let n = run.len().min(120);
+    for (sid, s) in run.servers.iter().enumerate() {
+        let threshold = 781_250 * (run.interval.as_millis().max(1));
+        let row: String = (0..n)
+            .map(|i| if s.in_bytes[i] > threshold { '#' } else { '.' })
+            .collect();
+        if row.contains('#') {
+            println!("  server {sid:>2} |{row}|");
+        }
+    }
+    println!(
+        "\nswitch: {} bytes discarded / {} admitted over the window",
+        report.switch_discard_bytes, report.switch_ingress_bytes
+    );
+}

@@ -1,0 +1,59 @@
+//! The §4.5 validation experiment as a runnable example: multicast bursts
+//! to an idle rack must appear in the same SyncMillisampler sample on
+//! every host, despite per-host NTP clock skew.
+//!
+//! ```sh
+//! cargo run --release -p ms-bench --example validation_sync
+//! ```
+
+use ms_dcsim::Ns;
+use ms_workload::sim::{RackSim, RackSimConfig};
+use ms_workload::tools::schedule_multicast_validation;
+
+fn main() {
+    let mut cfg = RackSimConfig::new(8, 99);
+    cfg.sampler.buckets = 800;
+    cfg.warmup = Ns::from_millis(20);
+    // Exaggerate NTP error to half the sampling interval to show the
+    // alignment machinery working at its design limit.
+    cfg.max_clock_skew = Ns::from_micros(500);
+    let mut sim = RackSim::new(cfg);
+
+    let servers: Vec<usize> = (0..8).collect();
+    schedule_multicast_validation(
+        &mut sim,
+        /* group */ 42,
+        &servers,
+        /* start */ Ns::from_millis(50),
+        /* period */ Ns::from_millis(100),
+        /* bursts */ 7,
+        /* packets */ 600,
+        /* bytes each */ 1500,
+        /* rate limit */ 2_000_000_000,
+    );
+
+    let report = sim.run_sync_window(0);
+    let run = report.rack_run.expect("multicast traffic sampled");
+
+    println!(
+        "aligned rack run: {} servers x {} x 1ms (trimmed common window)",
+        run.servers.len(),
+        run.len()
+    );
+    println!("\nper-server received volume (replicated bursts => near-equal):");
+    for (sid, s) in run.servers.iter().enumerate() {
+        let total: u64 = s.in_bytes.iter().sum();
+        println!("  server {sid}: {:>8} bytes", total);
+    }
+
+    // Fig. 3's claim: the burst rises in the same sample on every host.
+    println!("\nburst onsets per server (sample index of each rise above 0.5 Gbps):");
+    for (sid, s) in run.servers.iter().enumerate() {
+        let onsets: Vec<usize> = (1..run.len())
+            .filter(|&i| s.in_bytes[i] > 62_500 && s.in_bytes[i - 1] <= 62_500)
+            .collect();
+        println!("  server {sid}: {onsets:?}");
+    }
+    println!("\nif collection were unsynchronized, onsets would differ by many samples;");
+    println!("with sub-ms NTP skew they agree to within one sample (paper Fig. 3).");
+}
