@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# The workspace's CI gauntlet — identical locally and in Actions.
+# Order is cheapest-first so failures surface fast.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> simlint --deny"
+cargo run -q -p simlint -- --deny
+
+echo "==> clippy"
+# clippy may be absent on minimal toolchains; the simlint + test gates
+# still hold there, so degrade loudly rather than fail the run.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D clippy::dbg_macro -D clippy::todo
+else
+    echo "    (clippy not installed; skipped)"
+fi
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> CI green"

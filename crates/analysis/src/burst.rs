@@ -5,10 +5,9 @@
 //! not typically result in buffering."
 
 use millisampler::HostSeries;
-use serde::{Deserialize, Serialize};
 
 /// A detected burst on one server's ingress series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Burst {
     /// Server (rack-local index).
     pub server: usize,
@@ -109,7 +108,13 @@ pub fn conns_inside_outside(series: &HostSeries, link_bps: u64) -> (f64, f64) {
             outside.1 += 1;
         }
     }
-    let avg = |(sum, n): (u64, usize)| if n == 0 { f64::NAN } else { sum as f64 / n as f64 };
+    let avg = |(sum, n): (u64, usize)| {
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum as f64 / n as f64
+        }
+    };
     (avg(inside), avg(outside))
 }
 

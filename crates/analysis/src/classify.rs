@@ -15,10 +15,9 @@
 use crate::burst::{detect_bursts, is_bursty_run, Burst};
 use crate::contention::{contention_series, ContentionStats};
 use millisampler::AlignedRackRun;
-use serde::{Deserialize, Serialize};
 
 /// A burst with its §8 classification attached.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassifiedBurst {
     /// The underlying burst.
     pub burst: Burst,
@@ -35,7 +34,7 @@ pub struct ClassifiedBurst {
 /// Per-server-run statistics (the unit of Figs. 6 and 8 and of the §6
 /// utilization claims), kept compact so whole-region sweeps can drop the
 /// raw series after analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerRunStats {
     /// Server index.
     pub server: usize,
@@ -54,7 +53,7 @@ pub struct ServerRunStats {
 }
 
 /// Everything the §6–8 analyses need from one rack run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunAnalysis {
     /// Per-sample contention.
     pub contention: Vec<u32>,
@@ -303,10 +302,7 @@ mod tests {
 
     #[test]
     fn bursts_per_second_normalizes_by_duration() {
-        let run = make_run(vec![(
-            vec![HI, 0, HI, 0, HI, 0, 0, 0, 0, 0],
-            vec![0; 10],
-        )]);
+        let run = make_run(vec![(vec![HI, 0, HI, 0, HI, 0, 0, 0, 0, 0], vec![0; 10])]);
         let a = analyze_run(&run, LINK, 0);
         // 3 bursts in 10ms = 300/s.
         assert!((a.bursts_per_second(Ns::from_millis(1)) - 300.0).abs() < 1e-9);

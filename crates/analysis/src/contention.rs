@@ -7,7 +7,6 @@
 
 use crate::burst::burst_threshold;
 use millisampler::AlignedRackRun;
-use serde::{Deserialize, Serialize};
 
 /// The per-sample contention series for an aligned rack run.
 pub fn contention_series(run: &AlignedRackRun, link_bps: u64) -> Vec<u32> {
@@ -25,7 +24,7 @@ pub fn contention_series(run: &AlignedRackRun, link_bps: u64) -> Vec<u32> {
 }
 
 /// Run-level contention statistics (the quantities of Figs. 9, 12, 15).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionStats {
     /// Mean contention over every sample of the run (zeros included).
     pub avg: f64,

@@ -7,10 +7,9 @@
 //! aggregation helpers the experiment harness prints from.
 
 use crate::classify::RunAnalysis;
-use serde::{Deserialize, Serialize};
 
 /// Which bucket of the §8 analysis a rack belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RackCategory {
     /// RegA, bottom 80 % by busy-hour average contention.
     RegATypical,
@@ -31,7 +30,7 @@ impl std::fmt::Display for RackCategory {
 }
 
 /// One `(rack, hour)` observation produced by the sweep harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RackHourObservation {
     /// Rack id within the region.
     pub rack_id: u32,
@@ -66,7 +65,7 @@ pub fn categorize_rega_racks(
 }
 
 /// The Table 1 row for one region.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DatasetSummary {
     /// SyncMillisampler runs collected.
     pub runs: u64,
@@ -92,7 +91,7 @@ impl DatasetSummary {
 }
 
 /// The Table 2 row for one rack category.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CategorySummary {
     /// Total bursts in the category.
     pub bursts: u64,

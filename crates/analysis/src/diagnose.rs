@@ -8,10 +8,9 @@
 //! those signatures as detectors over [`HostSeries`] runs.
 
 use millisampler::HostSeries;
-use serde::{Deserialize, Serialize};
 
 /// A diagnostic finding over a window of samples.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Finding {
     /// First bucket of the suspicious window.
     pub start: usize,
@@ -22,7 +21,7 @@ pub struct Finding {
 }
 
 /// Diagnostic signatures.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FindingKind {
     /// Retransmissions while the link is nearly idle: congestion cannot
     /// explain the loss — NIC/firmware/host suspect (§4.2).
@@ -143,7 +142,10 @@ mod tests {
         let findings = loss_at_low_utilization(&s, LINK, 10, 0.10);
         assert_eq!(findings.len(), 1);
         match findings[0].kind {
-            FindingKind::LossAtLowUtilization { retx_bytes, utilization } => {
+            FindingKind::LossAtLowUtilization {
+                retx_bytes,
+                utilization,
+            } => {
                 assert_eq!(retx_bytes, 4_500);
                 assert!(utilization < 0.02);
             }

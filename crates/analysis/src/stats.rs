@@ -1,9 +1,7 @@
 //! Statistics utilities for reproducing the paper's exhibits.
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical CDF over `f64` samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -75,7 +73,7 @@ impl Cdf {
 }
 
 /// Five-number-plus-mean summary for box plots (Fig. 13 style).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoxStats {
     /// Minimum.
     pub min: f64,
@@ -184,9 +182,7 @@ pub fn bucketed(pairs: &[(f64, f64)], width: f64) -> Vec<(f64, BoxStats)> {
     }
     buckets
         .into_iter()
-        .filter_map(|(b, ys)| {
-            BoxStats::from_values(ys).map(|s| ((b as f64 + 0.5) * width, s))
-        })
+        .filter_map(|(b, ys)| BoxStats::from_values(ys).map(|s| ((b as f64 + 0.5) * width, s)))
         .collect()
 }
 

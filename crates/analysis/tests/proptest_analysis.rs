@@ -1,34 +1,39 @@
-//! Property-based tests for the analysis layer: burst detection exactly
+//! Randomized tests for the analysis layer: burst detection exactly
 //! partitions above-threshold samples, contention equals column sums, and
-//! statistics behave like statistics.
+//! statistics behave like statistics. Inputs come from the repo's
+//! deterministic [`SimRng`] (the workspace builds offline, without
+//! proptest).
 
 use millisampler::{AlignedRackRun, HostSeries};
 use ms_analysis::burst::{burst_threshold, detect_bursts};
 use ms_analysis::contention::contention_series;
 use ms_analysis::stats::Cdf;
 use ms_analysis::{analyze_run, Burst};
-use ms_dcsim::Ns;
-use proptest::prelude::*;
+use ms_dcsim::{Ns, SimRng};
 
 const LINK: u64 = 12_500_000_000;
 
 fn series_from(host: u32, values: Vec<u64>) -> HostSeries {
     let mut s = HostSeries::zeroed(host, Ns::ZERO, Ns::from_millis(1), values.len());
     s.conns = values.iter().map(|&v| v / 100_000).collect();
-    s.in_retx = values.iter().map(|&v| if v % 7 == 0 { v / 50 } else { 0 }).collect();
+    s.in_retx = values
+        .iter()
+        .map(|&v| if v % 7 == 0 { v / 50 } else { 0 })
+        .collect();
     s.in_bytes = values;
     s
 }
 
-fn arb_values() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..1_600_000, 1..200)
+fn random_values(rng: &mut SimRng, min_len: u64, span: u64) -> Vec<u64> {
+    let len = (min_len + rng.gen_range(span)) as usize;
+    (0..len).map(|_| rng.gen_range(1_600_000)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bursts_partition_above_threshold_samples(values in arb_values()) {
+#[test]
+fn bursts_partition_above_threshold_samples() {
+    let mut rng = SimRng::new(0xA9A1_0001);
+    for _ in 0..128 {
+        let values = random_values(&mut rng, 1, 199);
         let s = series_from(0, values.clone());
         let threshold = burst_threshold(s.interval, LINK);
         let bursts = detect_bursts(&s, LINK);
@@ -37,35 +42,40 @@ proptest! {
         let mut covered = vec![false; values.len()];
         for b in &bursts {
             for i in b.start..b.end() {
-                prop_assert!(!covered[i], "overlapping bursts");
+                assert!(!covered[i], "overlapping bursts");
                 covered[i] = true;
-                prop_assert!(values[i] > threshold);
+                assert!(values[i] > threshold);
             }
         }
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(covered[i], v > threshold, "sample {} miscovered", i);
+            assert_eq!(covered[i], v > threshold, "sample {i} miscovered");
         }
         // Bursts are maximal: the sample before each start and after each
         // end is at or below threshold.
         for b in &bursts {
             if b.start > 0 {
-                prop_assert!(values[b.start - 1] <= threshold);
+                assert!(values[b.start - 1] <= threshold);
             }
             if b.end() < values.len() {
-                prop_assert!(values[b.end()] <= threshold);
+                assert!(values[b.end()] <= threshold);
             }
         }
         // Burst volume equals the sum of its samples.
         for b in &bursts {
             let sum: u64 = values[b.start..b.end()].iter().sum();
-            prop_assert_eq!(b.bytes, sum);
+            assert_eq!(b.bytes, sum);
         }
     }
+}
 
-    #[test]
-    fn contention_equals_per_sample_bursty_count(
-        rows in prop::collection::vec(prop::collection::vec(0u64..1_600_000, 30), 1..6)
-    ) {
+#[test]
+fn contention_equals_per_sample_bursty_count() {
+    let mut rng = SimRng::new(0xA9A1_0002);
+    for _ in 0..128 {
+        let n_rows = 1 + rng.gen_range(5) as usize;
+        let rows: Vec<Vec<u64>> = (0..n_rows)
+            .map(|_| (0..30).map(|_| rng.gen_range(1_600_000)).collect())
+            .collect();
         let servers: Vec<HostSeries> = rows
             .iter()
             .enumerate()
@@ -81,14 +91,19 @@ proptest! {
         let contention = contention_series(&run, LINK);
         for i in 0..30 {
             let expect = rows.iter().filter(|r| r[i] > threshold).count() as u32;
-            prop_assert_eq!(contention[i], expect);
+            assert_eq!(contention[i], expect);
         }
     }
+}
 
-    #[test]
-    fn classified_bursts_consistent_with_run(rows in prop::collection::vec(
-        prop::collection::vec(0u64..1_600_000, 40), 1..5
-    )) {
+#[test]
+fn classified_bursts_consistent_with_run() {
+    let mut rng = SimRng::new(0xA9A1_0003);
+    for _ in 0..128 {
+        let n_rows = 1 + rng.gen_range(4) as usize;
+        let rows: Vec<Vec<u64>> = (0..n_rows)
+            .map(|_| (0..40).map(|_| rng.gen_range(1_600_000)).collect())
+            .collect();
         let servers: Vec<HostSeries> = rows
             .iter()
             .enumerate()
@@ -104,49 +119,74 @@ proptest! {
         // Each classified burst's max contention is at least 1 (itself)
         // and at most the number of servers.
         for b in &a.bursts {
-            prop_assert!(b.max_contention >= 1);
-            prop_assert!(b.max_contention <= rows.len() as u32);
-            prop_assert_eq!(b.contended, b.max_contention >= 2);
-            prop_assert_eq!(b.lossy, b.retx_bytes > 0);
+            assert!(b.max_contention >= 1);
+            assert!(b.max_contention <= rows.len() as u32);
+            assert_eq!(b.contended, b.max_contention >= 2);
+            assert_eq!(b.lossy, b.retx_bytes > 0);
         }
         // Totals agree with raw sums.
         let expect_in: u64 = rows.iter().flatten().sum();
-        prop_assert_eq!(a.total_in_bytes, expect_in);
+        assert_eq!(a.total_in_bytes, expect_in);
         // bursty_servers counts rows with any above-threshold sample.
         let threshold = burst_threshold(run.interval, LINK);
-        let expect_bursty = rows.iter().filter(|r| r.iter().any(|&v| v > threshold)).count();
-        prop_assert_eq!(a.bursty_servers, expect_bursty);
+        let expect_bursty = rows
+            .iter()
+            .filter(|r| r.iter().any(|&v| v > threshold))
+            .count();
+        assert_eq!(a.bursty_servers, expect_bursty);
     }
+}
 
-    #[test]
-    fn cdf_quantiles_are_monotone_and_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+#[test]
+fn cdf_quantiles_are_monotone_and_bounded() {
+    let mut rng = SimRng::new(0xA9A1_0004);
+    for _ in 0..128 {
+        let len = 1 + rng.gen_range(499) as usize;
+        let values: Vec<f64> = (0..len).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let cdf = Cdf::new(values.clone());
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=20 {
-            let q = i as f64 / 20.0;
+            let q = f64::from(i) / 20.0;
             let v = cdf.quantile(q);
-            prop_assert!(v >= prev, "quantiles must be monotone");
+            assert!(v >= prev, "quantiles must be monotone");
             prev = v;
         }
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(cdf.quantile(0.0) >= min - 1e-9);
-        prop_assert!(cdf.quantile(1.0) <= max + 1e-9);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(cdf.quantile(0.0) >= min - 1e-9);
+        assert!(cdf.quantile(1.0) <= max + 1e-9);
     }
+}
 
-    #[test]
-    fn cdf_fraction_inverts_quantile(values in prop::collection::vec(0f64..1e6, 2..300), q in 0.05f64..0.95) {
+#[test]
+fn cdf_fraction_inverts_quantile() {
+    let mut rng = SimRng::new(0xA9A1_0005);
+    for _ in 0..128 {
+        let len = 2 + rng.gen_range(298) as usize;
+        let values: Vec<f64> = (0..len).map(|_| rng.next_f64() * 1e6).collect();
+        let q = 0.05 + rng.next_f64() * 0.9;
         let cdf = Cdf::new(values);
         let v = cdf.quantile(q);
         let frac = cdf.fraction_at_or_below(v);
         // fraction(quantile(q)) >= q (ties can only push it up).
-        prop_assert!(frac + 1e-9 >= q, "q={} v={} frac={}", q, v, frac);
+        assert!(frac + 1e-9 >= q, "q={q} v={v} frac={frac}");
     }
+}
 
-    #[test]
-    fn burst_len_ms_consistency(start in 0usize..100, len in 1usize..50) {
-        let b = Burst { server: 0, start, len, bytes: 0, avg_conns: 0.0 };
-        prop_assert_eq!(b.end(), start + len);
-        prop_assert!((b.len_ms(1.0) - len as f64).abs() < 1e-12);
+#[test]
+fn burst_len_ms_consistency() {
+    let mut rng = SimRng::new(0xA9A1_0006);
+    for _ in 0..128 {
+        let start = rng.gen_range(100) as usize;
+        let len = 1 + rng.gen_range(49) as usize;
+        let b = Burst {
+            server: 0,
+            start,
+            len,
+            bytes: 0,
+            avg_conns: 0.0,
+        };
+        assert_eq!(b.end(), start + len);
+        assert!((b.len_ms(1.0) - len as f64).abs() < 1e-12);
     }
 }

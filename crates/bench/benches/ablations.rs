@@ -52,7 +52,10 @@ fn contended_sim(mut cfg: RackSimConfig) -> RackSim {
 
 fn alpha_sweep() {
     println!("\n## ablation: DT alpha sweep (same contended incast workload)");
-    println!("{:>8} {:>16} {:>16} {:>12}", "alpha", "discard_bytes", "ingress_bytes", "completed");
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "alpha", "discard_bytes", "ingress_bytes", "completed"
+    );
     for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let mut cfg = RackSimConfig::new(8, 7);
         cfg.rack.switch.alpha = alpha;
@@ -69,7 +72,10 @@ fn alpha_sweep() {
 
 fn policy_comparison() {
     println!("\n## ablation: buffer sharing policy (same contended incast workload)");
-    println!("{:>18} {:>16} {:>12}", "policy", "discard_bytes", "completed");
+    println!(
+        "{:>18} {:>16} {:>12}",
+        "policy", "discard_bytes", "completed"
+    );
     for (name, policy) in [
         ("dynamic_threshold", SharingPolicy::DynamicThreshold),
         ("complete_sharing", SharingPolicy::CompleteSharing),
@@ -90,7 +96,10 @@ fn policy_comparison() {
 
 fn ecn_sweep() {
     println!("\n## ablation: ECN threshold sweep (deployed value: 120 KB)");
-    println!("{:>10} {:>16} {:>16}", "thresh_kb", "discard_bytes", "marked_ingress?");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "thresh_kb", "discard_bytes", "marked_ingress?"
+    );
     for kb in [30u64, 60, 120, 240, 480] {
         let mut cfg = RackSimConfig::new(8, 7);
         cfg.rack.switch.ecn_threshold = kb * 1024;
@@ -109,7 +118,10 @@ fn ecn_sweep() {
 
 fn smoothing_ablation() {
     println!("\n## ablation: fabric smoothing of ML transfers (the §8.1 hypothesis)");
-    println!("{:>10} {:>16} {:>12}", "paced", "discard_bytes", "completed");
+    println!(
+        "{:>10} {:>16} {:>12}",
+        "paced", "discard_bytes", "completed"
+    );
     for (name, pace) in [("off", None), ("10Gbps", Some(10_000_000_000u64))] {
         let mut cfg = RackSimConfig::new(8, 11);
         cfg.sampler.buckets = 300;
@@ -162,10 +174,7 @@ fn sampling_interval_ablation() {
             let mut sim = RackSim::new(cfg);
             // A few separated multi-ms bursts.
             for i in 0..3u64 {
-                sim.schedule_flow(
-                    Ns::from_millis(20 + i * 60),
-                    incast(2, 8, 5_000_000, None),
-                );
+                sim.schedule_flow(Ns::from_millis(20 + i * 60), incast(2, 8, 5_000_000, None));
             }
             let report = sim.run_sync_window(0);
             let Some(run) = report.rack_run else { continue };
@@ -225,7 +234,10 @@ fn sketch_width_ablation() {
 fn fabric_hop_ablation() {
     use ms_workload::sim::FabricHopConfig;
     println!("\n## ablation: parametric pacing vs an explicit fabric hop (§8.1)");
-    println!("{:>22} {:>16} {:>14}", "smoothing", "tor_discards", "fabric_drops");
+    println!(
+        "{:>22} {:>16} {:>14}",
+        "smoothing", "tor_discards", "fabric_drops"
+    );
     for (name, pace, hop) in [
         ("none", None, None),
         ("pacer_11Gbps", Some(11_000_000_000u64), None),
@@ -266,7 +278,10 @@ fn sim_fabric_drops(sim: &RackSim) -> u64 {
 
 fn dynamic_alpha_ablation() {
     println!("\n## ablation: fixed vs contention-tuned DT alpha (§9 probe)");
-    println!("{:>18} {:>16} {:>12}", "alpha_policy", "discard_bytes", "completed");
+    println!(
+        "{:>18} {:>16} {:>12}",
+        "alpha_policy", "discard_bytes", "completed"
+    );
     for (name, tune) in [("fixed_1.0", None), ("tuned_5ms", Some(Ns::from_millis(5)))] {
         let mut cfg = RackSimConfig::new(8, 33);
         cfg.alpha_tune_period = tune;

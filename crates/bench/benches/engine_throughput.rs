@@ -1,60 +1,54 @@
 //! Event-engine throughput: schedule+pop cycles (the unit cost every
 //! simulated packet pays ~3-5 times) and an end-to-end rack window.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ms_bench::micro::bench;
 use ms_dcsim::{EventQueue, Ns};
 use std::hint::black_box;
 
-fn bench_schedule_pop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn bench_schedule_pop() {
     for &depth in &[16usize, 1024, 65_536] {
-        g.bench_function(format!("sched_pop_depth_{depth}"), |b| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..depth as u64 {
-                q.schedule(Ns(i * 1000), i);
-            }
-            let mut t = depth as u64 * 1000;
-            b.iter(|| {
-                let (at, ev) = q.pop().expect("queue kept full");
-                black_box((at, ev));
-                t += 1000;
-                q.schedule(Ns(t), ev);
-            });
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..depth as u64 {
+            q.schedule(Ns(i * 1000), i);
+        }
+        let mut t = depth as u64 * 1000;
+        bench(&format!("event_queue/sched_pop_depth_{depth}"), || {
+            let (at, ev) = q.pop().expect("queue kept full");
+            black_box((at, ev));
+            t += 1000;
+            q.schedule(Ns(t), ev);
         });
     }
-    g.finish();
 }
 
-fn bench_full_rack_window(c: &mut Criterion) {
+fn bench_full_rack_window() {
     use ms_transport::CcAlgorithm;
     use ms_workload::sim::{RackSim, RackSimConfig};
     use ms_workload::tasks::FlowSpec;
     // End-to-end: one small incast through the full stack (events, switch,
     // transport, millisampler). Measures simulated-packets/sec capacity.
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("incast_window_8x2MB", |b| {
-        b.iter(|| {
-            let mut cfg = RackSimConfig::new(8, 1);
-            cfg.sampler.buckets = 100;
-            cfg.warmup = Ns::from_millis(5);
-            let mut sim = RackSim::new(cfg);
-            sim.schedule_flow(
-                Ns::from_millis(10),
-                FlowSpec {
-                    dst_server: 1,
-                    connections: 8,
-                    total_bytes: 2_000_000,
-                    algorithm: CcAlgorithm::Dctcp,
-                    paced_bps: None,
-                    task: 1,
-                },
-            );
-            black_box(sim.run_sync_window(0).events)
-        });
+    bench("end_to_end/incast_window_8x2MB", || {
+        let mut cfg = RackSimConfig::new(8, 1);
+        cfg.sampler.buckets = 100;
+        cfg.warmup = Ns::from_millis(5);
+        let mut sim = RackSim::new(cfg);
+        sim.schedule_flow(
+            Ns::from_millis(10),
+            FlowSpec {
+                dst_server: 1,
+                connections: 8,
+                total_bytes: 2_000_000,
+                algorithm: CcAlgorithm::Dctcp,
+                paced_bps: None,
+                task: 1,
+            },
+        );
+        black_box(sim.run_sync_window(0).events)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_schedule_pop, bench_full_rack_window);
-criterion_main!(benches);
+fn main() {
+    println!("=== event engine ===");
+    bench_schedule_pop();
+    bench_full_rack_window();
+}

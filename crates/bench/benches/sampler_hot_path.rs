@@ -6,8 +6,8 @@
 //! counting, 7 ns disabled, 271 ns tcpdump, 4.3 ms map read. The claim
 //! under test here is the *ordering and ratios*, not absolute nanoseconds.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use millisampler::{Direction, FilterState, PacketMeta, RunConfig, TcFilter};
+use ms_bench::micro::bench;
 use ms_dcsim::Ns;
 use std::hint::black_box;
 
@@ -21,88 +21,78 @@ fn meta(flow: u64) -> PacketMeta {
     }
 }
 
-fn bench_record_enabled(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sampler_record");
-    for (name, count_flows) in [("all_features", true), ("no_flow_count", false)] {
-        g.bench_function(name, |b| {
-            let cfg = RunConfig {
-                count_flows,
-                ..RunConfig::one_ms()
-            };
-            let mut filter = TcFilter::new(&cfg, 4);
-            filter.attach();
-            filter.enable();
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                let now = Ns(i % 1_999_000_000);
-                filter.record((i % 4) as usize, now, black_box(&meta(i % 64)));
-                if filter.state() != FilterState::Enabled {
-                    filter.enable();
-                }
-            });
+fn bench_record_enabled() {
+    for (name, count_flows) in [
+        ("sampler_record/all_features", true),
+        ("sampler_record/no_flow_count", false),
+    ] {
+        let cfg = RunConfig {
+            count_flows,
+            ..RunConfig::one_ms()
+        };
+        let mut filter = TcFilter::new(&cfg, 4);
+        filter.attach();
+        filter.enable();
+        let mut i = 0u64;
+        bench(name, || {
+            i += 1;
+            let now = Ns(i % 1_999_000_000);
+            filter.record((i % 4) as usize, now, black_box(&meta(i % 64)));
+            if filter.state() != FilterState::Enabled {
+                filter.enable();
+            }
         });
     }
-    g.bench_function("disabled", |b| {
+    {
         let mut filter = TcFilter::new(&RunConfig::one_ms(), 4);
         filter.attach();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("sampler_record/disabled", || {
             i += 1;
             filter.record((i % 4) as usize, Ns(i), black_box(&meta(i)));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_pcap_baseline(c: &mut Criterion) {
+fn bench_pcap_baseline() {
     // tcpdump -s 100: copy a 100B header snapshot + timestamp into a ring.
-    c.bench_function("pcap_like_copy", |b| {
-        let mut ring = vec![0u8; 4 * 1024 * 1024];
-        let header = [0xABu8; 100];
-        let mut pos = 0usize;
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            if pos + 108 > ring.len() {
-                pos = 0;
-            }
-            ring[pos..pos + 8].copy_from_slice(&i.to_le_bytes());
-            ring[pos + 8..pos + 108].copy_from_slice(black_box(&header));
-            pos += 108;
-        });
-        black_box(ring[0]);
+    let mut ring = vec![0u8; 4 * 1024 * 1024];
+    let header = [0xABu8; 100];
+    let mut pos = 0usize;
+    let mut i = 0u64;
+    bench("pcap_like_copy", || {
+        i += 1;
+        if pos + 108 > ring.len() {
+            pos = 0;
+        }
+        ring[pos..pos + 8].copy_from_slice(&i.to_le_bytes());
+        ring[pos + 8..pos + 108].copy_from_slice(black_box(&header));
+        pos += 108;
     });
+    black_box(ring[0]);
 }
 
-fn bench_read_counters(c: &mut Criterion) {
+fn bench_read_counters() {
     // §4.3: reading the counter map is a fixed cost regardless of how many
     // packets were counted. Benchmark the read against a fully-populated
     // filter and a nearly-empty one; the two should be close.
-    let mut g = c.benchmark_group("read_counters");
-    g.sample_size(20);
-    for (name, packets) in [("empty_run", 1u64), ("busy_run", 2_000_000u64)] {
-        g.bench_function(name, |b| {
-            let mut filter = TcFilter::new(&RunConfig::one_ms(), 4);
-            filter.attach();
-            filter.enable();
-            for i in 0..packets {
-                filter.record((i % 4) as usize, Ns(i % 1_999_000_000), &meta(i % 500));
-            }
-            b.iter_batched(
-                || (),
-                |_| black_box(filter.read(0)),
-                BatchSize::SmallInput,
-            );
-        });
+    for (name, packets) in [
+        ("read_counters/empty_run", 1u64),
+        ("read_counters/busy_run", 2_000_000u64),
+    ] {
+        let mut filter = TcFilter::new(&RunConfig::one_ms(), 4);
+        filter.attach();
+        filter.enable();
+        for i in 0..packets {
+            filter.record((i % 4) as usize, Ns(i % 1_999_000_000), &meta(i % 500));
+        }
+        bench(name, || black_box(filter.read(0)));
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_record_enabled,
-    bench_pcap_baseline,
-    bench_read_counters
-);
-criterion_main!(benches);
+fn main() {
+    println!("=== sampler hot path (paper §4.3) ===");
+    bench_record_enabled();
+    bench_pcap_baseline();
+    bench_read_counters();
+}

@@ -1,50 +1,49 @@
 //! Flow-sketch microbenchmarks: insert and estimate costs for the 128-bit
 //! deployment sketch and wider variants (ablation support).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ms_bench::micro::bench;
 use ms_sketch::{mix64, FlowSketch, MultiresBitmap};
 use std::hint::black_box;
 
-fn bench_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sketch_insert");
-    g.bench_function("direct128", |b| {
+fn bench_insert() {
+    {
         let mut s = FlowSketch::<2>::new();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("sketch_insert/direct128", || {
             i += 1;
             s.insert(black_box(mix64(i % 256)));
         });
         black_box(s.ones());
-    });
-    g.bench_function("direct256", |b| {
+    }
+    {
         let mut s = FlowSketch::<4>::new();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("sketch_insert/direct256", || {
             i += 1;
             s.insert(black_box(mix64(i % 256)));
         });
         black_box(s.ones());
-    });
-    g.bench_function("multires128x8", |b| {
+    }
+    {
         let mut s: MultiresBitmap<2, 8> = MultiresBitmap::new();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("sketch_insert/multires128x8", || {
             i += 1;
             s.insert(black_box(mix64(i % 256)));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_estimate(c: &mut Criterion) {
+fn bench_estimate() {
     let mut s = FlowSketch::<2>::new();
     for i in 0..40 {
         s.insert(mix64(i));
     }
-    c.bench_function("sketch_estimate128", |b| {
-        b.iter(|| black_box(s.estimate()));
-    });
+    bench("sketch_estimate128", || black_box(s.estimate()));
 }
 
-criterion_group!(benches, bench_insert, bench_estimate);
-criterion_main!(benches);
+fn main() {
+    println!("=== flow sketch ===");
+    bench_insert();
+    bench_estimate();
+}

@@ -1,7 +1,7 @@
 //! ToR switch data-path microbenchmarks: DT admission + ECN marking per
 //! packet, and the enqueue/dequeue cycle under steady state.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ms_bench::micro::bench;
 use ms_dcsim::{FlowId, Ns, Packet, SharedBufferSwitch, SwitchConfig};
 use std::hint::black_box;
 
@@ -9,44 +9,43 @@ fn pkt(i: u64) -> Packet {
     Packet::data(FlowId(i % 64), 100, (i % 16) as u32, i * 1500, 1500)
 }
 
-fn bench_enqueue_dequeue(c: &mut Criterion) {
-    c.bench_function("switch_enq_deq_cycle", |b| {
-        let mut sw = SharedBufferSwitch::new(SwitchConfig::meta_tor(16));
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let queue = (i % 16) as usize;
-            let outcome = sw.try_enqueue(queue, black_box(pkt(i)), Ns(i));
-            black_box(outcome);
-            // Drain to keep occupancy steady so admission always runs the
-            // full DT computation rather than the drop path.
-            black_box(sw.dequeue(queue));
-        });
+fn bench_enqueue_dequeue() {
+    let mut sw = SharedBufferSwitch::new(SwitchConfig::meta_tor(16));
+    let mut i = 0u64;
+    bench("switch_enq_deq_cycle", || {
+        i += 1;
+        let queue = (i % 16) as usize;
+        let outcome = sw.try_enqueue(queue, black_box(pkt(i)), Ns(i));
+        black_box(outcome);
+        // Drain to keep occupancy steady so admission always runs the
+        // full DT computation rather than the drop path.
+        black_box(sw.dequeue(queue));
     });
 }
 
-fn bench_enqueue_under_pressure(c: &mut Criterion) {
+fn bench_enqueue_under_pressure() {
     // Near-full shared pool: admission decisions at the DT boundary.
-    c.bench_function("switch_enqueue_near_threshold", |b| {
-        let mut sw = SharedBufferSwitch::new(SwitchConfig::meta_tor(16));
-        // Pre-fill queue 0 to its DT fixpoint.
-        let mut i = 0u64;
-        loop {
-            i += 1;
-            if !sw.try_enqueue(0, pkt(i), Ns::ZERO).accepted() {
-                break;
-            }
+    let mut sw = SharedBufferSwitch::new(SwitchConfig::meta_tor(16));
+    // Pre-fill queue 0 to its DT fixpoint.
+    let mut i = 0u64;
+    loop {
+        i += 1;
+        if !sw.try_enqueue(0, pkt(i), Ns::ZERO).accepted() {
+            break;
         }
-        b.iter(|| {
-            i += 1;
-            let outcome = sw.try_enqueue(0, black_box(pkt(i)), Ns(i));
-            if outcome.accepted() {
-                black_box(sw.dequeue(0));
-            }
-            black_box(outcome);
-        });
+    }
+    bench("switch_enqueue_near_threshold", || {
+        i += 1;
+        let outcome = sw.try_enqueue(0, black_box(pkt(i)), Ns(i));
+        if outcome.accepted() {
+            black_box(sw.dequeue(0));
+        }
+        black_box(outcome);
     });
 }
 
-criterion_group!(benches, bench_enqueue_dequeue, bench_enqueue_under_pressure);
-criterion_main!(benches);
+fn main() {
+    println!("=== switch data path ===");
+    bench_enqueue_dequeue();
+    bench_enqueue_under_pressure();
+}

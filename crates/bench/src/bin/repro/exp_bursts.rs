@@ -94,7 +94,10 @@ pub fn fig7(ctx: &mut Ctx) {
         }
     }
     let (all, con, non) = (Cdf::new(all), Cdf::new(contended), Cdf::new(non));
-    let mut r = Report::new("fig7", &["pct", "all_ms", "contended_ms", "non_contended_ms"]);
+    let mut r = Report::new(
+        "fig7",
+        &["pct", "all_ms", "contended_ms", "non_contended_ms"],
+    );
     for i in 1..=20 {
         let q = i as f64 / 20.0;
         r.row(&[
@@ -163,7 +166,10 @@ pub fn fig8(ctx: &mut Ctx) {
         }
     }
     let (ci, co, cr) = (Cdf::new(inside), Cdf::new(outside), Cdf::new(ratios));
-    let mut r = Report::new("fig8", &["pct", "inside_burst_conns", "outside_burst_conns"]);
+    let mut r = Report::new(
+        "fig8",
+        &["pct", "inside_burst_conns", "outside_burst_conns"],
+    );
     for i in 1..=20 {
         let q = i as f64 / 20.0;
         r.row(&[f3(100.0 * q), f3(ci.quantile(q)), f3(co.quantile(q))]);

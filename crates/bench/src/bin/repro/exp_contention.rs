@@ -23,7 +23,10 @@ pub fn fig9(ctx: &mut Ctx) {
         .map(|o| o.analysis.contention_stats.avg)
         .collect();
     let (ca, cb) = (Cdf::new(rega), Cdf::new(regb));
-    let mut r = Report::new("fig9", &["pct_of_racks", "rega_avg_contention", "regb_avg_contention"]);
+    let mut r = Report::new(
+        "fig9",
+        &["pct_of_racks", "rega_avg_contention", "regb_avg_contention"],
+    );
     for i in 1..=25 {
         let q = i as f64 / 25.0;
         r.row(&[f3(100.0 * q), f3(ca.quantile(q)), f3(cb.quantile(q))]);
@@ -71,7 +74,12 @@ pub fn fig10(ctx: &mut Ctx) {
     let (ct, ch, cb) = (Cdf::new(typical), Cdf::new(high_tasks), Cdf::new(regb));
     let mut r = Report::new(
         "fig10",
-        &["pct_of_racks", "rega_typical_tasks", "rega_high_tasks", "regb_tasks"],
+        &[
+            "pct_of_racks",
+            "rega_typical_tasks",
+            "rega_high_tasks",
+            "regb_tasks",
+        ],
     );
     for i in 1..=20 {
         let q = i as f64 / 20.0;
@@ -116,12 +124,7 @@ pub fn fig11(ctx: &mut Ctx) {
             .collect();
         rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for (rank, (avg, share)) in rows.iter().enumerate() {
-            r.row(&[
-                format!("{kind:?}"),
-                rank.to_string(),
-                f3(*avg),
-                f3(*share),
-            ]);
+            r.row(&[format!("{kind:?}"), rank.to_string(), f3(*avg), f3(*share)]);
         }
     }
     r.finish(&out);
@@ -132,10 +135,7 @@ pub fn fig11(ctx: &mut Ctx) {
 /// Fig. 12: per-rack mean/min/max of run-average contention across the day.
 pub fn fig12(ctx: &mut Ctx) {
     let out = ctx.opts.out.clone();
-    let mut r = Report::new(
-        "fig12",
-        &["region", "rack_rank", "mean", "min", "max"],
-    );
+    let mut r = Report::new("fig12", &["region", "rack_rank", "mean", "min", "max"]);
     let mut summary: Vec<String> = Vec::new();
     for kind in [RegionKind::RegA, RegionKind::RegB] {
         let data = ctx.daily(kind);
@@ -166,8 +166,8 @@ pub fn fig12(ctx: &mut Ctx) {
             ]);
         }
         // Persistence check (§7.2): average per-rack range.
-        let avg_range: f64 = per_rack.iter().map(|(_, lo, hi)| hi - lo).sum::<f64>()
-            / per_rack.len().max(1) as f64;
+        let avg_range: f64 =
+            per_rack.iter().map(|(_, lo, hi)| hi - lo).sum::<f64>() / per_rack.len().max(1) as f64;
         summary.push(format!("{kind:?} mean min-max range {}", f3(avg_range)));
     }
     r.finish(&out);
@@ -298,7 +298,14 @@ pub fn fig15(ctx: &mut Ctx) {
 
     let mut r = Report::new(
         "fig15",
-        &["run_rank", "min_contention", "p90_contention", "share_min", "share_p90", "drop_pct"],
+        &[
+            "run_rank",
+            "min_contention",
+            "p90_contention",
+            "share_min",
+            "share_p90",
+            "drop_pct",
+        ],
     );
     let mut drops = Vec::new();
     for (rank, &(min, p90)) in runs.iter().enumerate() {
@@ -316,7 +323,10 @@ pub fn fig15(ctx: &mut Ctx) {
     }
     let _ = r.write_csv(&out);
     let cdf = Cdf::new(drops);
-    println!("  runs {} (excluded p90=0: {excluded}, paper 6.2%)", runs.len());
+    println!(
+        "  runs {} (excluded p90=0: {excluded}, paper 6.2%)",
+        runs.len()
+    );
     println!(
         "  buffer share drop: median {} (paper 33.3%), fraction >=70%: {} (paper 15%)",
         pct(cdf.median()),

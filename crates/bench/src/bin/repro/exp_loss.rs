@@ -55,7 +55,10 @@ pub fn table2(ctx: &mut Ctx) {
             s.lossy += 1;
         }
     }
-    let mut r = Report::new("table2", &["category", "bursts", "pct_contended", "pct_lossy"]);
+    let mut r = Report::new(
+        "table2",
+        &["category", "bursts", "pct_contended", "pct_lossy"],
+    );
     for (cat, s) in CATEGORIES.iter().zip(&summaries) {
         r.row(&[
             cat.to_string(),
@@ -87,9 +90,21 @@ pub fn fig16(ctx: &mut Ctx) {
     let bursts = all_bursts(ctx);
     let mut r = Report::new(
         "fig16",
-        &["contention", "rega_typical_pct_lossy", "rega_high_pct_lossy", "regb_pct_lossy", "n_typical", "n_high", "n_regb"],
+        &[
+            "contention",
+            "rega_typical_pct_lossy",
+            "rega_high_pct_lossy",
+            "regb_pct_lossy",
+            "n_typical",
+            "n_high",
+            "n_regb",
+        ],
     );
-    let max_c = bursts.iter().map(|(_, b)| b.max_contention).max().unwrap_or(0);
+    let max_c = bursts
+        .iter()
+        .map(|(_, b)| b.max_contention)
+        .max()
+        .unwrap_or(0);
     for level in 0..=max_c.min(24) {
         let mut cells = vec![level.to_string()];
         let mut counts = Vec::new();
@@ -144,7 +159,11 @@ pub fn fig17(ctx: &mut Ctx) {
     let (ct, ch) = (Cdf::new(typical), Cdf::new(high_v));
     let mut r = Report::new(
         "fig17",
-        &["pct_of_racks", "typical_discard_bytes_per_mb", "high_discard_bytes_per_mb"],
+        &[
+            "pct_of_racks",
+            "typical_discard_bytes_per_mb",
+            "high_discard_bytes_per_mb",
+        ],
     );
     for i in 1..=20 {
         let q = i as f64 / 20.0;

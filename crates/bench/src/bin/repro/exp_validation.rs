@@ -13,10 +13,7 @@ use ms_workload::tools::{schedule_burst_requests, schedule_multicast_validation}
 /// Fig. 1: `T(S) = α/(1+αS)` for α ∈ {0.25, 0.5, 1, 2, 4}, S = 1..10.
 pub fn fig1(ctx: &mut Ctx) {
     let alphas = [0.25, 0.5, 1.0, 2.0, 4.0];
-    let mut r = Report::new(
-        "fig1",
-        &["S", "a=0.25", "a=0.5", "a=1", "a=2", "a=4"],
-    );
+    let mut r = Report::new("fig1", &["S", "a=0.25", "a=0.5", "a=1", "a=2", "a=4"]);
     for s in 1..=10usize {
         let mut row = vec![s.to_string()];
         for a in alphas {
@@ -25,9 +22,7 @@ pub fn fig1(ctx: &mut Ctx) {
         r.row(&row);
     }
     r.finish(&ctx.opts.out);
-    println!(
-        "  paper anchors: a=1,S=1 -> 0.5; a=1,S=2 -> 0.333; a=2,S=1 -> 0.667 (§2.1)"
-    );
+    println!("  paper anchors: a=1,S=1 -> 0.5; a=1,S=2 -> 0.333; a=2,S=1 -> 0.667 (§2.1)");
 }
 
 /// A paper-scale (1 ms × 2000) idle rack for the validation experiments,
@@ -63,14 +58,17 @@ pub fn fig3(ctx: &mut Ctx) {
     // Per burst occurrence: the bucket index at which each server's rate
     // first exceeds 0.5 Gbps, and the spread across servers.
     let threshold_bytes = 62_500; // 0.5 Gbps over 1ms
-    let mut r = Report::new("fig3", &["burst", "first_bucket_min", "first_bucket_max", "spread_ms"]);
+    let mut r = Report::new(
+        "fig3",
+        &["burst", "first_bucket_min", "first_bucket_max", "spread_ms"],
+    );
     let n = run.len();
     let mut cursor = 0usize;
     let mut burst_no = 0;
     while cursor < n {
         // Find the next bucket where ANY server is above threshold.
-        let Some(start) = (cursor..n)
-            .find(|&i| run.servers.iter().any(|s| s.in_bytes[i] > threshold_bytes))
+        let Some(start) =
+            (cursor..n).find(|&i| run.servers.iter().any(|s| s.in_bytes[i] > threshold_bytes))
         else {
             break;
         };

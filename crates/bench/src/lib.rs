@@ -1,19 +1,22 @@
 //! # ms-bench — the experiment harness
 //!
 //! Shared machinery for the `repro` binary (one subcommand per paper table
-//! and figure — see `DESIGN.md` §3 for the index) and for the Criterion
+//! and figure — see `DESIGN.md` §3 for the index) and for the
 //! microbenchmarks:
 //!
 //! * [`sweep`] — runs whole-region SyncMillisampler sweeps (every rack ×
-//!   selected hours), in parallel across worker threads with crossbeam,
+//!   selected hours), in parallel across std scoped worker threads,
 //!   deterministically regardless of thread count.
 //! * [`report`] — row/CSV formatting helpers so every experiment both
 //!   prints the paper-style series and leaves a machine-readable file
 //!   under `results/`.
+//! * [`micro`] — the dependency-free wall-clock harness behind the
+//!   `benches/` targets (the workspace builds offline, so no Criterion).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
 pub mod report;
 pub mod sweep;
 

@@ -1,0 +1,110 @@
+//! A minimal wall-clock microbenchmark harness.
+//!
+//! The workspace builds fully offline, so instead of Criterion the bench
+//! targets use this ~100-line harness: double the batch size until one
+//! batch runs long enough to measure, time a few batches, and report the
+//! best (least-noise) nanoseconds per iteration. Good enough for the §4.3
+//! claims under test, which are *orderings and ratios* (hot path vs.
+//! tcpdump-like copy vs. disabled path), not absolute nanoseconds.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum duration one timed batch must reach before we trust it.
+const MIN_BATCH: Duration = Duration::from_millis(20);
+/// Timed batches per benchmark; the fastest is reported.
+const BATCHES: usize = 5;
+
+/// Outcome of one microbenchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Best observed cost of one iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed batch after calibration.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// One aligned human-readable row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<36} {:>14.1} ns/iter   ({} iters/batch)",
+            self.name, self.ns_per_iter, self.iters
+        )
+    }
+}
+
+/// Times `f`, printing and returning the result.
+///
+/// `f` may carry mutable state across iterations (counters, filters,
+/// queues); it is called back-to-back inside each timed batch.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> BenchResult {
+    // Calibrate: grow the batch until it takes at least MIN_BATCH.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= MIN_BATCH {
+            break;
+        }
+        // Grow toward the target with a 2x cap margin against timer noise.
+        let grow = if dt.as_nanos() == 0 {
+            16
+        } else {
+            ((MIN_BATCH.as_nanos() * 2 / dt.as_nanos()) as u64).clamp(2, 64)
+        };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+
+    let result = BenchResult {
+        name: name.to_string(),
+        ns_per_iter: best,
+        iters,
+    };
+    println!("{}", result.row());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let mut x = 0u64;
+        let r = bench("noop_add", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.iters >= 1);
+    }
+
+    #[test]
+    fn row_is_readable() {
+        let r = BenchResult {
+            name: "demo".into(),
+            ns_per_iter: 12.5,
+            iters: 1000,
+        };
+        assert!(r.row().contains("demo"));
+        assert!(r.row().contains("12.5"));
+    }
+}

@@ -1,6 +1,5 @@
 //! Region-scale sweeps: every rack × selected hours, in parallel.
 
-use crossbeam::channel;
 use ms_analysis::dataset::RackHourObservation;
 use ms_analysis::{analyze_run, RackCategory};
 use ms_workload::placement::{build_region, RackClass, RegionKind, RegionSpec};
@@ -128,17 +127,17 @@ pub fn sweep_region(kind: RegionKind, cfg: &SweepConfig) -> RegionData {
         }
     }
 
-    let (tx, rx) = channel::unbounded::<RackHourObservation>();
+    let (tx, rx) = std::sync::mpsc::channel::<RackHourObservation>();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let threads = cfg.effective_threads();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cells = &cells;
             let spec = &spec;
             let next = &next;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= cells.len() {
@@ -146,8 +145,7 @@ pub fn sweep_region(kind: RegionKind, cfg: &SweepConfig) -> RegionData {
                     }
                     let (rack_id, hour) = cells[i];
                     let rack_spec = &spec.racks[rack_id as usize];
-                    let mut sim =
-                        rack_sim_for(rack_spec, &spec.diurnal, hour, 0, &cfg.scenario);
+                    let mut sim = rack_sim_for(rack_spec, &spec.diurnal, hour, 0, &cfg.scenario);
                     let report = sim.run_sync_window(rack_id);
                     let analysis = match &report.rack_run {
                         Some(run) => analyze_run(run, link, cfg.loss_slack),
@@ -173,8 +171,7 @@ pub fn sweep_region(kind: RegionKind, cfg: &SweepConfig) -> RegionData {
             });
         }
         drop(tx);
-    })
-    .expect("sweep worker panicked");
+    });
 
     let mut obs: Vec<RackHourObservation> = rx.into_iter().collect();
     obs.sort_by_key(|o| (o.rack_id, o.hour));
@@ -218,8 +215,20 @@ mod tests {
 
     #[test]
     fn sweep_deterministic_across_thread_counts() {
-        let one = sweep_region(RegionKind::RegA, &SweepConfig { threads: 1, ..tiny_cfg() });
-        let four = sweep_region(RegionKind::RegA, &SweepConfig { threads: 4, ..tiny_cfg() });
+        let one = sweep_region(
+            RegionKind::RegA,
+            &SweepConfig {
+                threads: 1,
+                ..tiny_cfg()
+            },
+        );
+        let four = sweep_region(
+            RegionKind::RegA,
+            &SweepConfig {
+                threads: 4,
+                ..tiny_cfg()
+            },
+        );
         assert_eq!(one.obs.len(), four.obs.len());
         for (a, b) in one.obs.iter().zip(&four.obs) {
             assert_eq!(a.rack_id, b.rack_id);

@@ -77,9 +77,7 @@ impl StallSchedule {
 
     /// Whether `now` falls inside any stall window.
     pub fn is_stalled(&self, now: Ns) -> bool {
-        self.windows
-            .iter()
-            .any(|&(f, t)| now >= f && now < t)
+        self.windows.iter().any(|&(f, t)| now >= f && now < t)
     }
 
     /// The end of the stall containing `now`, if stalled.

@@ -17,13 +17,12 @@
 use crate::link::Link;
 use crate::packet::FlowId;
 use crate::time::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Index of a host within its rack (also its ToR egress queue index).
 pub type HostId = u32;
 
 /// Per-host cumulative counters (NIC-level, not sampler-level).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostStats {
     /// Bytes received from the ToR.
     pub rx_bytes: u64,

@@ -13,10 +13,9 @@
 //! self-clock.
 
 use crate::time::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Counters every link maintains; cheap enough to keep always-on.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Packets fully serialized onto the wire.
     pub packets: u64,
@@ -25,7 +24,7 @@ pub struct LinkStats {
 }
 
 /// A unidirectional link with a fixed rate and propagation delay.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     rate_bps: u64,
     prop_delay: Ns,
@@ -98,7 +97,7 @@ impl Link {
 ///
 /// The pacer answers one question: *given the pacing rate, at what time may
 /// the next `size`-byte packet be released?* Callers hold packets until then.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pacer {
     rate_bps: u64,
     /// Maximum burst the bucket may accumulate, in bytes.
@@ -128,8 +127,8 @@ impl Pacer {
     fn refill(&mut self, now: Ns) {
         if now > self.updated {
             let dt = (now - self.updated).as_nanos() as f64;
-            self.tokens = (self.tokens + dt * self.rate_bps as f64 / 8e9)
-                .min(self.burst_bytes as f64);
+            self.tokens =
+                (self.tokens + dt * self.rate_bps as f64 / 8e9).min(self.burst_bytes as f64);
             self.updated = now;
         }
     }
@@ -191,7 +190,13 @@ mod tests {
         let mut l = Link::new(GBPS, Ns::ZERO);
         l.transmit(Ns::ZERO, 1000);
         l.transmit(Ns::ZERO, 500);
-        assert_eq!(l.stats(), LinkStats { packets: 2, bytes: 1500 });
+        assert_eq!(
+            l.stats(),
+            LinkStats {
+                packets: 2,
+                bytes: 1500
+            }
+        );
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! the standard fidelity level for congestion-control simulation (ns-2,
 //! htsim) and keeps multi-region sweeps tractable.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a node (a server in the rack, or a remote/fabric-side sender).
 pub type NodeId = u32;
 
@@ -15,7 +13,7 @@ pub type NodeId = u32;
 ///
 /// The flow id doubles as the value hashed by RSS dispatch and by the
 /// Millisampler flow sketch, exactly as a five-tuple hash would be.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
 impl FlowId {
@@ -35,7 +33,7 @@ impl FlowId {
 }
 
 /// ECN codepoint carried in the (simulated) IP header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EcnCodepoint {
     /// Not ECN-capable transport (e.g. pure control traffic).
     NotEct,
@@ -47,7 +45,7 @@ pub enum EcnCodepoint {
 }
 
 /// Whether a packet carries data or is a (delayed) cumulative ACK.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// A data segment: `seq..seq + payload` bytes of the flow's stream.
     Data,
@@ -59,7 +57,7 @@ pub enum PacketKind {
 
 /// Direction of a packet relative to a *host* — the Millisampler filter's
 /// frame of reference ("ingress" is traffic entering the host).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Entering the host (received from the ToR).
     Ingress,
@@ -68,7 +66,7 @@ pub enum Direction {
 }
 
 /// Segment metadata flowing through the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// The connection this packet belongs to.
     pub flow: FlowId,
@@ -164,7 +162,7 @@ mod tests {
     fn hash64_whitens_sequential_ids() {
         // Sequential flow ids must land on different CPUs/sketch bits:
         // check the low 2 bits (CPU selection on a 4-CPU host) vary.
-        let cpus: std::collections::HashSet<u64> =
+        let cpus: std::collections::BTreeSet<u64> =
             (0..16u64).map(|i| FlowId(i).hash64() & 3).collect();
         assert!(cpus.len() >= 3, "hash should spread over CPUs: {cpus:?}");
     }

@@ -74,8 +74,10 @@ impl<W: Write> PcapWriter<W> {
 
         // Record header: ts_sec, ts_usec, incl_len, orig_len.
         let us = now.as_nanos() / 1_000;
-        self.out.write_all(&((us / 1_000_000) as u32).to_le_bytes())?;
-        self.out.write_all(&((us % 1_000_000) as u32).to_le_bytes())?;
+        self.out
+            .write_all(&((us / 1_000_000) as u32).to_le_bytes())?;
+        self.out
+            .write_all(&((us % 1_000_000) as u32).to_le_bytes())?;
         self.out.write_all(&(captured as u32).to_le_bytes())?;
         self.out.write_all(&(original as u32).to_le_bytes())?;
 
@@ -127,7 +129,8 @@ impl<W: Write> PcapWriter<W> {
         self.out.write_all(&tcp)?;
 
         // Zero payload up to the snap cap.
-        self.out.write_all(&[0u8; MAX_CAPTURED_PAYLOAD][..payload_len])?;
+        self.out
+            .write_all(&[0u8; MAX_CAPTURED_PAYLOAD][..payload_len])?;
 
         self.packets += 1;
         Ok(())

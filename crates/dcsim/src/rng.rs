@@ -12,10 +12,8 @@
 //! versions; the workload crate uses `rand` distributions *seeded through*
 //! this type.
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic SplitMix64 pseudo-random generator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     state: u64,
 }

@@ -32,7 +32,6 @@
 
 use crate::packet::{EcnCodepoint, Packet};
 use crate::time::Ns;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// How the shared pool is apportioned among queues.
@@ -40,7 +39,7 @@ use std::collections::VecDeque;
 /// The studied fleet runs Dynamic Threshold; the alternatives exist for
 /// the ablation benches motivated by §9/§10 (buffer-sharing algorithm
 /// design is exactly what the paper's measurements are meant to inform).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SharingPolicy {
     /// Choudhury–Hahne DT: admit while queue shared usage < α·(free pool).
     DynamicThreshold,
@@ -53,7 +52,7 @@ pub enum SharingPolicy {
 }
 
 /// Static configuration of the shared-memory switch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SwitchConfig {
     /// Number of egress queues (one per server in the rack scenarios).
     pub num_queues: usize,
@@ -147,7 +146,7 @@ struct Buffered {
 }
 
 /// Per-queue live state and counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct QueueStats {
     /// Packets admitted.
     pub enq_packets: u64,
@@ -191,7 +190,7 @@ impl QueueState {
 /// One-minute aggregate counters, mirroring production switch telemetry
 /// ("production switches at Meta only support collecting traffic volume
 /// statistics at 1 minute time granularity", §7.2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MinuteBin {
     /// Bytes admitted across all queues during the minute.
     pub ingress_bytes: u64,
@@ -365,8 +364,7 @@ impl SharedBufferSwitch {
         let pool = if self.queues[queue].dedicated_used + size <= self.cfg.dedicated_per_queue {
             Pool::Dedicated
         } else {
-            let fits_pool =
-                self.shared_occupancy[quadrant] + size <= self.cfg.shared_capacity();
+            let fits_pool = self.shared_occupancy[quadrant] + size <= self.cfg.shared_capacity();
             let under_limit = match self.cfg.policy {
                 SharingPolicy::DynamicThreshold => {
                     self.queues[queue].shared_used < self.dynamic_threshold(quadrant)
@@ -505,10 +503,7 @@ mod tests {
         let cfg = SwitchConfig::meta_tor(32);
         // Paper: "about 3.6MB" shared per 4MB quadrant.
         let shared = cfg.shared_capacity();
-        assert!(
-            (3_500_000..=3_800_000).contains(&shared),
-            "shared {shared}"
-        );
+        assert!((3_500_000..=3_800_000).contains(&shared), "shared {shared}");
     }
 
     #[test]
@@ -646,7 +641,10 @@ mod tests {
         let mut sw = SharedBufferSwitch::new(small_cfg());
         let mut drops = 0;
         for i in 0..200 {
-            if !sw.try_enqueue(0, pkt(i, 1500), Ns::from_secs(61)).accepted() {
+            if !sw
+                .try_enqueue(0, pkt(i, 1500), Ns::from_secs(61))
+                .accepted()
+            {
                 drops += 1;
             }
         }
@@ -714,7 +712,11 @@ mod tests {
         }
         // The queue filled the whole shared pool (not just the DT half).
         let cap = sw.config().shared_capacity();
-        assert!(sw.shared_occupancy(0) + 1000 > cap, "{}", sw.shared_occupancy(0));
+        assert!(
+            sw.shared_occupancy(0) + 1000 > cap,
+            "{}",
+            sw.shared_occupancy(0)
+        );
         sw.check_invariants();
     }
 

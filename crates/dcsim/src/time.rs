@@ -5,7 +5,6 @@
 //! floating-point drift, and two events scheduled for "the same time" compare
 //! equal rather than almost-equal.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -15,7 +14,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// the simulator's arithmetic is simple enough that the instant/duration
 /// distinction adds more ceremony than safety, and this mirrors how the
 /// paper's eBPF filter works with raw `ktime` values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ns(pub u64);
 
 impl Ns {

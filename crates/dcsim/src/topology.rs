@@ -6,10 +6,9 @@
 
 use crate::switch::SwitchConfig;
 use crate::time::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulated rack and its attachment to the fabric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RackConfig {
     /// Servers in the rack (each with its own ToR egress queue).
     pub num_servers: usize,

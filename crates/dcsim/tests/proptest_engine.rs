@@ -1,13 +1,15 @@
-//! Property-based tests for the event queue and link serialization.
+//! Randomized tests for the event queue and link serialization, driven by
+//! the repo's deterministic [`SimRng`] (the workspace builds offline,
+//! without proptest).
 
-use ms_dcsim::{EventQueue, Link, Ns};
-use proptest::prelude::*;
+use ms_dcsim::{EventQueue, Link, Ns, SimRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pops_are_time_sorted_and_fifo_stable(times in prop::collection::vec(0u64..1_000, 1..300)) {
+#[test]
+fn pops_are_time_sorted_and_fifo_stable() {
+    let mut rng = SimRng::new(0xE1E1_0001);
+    for _ in 0..128 {
+        let len = 1 + rng.gen_range(299) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.gen_range(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Ns(t), i);
@@ -16,53 +18,72 @@ proptest! {
         while let Some(e) = q.pop() {
             popped.push(e);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated for equal times");
+                assert!(w[0].1 < w[1].1, "FIFO violated for equal times");
             }
         }
     }
+}
 
-    #[test]
-    fn link_never_exceeds_line_rate(
-        offers in prop::collection::vec((0u64..1_000_000, 64u32..9001), 1..200)
-    ) {
+#[test]
+fn link_never_exceeds_line_rate() {
+    let mut rng = SimRng::new(0xE1E1_0002);
+    for _ in 0..128 {
+        let len = 1 + rng.gen_range(199) as usize;
+        let mut offers: Vec<(u64, u32)> = (0..len)
+            .map(|_| {
+                (
+                    rng.gen_range(1_000_000),
+                    64 + rng.gen_range(9001 - 64) as u32,
+                )
+            })
+            .collect();
         let rate = 10_000_000_000u64;
         let mut link = Link::new(rate, Ns::ZERO);
-        let mut offers = offers;
         offers.sort_by_key(|&(t, _)| t);
         let mut total_bytes = 0u64;
         let mut last_depart = Ns::ZERO;
         let first = Ns(offers[0].0);
         for &(t, size) in &offers {
             let (depart, _arrive) = link.transmit(Ns(t), size);
-            prop_assert!(depart >= last_depart, "departures must be ordered");
+            assert!(depart >= last_depart, "departures must be ordered");
             last_depart = depart;
-            total_bytes += size as u64;
+            total_bytes += u64::from(size);
         }
         // Over the whole busy horizon the link served at most line rate.
         let span = (last_depart - first).as_nanos().max(1);
-        let max_bytes = span as u128 * rate as u128 / 8 / 1_000_000_000 + 9000;
-        prop_assert!(
-            (total_bytes as u128) <= max_bytes,
-            "served {} bytes in {} ns", total_bytes, span
+        let max_bytes = u128::from(span) * u128::from(rate) / 8 / 1_000_000_000 + 9000;
+        assert!(
+            u128::from(total_bytes) <= max_bytes,
+            "served {total_bytes} bytes in {span} ns"
         );
     }
+}
 
-    #[test]
-    fn tx_time_monotone_in_size(a in 1u64..100_000, b in 1u64..100_000) {
+#[test]
+fn tx_time_monotone_in_size() {
+    let mut rng = SimRng::new(0xE1E1_0003);
+    for _ in 0..256 {
+        let a = 1 + rng.gen_range(99_999);
+        let b = 1 + rng.gen_range(99_999);
         let rate = 12_500_000_000;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(Ns::tx_time(lo, rate) <= Ns::tx_time(hi, rate));
+        assert!(Ns::tx_time(lo, rate) <= Ns::tx_time(hi, rate));
     }
+}
 
-    #[test]
-    fn bucket_index_consistent_with_ranges(t in 0u64..10_000_000, interval in 1u64..100_000) {
+#[test]
+fn bucket_index_consistent_with_ranges() {
+    let mut rng = SimRng::new(0xE1E1_0004);
+    for _ in 0..256 {
+        let t = rng.gen_range(10_000_000);
+        let interval = 1 + rng.gen_range(99_999);
         let iv = Ns(interval);
         let idx = Ns(t).bucket_index(iv);
-        prop_assert!(idx * interval <= t);
-        prop_assert!(t < (idx + 1) * interval);
+        assert!(idx * interval <= t);
+        assert!(t < (idx + 1) * interval);
     }
 }

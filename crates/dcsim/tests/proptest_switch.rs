@@ -1,10 +1,13 @@
-//! Property-based tests for the shared-buffer switch: under arbitrary
+//! Randomized tests for the shared-buffer switch: under arbitrary
 //! enqueue/dequeue interleavings the buffer accounting must balance, the
 //! pool must never exceed capacity, and FIFO order must hold per queue.
+//!
+//! Inputs are generated from the repo's own deterministic [`SimRng`]
+//! (the workspace builds offline, without proptest), so every case is
+//! reproducible from its printed seed.
 
 use ms_dcsim::packet::FlowId;
-use ms_dcsim::{Ns, Packet, SharedBufferSwitch, SharingPolicy, SwitchConfig};
-use proptest::prelude::*;
+use ms_dcsim::{Ns, Packet, SharedBufferSwitch, SharingPolicy, SimRng, SwitchConfig};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,11 +15,21 @@ enum Op {
     Dequeue { queue: usize },
 }
 
-fn op_strategy(queues: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..queues, 64u32..9000).prop_map(|(queue, size)| Op::Enqueue { queue, size }),
-        2 => (0..queues).prop_map(|queue| Op::Dequeue { queue }),
-    ]
+/// Weighted 3:2 enqueue:dequeue, sizes in `64..9000` — the same
+/// distribution the original proptest strategy drew from.
+fn random_ops(rng: &mut SimRng, queues: usize, max_len: u64) -> Vec<Op> {
+    let len = 1 + rng.gen_range(max_len) as usize;
+    (0..len)
+        .map(|_| {
+            let queue = rng.gen_range(queues as u64) as usize;
+            if rng.gen_range(5) < 3 {
+                let size = 64 + rng.gen_range(9000 - 64) as u32;
+                Op::Enqueue { queue, size }
+            } else {
+                Op::Dequeue { queue }
+            }
+        })
+        .collect()
 }
 
 fn config(policy: SharingPolicy, alpha: f64) -> SwitchConfig {
@@ -68,32 +81,49 @@ fn run_ops(cfg: SwitchConfig, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dt_switch_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+#[test]
+fn dt_switch_invariants_hold() {
+    let mut rng = SimRng::new(0x5157_0001);
+    for case in 0..64 {
+        let ops = random_ops(&mut rng, 6, 399);
         run_ops(config(SharingPolicy::DynamicThreshold, 1.0), &ops);
+        let _ = case;
     }
+}
 
-    #[test]
-    fn dt_low_alpha_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+#[test]
+fn dt_low_alpha_invariants_hold() {
+    let mut rng = SimRng::new(0x5157_0002);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 6, 399);
         run_ops(config(SharingPolicy::DynamicThreshold, 0.25), &ops);
     }
+}
 
-    #[test]
-    fn complete_sharing_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+#[test]
+fn complete_sharing_invariants_hold() {
+    let mut rng = SimRng::new(0x5157_0003);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 6, 399);
         run_ops(config(SharingPolicy::CompleteSharing, 1.0), &ops);
     }
+}
 
-    #[test]
-    fn static_partition_invariants_hold(ops in prop::collection::vec(op_strategy(6), 1..400)) {
+#[test]
+fn static_partition_invariants_hold() {
+    let mut rng = SimRng::new(0x5157_0004);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 6, 399);
         run_ops(config(SharingPolicy::StaticPartition, 1.0), &ops);
     }
+}
 
-    #[test]
-    fn admitted_bytes_conserved(ops in prop::collection::vec(op_strategy(4), 1..300)) {
-        // Bytes in == bytes held + bytes dequeued, per queue.
+#[test]
+fn admitted_bytes_conserved() {
+    // Bytes in == bytes held + bytes dequeued, per queue.
+    let mut rng = SimRng::new(0x5157_0005);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 4, 299);
         let cfg = config(SharingPolicy::DynamicThreshold, 2.0);
         let mut sw = SharedBufferSwitch::new(cfg);
         let mut admitted = [0u64; 4];
@@ -101,45 +131,48 @@ proptest! {
         for (i, op) in ops.iter().enumerate() {
             match *op {
                 Op::Enqueue { queue, size } => {
-                    let queue = queue % 4;
                     let pkt = Packet::data(FlowId(i as u64), 100, queue as u32, 0, size);
                     if sw.try_enqueue(queue, pkt, Ns(i as u64)).accepted() {
-                        admitted[queue] += size as u64;
+                        admitted[queue] += u64::from(size);
                     }
                 }
                 Op::Dequeue { queue } => {
-                    let queue = queue % 4;
                     if let Some(p) = sw.dequeue(queue) {
-                        dequeued[queue] += p.size as u64;
+                        dequeued[queue] += u64::from(p.size);
                     }
                 }
             }
         }
         for queue in 0..4 {
-            prop_assert_eq!(
+            assert_eq!(
                 admitted[queue],
                 dequeued[queue] + sw.queue_occupancy(queue),
-                "queue {} leaked bytes", queue
+                "queue {queue} leaked bytes"
             );
         }
     }
+}
 
-    #[test]
-    fn ecn_marks_only_above_threshold(
-        sizes in prop::collection::vec(64u32..9000, 1..120)
-    ) {
+#[test]
+fn ecn_marks_only_above_threshold() {
+    let mut rng = SimRng::new(0x5157_0006);
+    for _ in 0..64 {
         let cfg = config(SharingPolicy::DynamicThreshold, 1.0);
         let threshold = cfg.ecn_threshold;
         let mut sw = SharedBufferSwitch::new(cfg);
-        for (i, &size) in sizes.iter().enumerate() {
+        let n = 1 + rng.gen_range(119) as usize;
+        for i in 0..n {
+            let size = 64 + rng.gen_range(9000 - 64) as u32;
             let before = sw.queue_occupancy(0);
             let pkt = Packet::data(FlowId(i as u64), 100, 0, 0, size);
-            if let ms_dcsim::EnqueueOutcome::Enqueued { marked } =
-                sw.try_enqueue(0, pkt, Ns::ZERO)
+            if let ms_dcsim::EnqueueOutcome::Enqueued { marked } = sw.try_enqueue(0, pkt, Ns::ZERO)
             {
-                let after = before + size as u64;
-                prop_assert_eq!(marked, after > threshold,
-                    "mark decision wrong at occupancy {}", after);
+                let after = before + u64::from(size);
+                assert_eq!(
+                    marked,
+                    after > threshold,
+                    "mark decision wrong at occupancy {after}"
+                );
             }
         }
     }

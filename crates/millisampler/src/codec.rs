@@ -7,9 +7,11 @@
 //! values — mostly zeros with occasional spikes — so **zig-zag delta +
 //! LEB128 varint** encoding compresses them by an order of magnitude
 //! without a general-purpose compressor dependency.
+//!
+//! The encoding is canonical: a given [`HostSeries`] always produces the
+//! same byte string, which is what the determinism regression tests compare.
 
 use crate::run::HostSeries;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ms_dcsim::Ns;
 
 /// Errors produced while decoding stored runs.
@@ -37,26 +39,54 @@ impl std::error::Error for DecodeError {}
 
 const MAGIC: &[u8; 4] = b"MSR1";
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            return;
+/// A read cursor over an encoded byte slice.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.data.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
         }
-        buf.put_u8(byte | 0x80);
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8; // simlint: allow(cast-truncation): masked to 7 bits
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     for shift in (0..64).step_by(7) {
-        if !buf.has_remaining() {
-            return Err(DecodeError::Truncated);
-        }
-        let byte = buf.get_u8();
-        v |= ((byte & 0x7f) as u64) << shift;
+        let byte = buf.get_u8()?;
+        v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
         }
@@ -72,7 +102,7 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_series(buf: &mut BytesMut, series: &[u64]) {
+fn put_series(buf: &mut Vec<u8>, series: &[u64]) {
     let mut prev = 0i64;
     for &v in series {
         let delta = v as i64 - prev;
@@ -81,7 +111,7 @@ fn put_series(buf: &mut BytesMut, series: &[u64]) {
     }
 }
 
-fn get_series(buf: &mut Bytes, len: usize) -> Result<Vec<u64>, DecodeError> {
+fn get_series(buf: &mut Reader<'_>, len: usize) -> Result<Vec<u64>, DecodeError> {
     let mut out = Vec::with_capacity(len);
     let mut prev = 0i64;
     for _ in 0..len {
@@ -93,10 +123,10 @@ fn get_series(buf: &mut Bytes, len: usize) -> Result<Vec<u64>, DecodeError> {
 }
 
 /// Encodes a completed run for storage.
-pub fn encode(series: &HostSeries) -> Bytes {
-    let mut buf = BytesMut::with_capacity(series.len() * 2 + 64);
-    buf.put_slice(MAGIC);
-    put_varint(&mut buf, series.host as u64);
+pub fn encode(series: &HostSeries) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(series.len() * 2 + 64);
+    buf.extend_from_slice(MAGIC);
+    put_varint(&mut buf, u64::from(series.host));
     put_varint(&mut buf, series.start.as_nanos());
     put_varint(&mut buf, series.interval.as_nanos());
     put_varint(&mut buf, series.len() as u64);
@@ -110,16 +140,16 @@ pub fn encode(series: &HostSeries) -> Bytes {
     ] {
         put_series(&mut buf, s);
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a stored run.
-pub fn decode(data: &Bytes) -> Result<HostSeries, DecodeError> {
-    let mut buf = data.clone();
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+pub fn decode(data: &[u8]) -> Result<HostSeries, DecodeError> {
+    let mut buf = Reader::new(data);
+    if buf.remaining() < 4 || buf.get_bytes(4)? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let host = get_varint(&mut buf)? as u32;
+    let host = get_varint(&mut buf)? as u32; // simlint: allow(cast-truncation): host ids are u32 by construction
     let start = Ns(get_varint(&mut buf)?);
     let interval = Ns(get_varint(&mut buf)?);
     let len = get_varint(&mut buf)? as usize;
@@ -176,10 +206,7 @@ mod tests {
         let s = sample_series();
         let raw = s.len() * 6 * 8; // six u64 series
         let enc = encode(&s).len();
-        assert!(
-            enc * 5 < raw,
-            "encoded {enc} should be <20% of raw {raw}"
-        );
+        assert!(enc * 5 < raw, "encoded {enc} should be <20% of raw {raw}");
     }
 
     #[test]
@@ -192,25 +219,33 @@ mod tests {
     #[test]
     fn varint_round_trip_boundaries() {
         for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
-            let mut buf = BytesMut::new();
+            let mut buf = Vec::new();
             put_varint(&mut buf, v);
-            let mut b = buf.freeze();
-            assert_eq!(get_varint(&mut b).unwrap(), v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(get_varint(&mut r).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        // The same series must always encode to the same bytes — the
+        // property the determinism regression tests build on.
+        let a = encode(&sample_series());
+        let b = encode(&sample_series());
+        assert_eq!(a, b);
     }
 
     #[test]
     fn truncated_input_rejected() {
         let s = sample_series();
         let enc = encode(&s);
-        let cut = enc.slice(0..enc.len() / 2);
-        assert!(matches!(decode(&cut), Err(DecodeError::Truncated)));
+        let cut = &enc[..enc.len() / 2];
+        assert!(matches!(decode(cut), Err(DecodeError::Truncated)));
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let junk = Bytes::from_static(b"NOPE1234567890");
-        assert_eq!(decode(&junk), Err(DecodeError::BadMagic));
+        assert_eq!(decode(b"NOPE1234567890"), Err(DecodeError::BadMagic));
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl TcFilter {
             buckets: cfg.buckets,
             state: FilterState::Detached,
             started: None,
-            per_cpu: (0..num_cpus).map(|_| CpuCounters::new(cfg.buckets)).collect(),
+            per_cpu: (0..num_cpus)
+                .map(|_| CpuCounters::new(cfg.buckets))
+                .collect(),
             count_flows: cfg.count_flows,
         }
     }

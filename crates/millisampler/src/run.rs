@@ -1,14 +1,13 @@
 //! Run configuration and per-host run output.
 
 use ms_dcsim::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one Millisampler run.
 ///
 /// The deployment schedules runs with three interval values — 10 ms, 1 ms,
 /// and 100 µs — and always 2000 buckets, so observation periods range from
 /// 200 ms to 20 s (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// Sampling interval (bucket width).
     pub interval: Ns,
@@ -59,7 +58,7 @@ impl RunConfig {
 ///
 /// `start` is in the **host's clock**; SyncMillisampler uses it to align
 /// runs across hosts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostSeries {
     /// Host identifier (rack-local server index in the simulations).
     pub host: u32,
@@ -170,12 +169,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn codec_round_trip() {
         let mut s = HostSeries::zeroed(3, Ns(123), Ns::from_millis(1), 8);
         s.in_bytes[2] = 42;
         s.conns[2] = 7;
-        let json = serde_json::to_string(&s).unwrap();
-        let back: HostSeries = serde_json::from_str(&json).unwrap();
+        let bytes = crate::codec::encode(&s);
+        let back = crate::codec::decode(&bytes).unwrap();
         assert_eq!(back, s);
     }
 }

@@ -4,15 +4,14 @@
 //! them on demand, retaining about a week of history (§4.2). [`HostStore`]
 //! models that store: encoded runs keyed by their start time, a retention
 //! window enforced on insert, and a byte budget so the history stays at
-//! "typically a few hundred megabytes". Thread-safe via a `parking_lot`
-//! mutex because the SyncMillisampler control plane fetches from stores
-//! concurrently with the local agent appending.
+//! "typically a few hundred megabytes". Thread-safe via a mutex because
+//! the SyncMillisampler control plane fetches from stores concurrently
+//! with the local agent appending.
 
 use crate::codec::{self, DecodeError};
 use crate::run::HostSeries;
-use bytes::Bytes;
 use ms_dcsim::Ns;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Retention/budget configuration.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +36,7 @@ impl Default for StoreConfig {
 #[derive(Debug)]
 struct Entry {
     start: Ns,
-    data: Bytes,
+    data: Vec<u8>,
 }
 
 /// The on-host run history.
@@ -49,6 +48,14 @@ pub struct HostStore {
 }
 
 impl HostStore {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        // A panic while holding the lock cannot leave the Vec in a torn
+        // state (all mutation is append + retain), so poisoning is benign.
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Creates an empty store.
     pub fn new(cfg: StoreConfig) -> Self {
         HostStore {
@@ -60,7 +67,7 @@ impl HostStore {
     /// Appends a completed run (encoding it) and enforces retention.
     pub fn append(&self, series: &HostSeries) {
         let data = codec::encode(series);
-        let mut entries = self.entries.lock();
+        let mut entries = self.lock();
         let start = series.start;
         entries.push(Entry { start, data });
         entries.sort_by_key(|e| e.start);
@@ -80,24 +87,24 @@ impl HostStore {
 
     /// Number of stored runs.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.lock().len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.lock().is_empty()
     }
 
     /// Total encoded bytes held.
     pub fn stored_bytes(&self) -> usize {
-        self.entries.lock().iter().map(|e| e.data.len()).sum()
+        self.lock().iter().map(|e| e.data.len()).sum()
     }
 
     /// Fetches and decodes all runs whose start time falls in
     /// `[from, to)` — the on-demand serving path used by the
     /// SyncMillisampler control plane and by diagnostic queries.
     pub fn fetch_range(&self, from: Ns, to: Ns) -> Result<Vec<HostSeries>, DecodeError> {
-        let entries = self.entries.lock();
+        let entries = self.lock();
         entries
             .iter()
             .filter(|e| e.start >= from && e.start < to)
@@ -107,7 +114,7 @@ impl HostStore {
 
     /// Fetches the most recent run, if any.
     pub fn latest(&self) -> Result<Option<HostSeries>, DecodeError> {
-        let entries = self.entries.lock();
+        let entries = self.lock();
         entries.last().map(|e| codec::decode(&e.data)).transpose()
     }
 }
@@ -176,7 +183,10 @@ mod tests {
         assert!(store.len() <= 4, "len {}", store.len());
         assert!(store.stored_bytes() <= per_run * 4);
         // Latest survives.
-        assert_eq!(store.latest().unwrap().unwrap().start, Ns::from_millis(9000));
+        assert_eq!(
+            store.latest().unwrap().unwrap().start,
+            Ns::from_millis(9000)
+        );
     }
 
     #[test]

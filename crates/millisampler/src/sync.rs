@@ -20,7 +20,6 @@
 use crate::run::{HostSeries, RunConfig};
 use crate::scheduler::{Scheduler, SyncScheduleError};
 use ms_dcsim::Ns;
-use serde::{Deserialize, Serialize};
 
 /// The rack-level result: every server's series resampled onto one uniform
 /// timeline (`start`, `interval`) and trimmed to the common window.
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// Servers that observed no traffic during the window appear as all-zero
 /// series, so indexing by server id is always valid — contention analysis
 /// needs "this server was not bursty", not "this server is missing".
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlignedRackRun {
     /// Rack identifier.
     pub rack: u32,
@@ -115,11 +114,7 @@ impl SyncCoordinator {
     /// Schedules a simultaneous run on every host, returning the agreed
     /// start time. All-or-nothing: if any host refuses, none are left with
     /// a pending request.
-    pub fn schedule(
-        &self,
-        now: Ns,
-        schedulers: &mut [Scheduler],
-    ) -> Result<Ns, SyncScheduleError> {
+    pub fn schedule(&self, now: Ns, schedulers: &mut [Scheduler]) -> Result<Ns, SyncScheduleError> {
         let lead = schedulers
             .iter()
             .map(|s| s.min_sync_lead())
@@ -143,11 +138,7 @@ impl SyncCoordinator {
     /// `num_servers` fixes the rack width; hosts without a series (no
     /// packet during the run) become all-zero rows. Returns `None` when no
     /// host collected anything or the common window is empty.
-    pub fn assemble(
-        &self,
-        series: Vec<HostSeries>,
-        num_servers: usize,
-    ) -> Option<AlignedRackRun> {
+    pub fn assemble(&self, series: Vec<HostSeries>, num_servers: usize) -> Option<AlignedRackRun> {
         let interval = self.config.interval;
         debug_assert!(series.iter().all(|s| s.interval == interval));
         let active: Vec<&HostSeries> = series.iter().filter(|s| !s.is_empty()).collect();
@@ -176,14 +167,15 @@ impl SyncCoordinator {
             return None;
         }
 
-        let mut servers: Vec<HostSeries> = (0..num_servers as u32)
+        let width = u32::try_from(num_servers).expect("rack width fits u32");
+        let mut servers: Vec<HostSeries> = (0..width)
             .map(|h| HostSeries::zeroed(h, start, interval, out_len))
             .collect();
 
         for s in &active {
             // Signed source offset of the grid origin, in buckets.
-            let offset = (start.as_nanos() as f64 - s.start.as_nanos() as f64)
-                / interval.as_nanos() as f64;
+            let offset =
+                (start.as_nanos() as f64 - s.start.as_nanos() as f64) / interval.as_nanos() as f64;
             let host = s.host as usize;
             if host >= servers.len() {
                 continue;
@@ -271,7 +263,9 @@ mod tests {
     #[test]
     fn interpolation_approximately_conserves_volume() {
         let c = coordinator();
-        let spiky: Vec<u64> = (0..100).map(|i| if i % 7 == 0 { 1_000_000 } else { 0 }).collect();
+        let spiky: Vec<u64> = (0..100)
+            .map(|i| if i % 7 == 0 { 1_000_000 } else { 0 })
+            .collect();
         let a = series(0, Ns::from_millis(0), &vec![1; 100]);
         let b = series(1, Ns::from_micros(300), &spiky);
         let run = c.assemble(vec![a, b.clone()], 2).unwrap();

@@ -1,87 +1,101 @@
-//! Property-based tests for the sampler: codec round-trips, filter
-//! counting exactness, and SyncMillisampler alignment conservation.
+//! Randomized tests for the sampler: codec round-trips, filter counting
+//! exactness, and SyncMillisampler alignment conservation. Inputs come
+//! from the repo's deterministic [`SimRng`] (the workspace builds offline,
+//! without proptest).
 
 use millisampler::codec;
 use millisampler::sync::SyncCoordinator;
 use millisampler::{Direction, HostSeries, PacketMeta, RunConfig, TcFilter};
-use ms_dcsim::Ns;
-use proptest::prelude::*;
+use ms_dcsim::{Ns, SimRng};
 
-fn arb_series(host: u32) -> impl Strategy<Value = HostSeries> {
-    (
-        0u64..10_000_000,
-        1usize..300,
-        prop::collection::vec(0u64..2_000_000, 1..300),
-    )
-        .prop_map(move |(start, _len, values)| {
-            let n = values.len();
-            let mut s = HostSeries::zeroed(host, Ns(start), Ns::from_millis(1), n);
-            s.in_bytes = values.clone();
-            // Derived series with plausible relationships.
-            s.in_retx = values.iter().map(|v| v / 100).collect();
-            s.in_ecn = values.iter().map(|v| v / 10).collect();
-            s.out_bytes = values.iter().map(|v| v / 20).collect();
-            s.out_retx = vec![0; n];
-            s.conns = values.iter().map(|v| (v / 50_000).min(500)).collect();
-            s
-        })
+fn random_series(rng: &mut SimRng, host: u32) -> HostSeries {
+    let start = rng.gen_range(10_000_000);
+    let n = 1 + rng.gen_range(299) as usize;
+    let values: Vec<u64> = (0..n).map(|_| rng.gen_range(2_000_000)).collect();
+    let mut s = HostSeries::zeroed(host, Ns(start), Ns::from_millis(1), n);
+    // Derived series with plausible relationships.
+    s.in_retx = values.iter().map(|v| v / 100).collect();
+    s.in_ecn = values.iter().map(|v| v / 10).collect();
+    s.out_bytes = values.iter().map(|v| v / 20).collect();
+    s.out_retx = vec![0; n];
+    s.conns = values.iter().map(|v| (v / 50_000).min(500)).collect();
+    s.in_bytes = values;
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn codec_round_trips_any_series(s in arb_series(3)) {
+#[test]
+fn codec_round_trips_any_series() {
+    let mut rng = SimRng::new(0xC0DE_0001);
+    for _ in 0..64 {
+        let s = random_series(&mut rng, 3);
         let enc = codec::encode(&s);
         let dec = codec::decode(&enc).unwrap();
-        prop_assert_eq!(dec, s);
+        assert_eq!(dec, s);
     }
+}
 
-    #[test]
-    fn codec_rejects_any_truncation(s in arb_series(1), cut_frac in 0.01f64..0.99) {
+#[test]
+fn codec_rejects_any_truncation() {
+    let mut rng = SimRng::new(0xC0DE_0002);
+    for _ in 0..64 {
+        let s = random_series(&mut rng, 1);
         let enc = codec::encode(&s);
+        let cut_frac = 0.01 + rng.next_f64() * 0.98;
         let cut = (enc.len() as f64 * cut_frac) as usize;
         if cut < enc.len() {
-            let sliced = enc.slice(0..cut);
-            prop_assert!(codec::decode(&sliced).is_err());
+            assert!(codec::decode(&enc[..cut]).is_err());
         }
     }
+}
 
-    #[test]
-    fn codec_never_panics_on_arbitrary_bytes(junk in prop::collection::vec(any::<u8>(), 0..600)) {
-        // Fuzz the decoder: arbitrary input must produce Ok or Err,
-        // never a panic or a pathological allocation.
-        let _ = codec::decode(&bytes::Bytes::from(junk));
+#[test]
+fn codec_never_panics_on_arbitrary_bytes() {
+    // Fuzz the decoder: arbitrary input must produce Ok or Err,
+    // never a panic or a pathological allocation.
+    let mut rng = SimRng::new(0xC0DE_0003);
+    for _ in 0..64 {
+        let len = rng.gen_range(600) as usize;
+        let junk: Vec<u8> = (0..len).map(|_| rng.gen_range(256) as u8).collect();
+        let _ = codec::decode(&junk);
     }
+}
 
-    #[test]
-    fn codec_survives_single_byte_corruption(
-        s in arb_series(2),
-        pos_frac in 0.0f64..1.0,
-        flip in 1u8..=255,
-    ) {
-        let enc = codec::encode(&s);
-        let mut v = enc.to_vec();
-        let pos = ((v.len() - 1) as f64 * pos_frac) as usize;
+#[test]
+fn codec_survives_single_byte_corruption() {
+    let mut rng = SimRng::new(0xC0DE_0004);
+    for _ in 0..64 {
+        let s = random_series(&mut rng, 2);
+        let mut v = codec::encode(&s);
+        let pos = rng.gen_range(v.len() as u64) as usize;
+        let flip = 1 + rng.gen_range(255) as u8;
         v[pos] ^= flip;
         // Either rejected or decoded into *something* — never a panic.
-        let _ = codec::decode(&bytes::Bytes::from(v));
+        let _ = codec::decode(&v);
     }
+}
 
-    #[test]
-    fn filter_counts_every_recorded_byte(
-        pkts in prop::collection::vec(
-            (0u64..100_000_000, 64u32..9000, any::<bool>(), any::<bool>(), any::<u64>()),
-            1..300
-        )
-    ) {
-        // Record an arbitrary in-window packet stream; totals must match
-        // the sum of what was offered (every packet lands in some bucket
-        // because times stay inside the observation window).
+#[test]
+fn filter_counts_every_recorded_byte() {
+    // Record an arbitrary in-window packet stream; totals must match
+    // the sum of what was offered (every packet lands in some bucket
+    // because times stay inside the observation window).
+    let mut rng = SimRng::new(0xC0DE_0005);
+    for _ in 0..64 {
+        let n = 1 + rng.gen_range(299) as usize;
+        let mut pkts: Vec<(u64, u32, bool, bool, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(100_000_000),
+                    64 + rng.gen_range(9000 - 64) as u32,
+                    rng.gen_bool(0.5),
+                    rng.gen_bool(0.5),
+                    rng.next_u64(),
+                )
+            })
+            .collect();
         let mut f = TcFilter::new(&RunConfig::one_ms(), 4);
         f.attach();
         f.enable();
-        let mut pkts = pkts;
         pkts.sort_by_key(|p| p.0);
         let mut expect_in = 0u64;
         let mut expect_retx = 0u64;
@@ -95,30 +109,39 @@ proptest! {
                 flow_hash: ms_sketch::mix64(flow),
             };
             f.record(i % 4, Ns(t), &meta);
-            expect_in += bytes as u64;
-            if retx { expect_retx += bytes as u64; }
-            if ecn { expect_ecn += bytes as u64; }
+            expect_in += u64::from(bytes);
+            if retx {
+                expect_retx += u64::from(bytes);
+            }
+            if ecn {
+                expect_ecn += u64::from(bytes);
+            }
         }
         let s = f.read(0).unwrap();
-        prop_assert_eq!(s.total_in_bytes(), expect_in);
-        prop_assert_eq!(s.total_in_retx(), expect_retx);
-        prop_assert_eq!(s.in_ecn.iter().sum::<u64>(), expect_ecn);
+        assert_eq!(s.total_in_bytes(), expect_in);
+        assert_eq!(s.total_in_retx(), expect_retx);
+        assert_eq!(s.in_ecn.iter().sum::<u64>(), expect_ecn);
     }
+}
 
-    #[test]
-    fn alignment_conserves_volume_within_edges(
-        base in prop::collection::vec(0u64..2_000_000, 50..200),
-        skew_us in 0i64..900,
-    ) {
-        // Two hosts observe the same traffic but with skewed clocks; the
-        // aligned series must conserve each host's volume to within the
-        // edge buckets lost to trimming.
-        let c = SyncCoordinator::new(0, RunConfig {
-            interval: Ns::from_millis(1),
-            buckets: 2000,
-            count_flows: true,
-        });
-        let n = base.len();
+#[test]
+fn alignment_conserves_volume_within_edges() {
+    // Two hosts observe the same traffic but with skewed clocks; the
+    // aligned series must conserve each host's volume to within the
+    // edge buckets lost to trimming.
+    let mut rng = SimRng::new(0xC0DE_0006);
+    for _ in 0..64 {
+        let n = 50 + rng.gen_range(150) as usize;
+        let base: Vec<u64> = (0..n).map(|_| rng.gen_range(2_000_000)).collect();
+        let skew_us = rng.gen_range(900) as i64;
+        let c = SyncCoordinator::new(
+            0,
+            RunConfig {
+                interval: Ns::from_millis(1),
+                buckets: 2000,
+                count_flows: true,
+            },
+        );
         let mk = |host: u32, start_ns: u64| {
             let mut s = HostSeries::zeroed(host, Ns(start_ns), Ns::from_millis(1), n);
             s.in_bytes = base.clone();
@@ -131,38 +154,48 @@ proptest! {
         let run = c.assemble(vec![a, b], 2).unwrap();
         for host in 0..2 {
             let got: u64 = run.servers[host].in_bytes.iter().sum();
-            prop_assert!(
+            assert!(
                 got <= total + 2,
-                "aligned volume exceeds source: {} > {}", got, total
+                "aligned volume exceeds source: {got} > {total}"
             );
-            prop_assert!(
+            assert!(
                 got + edge_max + 2 >= total,
-                "aligned volume lost more than the edges: {} vs {}", got, total
+                "aligned volume lost more than the edges: {got} vs {total}"
             );
         }
     }
+}
 
-    #[test]
-    fn aligned_rows_always_match_requested_width(
-        n_hosts in 1usize..6,
-        width in 1usize..10,
-    ) {
-        let c = SyncCoordinator::new(0, RunConfig {
-            interval: Ns::from_millis(1),
-            buckets: 2000,
-            count_flows: true,
-        });
+#[test]
+fn aligned_rows_always_match_requested_width() {
+    let mut rng = SimRng::new(0xC0DE_0007);
+    for _ in 0..64 {
+        let n_hosts = 1 + rng.gen_range(5) as usize;
+        let width = 1 + rng.gen_range(9) as usize;
+        let c = SyncCoordinator::new(
+            0,
+            RunConfig {
+                interval: Ns::from_millis(1),
+                buckets: 2000,
+                count_flows: true,
+            },
+        );
         let series: Vec<HostSeries> = (0..n_hosts as u32)
             .map(|h| {
-                let mut s = HostSeries::zeroed(h, Ns::from_millis(5 + h as u64), Ns::from_millis(1), 50);
+                let mut s = HostSeries::zeroed(
+                    h,
+                    Ns::from_millis(5 + u64::from(h)),
+                    Ns::from_millis(1),
+                    50,
+                );
                 s.in_bytes[0] = 1;
                 s
             })
             .collect();
         if let Some(run) = c.assemble(series, width) {
-            prop_assert_eq!(run.servers.len(), width);
+            assert_eq!(run.servers.len(), width);
             let len = run.len();
-            prop_assert!(run.servers.iter().all(|s| s.len() == len));
+            assert!(run.servers.iter().all(|s| s.len() == len));
         }
     }
 }

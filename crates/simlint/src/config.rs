@@ -1,0 +1,211 @@
+//! `simlint.toml` — the checked-in configuration driving the analysis.
+//!
+//! The parser understands exactly the TOML subset the config needs
+//! (tables, string values, possibly-multiline string arrays, comments) so
+//! the workspace stays dependency-free. Anything else is a hard error:
+//! a lint config that half-parses is worse than one that refuses to.
+//!
+//! ```toml
+//! [scan]
+//! crates = ["crates/dcsim", "crates/millisampler"]
+//!
+//! [hotpath]
+//! functions = ["TcFilter::record"]
+//!
+//! [allow]
+//! # "<rule-id> <workspace-relative-path>" — suppresses the rule for the
+//! # whole file. Prefer inline `// simlint: allow(rule): reason` comments;
+//! # file-level entries are for files where the rule is wholesale
+//! # inapplicable (e.g. a wire format made of u16/u32 fields).
+//! rules = ["cast-truncation crates/dcsim/src/pcap.rs"]
+//! ```
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Workspace-relative crate directories subject to the simulation
+    /// invariants (determinism + cast rules).
+    pub crates: Vec<String>,
+    /// `Type::function` names whose bodies must obey the hot-path rules.
+    pub hot_functions: Vec<String>,
+    /// File-level suppressions: `(rule-id, workspace-relative path)`.
+    pub allow: Vec<(String, String)>,
+}
+
+impl Config {
+    /// Parses the TOML subset. Returns a message naming the offending line
+    /// on error.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut table = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                table = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", idx + 1));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // A `[` that doesn't close on this line starts a multiline
+            // array: keep consuming lines until the closing bracket.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("line {}: unterminated array", idx + 1));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            let values = parse_value(&value).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            match (table.as_str(), key) {
+                ("scan", "crates") => cfg.crates = values,
+                ("hotpath", "functions") => cfg.hot_functions = values,
+                ("allow", "rules") => {
+                    for entry in values {
+                        let Some((rule, path)) = entry.split_once(' ') else {
+                            return Err(format!(
+                                "line {}: allow entry {entry:?} must be \"<rule> <path>\"",
+                                idx + 1
+                            ));
+                        };
+                        cfg.allow.push((rule.to_string(), path.trim().to_string()));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "line {}: unknown key `{key}` in table `[{table}]`",
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Loads and parses a config file.
+    pub fn from_file(path: &std::path::Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Whether `rule` is suppressed for the whole of `path`.
+    pub fn file_allowed(&self, rule: &str, path: &str) -> bool {
+        self.allow.iter().any(|(r, p)| r == rule && p == path)
+    }
+}
+
+/// Strips a `#` comment — but not a `#` inside a string value.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"str"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            out.push(parse_string(part)?);
+        }
+        Ok(out)
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+/// Splits an array body on commas that are outside string quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    parts.push(current);
+    parts
+}
+
+fn parse_string(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[scan]
+crates = ["crates/dcsim", "crates/millisampler"] # trailing comment
+
+[hotpath]
+functions = [
+    "TcFilter::record",
+    "EventQueue::pop",
+]
+
+[allow]
+rules = ["cast-truncation crates/dcsim/src/pcap.rs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.crates, ["crates/dcsim", "crates/millisampler"]);
+        assert_eq!(cfg.hot_functions, ["TcFilter::record", "EventQueue::pop"]);
+        assert!(cfg.file_allowed("cast-truncation", "crates/dcsim/src/pcap.rs"));
+        assert!(!cfg.file_allowed("cast-truncation", "crates/dcsim/src/lib.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("[scan]\nfoo = \"bar\"\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_allow_entries() {
+        assert!(Config::parse("[allow]\nrules = [\"no-path\"]\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unquoted_values() {
+        assert!(Config::parse("[scan]\ncrates = [bare]\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_survives() {
+        let cfg = Config::parse("[allow]\nrules = [\"env-read a/b#c.rs\"]\n").unwrap();
+        assert_eq!(cfg.allow[0].1, "a/b#c.rs");
+    }
+}

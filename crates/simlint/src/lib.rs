@@ -1,0 +1,120 @@
+//! simlint — workspace-local static analysis for the Millisampler
+//! reproduction.
+//!
+//! The simulator's headline property is *reproducibility*: identical
+//! seeds must produce bit-identical traces, and the per-packet hot path
+//! must hold the paper's 7 ns disabled-cost budget (§4.3). Those are
+//! whole-workspace invariants that no single `#[test]` can own, so this
+//! crate enforces them structurally, before the code runs:
+//!
+//! * determinism — no hash-ordered collections, wall-clock reads,
+//!   ambient randomness, or environment reads inside simulation crates;
+//! * hot-path discipline — the functions named in `simlint.toml` neither
+//!   panic nor allocate;
+//! * cast safety — no silent `as u8/u16/u32` truncation.
+//!
+//! Run it with `cargo run -p simlint -- --deny` (CI does). Rules are
+//! listed and suppressed in the checked-in `simlint.toml`; one-off
+//! exceptions use `// simlint: allow(rule-id): reason` on or above the
+//! offending line. See `DESIGN.md` § "Invariants & static analysis".
+//!
+//! The analyzer is deliberately a token-level tool (see [`lexer`]): every
+//! invariant above is lexical, and keeping `syn` out keeps the workspace
+//! building offline with zero dependencies.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{render_human, render_json, Diagnostic};
+pub use rules::FileClass;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Analyzes every `.rs` file of every configured crate under `root`.
+///
+/// Files are visited in sorted order so output (and JSON) is stable.
+/// Returns the findings; IO problems (unreadable config, missing crate
+/// dir) are errors, because a lint run that silently scans nothing would
+/// report a misleading green.
+pub fn analyze(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, String> {
+    let mut diags = Vec::new();
+    let mut found_hot = BTreeSet::new();
+    let mut scanned = 0usize;
+    for crate_dir in &cfg.crates {
+        let dir = root.join(crate_dir);
+        if !dir.is_dir() {
+            return Err(format!(
+                "configured crate directory {} does not exist",
+                dir.display()
+            ));
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = rel_path(root, &path);
+            let rel_in_crate = rel
+                .strip_prefix(crate_dir.trim_end_matches('/'))
+                .map(|s| s.trim_start_matches('/'))
+                .unwrap_or(&rel);
+            let class = FileClass {
+                determinism: true,
+                cast: !rel_in_crate.starts_with("tests/"),
+            };
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            diags.extend(rules::check_source(&rel, &src, cfg, class, &mut found_hot));
+            scanned += 1;
+        }
+    }
+    if scanned == 0 {
+        return Err("no .rs files scanned — check [scan] crates in simlint.toml".into());
+    }
+    for missing in cfg.hot_functions.iter().filter(|f| !found_hot.contains(*f)) {
+        diags.push(Diagnostic::new(
+            "simlint.toml",
+            1,
+            1,
+            "hot-path-missing",
+            format!("configured hot function `{missing}` was not found in any scanned file"),
+            "a rename silently disables its coverage — update [hotpath] functions",
+        ));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Ok(diags)
+}
+
+/// Recursively collects `.rs` files, skipping build output and hidden
+/// directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative display path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,153 @@
+//! Rule-by-rule fixture tests: every rule must fire on its bad fixture,
+//! and every suppression mechanism (inline allow, file-level config
+//! allow, `tests/` exemption, `#[cfg(test)]` exemption) must suppress.
+
+use simlint::{analyze, Config, Diagnostic};
+use std::path::PathBuf;
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn base_config() -> Config {
+    Config {
+        crates: vec![".".to_string()],
+        hot_functions: vec!["Widget::poll".to_string()],
+        allow: Vec::new(),
+    }
+}
+
+fn run(cfg: &Config) -> Vec<Diagnostic> {
+    analyze(&fixtures_root(), cfg).expect("fixture scan must succeed")
+}
+
+fn has(diags: &[Diagnostic], file: &str, rule: &str, line: u32) -> bool {
+    diags
+        .iter()
+        .any(|d| d.file == file && d.rule == rule && d.line == line)
+}
+
+#[test]
+fn every_determinism_rule_fires() {
+    let d = run(&base_config());
+    let f = "determinism_bad.rs";
+    assert!(has(&d, f, "hash-collections", 3), "HashMap import");
+    assert!(has(&d, f, "hash-collections", 6), "HashMap use");
+    assert!(has(&d, f, "hash-collections", 7), "HashSet use");
+    assert!(has(&d, f, "wall-clock", 11), "Instant::now");
+    assert!(has(&d, f, "wall-clock", 12), "SystemTime::now");
+    assert!(has(&d, f, "ambient-rng", 16), "rand::random");
+    assert!(has(&d, f, "ambient-rng", 17), "thread_rng");
+    assert!(has(&d, f, "env-read", 21), "env::var");
+    assert!(has(&d, f, "env-read", 22), "env::args");
+}
+
+#[test]
+fn inline_allows_suppress_every_determinism_rule() {
+    let d = run(&base_config());
+    assert!(
+        d.iter().all(|d| d.file != "determinism_allowed.rs"),
+        "inline allows must silence the file: {d:?}"
+    );
+}
+
+#[test]
+fn hot_path_rules_fire_only_in_hot_functions() {
+    let d = run(&base_config());
+    let f = "hotpath_bad.rs";
+    assert!(has(&d, f, "hot-path-panic", 18), ".unwrap()");
+    assert!(has(&d, f, "hot-path-panic", 20), "panic!");
+    assert!(has(&d, f, "hot-path-alloc", 22), "format!");
+    assert!(has(&d, f, "hot-path-alloc", 23), ".to_string()");
+    assert!(has(&d, f, "hot-path-alloc", 24), "Box::new");
+    assert!(has(&d, f, "hot-path-alloc", 25), "Vec::new");
+    assert!(has(&d, f, "hot-path-alloc", 27), ".clone()");
+    assert!(has(&d, f, "hot-path-alloc", 28), ".collect()");
+    // The identical constructs in the cold `Widget::setup` stay legal.
+    assert!(
+        d.iter().all(|d| d.file != f || d.line >= 17),
+        "cold-path code must not be flagged: {d:?}"
+    );
+}
+
+#[test]
+fn clean_hot_function_with_inline_allow_passes() {
+    let d = run(&base_config());
+    assert!(
+        d.iter().all(|d| d.file != "hotpath_ok.rs"),
+        "clean hot path must lint clean: {d:?}"
+    );
+}
+
+#[test]
+fn cast_rule_fires_and_inline_allow_suppresses() {
+    let d = run(&base_config());
+    let casts: Vec<&Diagnostic> = d.iter().filter(|d| d.file == "casts.rs").collect();
+    assert_eq!(casts.len(), 1, "exactly the bare cast: {casts:?}");
+    assert_eq!(casts[0].rule, "cast-truncation");
+    assert_eq!(casts[0].line, 5);
+}
+
+#[test]
+fn file_level_config_allow_suppresses() {
+    let mut cfg = base_config();
+    cfg.allow
+        .push(("cast-truncation".to_string(), "casts.rs".to_string()));
+    let d = run(&cfg);
+    assert!(
+        d.iter().all(|d| d.file != "casts.rs"),
+        "config allow must silence the file: {d:?}"
+    );
+    // …without bleeding into other files.
+    assert!(has(&d, "cfg_test_mod.rs", "cast-truncation", 6));
+}
+
+#[test]
+fn cfg_test_modules_exempt_casts_but_not_determinism() {
+    let d = run(&base_config());
+    let f = "cfg_test_mod.rs";
+    assert!(has(&d, f, "cast-truncation", 6), "shipped code cast fires");
+    assert!(
+        !d.iter()
+            .any(|d| d.file == f && d.rule == "cast-truncation" && d.line == 12),
+        "cast inside #[cfg(test)] mod is exempt: {d:?}"
+    );
+    assert!(
+        has(&d, f, "hash-collections", 16),
+        "determinism still applies"
+    );
+}
+
+#[test]
+fn tests_dir_exempt_from_casts_but_not_determinism() {
+    let d = run(&base_config());
+    let f = "tests/in_tests_dir.rs";
+    assert!(
+        !d.iter().any(|d| d.file == f && d.rule == "cast-truncation"),
+        "tests/ files are exempt from the cast rule: {d:?}"
+    );
+    assert!(has(&d, f, "wall-clock", 9), "determinism still applies");
+}
+
+#[test]
+fn missing_hot_function_is_reported() {
+    let mut cfg = base_config();
+    cfg.hot_functions.push("Vanished::gone".to_string());
+    let d = run(&cfg);
+    assert!(
+        d.iter()
+            .any(|d| d.rule == "hot-path-missing" && d.message.contains("Vanished::gone")),
+        "renamed-away hot functions must be loud: {d:?}"
+    );
+}
+
+#[test]
+fn nonexistent_crate_dir_is_an_error_not_a_green() {
+    let cfg = Config {
+        crates: vec!["no/such/dir".to_string()],
+        ..Config::default()
+    };
+    assert!(analyze(&fixtures_root(), &cfg).is_err());
+}

@@ -1,0 +1,14 @@
+//! Fixture: truncating casts — one bare (fires), one allowed inline,
+//! and widening casts that must not fire.
+
+fn bad(x: u64) -> u32 {
+    x as u32
+}
+
+fn allowed(x: u64) -> u8 {
+    (x & 0x7f) as u8 // simlint: allow(cast-truncation): masked to 7 bits
+}
+
+fn widening(x: u32) -> u64 {
+    x as u64
+}

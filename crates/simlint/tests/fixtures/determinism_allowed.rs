@@ -1,0 +1,21 @@
+//! Fixture: the same banned patterns, every one suppressed inline.
+
+fn hashes() {
+    // simlint: allow(hash-collections): fixture demonstrates suppression
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new(); // simlint: allow(hash-collections): trailing form
+}
+
+fn clocks() {
+    // simlint: allow(wall-clock): harness timing, not simulation time
+    let t = std::time::Instant::now();
+}
+
+fn entropy() {
+    let x: u64 = rand::random(); // simlint: allow(ambient-rng): fixture
+}
+
+fn ambient() {
+    // simlint: allow(env-read): reads a CI-only variable
+    let home = std::env::var("HOME");
+}

@@ -1,0 +1,23 @@
+//! Fixture: every determinism rule fires. Not compiled — lexed only.
+
+use std::collections::{HashMap, HashSet};
+
+fn hashes() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+}
+
+fn clocks() {
+    let t = std::time::Instant::now();
+    let w = std::time::SystemTime::now();
+}
+
+fn entropy() {
+    let x: u64 = rand::random();
+    let mut rng = thread_rng();
+}
+
+fn ambient() {
+    let home = std::env::var("HOME");
+    let args: Vec<String> = std::env::args().collect();
+}

@@ -1,0 +1,20 @@
+//! Fixture: a clean hot function — guards via `debug_assert!`, explicit
+//! matches instead of unwrap, one inline-allowed exception.
+
+pub struct Widget {
+    slots: [u64; 8],
+}
+
+impl Widget {
+    #[inline]
+    pub fn poll(&mut self, x: Option<u64>) -> u64 {
+        debug_assert!(self.slots.len() == 8, "fixed-size table");
+        let v = match x {
+            Some(v) => v,
+            None => return 0,
+        };
+        // simlint: allow(hot-path-panic): index is masked to table size
+        let slot = self.slots.get((v & 7) as usize).unwrap();
+        slot + v
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: lives under `tests/`, so the cast rule does not apply —
+//! but determinism rules still do.
+
+fn helper(x: u64) -> u32 {
+    x as u32
+}
+
+fn flaky() {
+    let t = std::time::Instant::now();
+}

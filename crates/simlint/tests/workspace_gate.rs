@@ -1,0 +1,23 @@
+//! The self-check the whole PR hangs on: running simlint over this very
+//! workspace, with the checked-in `simlint.toml`, finds nothing. This is
+//! the same invocation CI runs as `cargo run -p simlint -- --deny`.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let cfg = simlint::Config::from_file(&root.join("simlint.toml")).expect("config parses");
+    assert!(
+        !cfg.crates.is_empty() && !cfg.hot_functions.is_empty(),
+        "config must actually cover something"
+    );
+    let diags = simlint::analyze(&root, &cfg).expect("scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace must be simlint-clean:\n{}",
+        simlint::render_human(&diags)
+    );
+}

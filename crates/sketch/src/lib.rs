@@ -22,8 +22,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 /// A direct bitmap sketch of `B` bits with linear-counting estimation.
 ///
 /// Inserting sets bit `hash % B`; the estimate for `z` zero bits out of `B`
@@ -34,34 +32,13 @@ use serde::{Deserialize, Serialize};
 /// The generic parameter is in **64-bit words** so the whole sketch is plain
 /// `u64` ops on the hot path: `FlowSketch<2>` is the 128-bit deployment
 /// configuration, re-exported as [`FlowSketch128`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowSketch<const WORDS: usize = 2> {
-    #[serde(with = "serde_words")]
     bits: [u64; WORDS],
 }
 
 /// The 128-bit sketch deployed in Millisampler.
 pub type FlowSketch128 = FlowSketch<2>;
-
-mod serde_words {
-    use serde::de::Error;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer, const W: usize>(
-        words: &[u64; W],
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        words.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>, const W: usize>(
-        d: D,
-    ) -> Result<[u64; W], D::Error> {
-        let v: Vec<u64> = Vec::deserialize(d)?;
-        v.try_into()
-            .map_err(|_| D::Error::custom("wrong sketch width"))
-    }
-}
 
 impl<const WORDS: usize> Default for FlowSketch<WORDS> {
     fn default() -> Self {
@@ -140,7 +117,7 @@ impl<const WORDS: usize> FlowSketch<WORDS> {
 ///
 /// Used only by ablation benchmarks ("what if Millisampler used a wider
 /// sketch?"); the deployment uses [`FlowSketch128`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MultiresBitmap<const WORDS: usize = 2, const RATIO: u64 = 8> {
     fine: FlowSketch<WORDS>,
     coarse: FlowSketch<WORDS>,

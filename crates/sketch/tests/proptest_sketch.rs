@@ -1,13 +1,38 @@
-//! Property-based tests for the flow sketches.
+//! Randomized tests for the flow sketches.
+//!
+//! `ms-sketch` has no dependencies (not even on `ms-dcsim`), so the test
+//! carries its own 5-line SplitMix64 — the same generator the simulator
+//! uses — to stay reproducible without proptest.
 
 use ms_sketch::{mix64, FlowSketch128};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// SplitMix64, as in `ms_dcsim::SimRng`.
+struct Rng(u64);
 
-    #[test]
-    fn insert_is_idempotent(hashes in prop::collection::vec(any::<u64>(), 1..64)) {
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn hashes(&mut self, min: u64, span: u64) -> Vec<u64> {
+        let len = (min + self.gen_range(span)) as usize;
+        (0..len).map(|_| self.next_u64()).collect()
+    }
+}
+
+#[test]
+fn insert_is_idempotent() {
+    let mut rng = Rng(0x5CE7_0001);
+    for _ in 0..256 {
+        let hashes = rng.hashes(1, 63);
         let mut once = FlowSketch128::new();
         let mut twice = FlowSketch128::new();
         for &h in &hashes {
@@ -15,14 +40,16 @@ proptest! {
             twice.insert(h);
             twice.insert(h);
         }
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn merge_is_commutative_and_idempotent(
-        xs in prop::collection::vec(any::<u64>(), 0..64),
-        ys in prop::collection::vec(any::<u64>(), 0..64),
-    ) {
+#[test]
+fn merge_is_commutative_and_idempotent() {
+    let mut rng = Rng(0x5CE7_0002);
+    for _ in 0..256 {
+        let xs = rng.hashes(0, 64);
+        let ys = rng.hashes(0, 64);
         let build = |hs: &[u64]| {
             let mut s = FlowSketch128::new();
             for &h in hs {
@@ -36,49 +63,59 @@ proptest! {
         ab.merge(&b);
         let mut ba = b;
         ba.merge(&a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
         let mut aa = ab;
         aa.merge(&ab);
-        prop_assert_eq!(aa, ab, "merge must be idempotent");
+        assert_eq!(aa, ab, "merge must be idempotent");
     }
+}
 
-    #[test]
-    fn estimate_monotone_under_inserts(hashes in prop::collection::vec(any::<u64>(), 1..200)) {
+#[test]
+fn estimate_monotone_under_inserts() {
+    let mut rng = Rng(0x5CE7_0003);
+    for _ in 0..256 {
+        let hashes = rng.hashes(1, 199);
         let mut s = FlowSketch128::new();
         let mut prev = 0.0f64;
         for &h in &hashes {
             s.insert(h);
             let e = s.estimate();
-            prop_assert!(e + 1e-9 >= prev, "estimate decreased: {} -> {}", prev, e);
+            assert!(e + 1e-9 >= prev, "estimate decreased: {prev} -> {e}");
             prev = e;
         }
     }
+}
 
-    #[test]
-    fn estimate_bounded_by_insert_count(n in 1u64..100) {
-        // With well-mixed distinct hashes, the estimate never exceeds what
-        // n inserts could possibly justify (collisions only reduce it), and
-        // small counts are recovered almost exactly.
+#[test]
+fn estimate_bounded_by_insert_count() {
+    // With well-mixed distinct hashes, the estimate never exceeds what
+    // n inserts could possibly justify (collisions only reduce it), and
+    // small counts are recovered almost exactly.
+    for n in 1u64..100 {
         let mut s = FlowSketch128::new();
         for i in 0..n {
-            s.insert(mix64(i.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xABCDEF));
+            s.insert(mix64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCDEF));
         }
         let e = s.estimate();
         // Linear-counting positive bias at small n is tiny; allow slack.
-        prop_assert!(e <= n as f64 * 1.6 + 3.0, "n={} estimate={}", n, e);
+        assert!(e <= n as f64 * 1.6 + 3.0, "n={n} estimate={e}");
         if n <= 10 {
-            prop_assert!((e - n as f64).abs() <= 3.0, "n={} estimate={}", n, e);
+            assert!((e - n as f64).abs() <= 3.0, "n={n} estimate={e}");
         }
     }
+}
 
-    #[test]
-    fn ones_matches_distinct_bit_positions(hashes in prop::collection::vec(any::<u64>(), 0..64)) {
+#[test]
+fn ones_matches_distinct_bit_positions() {
+    let mut rng = Rng(0x5CE7_0004);
+    for _ in 0..256 {
+        let hashes = rng.hashes(0, 64);
         let mut s = FlowSketch128::new();
         let mut bits = std::collections::BTreeSet::new();
         for &h in &hashes {
             s.insert(h);
             bits.insert(h % 128);
         }
-        prop_assert_eq!(s.ones() as usize, bits.len());
+        assert_eq!(s.ones() as usize, bits.len());
     }
 }

@@ -12,10 +12,9 @@
 //! * never fall below 1 MSS.
 
 use ms_dcsim::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Which congestion control algorithm a sender runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CcAlgorithm {
     /// Data Center TCP: ECN-proportional backoff (in-region default).
     Dctcp,
@@ -88,7 +87,7 @@ fn initial_cwnd(mss: u32) -> u64 {
 
 /// NewReno: slow start, AIMD congestion avoidance, ECN treated as loss
 /// (at most one multiplicative decrease per RTT, RFC 3168 style).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Reno {
     mss: u32,
     cwnd: u64,
@@ -169,7 +168,7 @@ impl CongestionControl for Reno {
 
 /// Cubic (RFC 8312, without the TCP-friendly region — DC RTTs are so small
 /// that the cubic region dominates anyway; documented simplification).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cubic {
     mss: u32,
     cwnd: u64,
@@ -282,7 +281,7 @@ impl CongestionControl for Cubic {
 /// DCTCP holds queues near the marking threshold — which is exactly why
 /// the paper's ToRs can run a 120 KB ECN threshold against a multi-MB
 /// buffer, and why persistent-contention racks adapt so well (§8.1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dctcp {
     mss: u32,
     cwnd: u64,

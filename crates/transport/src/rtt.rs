@@ -7,10 +7,9 @@
 //! and suppress all the dynamics under study).
 
 use ms_dcsim::Ns;
-use serde::{Deserialize, Serialize};
 
 /// Smoothed RTT state and RTO computation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RttEstimator {
     srtt: Option<Ns>,
     rttvar: Ns,
@@ -84,7 +83,9 @@ impl RttEstimator {
             // Before any sample: be conservative but not glacial.
             None => self.min_rto * 4,
         };
-        let clamped = Ns(base.as_nanos().clamp(self.min_rto.as_nanos(), self.max_rto.as_nanos()));
+        let clamped = Ns(base
+            .as_nanos()
+            .clamp(self.min_rto.as_nanos(), self.max_rto.as_nanos()));
         let backed_off = Ns(clamped.as_nanos().saturating_mul(1 << self.backoff));
         Ns(backed_off.as_nanos().min(self.max_rto.as_nanos()))
     }

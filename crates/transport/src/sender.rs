@@ -206,11 +206,11 @@ impl Sender {
             }
             let len = (self.app_limit - self.snd_nxt)
                 .min(self.mss as u64)
-                .min(window_room.max(1)) as u32;
-            // Never split below MSS while more data waits, unless the
-            // window forces it; always send at least something when the
-            // window has any room and nothing is in flight (avoid silly
-            // window lockout at cwnd < MSS after a timeout).
+                .min(window_room.max(1)) as u32; // simlint: allow(cast-truncation): min with mss (u32) bounds it
+                                                 // Never split below MSS while more data waits, unless the
+                                                 // window forces it; always send at least something when the
+                                                 // window has any room and nothing is in flight (avoid silly
+                                                 // window lockout at cwnd < MSS after a timeout).
             if (len as u64) < self.mss as u64
                 && self.app_limit - self.snd_nxt > len as u64
                 && self.in_flight() > 0
@@ -236,6 +236,7 @@ impl Sender {
 
     fn retransmit_head(&mut self, now: Ns) -> Packet {
         let start = self.snd_una;
+        // simlint: allow(cast-truncation): min with mss (u32) bounds it
         let len = (self.snd_nxt - start).min(self.mss as u64) as u32;
         debug_assert!(len > 0, "retransmit with nothing outstanding");
         // Karn: mark overlapping sent records so they yield no RTT sample.
@@ -493,9 +494,9 @@ mod tests {
         s.poll_send(Ns::ZERO);
         let deadline = s.next_timer().unwrap();
         s.on_timer(deadline); // segment 0 retransmitted
-        // ACK covering the retransmitted segment must not poison SRTT with
-        // the (huge) original-send-to-ack interval... sample comes from
-        // segment 2 (never retransmitted) only.
+                              // ACK covering the retransmitted segment must not poison SRTT with
+                              // the (huge) original-send-to-ack interval... sample comes from
+                              // segment 2 (never retransmitted) only.
         s.on_ack(deadline + Ns::from_micros(10), &ack_pkt(3_000));
         let srtt = s.srtt().expect("sample from clean segment");
         // Clean segment was sent at t=0 and acked at deadline+10us; that IS

@@ -171,7 +171,10 @@ fn tail_loss_repaired_by_rto() {
     assert_eq!(lb.tx.stats().timeouts, 1);
     assert_eq!(lb.rx.stats().bytes_delivered, 3_000);
     // RTO floor is 4ms; completion must be just past it.
-    assert!(done >= Ns::from_millis(4) && done < Ns::from_millis(40), "{done}");
+    assert!(
+        done >= Ns::from_millis(4) && done < Ns::from_millis(40),
+        "{done}"
+    );
 }
 
 #[test]

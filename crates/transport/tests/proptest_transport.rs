@@ -1,10 +1,11 @@
-//! Property-based transport tests: reliability under arbitrary loss
-//! patterns, receiver reassembly under arbitrary reordering, and
-//! congestion-window sanity under arbitrary ACK streams.
+//! Randomized transport tests: reliability under arbitrary loss patterns,
+//! receiver reassembly under arbitrary reordering, and congestion-window
+//! sanity under arbitrary ACK streams. Inputs come from the repo's
+//! deterministic [`SimRng`] (the workspace builds offline, without
+//! proptest).
 
-use ms_dcsim::{EventQueue, FlowId, Ns, Packet};
+use ms_dcsim::{EventQueue, FlowId, Ns, Packet, SimRng};
 use ms_transport::{CcAlgorithm, Receiver, Sender, SenderConfig};
-use proptest::prelude::*;
 
 /// Minimal lossy loopback: fixed delay, drop set by data-packet ordinal.
 fn transfer_completes(bytes: u64, drop_ordinals: &[u64], alg: CcAlgorithm) -> bool {
@@ -85,68 +86,76 @@ fn transfer_completes(bytes: u64, drop_ordinals: &[u64], alg: CcAlgorithm) -> bo
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn any_loss_pattern_is_recovered(
-        bytes in 1_000u64..200_000,
-        drops in prop::collection::btree_set(1u64..60, 0..12),
-    ) {
-        let drops: Vec<u64> = drops.into_iter().collect();
-        prop_assert!(
+#[test]
+fn any_loss_pattern_is_recovered() {
+    let mut rng = SimRng::new(0x7A57_0001);
+    for _ in 0..48 {
+        let bytes = 1_000 + rng.gen_range(199_000);
+        // A random set of up to 12 distinct drop ordinals in 1..60.
+        let mut drops: Vec<u64> = (0..rng.gen_range(13))
+            .map(|_| 1 + rng.gen_range(59))
+            .collect();
+        drops.sort_unstable();
+        drops.dedup();
+        assert!(
             transfer_completes(bytes, &drops, CcAlgorithm::Dctcp),
-            "transfer stalled: {} bytes, drops {:?}", bytes, drops
+            "transfer stalled: {bytes} bytes, drops {drops:?}"
         );
     }
+}
 
-    #[test]
-    fn all_algorithms_survive_burst_loss(
-        start in 1u64..20,
-        run_len in 1u64..8,
-    ) {
-        // Drop a contiguous run of packets (burst loss, the hard case for
-        // cumulative-ACK recovery).
+#[test]
+fn all_algorithms_survive_burst_loss() {
+    // Drop a contiguous run of packets (burst loss, the hard case for
+    // cumulative-ACK recovery).
+    let mut rng = SimRng::new(0x7A57_0002);
+    for _ in 0..48 {
+        let start = 1 + rng.gen_range(19);
+        let run_len = 1 + rng.gen_range(7);
         let drops: Vec<u64> = (start..start + run_len).collect();
         for alg in [CcAlgorithm::Dctcp, CcAlgorithm::Cubic, CcAlgorithm::Reno] {
-            prop_assert!(
+            assert!(
                 transfer_completes(100_000, &drops, alg),
-                "{:?} stalled on burst loss {:?}", alg, drops
+                "{alg:?} stalled on burst loss {drops:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn receiver_reassembles_any_arrival_order(
-        order in Just(()).prop_perturb(|_, mut rng| {
-            let mut idx: Vec<usize> = (0..20).collect();
-            // Fisher-Yates with proptest's rng.
-            for i in (1..idx.len()).rev() {
-                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-                idx.swap(i, j);
-            }
-            idx
-        })
-    ) {
+#[test]
+fn receiver_reassembles_any_arrival_order() {
+    let mut rng = SimRng::new(0x7A57_0003);
+    for _ in 0..48 {
+        // Fisher-Yates shuffle of 20 segment indices.
+        let mut order: Vec<usize> = (0..20).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
         let mut rx = Receiver::new(FlowId(1), 1, 9);
         let mut last_ack = 0;
         for (t, &i) in order.iter().enumerate() {
             let pkt = Packet::data(FlowId(1), 9, 1, i as u64 * 1500, 1500);
             if let Some(ack) = rx.on_data(Ns(t as u64 * 1000), &pkt) {
-                prop_assert!(ack.seq >= last_ack, "cumulative ACK went backwards");
+                assert!(ack.seq >= last_ack, "cumulative ACK went backwards");
                 last_ack = ack.seq;
             }
         }
         // After all 20 segments arrive (in any order), everything is
         // delivered exactly once.
-        prop_assert_eq!(rx.rcv_nxt(), 20 * 1500);
-        prop_assert_eq!(rx.stats().bytes_delivered, 20 * 1500);
+        assert_eq!(rx.rcv_nxt(), 20 * 1500);
+        assert_eq!(rx.stats().bytes_delivered, 20 * 1500);
     }
+}
 
-    #[test]
-    fn cwnd_stays_positive_under_arbitrary_acks(
-        acks in prop::collection::vec((0u64..200_000, 0u32..20_000), 1..100)
-    ) {
+#[test]
+fn cwnd_stays_positive_under_arbitrary_acks() {
+    let mut rng = SimRng::new(0x7A57_0004);
+    for _ in 0..48 {
+        let n = 1 + rng.gen_range(99) as usize;
+        let acks: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.gen_range(200_000), rng.gen_range(20_000) as u32))
+            .collect();
         let cfg = SenderConfig::default();
         let mut tx = Sender::new(FlowId(1), 9, 1, &cfg);
         tx.push(1_000_000);
@@ -154,8 +163,8 @@ proptest! {
         for (i, &(seq, ecn)) in acks.iter().enumerate() {
             let ack = Packet::ack(FlowId(1), 1, 9, seq, ecn);
             tx.on_ack(Ns(i as u64 * 10_000), &ack);
-            prop_assert!(tx.cwnd() >= 1500, "cwnd collapsed below 1 MSS");
-            prop_assert!(tx.in_flight() <= 1_000_000);
+            assert!(tx.cwnd() >= 1500, "cwnd collapsed below 1 MSS");
+            assert!(tx.in_flight() <= 1_000_000);
         }
     }
 }

@@ -6,10 +6,8 @@
 //! need not align with local user activity (background service tasks, user
 //! geography), which is why the busy window sits in the early morning.
 
-use serde::{Deserialize, Serialize};
-
 /// A 24-hour multiplicative load profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Diurnal {
     weights: [f64; 24],
 }
@@ -23,9 +21,7 @@ impl Diurnal {
 
     /// Flat profile (no diurnal effect) — used in ablations.
     pub fn flat() -> Self {
-        Diurnal {
-            weights: [1.0; 24],
-        }
+        Diurnal { weights: [1.0; 24] }
     }
 
     /// The deployment-like profile: a smooth bump peaking in hours 4–10,

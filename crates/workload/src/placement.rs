@@ -13,10 +13,9 @@
 use crate::diurnal::Diurnal;
 use crate::tasks::TaskKind;
 use ms_dcsim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Region archetypes from the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionKind {
     /// Bimodal region: mostly diverse racks + ML-dense racks.
     RegA,
@@ -25,7 +24,7 @@ pub enum RegionKind {
 }
 
 /// Placement class of one rack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RackClass {
     /// Diverse task mix (RegA-Typical and most of RegB).
     Diverse,
@@ -34,7 +33,7 @@ pub enum RackClass {
 }
 
 /// One task instance placed on one server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskInstance {
     /// Region-unique task identity (a "service").
     pub task: u64,
@@ -45,7 +44,7 @@ pub struct TaskInstance {
 }
 
 /// A placed rack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RackSpec {
     /// Rack id within its region.
     pub rack_id: u32,
@@ -96,7 +95,7 @@ impl RackSpec {
 }
 
 /// A placed region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionSpec {
     /// Which archetype this region was built as.
     pub kind: RegionKind,
@@ -232,7 +231,8 @@ pub fn build_region(
     let rega_ml_task = next_task_id;
     next_task_id += 1;
 
-    for rack_id in 0..num_racks as u32 {
+    let rack_count = u32::try_from(num_racks).expect("rack count fits u32");
+    for rack_id in 0..rack_count {
         let mut rack_rng = rng.fork(rack_id as u64);
         let spec = match kind {
             RegionKind::RegA => {
@@ -355,7 +355,11 @@ mod tests {
     #[test]
     fn rega_has_one_fifth_ml_dense() {
         let r = build_region(RegionKind::RegA, 100, 32, 1);
-        let dense = r.racks.iter().filter(|r| r.class == RackClass::MlDense).count();
+        let dense = r
+            .racks
+            .iter()
+            .filter(|r| r.class == RackClass::MlDense)
+            .count();
         assert_eq!(dense, 20);
     }
 

@@ -12,10 +12,9 @@ use crate::sim::{RackSim, RackSimConfig};
 use crate::tasks::{MlPhase, TaskGen, TaskKind};
 use millisampler::RunConfig;
 use ms_dcsim::{Ns, RackConfig, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// Sweep-level knobs shared by all racks of an experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     /// Millisampler buckets per run (paper: 2000 × 1 ms = 2 s; sweep
     /// default 500 × 1 ms = 0.5 s to keep full-region sweeps tractable).

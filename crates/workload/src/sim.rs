@@ -258,8 +258,8 @@ impl RackSim {
     /// Builds a rack simulation with no workload attached yet.
     pub fn new(cfg: RackSimConfig) -> Self {
         let mut rng = SimRng::new(cfg.seed);
-        let s = cfg.rack.num_servers;
-        let mut hosts: Vec<Host> = (0..s as u32)
+        let s = u32::try_from(cfg.rack.num_servers).expect("rack size fits u32");
+        let mut hosts: Vec<Host> = (0..s)
             .map(|id| {
                 Host::new(
                     id,
@@ -295,7 +295,7 @@ impl RackSim {
             hosts,
             filters,
             tor_links,
-            draining: vec![false; s],
+            draining: vec![false; s as usize],
             flows: BTreeMap::new(),
             next_flow: 1,
             mcast_pacers: BTreeMap::new(),
@@ -307,7 +307,7 @@ impl RackSim {
             default_pacing: None,
             chatter: BTreeMap::new(),
             nic_drops: BTreeMap::new(),
-            gro_pending: vec![None; s],
+            gro_pending: vec![None; s as usize],
             gro_gen: 0,
             fabric: cfg.fabric_hop.map(|fc| FabricState {
                 cfg: fc,
@@ -332,8 +332,10 @@ impl RackSim {
     /// them — the firmware-bug signature Millisampler helped isolate
     /// ("packet loss although utilization was low", §4.2).
     pub fn inject_nic_drops(&mut self, server: usize, seed: u64, probability: f64) {
-        self.nic_drops
-            .insert(server, ms_dcsim::fault::DropInjector::new(seed, probability));
+        self.nic_drops.insert(
+            server,
+            ms_dcsim::fault::DropInjector::new(seed, probability),
+        );
     }
 
     /// Packets discarded at the explicit fabric hop so far.
@@ -354,8 +356,10 @@ impl RackSim {
             store: millisampler::HostStore::new(millisampler::store::StoreConfig::default()),
             current: Some(first.config),
         });
-        self.q
-            .schedule(first.enable_at.max(self.q.now()), Ev::AgentEnable { server });
+        self.q.schedule(
+            first.enable_at.max(self.q.now()),
+            Ev::AgentEnable { server },
+        );
     }
 
     /// The on-host store of `server`'s agent (None if no agent started).
@@ -391,6 +395,7 @@ impl RackSim {
     }
 
     fn handle_agent_collect(&mut self, server: usize, now: Ns) {
+        // simlint: allow(cast-truncation): server indices are < rack size
         let series = self.filters[server].read(server as u32);
         self.filters[server].detach();
         let Some(agent) = self.agents[server].as_mut() else {
@@ -516,6 +521,7 @@ impl RackSim {
 
     /// Direct read access to a host's sampler output (for examples/tests).
     pub fn read_filter(&self, server: usize) -> Option<millisampler::HostSeries> {
+        // simlint: allow(cast-truncation): server indices are < rack size
         self.filters[server].read(server as u32)
     }
 
@@ -656,10 +662,12 @@ impl RackSim {
             sender.push(per_conn);
             sender.close();
             let receiver = Receiver::new(flow, dst_node, src_node);
-            let pacer = spec
-                .paced_bps
-                .or(self.default_pacing)
-                .map(|bps| Pacer::new((bps / conns as u64).max(1_000_000), 2 * self.cfg.rack.mss as u64));
+            let pacer = spec.paced_bps.or(self.default_pacing).map(|bps| {
+                Pacer::new(
+                    (bps / conns as u64).max(1_000_000),
+                    2 * self.cfg.rack.mss as u64,
+                )
+            });
             // §3: in-region traffic runs DCTCP across tens of µs; the
             // smaller inter-region share runs Cubic across a WAN-scale
             // RTT. A Cubic algorithm choice implies an inter-region
@@ -987,13 +995,15 @@ impl RackSim {
     /// and assemble the aligned rack run.
     pub fn run_sync_window(&mut self, rack_id: u32) -> RackSimReport {
         let warmup = self.cfg.warmup;
-        self.q.schedule(warmup.max(self.q.now()), Ev::EnableSamplers);
+        self.q
+            .schedule(warmup.max(self.q.now()), Ev::EnableSamplers);
         // Slack after the nominal end so late buckets fill and the filters
         // self-terminate.
         let horizon = warmup + self.cfg.sampler.duration() + Ns::from_millis(50);
         self.run_until(horizon);
 
         let series: Vec<millisampler::HostSeries> = (0..self.cfg.rack.num_servers)
+            // simlint: allow(cast-truncation): server indices are < rack size
             .filter_map(|s| self.filters[s].read(s as u32))
             .collect();
         let coordinator = SyncCoordinator::new(rack_id, self.cfg.sampler);
@@ -1245,6 +1255,7 @@ mod tests {
 
     #[test]
     fn pcap_capture_produces_a_valid_trace() {
+        // simlint: allow(env-read): test writes a scratch pcap file
         let path = std::env::temp_dir().join("ms_sim_capture_test.pcap");
         {
             let mut sim = RackSim::new(quick_cfg(21));
@@ -1261,8 +1272,7 @@ mod tests {
         let mut off = 24;
         let mut records = 0;
         while off < bytes.len() {
-            let incl =
-                u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+            let incl = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
             off += 16 + incl;
             records += 1;
         }
@@ -1364,7 +1374,10 @@ mod tests {
         let (over_plain, vol_plain) = run_with(false);
         let (over_gro, vol_gro) = run_with(true);
         assert_eq!(over_plain, 0, "without GRO, rates never exceed line rate");
-        assert!(over_gro > 0, "GRO must create >line-rate artifacts at 100µs");
+        assert!(
+            over_gro > 0,
+            "GRO must create >line-rate artifacts at 100µs"
+        );
         // Total volume is preserved either way (GRO only re-times bytes).
         let diff = vol_plain.abs_diff(vol_gro);
         assert!(diff < vol_plain / 10, "{vol_plain} vs {vol_gro}");

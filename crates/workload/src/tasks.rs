@@ -23,10 +23,9 @@
 
 use ms_dcsim::{Ns, SimRng};
 use ms_transport::CcAlgorithm;
-use serde::{Deserialize, Serialize};
 
 /// Service archetypes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// Request/response web-ish service.
     Web,
@@ -170,6 +169,7 @@ impl TaskGen {
         let rng = &mut self.rng;
         match self.kind {
             TaskKind::Web => {
+                // simlint: allow(cast-truncation): gen_range(n) < n fits u32
                 let connections = 1 + rng.gen_range(3) as u32;
                 let total_bytes = rng.bounded_pareto(1.1, 4_000.0, 2_000_000.0) as u64;
                 // §3: most traffic stays in-region (DCTCP); a small share
@@ -194,9 +194,10 @@ impl TaskGen {
                 // Fan-in and response sizes put the aggregate second/third
                 // slow-start wave at 1-4 MB — the regime where overflow
                 // races ECN feedback and only *some* bursts lose (§8.2).
+                // simlint: allow(cast-truncation): gen_range(n) < n fits u32
                 let connections = 15 + rng.gen_range(86) as u32; // 15..=100
-                // Heavy-tailed response sizes: the typical fetch is easily
-                // absorbed; the tail is what overflows.
+                                                                 // Heavy-tailed response sizes: the typical fetch is easily
+                                                                 // absorbed; the tail is what overflows.
                 let per_conn = rng.bounded_pareto(1.8, 35_000.0, 300_000.0);
                 FlowSpec {
                     dst_server: self.server,
@@ -214,6 +215,7 @@ impl TaskGen {
                 // transfer is 8-12 MB; paced at 10 Gbps it occupies the
                 // server link for ~7-10 ms of each ~28 ms step — the
                 // persistent-contention duty cycle of RegA-High.
+                // simlint: allow(cast-truncation): gen_range(n) < n fits u32
                 let connections = 4 + rng.gen_range(5) as u32; // 4..=8
                 let mb = (8.0 + rng.next_f64() * 4.0) * self.load.clamp(0.4, 1.6);
                 FlowSpec {
@@ -227,6 +229,7 @@ impl TaskGen {
                 }
             }
             TaskKind::Batch => {
+                // simlint: allow(cast-truncation): gen_range(n) < n fits u32
                 let connections = 2 + rng.gen_range(5) as u32; // 2..=6
                 let total_bytes = rng.bounded_pareto(1.1, 200_000.0, 8_000_000.0) as u64;
                 FlowSpec {

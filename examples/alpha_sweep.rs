@@ -59,7 +59,10 @@ fn main() {
     }
 
     println!("\nsharing policies at alpha=1:\n");
-    println!("{:>20} {:>16} {:>12}", "policy", "discard_bytes", "completed");
+    println!(
+        "{:>20} {:>16} {:>12}",
+        "policy", "discard_bytes", "completed"
+    );
     for (name, p) in [
         ("dynamic_threshold", SharingPolicy::DynamicThreshold),
         ("complete_sharing", SharingPolicy::CompleteSharing),

@@ -61,7 +61,11 @@ fn main() {
             findings.len()
         );
         if let Some(f) = findings.first() {
-            if let FindingKind::LossAtLowUtilization { retx_bytes, utilization } = f.kind {
+            if let FindingKind::LossAtLowUtilization {
+                retx_bytes,
+                utilization,
+            } = f.kind
+            {
                 print!(
                     "  <-- SUSPECT: {} retx bytes at {:.1}% utilization in [{}ms,{}ms)",
                     retx_bytes,

@@ -31,7 +31,10 @@ fn run_case(conns: u32, contended: bool, seed: u64) -> (u64, u64) {
     cfg.warmup = Ns::from_millis(10);
     let mut sim = RackSim::new(cfg);
     // The burst under study: ~100 KB per connection into server 0.
-    sim.schedule_flow(Ns::from_millis(30), incast(0, conns, conns as u64 * 100_000));
+    sim.schedule_flow(
+        Ns::from_millis(30),
+        incast(0, conns, conns as u64 * 100_000),
+    );
     if contended {
         // Competing bursts occupy the shared pool of the same quadrant
         // (servers 0 and 4 share quadrant 0 on an 8-server rack).

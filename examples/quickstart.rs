@@ -38,7 +38,11 @@ fn main() {
     let report = sim.run_sync_window(/* rack id */ 0);
     let run = report.rack_run.expect("the incast produced traffic");
 
-    println!("rack run: {} servers x {} x 1ms samples", run.servers.len(), run.len());
+    println!(
+        "rack run: {} servers x {} x 1ms samples",
+        run.servers.len(),
+        run.len()
+    );
     println!(
         "switch ground truth: {} bytes in, {} bytes discarded",
         report.switch_ingress_bytes, report.switch_discard_bytes

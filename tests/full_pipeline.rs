@@ -132,7 +132,11 @@ fn dctcp_holds_queue_near_ecn_threshold() {
         .filter(|(t, _)| *t > Ns::from_millis(50))
         .map(|(_, occ)| *occ)
         .collect();
-    assert!(samples.len() > 1000, "queue saw traffic ({})", samples.len());
+    assert!(
+        samples.len() > 1000,
+        "queue saw traffic ({})",
+        samples.len()
+    );
     let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
     assert!(
         (20_000.0..400_000.0).contains(&mean),

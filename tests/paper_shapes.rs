@@ -78,7 +78,12 @@ fn contended_bursts_are_longer() {
             }
         }
     }
-    assert!(contended.len() > 20 && non.len() > 5, "{} / {}", contended.len(), non.len());
+    assert!(
+        contended.len() > 20 && non.len() > 5,
+        "{} / {}",
+        contended.len(),
+        non.len()
+    );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     assert!(
         mean(&contended) > mean(&non),
