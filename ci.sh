@@ -21,4 +21,10 @@ fi
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> traced example smoke (Perfetto export)"
+TRACE_TMP="${TMPDIR:-/tmp}/ms_trace_smoke.json"
+cargo run -q --release -p ms-bench --example incast_loss -- --trace "$TRACE_TMP"
+cargo run -q --release -p ms-bench --example trace_check -- "$TRACE_TMP"
+rm -f "$TRACE_TMP"
+
 echo "==> CI green"

@@ -19,7 +19,7 @@ fn bench_enqueue_dequeue() {
         black_box(outcome);
         // Drain to keep occupancy steady so admission always runs the
         // full DT computation rather than the drop path.
-        black_box(sw.dequeue(queue));
+        black_box(sw.dequeue(queue, Ns(i)));
     });
 }
 
@@ -38,7 +38,7 @@ fn bench_enqueue_under_pressure() {
         i += 1;
         let outcome = sw.try_enqueue(0, black_box(pkt(i)), Ns(i));
         if outcome.accepted() {
-            black_box(sw.dequeue(0));
+            black_box(sw.dequeue(0, Ns(i)));
         }
         black_box(outcome);
     });

@@ -51,6 +51,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: Ns,
     popped: u64,
+    depth_high_water: usize,
 }
 
 /// Wrapper so the heap only compares keys, never payloads (payloads need no
@@ -89,6 +90,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: Ns::ZERO,
             popped: 0,
+            depth_high_water: 0,
         }
     }
 
@@ -100,6 +102,12 @@ impl<E> EventQueue<E> {
     /// Total events popped so far; used for event budgets and stats.
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// High-water mark of pending-event count — how deep the heap has ever
+    /// grown. Exported as a telemetry gauge to size event budgets.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
     }
 
     /// Number of pending events.
@@ -130,6 +138,7 @@ impl<E> EventQueue<E> {
         };
         self.next_seq += 1;
         self.heap.push(Reverse((key, EventSlot(event))));
+        self.depth_high_water = self.depth_high_water.max(self.heap.len());
     }
 
     /// Schedules `event` at `now + delay`.

@@ -47,6 +47,9 @@ pub mod topology;
 pub use engine::EventQueue;
 pub use host::{Host, HostId};
 pub use link::Link;
+/// Re-exported from `ms-telemetry`: the drop taxonomy shared by
+/// [`EnqueueOutcome`] and the trace bus, and the shared telemetry handle.
+pub use ms_telemetry::{DropReason, SharedTelemetry, TraceEvent};
 pub use packet::{Direction, EcnCodepoint, FlowId, Packet, PacketKind};
 pub use rng::SimRng;
 pub use switch::{EnqueueOutcome, SharedBufferSwitch, SharingPolicy, SwitchConfig};

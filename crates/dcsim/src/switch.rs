@@ -32,6 +32,7 @@
 
 use crate::packet::{EcnCodepoint, Packet};
 use crate::time::Ns;
+use ms_telemetry::{DropReason, SharedTelemetry, TraceEvent};
 use std::collections::VecDeque;
 
 /// How the shared pool is apportioned among queues.
@@ -120,9 +121,11 @@ pub enum EnqueueOutcome {
         /// Whether the ECN threshold caused a CE mark.
         marked: bool,
     },
-    /// Discarded: the queue's shared occupancy was at or above the dynamic
-    /// threshold (or the pool was physically full).
-    Dropped,
+    /// Discarded; `reason` reports which admission rule rejected it.
+    Dropped {
+        /// Why the buffer refused the packet.
+        reason: DropReason,
+    },
 }
 
 impl EnqueueOutcome {
@@ -213,6 +216,8 @@ pub struct SharedBufferSwitch {
     groups: Vec<(u32, Vec<usize>)>,
     /// Optional depth probe: (queue, samples).
     depth_probe: Option<(usize, Vec<(Ns, u64)>)>,
+    /// Optional telemetry hub; `None` keeps the hot path to one branch.
+    telemetry: Option<SharedTelemetry>,
 }
 
 impl SharedBufferSwitch {
@@ -230,7 +235,14 @@ impl SharedBufferSwitch {
             minutes: Vec::new(),
             groups: Vec::new(),
             depth_probe: None,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub: every admission, drop, ECN mark, dequeue,
+    /// and ECN-threshold crossing is recorded on its trace bus from now on.
+    pub fn set_telemetry(&mut self, telemetry: SharedTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The switch configuration.
@@ -248,9 +260,11 @@ impl SharedBufferSwitch {
 
     /// Attaches a depth probe to `queue`: occupancy is recorded after
     /// every admission to that queue (opt-in; used by tests and debugging,
-    /// never by the sweeps). Dequeues are not timestamped by the switch,
-    /// so the probe traces the occupancy's upper envelope — which is what
-    /// ECN-marking and overflow analysis need.
+    /// never by the sweeps). The probe is a thin shim over the same
+    /// admission instrumentation that feeds the telemetry occupancy tracks
+    /// ([`SharedBufferSwitch::set_telemetry`]); it traces the occupancy's
+    /// upper envelope — which is what ECN-marking and overflow analysis
+    /// need — without requiring a full telemetry hub.
     pub fn probe_queue_depth(&mut self, queue: usize) {
         assert!(queue < self.cfg.num_queues);
         self.depth_probe = Some((queue, Vec::new()));
@@ -264,13 +278,50 @@ impl SharedBufferSwitch {
             .unwrap_or(&[])
     }
 
-    fn note_depth(&mut self, queue: usize, now: Ns) {
-        if let Some((probed, _)) = self.depth_probe {
-            if probed == queue {
-                let occ = self.queues[queue].occupancy();
-                if let Some((_, log)) = &mut self.depth_probe {
-                    log.push((now, occ));
-                }
+    /// Unified admission instrumentation: feeds the depth probe and, when a
+    /// telemetry hub is attached, records the enqueue plus any
+    /// ECN-threshold crossing and CE mark on the trace bus.
+    fn note_admit(
+        &mut self,
+        queue: usize,
+        now: Ns,
+        size: u32,
+        occ_before: u64,
+        occ_after: u64,
+        marked: bool,
+    ) {
+        if let Some((probed, log)) = &mut self.depth_probe {
+            if *probed == queue {
+                log.push((now, occ_after));
+            }
+        }
+        if let Some(tr) = &self.telemetry {
+            let mut tr = tr.borrow_mut();
+            let ns = now.as_nanos();
+            let q = queue as u32; // simlint: allow(cast-truncation): queue index < num_queues
+            tr.bus.record(TraceEvent::PacketEnqueue {
+                ns,
+                queue: q,
+                size,
+                occupancy: occ_after,
+                marked,
+            });
+            let threshold = self.cfg.ecn_threshold;
+            if occ_before <= threshold && occ_after > threshold {
+                tr.bus.record(TraceEvent::ThresholdCross {
+                    ns,
+                    queue: q,
+                    occupancy: occ_after,
+                    threshold,
+                    up: true,
+                });
+            }
+            if marked {
+                tr.bus.record(TraceEvent::EcnMark {
+                    ns,
+                    queue: q,
+                    occupancy: occ_after,
+                });
             }
         }
     }
@@ -360,6 +411,7 @@ impl SharedBufferSwitch {
         assert!(queue < self.cfg.num_queues, "queue {queue} out of range");
         let quadrant = self.cfg.quadrant_of(queue);
         let size = pkt.size as u64;
+        let occ_before = self.queues[queue].occupancy();
 
         let pool = if self.queues[queue].dedicated_used + size <= self.cfg.dedicated_per_queue {
             Pool::Dedicated
@@ -380,13 +432,34 @@ impl SharedBufferSwitch {
             if under_limit && fits_pool {
                 Pool::Shared
             } else {
+                // Which rule said no: physical pool exhaustion trumps the
+                // per-queue limit; otherwise the policy names the limit.
+                // (CompleteSharing only ever rejects on pool exhaustion,
+                // so its fallback arm maps to the same reason.)
+                let reason = if !fits_pool {
+                    DropReason::SharedBufferFull
+                } else {
+                    match self.cfg.policy {
+                        SharingPolicy::DynamicThreshold => DropReason::DynamicThresholdReject,
+                        SharingPolicy::StaticPartition => DropReason::PerQueueCap,
+                        SharingPolicy::CompleteSharing => DropReason::SharedBufferFull,
+                    }
+                };
                 let q = &mut self.queues[queue];
                 q.stats.drop_packets += 1;
                 q.stats.drop_bytes += size;
                 let bin = self.minute_bin_mut(now);
                 bin.discard_bytes += size;
                 bin.discard_packets += 1;
-                return EnqueueOutcome::Dropped;
+                if let Some(tr) = &self.telemetry {
+                    tr.borrow_mut().bus.record(TraceEvent::PacketDrop {
+                        ns: now.as_nanos(),
+                        queue: queue as u32, // simlint: allow(cast-truncation): queue index < num_queues
+                        size: pkt.size,
+                        reason,
+                    });
+                }
+                return EnqueueOutcome::Dropped { reason };
             }
         };
 
@@ -412,16 +485,29 @@ impl SharedBufferSwitch {
             q.stats.marked_bytes += size;
         }
 
+        let psize = pkt.size;
         q.fifo.push_back(Buffered { pkt, pool });
         self.minute_bin_mut(now).ingress_bytes += size;
-        self.note_depth(queue, now);
+        self.note_admit(queue, now, psize, occ_before, occupancy, marked);
         EnqueueOutcome::Enqueued { marked }
     }
 
-    /// Pops the head-of-line packet of `queue`, releasing its buffer space.
-    pub fn dequeue(&mut self, queue: usize) -> Option<Packet> {
+    /// Pops the head-of-line packet of `queue` at time `now`, releasing its
+    /// buffer space. The timestamp only feeds telemetry (occupancy tracks
+    /// and idle-pull events); admission accounting is time-independent.
+    pub fn dequeue(&mut self, queue: usize, now: Ns) -> Option<Packet> {
         let quadrant = self.cfg.quadrant_of(queue);
+        if self.queues[queue].fifo.is_empty() {
+            if let Some(tr) = &self.telemetry {
+                tr.borrow_mut().bus.record(TraceEvent::DequeueIdle {
+                    ns: now.as_nanos(),
+                    queue: queue as u32, // simlint: allow(cast-truncation): queue index < num_queues
+                });
+            }
+            return None;
+        }
         let q = &mut self.queues[queue];
+        let occ_before = q.occupancy();
         let Buffered { pkt, pool } = q.fifo.pop_front()?;
         let size = pkt.size as u64;
         match pool {
@@ -434,6 +520,28 @@ impl SharedBufferSwitch {
                 q.shared_used -= size;
                 debug_assert!(self.shared_occupancy[quadrant] >= size);
                 self.shared_occupancy[quadrant] -= size;
+            }
+        }
+        if let Some(tr) = &self.telemetry {
+            let mut tr = tr.borrow_mut();
+            let ns = now.as_nanos();
+            let qid = queue as u32; // simlint: allow(cast-truncation): queue index < num_queues
+            let occ_after = occ_before - size;
+            tr.bus.record(TraceEvent::Dequeue {
+                ns,
+                queue: qid,
+                size: pkt.size,
+                occupancy: occ_after,
+            });
+            let threshold = self.cfg.ecn_threshold;
+            if occ_before > threshold && occ_after <= threshold {
+                tr.bus.record(TraceEvent::ThresholdCross {
+                    ns,
+                    queue: qid,
+                    occupancy: occ_after,
+                    threshold,
+                    up: false,
+                });
             }
         }
         Some(pkt)
@@ -593,12 +701,12 @@ mod tests {
         }
         let occ_before = sw.queue_occupancy(2);
         for i in 0..5 {
-            let p = sw.dequeue(2).expect("packet");
+            let p = sw.dequeue(2, Ns(i)).expect("packet");
             assert_eq!(p.seq, i * 1000);
         }
         assert_eq!(sw.queue_occupancy(2), 0);
         assert!(occ_before > 0);
-        assert!(sw.dequeue(2).is_none());
+        assert!(sw.dequeue(2, Ns(5)).is_none());
         sw.check_invariants();
     }
 
@@ -617,7 +725,7 @@ mod tests {
                     }
                     marked_seen |= marked;
                 }
-                EnqueueOutcome::Dropped => break,
+                EnqueueOutcome::Dropped { .. } => break,
             }
         }
         assert!(marked_seen && unmarked_seen);
@@ -678,7 +786,7 @@ mod tests {
         // Drain half the queue; DT threshold rises as the pool frees.
         let n = sw.queue_len(0) / 2;
         for _ in 0..n {
-            sw.dequeue(0);
+            sw.dequeue(0, Ns::ZERO);
         }
         assert!(sw.try_enqueue(0, pkt(9999, 1000), Ns::ZERO).accepted());
         sw.check_invariants();
@@ -740,6 +848,101 @@ mod tests {
         // Other queues still get their slices even though queue 0 is full.
         assert!(sw.try_enqueue(1, pkt(9999, 1000), Ns::ZERO).accepted());
         sw.check_invariants();
+    }
+
+    #[test]
+    fn drop_reasons_name_the_rejecting_rule() {
+        // Dynamic Threshold: the per-queue DT limit rejects first.
+        let mut dt = SharedBufferSwitch::new(small_cfg());
+        let mut i = 0;
+        let reason = loop {
+            i += 1;
+            if let EnqueueOutcome::Dropped { reason } = dt.try_enqueue(0, pkt(i, 1000), Ns::ZERO) {
+                break reason;
+            }
+        };
+        assert_eq!(reason, DropReason::DynamicThresholdReject);
+
+        // Static partition: the fixed slice cap rejects.
+        let mut sp = SharedBufferSwitch::new(SwitchConfig {
+            policy: SharingPolicy::StaticPartition,
+            ..small_cfg()
+        });
+        let mut i = 0;
+        let reason = loop {
+            i += 1;
+            if let EnqueueOutcome::Dropped { reason } = sp.try_enqueue(0, pkt(i, 1000), Ns::ZERO) {
+                break reason;
+            }
+        };
+        assert_eq!(reason, DropReason::PerQueueCap);
+
+        // Complete sharing: only physical pool exhaustion can reject.
+        let mut cs = SharedBufferSwitch::new(SwitchConfig {
+            policy: SharingPolicy::CompleteSharing,
+            ..small_cfg()
+        });
+        let mut i = 0;
+        let reason = loop {
+            i += 1;
+            if let EnqueueOutcome::Dropped { reason } = cs.try_enqueue(0, pkt(i, 1000), Ns::ZERO) {
+                break reason;
+            }
+        };
+        assert_eq!(reason, DropReason::SharedBufferFull);
+    }
+
+    #[test]
+    fn telemetry_traces_admissions_marks_and_drops() {
+        use ms_telemetry::{Telemetry, TelemetryConfig};
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let hub = Telemetry::shared(TelemetryConfig::default());
+        sw.set_telemetry(hub.clone());
+        sw.probe_queue_depth(0);
+        let mut i = 0;
+        loop {
+            i += 1;
+            if !sw.try_enqueue(0, pkt(i, 1000), Ns(i)).accepted() {
+                break;
+            }
+        }
+        sw.dequeue(0, Ns(i + 1));
+        sw.dequeue(3, Ns(i + 2)); // empty queue: idle pull
+
+        let hub = hub.borrow();
+        let mut enqueues = Vec::new();
+        let mut drops = 0;
+        let mut marks = 0;
+        let mut crossings_up = 0;
+        let mut dequeues = 0;
+        let mut idles = 0;
+        for ev in hub.bus.iter() {
+            match *ev {
+                TraceEvent::PacketEnqueue { ns, occupancy, .. } => {
+                    enqueues.push((Ns(ns), occupancy));
+                }
+                TraceEvent::PacketDrop { reason, .. } => {
+                    assert_eq!(reason, DropReason::DynamicThresholdReject);
+                    drops += 1;
+                }
+                TraceEvent::EcnMark { .. } => marks += 1,
+                TraceEvent::ThresholdCross { up: true, .. } => crossings_up += 1,
+                TraceEvent::Dequeue { .. } => dequeues += 1,
+                TraceEvent::DequeueIdle { queue, .. } => {
+                    assert_eq!(queue, 3);
+                    idles += 1;
+                }
+                _ => {}
+            }
+        }
+        // The depth probe is a shim over the same admission track: its
+        // samples must equal the telemetry occupancy sequence exactly.
+        assert_eq!(enqueues.as_slice(), sw.depth_samples());
+        assert_eq!(drops, 1);
+        assert!(marks > 0, "ECN threshold 20k must mark");
+        assert_eq!(crossings_up, 1, "occupancy crossed the ECN threshold once");
+        assert_eq!(dequeues, 1);
+        assert_eq!(idles, 1);
     }
 
     #[test]

@@ -36,10 +36,13 @@ fn switch_trace(seed: u64) -> Vec<u8> {
                 EnqueueOutcome::Enqueued { marked } => {
                     trace.push(if marked { 2 } else { 1 });
                 }
-                EnqueueOutcome::Dropped => trace.push(0),
+                EnqueueOutcome::Dropped { reason } => {
+                    trace.push(0);
+                    trace.push(reason.code());
+                }
             }
         } else {
-            let popped = sw.dequeue(queue);
+            let popped = sw.dequeue(queue, now);
             trace.push(3);
             push_u64(&mut trace, popped.map_or(0, |p| u64::from(p.size)));
         }

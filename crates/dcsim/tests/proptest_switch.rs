@@ -61,7 +61,7 @@ fn run_ops(cfg: SwitchConfig, ops: &[Op]) {
                 next_seq[queue] += 1;
             }
             Op::Dequeue { queue } => {
-                let got = sw.dequeue(queue);
+                let got = sw.dequeue(queue, Ns(i as u64));
                 let want = expect_seq[queue].pop_front();
                 assert_eq!(got.map(|p| p.seq), want, "FIFO violated on queue {queue}");
             }
@@ -73,7 +73,7 @@ fn run_ops(cfg: SwitchConfig, ops: &[Op]) {
     }
     // Drain everything; accounting must return to zero.
     for queue in 0..cfg.num_queues {
-        while sw.dequeue(queue).is_some() {}
+        while sw.dequeue(queue, Ns::ZERO).is_some() {}
         assert_eq!(sw.queue_occupancy(queue), 0);
     }
     for quadrant in 0..cfg.num_quadrants {
@@ -137,7 +137,7 @@ fn admitted_bytes_conserved() {
                     }
                 }
                 Op::Dequeue { queue } => {
-                    if let Some(p) = sw.dequeue(queue) {
+                    if let Some(p) = sw.dequeue(queue, Ns(i as u64)) {
                         dequeued[queue] += u64::from(p.size);
                     }
                 }

@@ -98,6 +98,9 @@ pub struct TcFilter {
     /// Count of flow-sketch updates skipped because flow counting was
     /// disabled (the §4.3 "84 ns without flow counting" configuration).
     count_flows: bool,
+    /// Optional telemetry hub plus the host id used in trace events;
+    /// sampler-window closes are recorded when attached.
+    telemetry: Option<(ms_telemetry::SharedTelemetry, u32)>,
 }
 
 impl TcFilter {
@@ -114,7 +117,15 @@ impl TcFilter {
                 .map(|_| CpuCounters::new(cfg.buckets))
                 .collect(),
             count_flows: cfg.count_flows,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub: the filter's self-termination (its
+    /// sampling window filling up) is recorded as a `SamplerWindowClose`
+    /// event attributed to `host`.
+    pub fn set_telemetry(&mut self, telemetry: ms_telemetry::SharedTelemetry, host: u32) {
+        self.telemetry = Some((telemetry, host));
     }
 
     /// Current state.
@@ -202,6 +213,14 @@ impl TcFilter {
         if bucket >= self.buckets {
             // Signal completion to user space and stop costing CPU.
             self.state = FilterState::AttachedDisabled;
+            if let Some((tr, host)) = &self.telemetry {
+                tr.borrow_mut()
+                    .bus
+                    .record(ms_telemetry::TraceEvent::SamplerWindowClose {
+                        ns: now.as_nanos(),
+                        host: *host,
+                    });
+            }
             return;
         }
         let c = &mut self.per_cpu[cpu];

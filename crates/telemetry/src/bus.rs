@@ -1,0 +1,440 @@
+//! The trace bus: typed simulation events in a pre-allocated ring.
+//!
+//! [`TraceBus::record`] is on the simulator's per-packet path when tracing
+//! is enabled, so it follows the same rules `simlint` enforces on the tc
+//! filter: the ring is allocated once in the constructor, and recording is
+//! a store plus index arithmetic — no allocation, no panic path. When the
+//! ring wraps, the **oldest** events are overwritten (a trace is a window
+//! onto the tail of the run, like a flight recorder), and the number of
+//! lost events is reported so exporters can say so instead of silently
+//! presenting a truncated trace as complete.
+
+/// Why the switch (or a fault injector) discarded a packet.
+///
+/// This is the shared drop taxonomy used by both the switch's
+/// `EnqueueOutcome` and [`TraceEvent::PacketDrop`], replacing the earlier
+/// boolean-ish "dropped" accounting: the paper's loss analysis (§8)
+/// depends on *why* admission failed, not just that it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropReason {
+    /// The quadrant's shared pool physically cannot fit the packet.
+    SharedBufferFull,
+    /// A static per-queue partition cap rejected the packet
+    /// (`SharingPolicy::StaticPartition`).
+    PerQueueCap,
+    /// The Choudhury–Hahne dynamic threshold rejected the packet: the
+    /// queue's shared usage was at or above `α·(B_shared − Q_shared)`.
+    DynamicThresholdReject,
+    /// Fault injection discarded the packet (the §4.2 NIC firmware-bug
+    /// model: loss without switch congestion).
+    FaultInjected,
+}
+
+impl DropReason {
+    /// Human-readable label, used in trace exports and summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::SharedBufferFull => "shared-buffer-full",
+            DropReason::PerQueueCap => "per-queue-cap",
+            DropReason::DynamicThresholdReject => "dynamic-threshold-reject",
+            DropReason::FaultInjected => "fault-injected",
+        }
+    }
+
+    /// Stable numeric code for binary serializations (determinism tests).
+    pub fn code(self) -> u8 {
+        match self {
+            DropReason::SharedBufferFull => 0,
+            DropReason::PerQueueCap => 1,
+            DropReason::DynamicThresholdReject => 2,
+            DropReason::FaultInjected => 3,
+        }
+    }
+
+    /// All variants, in `code()` order (for summary tables).
+    pub const ALL: [DropReason; 4] = [
+        DropReason::SharedBufferFull,
+        DropReason::PerQueueCap,
+        DropReason::DynamicThresholdReject,
+        DropReason::FaultInjected,
+    ];
+}
+
+/// One traced simulation event.
+///
+/// Every variant carries `ns`: the simulation time in nanoseconds (host
+/// components may stamp their *local* skewed clock — still a deterministic
+/// function of sim time). Wall-clock time never appears in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet was admitted to a switch egress queue.
+    PacketEnqueue {
+        /// Sim time (ns).
+        ns: u64,
+        /// Egress queue index.
+        queue: u32,
+        /// Packet size in bytes.
+        size: u32,
+        /// Queue occupancy (bytes) *after* the enqueue.
+        occupancy: u64,
+        /// Whether the packet was CE-marked on admission.
+        marked: bool,
+    },
+    /// A packet was discarded.
+    PacketDrop {
+        /// Sim time (ns).
+        ns: u64,
+        /// Egress queue (or destination server, for host-side drops).
+        queue: u32,
+        /// Packet size in bytes.
+        size: u32,
+        /// Why admission refused the packet.
+        reason: DropReason,
+    },
+    /// An ECN-capable packet was CE-marked on enqueue.
+    EcnMark {
+        /// Sim time (ns).
+        ns: u64,
+        /// Egress queue index.
+        queue: u32,
+        /// Queue occupancy (bytes) at the mark.
+        occupancy: u64,
+    },
+    /// Queue occupancy crossed the static ECN threshold.
+    ThresholdCross {
+        /// Sim time (ns).
+        ns: u64,
+        /// Egress queue index.
+        queue: u32,
+        /// Queue occupancy (bytes) after the crossing operation.
+        occupancy: u64,
+        /// The threshold crossed.
+        threshold: u64,
+        /// `true` when crossing upward (enqueue), `false` downward.
+        up: bool,
+    },
+    /// A packet left a switch egress queue.
+    Dequeue {
+        /// Sim time (ns).
+        ns: u64,
+        /// Egress queue index.
+        queue: u32,
+        /// Packet size in bytes.
+        size: u32,
+        /// Queue occupancy (bytes) *after* the dequeue.
+        occupancy: u64,
+    },
+    /// A drain found its queue empty (the egress link went idle).
+    DequeueIdle {
+        /// Sim time (ns).
+        ns: u64,
+        /// Egress queue index.
+        queue: u32,
+    },
+    /// A GRO/LRO super-segment was flushed to the kernel receive path.
+    WindowFlush {
+        /// Sim time (ns).
+        ns: u64,
+        /// Receiving server.
+        host: u32,
+        /// Coalesced super-segment size in bytes.
+        bytes: u32,
+    },
+    /// A sender's congestion window changed.
+    CwndChange {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// New congestion window (bytes).
+        cwnd: u64,
+    },
+    /// A sender's retransmission timeout genuinely fired.
+    RtoFired {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A Millisampler run self-terminated (the filter cleared its own
+    /// enabled flag after running past its last bucket, §4.1).
+    SamplerWindowClose {
+        /// Host-clock time (ns).
+        ns: u64,
+        /// Host whose run completed.
+        host: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp in nanoseconds.
+    pub fn ns(&self) -> u64 {
+        match *self {
+            TraceEvent::PacketEnqueue { ns, .. }
+            | TraceEvent::PacketDrop { ns, .. }
+            | TraceEvent::EcnMark { ns, .. }
+            | TraceEvent::ThresholdCross { ns, .. }
+            | TraceEvent::Dequeue { ns, .. }
+            | TraceEvent::DequeueIdle { ns, .. }
+            | TraceEvent::WindowFlush { ns, .. }
+            | TraceEvent::CwndChange { ns, .. }
+            | TraceEvent::RtoFired { ns, .. }
+            | TraceEvent::SamplerWindowClose { ns, .. } => ns,
+        }
+    }
+
+    /// Short kind label (summary tables, tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PacketEnqueue { .. } => "packet-enqueue",
+            TraceEvent::PacketDrop { .. } => "packet-drop",
+            TraceEvent::EcnMark { .. } => "ecn-mark",
+            TraceEvent::ThresholdCross { .. } => "threshold-cross",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::DequeueIdle { .. } => "dequeue-idle",
+            TraceEvent::WindowFlush { .. } => "window-flush",
+            TraceEvent::CwndChange { .. } => "cwnd-change",
+            TraceEvent::RtoFired { .. } => "rto-fired",
+            TraceEvent::SamplerWindowClose { .. } => "sampler-window-close",
+        }
+    }
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+pub struct TraceBus {
+    /// Pre-filled storage; `head`/`len` delimit the valid window.
+    ring: Vec<TraceEvent>,
+    /// Next write index.
+    head: usize,
+    /// Number of valid events (≤ capacity).
+    len: usize,
+    /// Total `record` calls ever.
+    recorded: u64,
+    /// Events lost to ring wrap-around.
+    overwritten: u64,
+}
+
+/// Filler for unwritten slots (never observable through `iter`).
+const FILLER: TraceEvent = TraceEvent::DequeueIdle { ns: 0, queue: 0 };
+
+impl TraceBus {
+    /// Allocates a ring of `capacity` events. All allocation happens here;
+    /// [`TraceBus::record`] never touches the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBus {
+            ring: vec![FILLER; capacity],
+            head: 0,
+            len: 0,
+            recorded: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wrap-around (oldest-first overwrite).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Records one event. The per-event hot path: a bounded store plus
+    /// index bookkeeping — no allocation, no panic (`head` is always in
+    /// range by construction; a zero-capacity ring only counts).
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        let cap = self.ring.len();
+        if cap == 0 {
+            self.overwritten += 1;
+            return;
+        }
+        self.ring[self.head] = ev;
+        self.head += 1;
+        if self.head == cap {
+            self.head = 0;
+        }
+        if self.len < cap {
+            self.len += 1;
+        } else {
+            self.overwritten += 1;
+        }
+    }
+
+    /// Iterates the held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (older, newer) = if self.len < self.ring.len() {
+            // Not yet wrapped: valid events are `[0, len)` and `head == len`.
+            (&self.ring[..self.len], &self.ring[..0])
+        } else {
+            // Wrapped: oldest at `head`, newest just before it.
+            (&self.ring[self.head..], &self.ring[..self.head])
+        };
+        older.iter().chain(newer.iter())
+    }
+
+    /// Forgets all held events (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+// The ring itself (up to 2^16 events) is deliberately left out of Debug.
+#[allow(clippy::missing_fields_in_debug)]
+impl std::fmt::Debug for TraceBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBus")
+            .field("len", &self.len)
+            .field("capacity", &self.ring.len())
+            .field("recorded", &self.recorded)
+            .field("overwritten", &self.overwritten)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64) -> TraceEvent {
+        TraceEvent::RtoFired { ns, flow: 7 }
+    }
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut bus = TraceBus::with_capacity(4);
+        for i in 0..3 {
+            bus.record(ev(i));
+        }
+        let got: Vec<u64> = bus.iter().map(TraceEvent::ns).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(bus.len(), 3);
+        assert_eq!(bus.overwritten(), 0);
+    }
+
+    #[test]
+    fn wraps_overwriting_oldest() {
+        let mut bus = TraceBus::with_capacity(4);
+        for i in 0..10 {
+            bus.record(ev(i));
+        }
+        let got: Vec<u64> = bus.iter().map(TraceEvent::ns).collect();
+        assert_eq!(got, vec![6, 7, 8, 9], "keeps the newest window");
+        assert_eq!(bus.len(), 4);
+        assert_eq!(bus.recorded(), 10);
+        assert_eq!(bus.overwritten(), 6);
+    }
+
+    #[test]
+    fn exact_fill_boundary_is_chronological() {
+        let mut bus = TraceBus::with_capacity(4);
+        for i in 0..4 {
+            bus.record(ev(i));
+        }
+        let got: Vec<u64> = bus.iter().map(TraceEvent::ns).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(bus.overwritten(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_only_counts() {
+        let mut bus = TraceBus::with_capacity(0);
+        bus.record(ev(1));
+        assert!(bus.is_empty());
+        assert_eq!(bus.recorded(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut bus = TraceBus::with_capacity(2);
+        bus.record(ev(1));
+        bus.clear();
+        assert!(bus.is_empty());
+        assert_eq!(bus.recorded(), 1);
+        bus.record(ev(2));
+        assert_eq!(bus.iter().count(), 1);
+    }
+
+    #[test]
+    fn drop_reason_codes_are_stable_and_distinct() {
+        let codes: Vec<u8> = DropReason::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(codes, vec![0, 1, 2, 3]);
+        let mut labels: Vec<&str> = DropReason::ALL.iter().map(|r| r.as_str()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn every_event_reports_its_timestamp_and_kind() {
+        let events = [
+            TraceEvent::PacketEnqueue {
+                ns: 1,
+                queue: 0,
+                size: 1500,
+                occupancy: 1500,
+                marked: false,
+            },
+            TraceEvent::PacketDrop {
+                ns: 2,
+                queue: 0,
+                size: 1500,
+                reason: DropReason::DynamicThresholdReject,
+            },
+            TraceEvent::EcnMark {
+                ns: 3,
+                queue: 0,
+                occupancy: 0,
+            },
+            TraceEvent::ThresholdCross {
+                ns: 4,
+                queue: 0,
+                occupancy: 0,
+                threshold: 0,
+                up: true,
+            },
+            TraceEvent::Dequeue {
+                ns: 5,
+                queue: 0,
+                size: 0,
+                occupancy: 0,
+            },
+            TraceEvent::DequeueIdle { ns: 6, queue: 0 },
+            TraceEvent::WindowFlush {
+                ns: 7,
+                host: 0,
+                bytes: 0,
+            },
+            TraceEvent::CwndChange {
+                ns: 8,
+                flow: 0,
+                cwnd: 0,
+            },
+            TraceEvent::RtoFired { ns: 9, flow: 0 },
+            TraceEvent::SamplerWindowClose { ns: 10, host: 0 },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ns(), i as u64 + 1);
+        }
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len(), "kind labels must be distinct");
+    }
+}

@@ -90,6 +90,11 @@ pub struct Sender {
     sent: VecDeque<SentSeg>,
     rto_deadline: Option<Ns>,
     stats: SenderStats,
+
+    /// Optional telemetry hub; cwnd changes and RTO firings are traced.
+    telemetry: Option<ms_telemetry::SharedTelemetry>,
+    /// Last cwnd reported on the trace bus, to emit changes only.
+    traced_cwnd: u64,
 }
 
 impl Sender {
@@ -113,6 +118,33 @@ impl Sender {
             sent: VecDeque::new(),
             rto_deadline: None,
             stats: SenderStats::default(),
+            telemetry: None,
+            traced_cwnd: 0,
+        }
+    }
+
+    /// Attaches a telemetry hub: congestion-window changes and RTO firings
+    /// are recorded on its trace bus from now on.
+    pub fn set_telemetry(&mut self, telemetry: ms_telemetry::SharedTelemetry) {
+        self.traced_cwnd = self.cc.cwnd();
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Traces a cwnd change if the congestion controller moved the window
+    /// since the last report. One branch when telemetry is off.
+    fn note_cwnd(&mut self, now: Ns) {
+        if let Some(tr) = &self.telemetry {
+            let cwnd = self.cc.cwnd();
+            if cwnd != self.traced_cwnd {
+                self.traced_cwnd = cwnd;
+                tr.borrow_mut()
+                    .bus
+                    .record(ms_telemetry::TraceEvent::CwndChange {
+                        ns: now.as_nanos(),
+                        flow: self.flow.0,
+                        cwnd,
+                    });
+            }
         }
     }
 
@@ -305,6 +337,7 @@ impl Sender {
             });
 
             self.arm_rto(now);
+            self.note_cwnd(now);
         } else if ack_seq == self.snd_una && self.in_flight() > 0 {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -313,6 +346,7 @@ impl Sender {
                 self.recover = self.snd_nxt;
                 self.stats.fast_retx_events += 1;
                 self.cc.on_fast_retransmit(now);
+                self.note_cwnd(now);
                 out.push(self.retransmit_head(now));
             }
         }
@@ -338,6 +372,15 @@ impl Sender {
         self.cc.on_timeout(now);
         self.in_recovery = false;
         self.dup_acks = 0;
+        if let Some(tr) = &self.telemetry {
+            tr.borrow_mut()
+                .bus
+                .record(ms_telemetry::TraceEvent::RtoFired {
+                    ns: now.as_nanos(),
+                    flow: self.flow.0,
+                });
+        }
+        self.note_cwnd(now);
         vec![self.retransmit_head(now)]
     }
 }

@@ -31,6 +31,7 @@ use ms_dcsim::switch::MinuteBin;
 use ms_dcsim::{
     Direction, EventQueue, FlowId, Host, Link, Ns, Packet, RackConfig, SharedBufferSwitch, SimRng,
 };
+use ms_telemetry::{PerfettoMeta, SharedTelemetry, Telemetry, TelemetryConfig, TraceEvent};
 use ms_transport::{CcAlgorithm, Receiver, Sender, SenderConfig};
 use std::collections::BTreeMap;
 
@@ -225,6 +226,8 @@ pub struct RackSim {
     agents: Vec<Option<AgentState>>,
     /// Optional pcap capture of all host-delivered packets.
     pcap: Option<ms_dcsim::pcap::PcapWriter<Box<dyn std::io::Write>>>,
+    /// Optional telemetry hub shared with the switch, filters, and senders.
+    telemetry: Option<SharedTelemetry>,
 }
 
 /// The §4.1 user-space agent for one host: schedules periodic runs with
@@ -319,6 +322,7 @@ impl RackSim {
             }),
             agents: (0..s).map(|_| None).collect(),
             pcap: None,
+            telemetry: None,
             cfg,
         };
         if let Some(period) = sim.cfg.alpha_tune_period {
@@ -511,6 +515,97 @@ impl RackSim {
         self.switch.depth_samples()
     }
 
+    /// Attaches a telemetry hub to the whole stack: the ToR switch traces
+    /// admissions, drops, ECN marks, and threshold crossings; every host's
+    /// tc filter traces sampler-window closes; every transport sender
+    /// created from now on traces cwnd changes and RTO firings; NIC fault
+    /// injection and GRO flushes are traced by the sim loop itself.
+    ///
+    /// Returns the shared handle (also retrievable via
+    /// [`RackSim::telemetry`]). Export with
+    /// [`RackSim::write_perfetto_trace`] / [`RackSim::trace_summary`], or
+    /// read `hub.borrow().metrics` after [`RackSim::finalize_metrics`].
+    pub fn attach_telemetry(&mut self, cfg: TelemetryConfig) -> SharedTelemetry {
+        let hub = Telemetry::shared(cfg);
+        self.switch.set_telemetry(hub.clone());
+        for (server, filter) in self.filters.iter_mut().enumerate() {
+            // simlint: allow(cast-truncation): server indices are < rack size
+            filter.set_telemetry(hub.clone(), server as u32);
+        }
+        for state in self.flows.values_mut() {
+            state.sender.set_telemetry(hub.clone());
+        }
+        self.telemetry = Some(hub.clone());
+        hub
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&SharedTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Snapshots end-of-run aggregates into the telemetry metrics registry
+    /// (event-engine throughput and depth, switch byte counters, flow
+    /// counts). Called automatically by [`RackSim::run_sync_window`]; call
+    /// it directly after manual [`RackSim::run_until`] driving.
+    pub fn finalize_metrics(&mut self) {
+        let Some(hub) = &self.telemetry else {
+            return;
+        };
+        let mut hub = hub.borrow_mut();
+        let m = &mut hub.metrics;
+        let events = self.q.events_processed();
+        let now_ns = self.q.now().as_nanos();
+        for (name, value) in [
+            ("engine.events_processed", events),
+            ("engine.depth_high_water", self.q.depth_high_water() as u64),
+            (
+                "engine.events_per_sim_sec",
+                events
+                    .saturating_mul(1_000_000_000)
+                    .checked_div(now_ns)
+                    .unwrap_or(0),
+            ),
+            ("switch.ingress_bytes", self.switch.total_ingress_bytes()),
+            ("switch.discard_bytes", self.switch.total_discard_bytes()),
+            ("sim.flows_started", self.flows_started),
+            ("sim.conns_completed", self.conns_completed),
+            ("sim.fabric_drops", self.fabric_drops()),
+        ] {
+            let id = m.gauge(name);
+            m.set_gauge(id, value);
+        }
+        let h = m.histogram("switch.queue_max_occupancy");
+        for queue in 0..self.cfg.rack.num_servers {
+            m.observe(h, self.switch.queue_stats(queue).max_occupancy);
+        }
+    }
+
+    /// Serializes the attached hub's trace ring as Chrome/Perfetto
+    /// trace-event JSON (open in `ui.perfetto.dev`). No-op error if no hub
+    /// is attached.
+    pub fn write_perfetto_trace<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let Some(hub) = &self.telemetry else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no telemetry hub attached",
+            ));
+        };
+        let meta = PerfettoMeta {
+            process_name: String::from("rack-sim"),
+        };
+        ms_telemetry::write_perfetto(w, &hub.borrow().bus, &meta)
+    }
+
+    /// Plain-text top-`n` summary of the attached hub's trace ring
+    /// (empty string if no hub is attached).
+    pub fn trace_summary(&self, top_n: usize) -> String {
+        self.telemetry
+            .as_ref()
+            .map(|hub| ms_telemetry::summary(&hub.borrow().bus, top_n))
+            .unwrap_or_default()
+    }
+
     /// Installs a kernel/NIC stall on `server` during `[from, to)`
     /// (fault injection, §4.6): the NIC keeps receiving but the tc filter
     /// records nothing, so the sampled series shows a hole even though
@@ -659,6 +754,9 @@ impl RackSim {
                 ..self.sender_cfg.clone()
             };
             let mut sender = Sender::new(flow, src_node, dst_node, &sender_cfg);
+            if let Some(hub) = &self.telemetry {
+                sender.set_telemetry(hub.clone());
+            }
             sender.push(per_conn);
             sender.close();
             let receiver = Receiver::new(flow, dst_node, src_node);
@@ -737,7 +835,7 @@ impl RackSim {
     }
 
     fn handle_tor_drain(&mut self, queue: usize, now: Ns) {
-        match self.switch.dequeue(queue) {
+        match self.switch.dequeue(queue, now) {
             Some(pkt) => {
                 let (departed, arrived) = self.tor_links[queue].transmit(now, pkt.size);
                 self.q.schedule(arrived, Ev::HostDeliver { pkt });
@@ -755,6 +853,15 @@ impl RackSim {
         // (and thus the tc filter) ever sees it.
         if let Some(inj) = self.nic_drops.get_mut(&server) {
             if inj.should_drop() {
+                if let Some(hub) = &self.telemetry {
+                    hub.borrow_mut().bus.record(TraceEvent::PacketDrop {
+                        ns: now.as_nanos(),
+                        // simlint: allow(cast-truncation): server indices are < rack size
+                        queue: server as u32,
+                        size: pkt.size,
+                        reason: ms_telemetry::DropReason::FaultInjected,
+                    });
+                }
                 return;
             }
         }
@@ -806,6 +913,7 @@ impl RackSim {
             slot => {
                 let old = slot.take();
                 if let Some(p) = old {
+                    self.note_gro_flush(server, p.pkt.size, now);
                     self.deliver_to_host(server, p.pkt, now);
                 }
                 self.gro_gen += 1;
@@ -821,8 +929,22 @@ impl RackSim {
         if let Some(pending) = self.gro_pending[server] {
             if pending.gen == gen {
                 self.gro_pending[server] = None;
+                self.note_gro_flush(server, pending.pkt.size, now);
                 self.deliver_to_host(server, pending.pkt, now);
             }
+        }
+    }
+
+    /// Traces a GRO super-segment flush — the coalescing instant whose
+    /// burst-inflating effect §4.6 warns about.
+    fn note_gro_flush(&mut self, server: usize, bytes: u32, now: Ns) {
+        if let Some(hub) = &self.telemetry {
+            hub.borrow_mut().bus.record(TraceEvent::WindowFlush {
+                ns: now.as_nanos(),
+                // simlint: allow(cast-truncation): server indices are < rack size
+                host: server as u32,
+                bytes,
+            });
         }
     }
 
@@ -1008,6 +1130,7 @@ impl RackSim {
             .collect();
         let coordinator = SyncCoordinator::new(rack_id, self.cfg.sampler);
         let rack_run = coordinator.assemble(series, self.cfg.rack.num_servers);
+        self.finalize_metrics();
 
         RackSimReport {
             rack_run,

@@ -8,8 +8,14 @@
 //! ```sh
 //! cargo run --release -p ms-bench --example incast_loss
 //! ```
+//!
+//! With `--trace <path>` the sweep is skipped: one contended 200-connection
+//! showcase case runs with telemetry attached and writes a Chrome/Perfetto
+//! trace (open at `ui.perfetto.dev`) plus a text summary, then exits. This
+//! fast path is also the CI smoke gate for the trace exporter.
 
 use ms_dcsim::Ns;
+use ms_telemetry::TelemetryConfig;
 use ms_transport::CcAlgorithm;
 use ms_workload::sim::{RackSim, RackSimConfig};
 use ms_workload::tasks::FlowSpec;
@@ -48,7 +54,34 @@ fn run_case(conns: u32, contended: bool, seed: u64) -> (u64, u64) {
     (report.switch_discard_bytes, retx)
 }
 
+fn run_traced(path: &str) {
+    let mut cfg = RackSimConfig::new(8, 42);
+    cfg.sampler.buckets = 200;
+    cfg.warmup = Ns::from_millis(10);
+    let mut sim = RackSim::new(cfg);
+    sim.attach_telemetry(TelemetryConfig::default());
+    sim.schedule_flow(Ns::from_millis(30), incast(0, 200, 20_000_000));
+    sim.schedule_flow(Ns::from_millis(29), incast(4, 60, 8_000_000));
+    let report = sim.run_sync_window(0);
+
+    let file = std::fs::File::create(path).expect("create trace file");
+    let mut w = std::io::BufWriter::new(file);
+    sim.write_perfetto_trace(&mut w).expect("write trace");
+    println!(
+        "traced contended 200-conn incast: {} drop bytes, {} events",
+        report.switch_discard_bytes, report.events
+    );
+    print!("{}", sim.trace_summary(5));
+    println!("wrote {path} — open it at https://ui.perfetto.dev");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args.get(i + 1).expect("--trace needs a path");
+        run_traced(path);
+        return;
+    }
     println!("incast fan-in vs loss, with and without buffer contention");
     println!("(DT alpha=1: an uncontended queue may take ~1.8MB; contention shrinks that)\n");
     println!(

@@ -3,18 +3,26 @@
 //! the buffer-share arithmetic of §2.1/§7.3.
 //!
 //! ```sh
-//! cargo run --release -p ms-bench --example rack_contention [ml]
+//! cargo run --release -p ms-bench --example rack_contention [ml] [--trace PATH]
 //! ```
 //!
 //! Pass `ml` to simulate an ML-dense (RegA-High-like) rack instead of a
-//! diverse (RegA-Typical-like) one.
+//! diverse (RegA-Typical-like) one. With `--trace PATH`, telemetry is
+//! attached for the whole window and a Chrome/Perfetto trace of every
+//! queue's occupancy, drop, and ECN activity is written to `PATH` (open it
+//! at `ui.perfetto.dev`), along with a top-N text summary on stdout.
 
 use ms_analysis::contention::queue_share;
 use ms_workload::placement::{build_region, RackClass, RegionKind};
 use ms_workload::scenario::{rack_sim_for, ScenarioConfig};
 
 fn main() {
-    let want_ml = std::env::args().any(|a| a == "ml");
+    let args: Vec<String> = std::env::args().collect();
+    let want_ml = args.iter().any(|a| a == "ml");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
     let region = build_region(RegionKind::RegA, 50, 24, 7);
     let spec = region
         .racks
@@ -32,7 +40,17 @@ fn main() {
 
     let cfg = ScenarioConfig::default(); // 500 x 1ms window
     let mut sim = rack_sim_for(spec, &region.diurnal, /* busy hour */ 7, 0, &cfg);
+    if trace_path.is_some() {
+        sim.attach_telemetry(ms_telemetry::TelemetryConfig::default());
+    }
     let report = sim.run_sync_window(spec.rack_id);
+    if let Some(path) = &trace_path {
+        let file = std::fs::File::create(path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        sim.write_perfetto_trace(&mut w).expect("write trace");
+        print!("{}", sim.trace_summary(5));
+        println!("wrote {path} — open it at https://ui.perfetto.dev\n");
+    }
     let Some(run) = report.rack_run else {
         println!("rack was silent this window");
         return;

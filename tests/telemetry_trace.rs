@@ -1,0 +1,152 @@
+//! Golden tests for the telemetry stack (workspace-level: workload →
+//! switch/transport/sampler → ms-telemetry → Perfetto export).
+//!
+//! The determinism contract: two identical-seed runs must serialize to
+//! **byte-identical** Perfetto JSON and metrics exports. Any hash-ordered
+//! collection, wall-clock leak, or unstable float formatting anywhere in
+//! the instrumented stack breaks these tests.
+
+use ms_dcsim::Ns;
+use ms_telemetry::{validate_json, TelemetryConfig, TraceEvent};
+use ms_transport::CcAlgorithm;
+use ms_workload::sim::{RackSim, RackSimConfig};
+use ms_workload::tasks::FlowSpec;
+
+fn incast(dst: usize, conns: u32, total: u64) -> FlowSpec {
+    FlowSpec {
+        dst_server: dst,
+        connections: conns,
+        total_bytes: total,
+        algorithm: CcAlgorithm::Dctcp,
+        paced_bps: None,
+        task: 1,
+    }
+}
+
+/// A small contended incast that forces drops, marks, retransmits, and
+/// sampler activity — every event type the stack can emit.
+fn traced_run(seed: u64) -> (Vec<u8>, String, String) {
+    let mut cfg = RackSimConfig::new(2, seed);
+    cfg.sampler.buckets = 150;
+    cfg.warmup = Ns::from_millis(10);
+    let mut sim = RackSim::new(cfg);
+    let hub = sim.attach_telemetry(TelemetryConfig::default());
+    sim.schedule_flow(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    sim.run_sync_window(0);
+
+    let mut trace = Vec::new();
+    sim.write_perfetto_trace(&mut trace).expect("write trace");
+    let metrics_json = hub.borrow().metrics.to_json();
+    let metrics_csv = hub.borrow().metrics.to_csv();
+    (trace, metrics_json, metrics_csv)
+}
+
+#[test]
+fn identical_seeds_serialize_byte_identical_traces() {
+    let (trace_a, json_a, csv_a) = traced_run(7);
+    let (trace_b, json_b, csv_b) = traced_run(7);
+    assert_eq!(trace_a, trace_b, "Perfetto export must be byte-identical");
+    assert_eq!(json_a, json_b, "metrics JSON must be byte-identical");
+    assert_eq!(csv_a, csv_b, "metrics CSV must be byte-identical");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let (trace_a, _, _) = traced_run(7);
+    let (trace_b, _, _) = traced_run(8);
+    assert_ne!(
+        trace_a, trace_b,
+        "distinct seeds must produce distinct traces"
+    );
+}
+
+#[test]
+fn trace_is_valid_json_with_counters_and_drops() {
+    let (trace, metrics_json, _) = traced_run(7);
+    let text = String::from_utf8(trace).expect("utf-8");
+    validate_json(&text).expect("trace must be valid JSON");
+    validate_json(&metrics_json).expect("metrics must be valid JSON");
+    assert!(text.contains("\"traceEvents\""));
+    // Per-queue occupancy counter track for the incast destination.
+    assert!(text.contains("queue0.occupancy"), "occupancy track missing");
+    assert!(text.contains("\"ph\":\"C\""), "no counter events");
+    // A 300-connection incast into one 12.5G downlink must overflow the DT
+    // share: drop instants must be present.
+    assert!(
+        text.contains("drop:dynamic-threshold-reject") || text.contains("drop:shared-buffer-full"),
+        "no drop instants in trace"
+    );
+    assert!(text.contains("\"ph\":\"i\""), "no instant events");
+}
+
+#[test]
+fn trace_events_observe_the_contended_incast() {
+    let mut cfg = RackSimConfig::new(2, 7);
+    cfg.sampler.buckets = 150;
+    cfg.warmup = Ns::from_millis(10);
+    let mut sim = RackSim::new(cfg);
+    let hub = sim.attach_telemetry(TelemetryConfig::default());
+    sim.schedule_flow(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    let report = sim.run_sync_window(0);
+
+    let hub = hub.borrow();
+    let mut drops = 0u64;
+    let mut enqueues = 0u64;
+    let mut cwnd_changes = 0u64;
+    let mut sampler_closes = 0u64;
+    let mut last_ns = 0u64;
+    for ev in hub.bus.iter() {
+        if !matches!(ev, TraceEvent::SamplerWindowClose { .. }) {
+            // Sim-time-stamped events are recorded in order. (Sampler
+            // events carry the host's *local* clock — NTP skew and all —
+            // so they may legitimately sit a few µs off the global order.)
+            assert!(ev.ns() >= last_ns, "trace must be time-ordered");
+            last_ns = ev.ns();
+        }
+        match ev {
+            TraceEvent::PacketDrop { .. } => drops += 1,
+            TraceEvent::PacketEnqueue { .. } => enqueues += 1,
+            TraceEvent::CwndChange { .. } => cwnd_changes += 1,
+            TraceEvent::SamplerWindowClose { .. } => sampler_closes += 1,
+            _ => {}
+        }
+    }
+    assert!(enqueues > 0, "no enqueues traced");
+    assert!(drops > 0, "incast should drop");
+    assert!(cwnd_changes > 0, "DCTCP cwnd never moved?");
+    assert!(report.switch_discard_bytes > 0);
+    // Ring-buffer flight recorder: overwrites are counted, never lost.
+    assert_eq!(
+        hub.bus.recorded(),
+        hub.bus.len() as u64 + hub.bus.overwritten()
+    );
+    // The sampler window closes once per host that saw traffic after the
+    // window filled; with a 150ms window inside a longer run this fires.
+    let _ = sampler_closes; // presence depends on post-window traffic
+                            // Metrics were finalized by run_sync_window.
+    assert!(!hub.metrics.is_empty(), "finalize_metrics did not run");
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing() {
+    // Identical seeds, one run with a hub attached and one without: the
+    // simulation outcome (report counters) must be identical — recording
+    // must never feed back into behaviour.
+    let run = |attach: bool| {
+        let mut cfg = RackSimConfig::new(2, 11);
+        cfg.sampler.buckets = 100;
+        cfg.warmup = Ns::from_millis(10);
+        let mut sim = RackSim::new(cfg);
+        if attach {
+            sim.attach_telemetry(TelemetryConfig::default());
+        }
+        let r = sim.run_sync_window(0);
+        (
+            r.switch_discard_bytes,
+            r.switch_ingress_bytes,
+            r.conns_completed,
+            r.events,
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
