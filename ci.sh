@@ -27,4 +27,13 @@ cargo run -q --release -p ms-bench --example incast_loss -- --trace "$TRACE_TMP"
 cargo run -q --release -p ms-bench --example trace_check -- "$TRACE_TMP"
 rm -f "$TRACE_TMP"
 
+echo "==> fleet sweep smoke (parallel vs serial byte-identity + bench artifact)"
+# --bench re-runs the grid serially, asserts the aggregate CSV/JSON are
+# byte-identical to the parallel run, and writes BENCH_fleet.json.
+FLEET_CSV="${TMPDIR:-/tmp}/ms_fleet_smoke.csv"
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 2 --buckets 80 --conns 24 --bytes 1500000 --quiet \
+    --csv "$FLEET_CSV" --bench BENCH_fleet.json
+rm -f "$FLEET_CSV"
+
 echo "==> CI green"

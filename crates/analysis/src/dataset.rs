@@ -7,6 +7,7 @@
 //! aggregation helpers the experiment harness prints from.
 
 use crate::classify::RunAnalysis;
+use crate::outcome::RunOutcome;
 
 /// Which bucket of the §8 analysis a rack belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +39,9 @@ pub struct RackHourObservation {
     pub hour: usize,
     /// The run analysis (bursts, contention, loss).
     pub analysis: RunAnalysis,
-    /// Switch-side discard bytes over the window (SNMP-like ground truth).
-    pub switch_discard_bytes: u64,
-    /// Switch-side admitted bytes over the window.
-    pub switch_ingress_bytes: u64,
+    /// The flattened result record (switch ground truth + analysis
+    /// scalars) every aggregate consumer reads.
+    pub outcome: RunOutcome,
 }
 
 /// Categorizes RegA racks by busy-hour average contention: the top

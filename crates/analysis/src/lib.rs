@@ -18,6 +18,9 @@
 //! * [`dataset`] — multi-rack aggregation: rack categorization into
 //!   RegA-High / RegA-Typical by average contention, and the dataset
 //!   summary rows of Tables 1 and 2.
+//! * [`outcome`] — the unified per-run result record ([`RunOutcome`]):
+//!   simulation ground truth plus analysis scalars behind one codec
+//!   schema and one CSV row shape, consumed by sweep harnesses.
 //! * [`stats`] — CDFs, quantiles, box-plot summaries, Pearson correlation,
 //!   and bucketed series used to print the paper's figures.
 //! * [`diagnose`] — the §4.2 diagnostic signatures over stored runs:
@@ -32,10 +35,12 @@ pub mod classify;
 pub mod contention;
 pub mod dataset;
 pub mod diagnose;
+pub mod outcome;
 pub mod stats;
 
 pub use burst::{detect_bursts, Burst};
 pub use classify::{analyze_run, RunAnalysis};
 pub use contention::{contention_series, queue_share, ContentionStats};
 pub use dataset::{DatasetSummary, RackCategory, RackHourObservation};
+pub use outcome::RunOutcome;
 pub use stats::{BoxStats, Cdf};

@@ -18,8 +18,7 @@
 use ms_dcsim::{Ns, SharingPolicy};
 use ms_sketch::{mix64, FlowSketch, MultiresBitmap};
 use ms_transport::CcAlgorithm;
-use ms_workload::sim::{RackSim, RackSimConfig};
-use ms_workload::tasks::FlowSpec;
+use ms_workload::{FlowSpec, ScenarioBuilder};
 
 fn incast(dst: usize, conns: u32, bytes: u64, paced: Option<u64>) -> FlowSpec {
     FlowSpec {
@@ -33,21 +32,18 @@ fn incast(dst: usize, conns: u32, bytes: u64, paced: Option<u64>) -> FlowSpec {
 }
 
 /// A contended scenario: three queues receive staggered heavy incasts.
-fn contended_sim(mut cfg: RackSimConfig) -> RackSim {
-    cfg.sampler.buckets = 200;
-    cfg.warmup = Ns::from_millis(10);
-    let mut sim = RackSim::new(cfg);
+fn contended(b: &mut ScenarioBuilder) {
+    b.buckets(200).warmup(Ns::from_millis(10));
     for (i, dst) in [0usize, 1, 2].iter().enumerate() {
-        sim.schedule_flow(
+        b.flow_at(
             Ns::from_millis(20 + 3 * i as u64),
             incast(*dst, 120, 20_000_000, None),
         );
-        sim.schedule_flow(
+        b.flow_at(
             Ns::from_millis(120 + 3 * i as u64),
             incast(*dst, 120, 20_000_000, None),
         );
     }
-    sim
 }
 
 fn alpha_sweep() {
@@ -57,10 +53,10 @@ fn alpha_sweep() {
         "alpha", "discard_bytes", "ingress_bytes", "completed"
     );
     for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = RackSimConfig::new(8, 7);
-        cfg.rack.switch.alpha = alpha;
-        let mut sim = contended_sim(cfg);
-        let report = sim.run_sync_window(0);
+        let mut b = ScenarioBuilder::new(8, 7);
+        b.alpha(alpha);
+        contended(&mut b);
+        let report = b.build().run_sync_window(0);
         println!(
             "{alpha:>8} {:>16} {:>16} {:>12}",
             report.switch_discard_bytes, report.switch_ingress_bytes, report.conns_completed
@@ -81,10 +77,10 @@ fn policy_comparison() {
         ("complete_sharing", SharingPolicy::CompleteSharing),
         ("static_partition", SharingPolicy::StaticPartition),
     ] {
-        let mut cfg = RackSimConfig::new(8, 7);
-        cfg.rack.switch.policy = policy;
-        let mut sim = contended_sim(cfg);
-        let report = sim.run_sync_window(0);
+        let mut b = ScenarioBuilder::new(8, 7);
+        b.sharing_policy(policy);
+        contended(&mut b);
+        let report = b.build().run_sync_window(0);
         println!(
             "{name:>18} {:>16} {:>12}",
             report.switch_discard_bytes, report.conns_completed
@@ -101,10 +97,10 @@ fn ecn_sweep() {
         "thresh_kb", "discard_bytes", "marked_ingress?"
     );
     for kb in [30u64, 60, 120, 240, 480] {
-        let mut cfg = RackSimConfig::new(8, 7);
-        cfg.rack.switch.ecn_threshold = kb * 1024;
-        let mut sim = contended_sim(cfg);
-        let report = sim.run_sync_window(0);
+        let mut b = ScenarioBuilder::new(8, 7);
+        b.ecn_threshold(kb * 1024);
+        contended(&mut b);
+        let report = b.build().run_sync_window(0);
         let ecn: u64 = report
             .rack_run
             .as_ref()
@@ -123,20 +119,18 @@ fn smoothing_ablation() {
         "paced", "discard_bytes", "completed"
     );
     for (name, pace) in [("off", None), ("10Gbps", Some(10_000_000_000u64))] {
-        let mut cfg = RackSimConfig::new(8, 11);
-        cfg.sampler.buckets = 300;
-        cfg.warmup = Ns::from_millis(10);
-        let mut sim = RackSim::new(cfg);
+        let mut b = ScenarioBuilder::new(8, 11);
+        b.buckets(300).warmup(Ns::from_millis(10));
         // Six "trainers" receive synchronized 10MB steps.
         for step in 0..3u64 {
             for dst in 0..6usize {
-                sim.schedule_flow(
+                b.flow_at(
                     Ns::from_millis(20 + step * 80),
                     incast(dst, 6, 10_000_000, pace),
                 );
             }
         }
-        let report = sim.run_sync_window(0);
+        let report = b.build().run_sync_window(0);
         println!(
             "{name:>10} {:>16} {:>12}",
             report.switch_discard_bytes, report.conns_completed
@@ -147,7 +141,6 @@ fn smoothing_ablation() {
 }
 
 fn sampling_interval_ablation() {
-    use millisampler::RunConfig;
     use ms_analysis::detect_bursts;
     use ms_workload::sim::GroConfig;
     println!("\n## ablation: sampling interval (why the paper uses 1 ms, §5/§4.6)");
@@ -161,22 +154,19 @@ fn sampling_interval_ablation() {
         (Ns::from_millis(10), 40),
     ] {
         for gro in [false, true] {
-            let mut cfg = RackSimConfig::new(8, 41);
-            cfg.sampler = RunConfig {
-                interval,
-                buckets,
-                count_flows: true,
-            };
-            cfg.warmup = Ns::from_millis(10);
+            let mut b = ScenarioBuilder::new(8, 41);
+            b.interval(interval)
+                .buckets(buckets)
+                .count_flows(true)
+                .warmup(Ns::from_millis(10));
             if gro {
-                cfg.gro = Some(GroConfig::default());
+                b.gro(GroConfig::default());
             }
-            let mut sim = RackSim::new(cfg);
             // A few separated multi-ms bursts.
             for i in 0..3u64 {
-                sim.schedule_flow(Ns::from_millis(20 + i * 60), incast(2, 8, 5_000_000, None));
+                b.flow_at(Ns::from_millis(20 + i * 60), incast(2, 8, 5_000_000, None));
             }
-            let report = sim.run_sync_window(0);
+            let report = b.build().run_sync_window(0);
             let Some(run) = report.rack_run else { continue };
             let bursts = detect_bursts(&run.servers[2], 12_500_000_000).len();
             let cap = interval.bytes_at_rate(12_500_000_000).max(1);
@@ -250,30 +240,27 @@ fn fabric_hop_ablation() {
             }),
         ),
     ] {
-        let mut cfg = RackSimConfig::new(8, 31);
-        cfg.sampler.buckets = 250;
-        cfg.warmup = Ns::from_millis(10);
-        cfg.fabric_hop = hop;
-        let mut sim = RackSim::new(cfg);
-        if let Some(bps) = pace {
-            sim.set_fabric_smoothing(bps);
+        let mut b = ScenarioBuilder::new(8, 31);
+        b.buckets(250).warmup(Ns::from_millis(10));
+        if let Some(hop) = hop {
+            b.fabric_hop(hop);
         }
-        sim.schedule_flow(Ns::from_millis(30), incast(1, 150, 25_000_000, None));
+        if let Some(bps) = pace {
+            b.fabric_smoothing(bps);
+        }
+        b.flow_at(Ns::from_millis(30), incast(1, 150, 25_000_000, None));
+        let mut sim = b.build();
         let fabric_drops_before = sim.fabric_drops();
         let report = sim.run_sync_window(0);
         println!(
             "{name:>22} {:>16} {:>14}",
             report.switch_discard_bytes,
-            sim_fabric_drops(&sim) - fabric_drops_before
+            sim.fabric_drops() - fabric_drops_before
         );
         let _ = report;
     }
     println!("(both forms of smoothing protect the shallow ToR buffer; the explicit hop");
     println!(" shows the paper's point that RegA-High's congestion moved INTO the fabric)");
-}
-
-fn sim_fabric_drops(sim: &RackSim) -> u64 {
-    sim.fabric_drops()
 }
 
 fn dynamic_alpha_ablation() {
@@ -283,10 +270,12 @@ fn dynamic_alpha_ablation() {
         "alpha_policy", "discard_bytes", "completed"
     );
     for (name, tune) in [("fixed_1.0", None), ("tuned_5ms", Some(Ns::from_millis(5)))] {
-        let mut cfg = RackSimConfig::new(8, 33);
-        cfg.alpha_tune_period = tune;
-        let mut sim = contended_sim(cfg);
-        let report = sim.run_sync_window(0);
+        let mut b = ScenarioBuilder::new(8, 33);
+        if let Some(period) = tune {
+            b.alpha_tune_period(period);
+        }
+        contended(&mut b);
+        let report = b.build().run_sync_window(0);
         println!(
             "{name:>18} {:>16} {:>12}",
             report.switch_discard_bytes, report.conns_completed

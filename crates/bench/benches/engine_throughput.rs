@@ -23,16 +23,12 @@ fn bench_schedule_pop() {
 
 fn bench_full_rack_window() {
     use ms_transport::CcAlgorithm;
-    use ms_workload::sim::{RackSim, RackSimConfig};
-    use ms_workload::tasks::FlowSpec;
+    use ms_workload::{FlowSpec, ScenarioBuilder};
     // End-to-end: one small incast through the full stack (events, switch,
     // transport, millisampler). Measures simulated-packets/sec capacity.
     bench("end_to_end/incast_window_8x2MB", || {
-        let mut cfg = RackSimConfig::new(8, 1);
-        cfg.sampler.buckets = 100;
-        cfg.warmup = Ns::from_millis(5);
-        let mut sim = RackSim::new(cfg);
-        sim.schedule_flow(
+        let mut b = ScenarioBuilder::new(8, 1);
+        b.buckets(100).warmup(Ns::from_millis(5)).flow_at(
             Ns::from_millis(10),
             FlowSpec {
                 dst_server: 1,
@@ -43,7 +39,7 @@ fn bench_full_rack_window() {
                 task: 1,
             },
         );
-        black_box(sim.run_sync_window(0).events)
+        black_box(b.build().run_sync_window(0).events)
     });
 }
 

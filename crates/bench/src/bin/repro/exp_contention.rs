@@ -248,7 +248,7 @@ pub fn fig14(ctx: &mut Ctx) {
         .obs
         .iter()
         .map(|o| {
-            let per_min_gb = o.switch_ingress_bytes as f64 * (60.0 / window_s) / 1e9;
+            let per_min_gb = o.outcome.switch_ingress_bytes as f64 * (60.0 / window_s) / 1e9;
             (per_min_gb, o.analysis.contention_stats.avg)
         })
         .collect();

@@ -139,8 +139,8 @@ pub fn fig17(ctx: &mut Ctx) {
     let mut per_rack: std::collections::BTreeMap<u32, (u64, u64)> = Default::default();
     for o in &data.obs {
         let e = per_rack.entry(o.rack_id).or_default();
-        e.0 += o.switch_discard_bytes;
-        e.1 += o.switch_ingress_bytes;
+        e.0 += o.outcome.switch_discard_bytes;
+        e.1 += o.outcome.switch_ingress_bytes;
     }
     let mut typical = Vec::new();
     let mut high_v = Vec::new();

@@ -7,8 +7,8 @@ use ms_analysis::contention::{contention_series, queue_share};
 use ms_bench::report::{f3, Report};
 use ms_dcsim::Ns;
 use ms_workload::placement::RegionKind;
-use ms_workload::sim::{RackSim, RackSimConfig};
 use ms_workload::tools::{schedule_burst_requests, schedule_multicast_validation};
+use ms_workload::ScenarioBuilder;
 
 /// Fig. 1: `T(S) = α/(1+αS)` for α ∈ {0.25, 0.5, 1, 2, 4}, S = 1..10.
 pub fn fig1(ctx: &mut Ctx) {
@@ -27,22 +27,25 @@ pub fn fig1(ctx: &mut Ctx) {
 
 /// A paper-scale (1 ms × 2000) idle rack for the validation experiments,
 /// with 1500 B MSS like the production fleet.
-fn validation_sim(servers: usize, seed: u64) -> RackSim {
-    let mut cfg = RackSimConfig::new(servers, seed);
-    cfg.sampler = RunConfig::one_ms();
-    cfg.warmup = Ns::from_millis(20);
-    RackSim::new(cfg)
+fn validation_scenario(servers: usize, seed: u64) -> ScenarioBuilder {
+    let one_ms = RunConfig::one_ms();
+    let mut b = ScenarioBuilder::new(servers, seed);
+    b.interval(one_ms.interval)
+        .buckets(one_ms.buckets)
+        .count_flows(one_ms.count_flows)
+        .warmup(Ns::from_millis(20));
+    b
 }
 
 /// Fig. 3: multicast bursts to 8 idle servers arrive in the same sample on
 /// every host — SyncMillisampler collection is synchronized.
 pub fn fig3(ctx: &mut Ctx) {
-    let mut sim = validation_sim(8, ctx.opts.seed);
+    let mut scenario = validation_scenario(8, ctx.opts.seed);
     let servers: Vec<usize> = (0..8).collect();
     // Bursts every 100ms over the 2s window; rate limited (multicast is
     // rate limited in production, §4.5) so the burst spans several ms.
     schedule_multicast_validation(
-        &mut sim,
+        &mut scenario,
         700,
         &servers,
         Ns::from_millis(40),
@@ -52,7 +55,7 @@ pub fn fig3(ctx: &mut Ctx) {
         1500,
         2_000_000_000,
     );
-    let report = sim.run_sync_window(0);
+    let report = scenario.build().run_sync_window(0);
     let run = report.rack_run.expect("validation rack produced data");
 
     // Per burst occurrence: the bucket index at which each server's rate
@@ -119,11 +122,11 @@ pub fn fig3(ctx: &mut Ctx) {
 /// from five senders; post-analysis identifies 5 simultaneously bursty
 /// servers.
 pub fn fig4(ctx: &mut Ctx) {
-    let mut sim = validation_sim(8, ctx.opts.seed ^ 4);
+    let mut scenario = validation_scenario(8, ctx.opts.seed ^ 4);
     // Paper: 1.8MB bursts ≈ 3ms, every 100ms, to 5 clients.
     for client in 0..5 {
         schedule_burst_requests(
-            &mut sim,
+            &mut scenario,
             client,
             Ns::from_millis(40),
             Ns::from_millis(100),
@@ -132,7 +135,7 @@ pub fn fig4(ctx: &mut Ctx) {
             4,
         );
     }
-    let report = sim.run_sync_window(0);
+    let report = scenario.build().run_sync_window(0);
     let run = report.rack_run.expect("burst traffic sampled");
     let contention = contention_series(&run, 12_500_000_000);
 

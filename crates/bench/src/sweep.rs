@@ -1,7 +1,7 @@
 //! Region-scale sweeps: every rack × selected hours, in parallel.
 
 use ms_analysis::dataset::RackHourObservation;
-use ms_analysis::{analyze_run, RackCategory};
+use ms_analysis::{analyze_run, RackCategory, RunOutcome};
 use ms_workload::placement::{build_region, RackClass, RegionKind, RegionSpec};
 use ms_workload::scenario::{rack_sim_for, ScenarioConfig};
 use std::collections::BTreeSet;
@@ -160,12 +160,19 @@ pub fn sweep_region(kind: RegionKind, cfg: &SweepConfig) -> RegionData {
                             analyze_run(&empty, link, cfg.loss_slack)
                         }
                     };
+                    let outcome = RunOutcome::from_analysis(
+                        &analysis,
+                        report.switch_ingress_bytes,
+                        report.switch_discard_bytes,
+                        report.flows_started,
+                        report.conns_completed,
+                        report.events,
+                    );
                     let _ = tx.send(RackHourObservation {
                         rack_id,
                         hour,
                         analysis,
-                        switch_discard_bytes: report.switch_discard_bytes,
-                        switch_ingress_bytes: report.switch_ingress_bytes,
+                        outcome,
                     });
                 }
             });
@@ -234,7 +241,7 @@ mod tests {
             assert_eq!(a.rack_id, b.rack_id);
             assert_eq!(a.analysis.total_in_bytes, b.analysis.total_in_bytes);
             assert_eq!(a.analysis.bursts, b.analysis.bursts);
-            assert_eq!(a.switch_discard_bytes, b.switch_discard_bytes);
+            assert_eq!(a.outcome, b.outcome);
         }
     }
 

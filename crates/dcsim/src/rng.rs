@@ -78,6 +78,13 @@ impl SimRng {
         (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
     }
 
+    /// The current internal state. `SimRng::new(state)` resumes the stream
+    /// exactly here — this is how declarative scenario specs capture a
+    /// forked generator stream as a plain seed.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Derives an independent child generator. Children with distinct labels
     /// produce decorrelated streams; the parent advances once.
     pub fn fork(&mut self, label: u64) -> SimRng {

@@ -1,0 +1,257 @@
+//! Sweep grid definition: seed × α × placement × CC-algorithm.
+//!
+//! [`FleetGrid`] enumerates its cartesian product in a fixed nesting
+//! order (seed outermost, CC innermost) into labeled [`FleetCell`]s. The
+//! cell order — not completion order — defines the order of every
+//! aggregate output, which is what makes `--jobs 1` and `--jobs N` runs
+//! byte-identical.
+
+use ms_dcsim::Ns;
+use ms_transport::CcAlgorithm;
+use ms_workload::{FlowSpec, ScenarioBuilder, ScenarioSpec};
+
+/// How the grid's incast load is placed inside the rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// Every connection targets server 0 (the paper's worst-case incast).
+    SingleVictim,
+    /// Connections split between servers 0 and 1 (two synchronized
+    /// receivers contending for the shared buffer).
+    PairedVictims,
+    /// Connections spread across all servers (the diffuse, low-contention
+    /// baseline).
+    Spread,
+}
+
+impl PlacementKind {
+    /// Stable label fragment used in cell names and CLI parsing.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementKind::SingleVictim => "single",
+            PlacementKind::PairedVictims => "paired",
+            PlacementKind::Spread => "spread",
+        }
+    }
+
+    /// Parses a CLI fragment.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "single" => Some(PlacementKind::SingleVictim),
+            "paired" => Some(PlacementKind::PairedVictims),
+            "spread" => Some(PlacementKind::Spread),
+            _ => None,
+        }
+    }
+}
+
+/// Stable label fragment for a congestion-control algorithm.
+pub fn cc_label(cc: CcAlgorithm) -> &'static str {
+    match cc {
+        CcAlgorithm::Dctcp => "dctcp",
+        CcAlgorithm::Cubic => "cubic",
+        CcAlgorithm::Reno => "reno",
+    }
+}
+
+/// Parses a CLI congestion-control fragment.
+pub fn cc_parse(s: &str) -> Option<CcAlgorithm> {
+    match s {
+        "dctcp" => Some(CcAlgorithm::Dctcp),
+        "cubic" => Some(CcAlgorithm::Cubic),
+        "reno" => Some(CcAlgorithm::Reno),
+        _ => None,
+    }
+}
+
+/// One grid point: a label (unique within the grid) plus the declarative
+/// scenario to run.
+#[derive(Debug, Clone)]
+pub struct FleetCell {
+    /// `s<seed>-a<alpha>-<placement>-<cc>` for grid cells; free-form for
+    /// hand-built cells.
+    pub label: String,
+    /// The scenario this cell simulates.
+    pub spec: ScenarioSpec,
+}
+
+/// A seed × α × placement × CC sweep over one rack shape.
+#[derive(Debug, Clone)]
+pub struct FleetGrid {
+    /// Servers per rack.
+    pub servers: usize,
+    /// Sampler buckets per run (1 ms each).
+    pub buckets: usize,
+    /// Warm-up before the sampler window.
+    pub warmup: Ns,
+    /// Experiment seeds.
+    pub seeds: Vec<u64>,
+    /// DT α values for the ToR shared buffer.
+    pub alphas: Vec<f64>,
+    /// Incast placements.
+    pub placements: Vec<PlacementKind>,
+    /// Congestion-control algorithms.
+    pub ccs: Vec<CcAlgorithm>,
+    /// Total connections per cell (split according to placement).
+    pub connections: u32,
+    /// Bytes delivered per connection group.
+    pub total_bytes: u64,
+}
+
+impl Default for FleetGrid {
+    /// The binary's default 8-point smoke grid:
+    /// 2 seeds × 2 α × 2 placements × DCTCP.
+    fn default() -> Self {
+        FleetGrid {
+            servers: 8,
+            buckets: 200,
+            warmup: Ns::from_millis(20),
+            seeds: vec![1, 2],
+            alphas: vec![0.5, 2.0],
+            placements: vec![PlacementKind::SingleVictim, PlacementKind::PairedVictims],
+            ccs: vec![CcAlgorithm::Dctcp],
+            connections: 80,
+            total_bytes: 12_000_000,
+        }
+    }
+}
+
+impl FleetGrid {
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.seeds.len() * self.alphas.len() * self.placements.len() * self.ccs.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates all cells in grid order (seed → α → placement → CC).
+    pub fn cells(&self) -> Vec<FleetCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &seed in &self.seeds {
+            for &alpha in &self.alphas {
+                for &placement in &self.placements {
+                    for &cc in &self.ccs {
+                        out.push(FleetCell {
+                            label: format!(
+                                "s{seed}-a{alpha:.2}-{}-{}",
+                                placement.label(),
+                                cc_label(cc)
+                            ),
+                            spec: self.cell_spec(seed, alpha, placement, cc),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn cell_spec(
+        &self,
+        seed: u64,
+        alpha: f64,
+        placement: PlacementKind,
+        cc: CcAlgorithm,
+    ) -> ScenarioSpec {
+        let mut b = ScenarioBuilder::new(self.servers, seed);
+        b.buckets(self.buckets).warmup(self.warmup).alpha(alpha);
+        let start = self.warmup + Ns::from_millis(10);
+        let flow = |dst: usize, conns: u32| FlowSpec {
+            dst_server: dst,
+            connections: conns,
+            total_bytes: self.total_bytes,
+            algorithm: cc,
+            paced_bps: None,
+            task: 1,
+        };
+        match placement {
+            PlacementKind::SingleVictim => {
+                b.flow_at(start, flow(0, self.connections));
+            }
+            PlacementKind::PairedVictims => {
+                let half = (self.connections / 2).max(1);
+                b.flow_at(start, flow(0, half));
+                b.flow_at(start, flow(1, half));
+            }
+            PlacementKind::Spread => {
+                // simlint: allow(cast-truncation): rack sizes are far below u32::MAX
+                let per = (self.connections / self.servers.max(1) as u32).max(1);
+                for dst in 0..self.servers {
+                    b.flow_at(start, flow(dst, per));
+                }
+            }
+        }
+        b.spec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_has_eight_points() {
+        let grid = FleetGrid::default();
+        assert_eq!(grid.len(), 8);
+        assert_eq!(grid.cells().len(), 8);
+    }
+
+    #[test]
+    fn cell_order_is_seed_alpha_placement_cc() {
+        let grid = FleetGrid::default();
+        let labels: Vec<String> = grid.cells().into_iter().map(|c| c.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "s1-a0.50-single-dctcp",
+                "s1-a0.50-paired-dctcp",
+                "s1-a2.00-single-dctcp",
+                "s1-a2.00-paired-dctcp",
+                "s2-a0.50-single-dctcp",
+                "s2-a0.50-paired-dctcp",
+                "s2-a2.00-single-dctcp",
+                "s2-a2.00-paired-dctcp",
+            ]
+        );
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let grid = FleetGrid::default();
+        let a = grid.cells();
+        let b = grid.cells();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.spec.encode(), y.spec.encode());
+        }
+    }
+
+    #[test]
+    fn placement_shapes_flows() {
+        let grid = FleetGrid::default();
+        let single = grid.cell_spec(1, 1.0, PlacementKind::SingleVictim, CcAlgorithm::Dctcp);
+        assert_eq!(single.flows.len(), 1);
+        let paired = grid.cell_spec(1, 1.0, PlacementKind::PairedVictims, CcAlgorithm::Dctcp);
+        assert_eq!(paired.flows.len(), 2);
+        let spread = grid.cell_spec(1, 1.0, PlacementKind::Spread, CcAlgorithm::Dctcp);
+        assert_eq!(spread.flows.len(), grid.servers);
+    }
+
+    #[test]
+    fn labels_round_trip_cli_fragments() {
+        for p in [
+            PlacementKind::SingleVictim,
+            PlacementKind::PairedVictims,
+            PlacementKind::Spread,
+        ] {
+            assert_eq!(PlacementKind::parse(p.label()), Some(p));
+        }
+        for cc in [CcAlgorithm::Dctcp, CcAlgorithm::Cubic, CcAlgorithm::Reno] {
+            assert_eq!(cc_parse(cc_label(cc)), Some(cc));
+        }
+        assert_eq!(PlacementKind::parse("bogus"), None);
+        assert_eq!(cc_parse("bogus"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ms-fleet — parallel multi-rack sweep runner
+//!
+//! Shards independent `RackSim` runs — a seed × α × placement ×
+//! CC-algorithm grid of [`ScenarioSpec`]s — across `std::thread`
+//! workers behind a work-stealing shard queue, then merges the per-run
+//! [`RunOutcome`]s deterministically in grid order. The merged report
+//! is byte-identical regardless of thread count: `--jobs 1` ≡
+//! `--jobs N`.
+//!
+//! The crate is dependency-free like the rest of the workspace: workers
+//! are scoped `std::thread`s, the queue is `Mutex<VecDeque>` shards,
+//! results travel over `std::sync::mpsc` as codec-encoded `RunOutcome`
+//! bytes, and a panicking cell becomes a failure row instead of tearing
+//! down the sweep.
+//!
+//! ```
+//! use ms_fleet::{run_fleet, FleetConfig, FleetGrid};
+//!
+//! let mut grid = FleetGrid::default();
+//! grid.seeds = vec![7];
+//! grid.alphas = vec![1.0];
+//! grid.buckets = 40;
+//! grid.connections = 8;
+//! grid.total_bytes = 400_000;
+//! let report = run_fleet(&grid.cells(), &FleetConfig { jobs: 2, ..FleetConfig::default() });
+//! assert_eq!(report.results.len(), grid.len());
+//! ```
+//!
+//! [`ScenarioSpec`]: ms_workload::ScenarioSpec
+//! [`RunOutcome`]: ms_analysis::RunOutcome
+
+pub mod grid;
+pub mod merge;
+pub mod runner;
+
+pub use grid::{cc_label, cc_parse, FleetCell, FleetGrid, PlacementKind};
+pub use merge::{CellFailure, CellResult, FleetReport};
+pub use runner::{run_fleet, FleetConfig};

@@ -1,0 +1,234 @@
+//! `fleet` — run a ScenarioSpec grid across worker threads.
+//!
+//! ```text
+//! fleet [--jobs N] [--seeds 1,2] [--alphas 0.5,2.0]
+//!       [--placements single,paired,spread] [--ccs dctcp,cubic,reno]
+//!       [--servers 8] [--buckets 200] [--conns 80] [--bytes 12000000]
+//!       [--csv PATH] [--json PATH] [--bench PATH] [--quiet]
+//! ```
+//!
+//! `--bench PATH` additionally runs the grid serially (`jobs = 1`),
+//! asserts the aggregate outputs are byte-identical to the parallel
+//! run, and writes a `BENCH_fleet.json` artifact with both wall-clock
+//! times. Timing and process-environment reads live only in this
+//! binary; the library stays deterministic and env-free (simlint
+//! enforces this split via `simlint.toml` allows scoped to this file).
+
+use ms_fleet::{cc_parse, run_fleet, FleetConfig, FleetGrid, PlacementKind};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let (grid, cfg, out) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("fleet: {msg}");
+            eprintln!("fleet: try --help");
+            std::process::exit(2);
+        }
+    };
+
+    let cells = grid.cells();
+    if cells.is_empty() {
+        eprintln!("fleet: the grid is empty (check --seeds/--alphas/--placements/--ccs)");
+        std::process::exit(2);
+    }
+    let jobs = cfg.effective_jobs().min(cells.len()).max(1);
+    if !out.quiet {
+        eprintln!(
+            "[fleet] {} cells ({} seeds x {} alphas x {} placements x {} ccs), {jobs} worker(s)",
+            cells.len(),
+            grid.seeds.len(),
+            grid.alphas.len(),
+            grid.placements.len(),
+            grid.ccs.len(),
+        );
+    }
+
+    let started = Instant::now();
+    let report = run_fleet(&cells, &cfg);
+    let parallel_wall = started.elapsed();
+
+    let runs_per_sec = cells.len() as f64 / parallel_wall.as_secs_f64().max(1e-9);
+    if !out.quiet {
+        eprintln!(
+            "[fleet] {}/{} ok in {:.2}s ({runs_per_sec:.2} runs/s)",
+            report.ok_count(),
+            cells.len(),
+            parallel_wall.as_secs_f64(),
+        );
+        for (label, message) in report.failures() {
+            eprintln!("[fleet] FAILED {label}: {message}");
+        }
+    }
+
+    let csv = report.to_csv();
+    let json = report.to_json();
+    match &out.csv_path {
+        Some(path) => write_or_die(path, &csv),
+        None => print!("{csv}"),
+    }
+    if let Some(path) = &out.json_path {
+        write_or_die(path, &json);
+    }
+
+    if let Some(bench_path) = &out.bench_path {
+        // Re-run serially to measure speedup and prove byte-identity.
+        let serial_cfg = FleetConfig {
+            jobs: 1,
+            progress: false,
+            ..cfg
+        };
+        let serial_started = Instant::now();
+        let serial_report = run_fleet(&cells, &serial_cfg);
+        let serial_wall = serial_started.elapsed();
+        let identical = serial_report.to_csv() == csv && serial_report.to_json() == json;
+        if !identical {
+            eprintln!("fleet: serial and parallel aggregates DIFFER — determinism bug");
+        }
+        let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
+        let bench = format!(
+            "{{\n  \"bench\": \"fleet\",\n  \"cells\": {},\n  \"jobs\": {jobs},\n  \
+             \"host_cores\": {host_cores},\n  \"serial_wall_ms\": {:.3},\n  \
+             \"parallel_wall_ms\": {:.3},\n  \"speedup\": {:.3},\n  \
+             \"runs_per_sec\": {runs_per_sec:.3},\n  \"identical\": {identical}\n}}\n",
+            cells.len(),
+            serial_wall.as_secs_f64() * 1e3,
+            parallel_wall.as_secs_f64() * 1e3,
+            serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9),
+        );
+        write_or_die(bench_path, &bench);
+        if !out.quiet {
+            eprintln!("[fleet] bench artifact written to {bench_path}");
+        }
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+
+    if report.ok_count() < cells.len() {
+        std::process::exit(1);
+    }
+}
+
+/// Output routing parsed from the command line.
+struct OutputSpec {
+    csv_path: Option<String>,
+    json_path: Option<String>,
+    bench_path: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<(FleetGrid, FleetConfig, OutputSpec), String> {
+    let mut grid = FleetGrid::default();
+    let mut cfg = FleetConfig {
+        progress: true,
+        ..FleetConfig::default()
+    };
+    let mut out = OutputSpec {
+        csv_path: None,
+        json_path: None,
+        bench_path: None,
+        quiet: false,
+    };
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => cfg.jobs = parse_num(value("--jobs")?, "--jobs")?,
+            "--servers" => grid.servers = parse_num(value("--servers")?, "--servers")?,
+            "--buckets" => grid.buckets = parse_num(value("--buckets")?, "--buckets")?,
+            "--conns" => grid.connections = parse_num(value("--conns")?, "--conns")?,
+            "--bytes" => grid.total_bytes = parse_num(value("--bytes")?, "--bytes")?,
+            "--seeds" => {
+                grid.seeds = split_list(value("--seeds")?)
+                    .map(|s| parse_num(s, "--seeds"))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--alphas" => {
+                grid.alphas = split_list(value("--alphas")?)
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .map_err(|_| format!("--alphas: bad value {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--placements" => {
+                grid.placements = split_list(value("--placements")?)
+                    .map(|s| {
+                        PlacementKind::parse(s).ok_or_else(|| {
+                            format!("--placements: {s:?} is not single/paired/spread")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--ccs" => {
+                grid.ccs = split_list(value("--ccs")?)
+                    .map(|s| {
+                        cc_parse(s).ok_or_else(|| format!("--ccs: {s:?} is not dctcp/cubic/reno"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--csv" => out.csv_path = Some(value("--csv")?.clone()),
+            "--json" => out.json_path = Some(value("--json")?.clone()),
+            "--bench" => out.bench_path = Some(value("--bench")?.clone()),
+            "--quiet" => {
+                out.quiet = true;
+                cfg.progress = false;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((grid, cfg, out))
+}
+
+fn split_list(s: &str) -> impl Iterator<Item = &str> {
+    s.split(',').map(str::trim).filter(|p| !p.is_empty())
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse::<T>()
+        .map_err(|_| format!("{flag}: bad value {s:?}"))
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("fleet: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    println!(
+        "fleet — parallel multi-rack sweep runner\n\
+         \n\
+         USAGE: fleet [OPTIONS]\n\
+         \n\
+         Grid (cartesian product, run in seed > alpha > placement > cc order):\n\
+         \x20 --seeds N,N,..        experiment seeds           [default 1,2]\n\
+         \x20 --alphas F,F,..       DT alpha values            [default 0.5,2.0]\n\
+         \x20 --placements L,L,..   single|paired|spread       [default single,paired]\n\
+         \x20 --ccs L,L,..          dctcp|cubic|reno           [default dctcp]\n\
+         \x20 --servers N           servers per rack           [default 8]\n\
+         \x20 --buckets N           sampler buckets (1 ms)     [default 200]\n\
+         \x20 --conns N             connections per cell       [default 80]\n\
+         \x20 --bytes N             bytes per connection group [default 12000000]\n\
+         \n\
+         Execution:\n\
+         \x20 --jobs N              worker threads (0 = host cores) [default 0]\n\
+         \x20 --quiet               suppress progress lines\n\
+         \n\
+         Output (aggregates are byte-identical for any --jobs):\n\
+         \x20 --csv PATH            write aggregate CSV (default: stdout)\n\
+         \x20 --json PATH           write aggregate JSON\n\
+         \x20 --bench PATH          also run serially, verify byte-identity,\n\
+         \x20                       and write a BENCH_fleet.json artifact"
+    );
+}

@@ -1,0 +1,232 @@
+//! Deterministic merge of per-cell results into one aggregate report.
+//!
+//! [`FleetReport`] holds results in grid order and renders them without
+//! any run-dependent inputs (no thread counts, no wall-clock, no
+//! completion order), which is what lets the test suite assert
+//! `--jobs 1` and `--jobs N` produce byte-identical CSV and JSON.
+
+use ms_analysis::RunOutcome;
+
+/// Why a cell produced no outcome: the panic (or decode error) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Human-readable reason, straight from the panic payload.
+    pub message: String,
+}
+
+/// One cell's merged result: its grid label plus outcome-or-failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell's grid label (e.g. `s1-a0.50-single-dctcp`).
+    pub label: String,
+    /// The decoded outcome, or why there isn't one.
+    pub outcome: Result<RunOutcome, CellFailure>,
+}
+
+/// The fleet's aggregate report, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-cell results, one per grid cell, in grid order.
+    pub results: Vec<CellResult>,
+}
+
+impl FleetReport {
+    /// Number of cells that completed.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Cells that panicked or failed to decode, with their messages.
+    pub fn failures(&self) -> Vec<(&str, &str)> {
+        self.results
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                Ok(_) => None,
+                Err(f) => Some((r.label.as_str(), f.message.as_str())),
+            })
+            .collect()
+    }
+
+    /// CSV rendering: `label,status,<RunOutcome columns>`. Failed cells
+    /// keep their row (status `failed`, empty metric cells) so the row
+    /// count always equals the grid size.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(128 * (self.results.len() + 1));
+        out.push_str("label,status,");
+        out.push_str(RunOutcome::CSV_HEADER);
+        out.push('\n');
+        let empty_cells = RunOutcome::CSV_HEADER.matches(',').count() + 1;
+        for r in &self.results {
+            out.push_str(&r.label);
+            match &r.outcome {
+                Ok(o) => {
+                    out.push_str(",ok,");
+                    out.push_str(&o.csv_cells());
+                }
+                Err(_) => {
+                    out.push_str(",failed");
+                    for _ in 0..empty_cells {
+                        out.push(',');
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled; the workspace is dependency-free).
+    /// Deliberately contains no jobs/timing fields — those go in the
+    /// binary's separate bench artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 * (self.results.len() + 1));
+        out.push_str("{\n  \"cells\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {\"label\": ");
+            json_string(&mut out, &r.label);
+            match &r.outcome {
+                Ok(o) => {
+                    out.push_str(", \"status\": \"ok\"");
+                    push_json_metrics(&mut out, o);
+                }
+                Err(f) => {
+                    out.push_str(", \"status\": \"failed\", \"error\": ");
+                    json_string(&mut out, &f.message);
+                }
+            }
+            out.push('}');
+            if i + 1 < self.results.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "  \"ok\": {},\n  \"failed\": {}\n}}\n",
+                self.ok_count(),
+                self.results.len() - self.ok_count()
+            ),
+        );
+        out
+    }
+}
+
+fn push_json_metrics(out: &mut String, o: &RunOutcome) {
+    let _ = std::fmt::Write::write_fmt(
+        out,
+        format_args!(
+            ", \"switch_ingress_bytes\": {}, \"switch_discard_bytes\": {}, \
+             \"flows_started\": {}, \"conns_completed\": {}, \"events\": {}, \
+             \"total_in_bytes\": {}, \"total_retx_bytes\": {}, \
+             \"bursts\": {}, \"contended_bursts\": {}, \"lossy_bursts\": {}, \
+             \"contention_avg\": {:.6}, \"contention_p90\": {}, \
+             \"contention_max\": {}, \"active_servers\": {}, \
+             \"bursty_servers\": {}, \"loss_rate\": {:.6}",
+            o.switch_ingress_bytes,
+            o.switch_discard_bytes,
+            o.flows_started,
+            o.conns_completed,
+            o.events,
+            o.total_in_bytes,
+            o.total_retx_bytes,
+            o.bursts,
+            o.contended_bursts,
+            o.lossy_bursts,
+            o.contention_avg,
+            o.contention_p90,
+            o.contention_max,
+            o.active_servers,
+            o.bursty_servers,
+            o.loss_rate(),
+        ),
+    );
+}
+
+/// Writes `s` as a JSON string literal (escapes quotes, backslashes, and
+/// control characters — panic messages can contain anything).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> FleetReport {
+        let mut o = RunOutcome::empty();
+        o.switch_ingress_bytes = 1000;
+        o.switch_discard_bytes = 10;
+        o.bursts = 3;
+        o.contention_avg = 1.5;
+        FleetReport {
+            results: vec![
+                CellResult {
+                    label: String::from("s1-a0.50-single-dctcp"),
+                    outcome: Ok(o),
+                },
+                CellResult {
+                    label: String::from("s1-a2.00-single-dctcp"),
+                    outcome: Err(CellFailure {
+                        message: String::from("scenario: flow targets server 9"),
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_keeps_failed_rows_and_constant_arity() {
+        let csv = sample_report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header_cols = lines[0].matches(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.matches(',').count(), header_cols, "bad row: {line}");
+        }
+        assert!(lines[2].starts_with("s1-a2.00-single-dctcp,failed"));
+    }
+
+    #[test]
+    fn json_escapes_failure_messages() {
+        let mut report = sample_report();
+        report.results[1].outcome = Err(CellFailure {
+            message: String::from("line1\nline2 \"quoted\" \\slash"),
+        });
+        let json = report.to_json();
+        assert!(json.contains("line1\\nline2 \\\"quoted\\\" \\\\slash"));
+        assert!(json.contains("\"ok\": 1"));
+        assert!(json.contains("\"failed\": 1"));
+    }
+
+    #[test]
+    fn renderings_are_deterministic() {
+        let r = sample_report();
+        assert_eq!(r.to_csv(), r.to_csv());
+        assert_eq!(r.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn failures_lists_only_failed_cells() {
+        let r = sample_report();
+        let failures = r.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "s1-a2.00-single-dctcp");
+        assert_eq!(r.ok_count(), 1);
+    }
+}

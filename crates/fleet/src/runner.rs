@@ -1,0 +1,257 @@
+//! The parallel executor: work-stealing shard queue, per-cell panic
+//! capture, and the deterministic result merge.
+//!
+//! Every cell is an independent simulation, so the runner is
+//! embarrassingly parallel: cells are dealt round-robin onto per-worker
+//! deques; a worker pops its own deque from the front and, when empty,
+//! steals from the back of its siblings (classic Chase-Lev shape on
+//! `std` mutexes — the queue holds cell *indices*, so steals move 8
+//! bytes, never scenarios). Workers rebuild each `RackSim` from the
+//! cell's [`ScenarioSpec`] locally, which keeps runs bit-deterministic
+//! no matter which worker executes them, and send back `(index, encoded
+//! RunOutcome)`. The merge slots results by index, so aggregate output
+//! order is grid order — byte-identical whether `jobs` is 1 or 16.
+//!
+//! A panicking cell (e.g. an invalid spec) is caught with
+//! `catch_unwind`, converted into a [`CellFailure`], and reported in
+//! place; the other N−1 cells are unaffected.
+
+use crate::grid::FleetCell;
+use crate::merge::{CellFailure, CellResult, FleetReport};
+use ms_analysis::{analyze_run, RunOutcome};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Runner knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// Server link rate fed to the analyses.
+    pub link_bps: u64,
+    /// Loss-association slack in buckets (§8 methodology).
+    pub loss_slack: usize,
+    /// Emit a progress line to stderr as each cell finishes.
+    pub progress: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            jobs: 0,
+            link_bps: 12_500_000_000,
+            loss_slack: 5,
+            progress: false,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Effective worker count.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// Work-stealing queue of cell indices: one deque per worker, dealt
+/// round-robin so every worker starts with a contiguous-ish share.
+pub(crate) struct ShardQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl ShardQueue {
+    pub(crate) fn new(cells: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut deques: Vec<VecDeque<usize>> = (0..workers)
+            .map(|_| VecDeque::with_capacity(cells / workers + 1))
+            .collect();
+        for idx in 0..cells {
+            deques[idx % workers].push_back(idx);
+        }
+        ShardQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// The next cell for `worker`: its own deque front first, then a
+    /// steal from the back of each sibling. Returns `None` only when
+    /// every deque is empty. On the scan a poisoned lock (a worker
+    /// panicked mid-pop, which cannot actually happen — locks are held
+    /// only around pops) is recovered, not propagated, so one poisoned
+    /// shard cannot wedge the sweep.
+    pub(crate) fn next(&self, worker: usize) -> Option<usize> {
+        let n = self.deques.len();
+        let own = worker % n;
+        if let Some(idx) = lock_recover(&self.deques[own]).pop_front() {
+            return Some(idx);
+        }
+        for off in 1..n {
+            let victim = (own + off) % n;
+            if let Some(idx) = lock_recover(&self.deques[victim]).pop_back() {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+/// `Mutex::lock` that shrugs off poisoning (determinism note: the data
+/// under these locks is a plain index queue, always valid).
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Simulates one cell and returns its outcome in canonical codec bytes
+/// (the schema asserted byte-identical across thread counts).
+fn run_cell(cell: &FleetCell, cfg: &FleetConfig) -> Vec<u8> {
+    let report = cell.spec.build().run_sync_window(0);
+    let outcome = match &report.rack_run {
+        Some(run) => {
+            let analysis = analyze_run(run, cfg.link_bps, cfg.loss_slack);
+            RunOutcome::from_analysis(
+                &analysis,
+                report.switch_ingress_bytes,
+                report.switch_discard_bytes,
+                report.flows_started,
+                report.conns_completed,
+                report.events,
+            )
+        }
+        None => {
+            // A silent rack still reports its ground-truth counters.
+            let mut o = RunOutcome::empty();
+            o.switch_ingress_bytes = report.switch_ingress_bytes;
+            o.switch_discard_bytes = report.switch_discard_bytes;
+            o.flows_started = report.flows_started;
+            o.conns_completed = report.conns_completed;
+            o.events = report.events;
+            o
+        }
+    };
+    outcome.encode()
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("panic with non-string payload")
+    }
+}
+
+/// Runs every cell and merges the results in grid order.
+///
+/// The returned [`FleetReport`] depends only on the cells — never on
+/// `jobs`, completion order, or wall-clock — so its CSV/JSON renderings
+/// are byte-identical across thread counts.
+pub fn run_fleet(cells: &[FleetCell], cfg: &FleetConfig) -> FleetReport {
+    let workers = cfg.effective_jobs().min(cells.len()).max(1);
+    let queue = ShardQueue::new(cells.len(), workers);
+    let done = AtomicUsize::new(0);
+    let total = cells.len();
+    let (tx, rx) = mpsc::channel::<(usize, Result<Vec<u8>, String>)>();
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let done = &done;
+            scope.spawn(move || {
+                while let Some(idx) = queue.next(worker) {
+                    let cell = &cells[idx];
+                    let result = catch_unwind(AssertUnwindSafe(|| run_cell(cell, cfg)))
+                        .map_err(panic_message);
+                    if cfg.progress {
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        let status = if result.is_ok() { "ok" } else { "FAILED" };
+                        eprintln!("[fleet] {finished}/{total} {} {status}", cell.label);
+                    }
+                    let _ = tx.send((idx, result));
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<Result<Vec<u8>, String>>> = vec![None; cells.len()];
+    for (idx, result) in rx {
+        slots[idx] = Some(result);
+    }
+
+    let results = cells
+        .iter()
+        .zip(slots)
+        .map(|(cell, slot)| {
+            let outcome = match slot {
+                Some(Ok(bytes)) => match RunOutcome::decode(&bytes) {
+                    Ok(o) => Ok(o),
+                    Err(e) => Err(CellFailure {
+                        message: format!("outcome decode failed: {e:?}"),
+                    }),
+                },
+                Some(Err(message)) => Err(CellFailure { message }),
+                // Unreachable: scope joins every worker, each index is
+                // dealt exactly once and always answered.
+                None => Err(CellFailure {
+                    message: String::from("cell produced no result"),
+                }),
+            };
+            CellResult {
+                label: cell.label.clone(),
+                outcome,
+            }
+        })
+        .collect();
+
+    FleetReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_queue_deals_every_index_once() {
+        let q = ShardQueue::new(10, 3);
+        let mut seen = Vec::new();
+        // Worker 1 drains everything: its own deque, then steals.
+        while let Some(i) = q.next(1) {
+            seen.push(i);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_queue_steals_from_siblings() {
+        let q = ShardQueue::new(4, 4);
+        // Worker 0 pops its own cell, then three steals.
+        assert!(q.next(0).is_some());
+        assert!(q.next(0).is_some());
+        assert!(q.next(0).is_some());
+        assert!(q.next(0).is_some());
+        assert_eq!(q.next(0), None);
+        assert_eq!(q.next(2), None);
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let q = ShardQueue::new(2, 8);
+        assert!(q.next(5).is_some());
+        assert!(q.next(5).is_some());
+        assert_eq!(q.next(5), None);
+    }
+}

@@ -39,7 +39,143 @@ impl std::error::Error for DecodeError {}
 
 const MAGIC: &[u8; 4] = b"MSR1";
 
+/// Canonical append-only varint writer — the public face of this module's
+/// wire primitives, shared by every codec-encoded schema in the workspace
+/// (stored host runs here, `ScenarioSpec` in `ms-workload`, `RunOutcome`
+/// in `ms-analysis`). The encoding is canonical: the same value sequence
+/// always produces the same bytes, which is what the cross-crate
+/// determinism tests compare.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// A writer seeded with a 4-byte schema magic.
+    pub fn with_magic(magic: &[u8; 4]) -> Self {
+        let mut w = WireWriter::new();
+        w.buf.extend_from_slice(magic);
+        w
+    }
+
+    /// Appends a LEB128 varint.
+    pub fn u64(&mut self, v: u64) {
+        put_varint(&mut self.buf, v);
+    }
+
+    /// Appends a zig-zag varint.
+    pub fn i64(&mut self, v: i64) {
+        put_varint(&mut self.buf, zigzag(v));
+    }
+
+    /// Appends an `f64` by its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a boolean as one varint byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, s: &[u8]) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Appends a delta + zig-zag encoded counter series (no length
+    /// prefix; the reader must know the length from the header).
+    pub fn series(&mut self, series: &[u64]) {
+        put_series(&mut self.buf, series);
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Read cursor matching [`WireWriter`], with the same canonical encoding.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    inner: Reader<'a>,
+}
+
+impl<'a> WireReader<'a> {
+    /// A cursor over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader {
+            inner: Reader::new(data),
+        }
+    }
+
+    /// Consumes and checks a 4-byte schema magic.
+    pub fn expect_magic(&mut self, magic: &[u8; 4]) -> Result<(), DecodeError> {
+        if self.inner.remaining() < 4 || self.inner.get_bytes(4)? != magic {
+            return Err(DecodeError::BadMagic);
+        }
+        Ok(())
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        get_varint(&mut self.inner)
+    }
+
+    /// Reads a zig-zag varint.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(unzigzag(self.u64()?))
+    }
+
+    /// Reads an `f64` from its exact bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a boolean.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.u64()? != 0)
+    }
+
+    /// Reads a length-prefixed byte string (capped like series lengths so
+    /// corrupt headers cannot trigger huge allocations).
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u64()? as usize;
+        if len > 1 << 24 {
+            return Err(DecodeError::Overlong);
+        }
+        Ok(self.inner.get_bytes(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string (lossy on invalid UTF-8).
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        Ok(String::from_utf8_lossy(&self.bytes()?).into_owned())
+    }
+
+    /// Reads a delta + zig-zag encoded counter series of `len` values.
+    pub fn series(&mut self, len: usize) -> Result<Vec<u64>, DecodeError> {
+        get_series(&mut self.inner, len)
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.inner.remaining()
+    }
+}
+
 /// A read cursor over an encoded byte slice.
+#[derive(Debug)]
 struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
@@ -246,6 +382,41 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         assert_eq!(decode(b"NOPE1234567890"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn wire_round_trip_all_types() {
+        let mut w = WireWriter::with_magic(b"TST1");
+        w.u64(u64::MAX);
+        w.i64(-12345);
+        w.f64(-0.125);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.str("hello, fleet");
+        w.series(&[0, 5, 5, 1_000_000, 3]);
+        let bytes = w.finish();
+
+        let mut r = WireReader::new(&bytes);
+        r.expect_magic(b"TST1").unwrap();
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -12345);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.f64().unwrap().is_nan());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "hello, fleet");
+        assert_eq!(r.series(5).unwrap(), vec![0, 5, 5, 1_000_000, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn wire_bad_magic_and_truncation_rejected() {
+        let mut r = WireReader::new(b"NOPE");
+        assert_eq!(r.expect_magic(b"TST1"), Err(DecodeError::BadMagic));
+        let mut w = WireWriter::new();
+        w.str("something long enough to cut");
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes[..bytes.len() / 2]);
+        assert_eq!(r.bytes(), Err(DecodeError::Truncated));
     }
 
     #[test]

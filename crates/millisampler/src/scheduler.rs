@@ -18,7 +18,7 @@ use crate::run::RunConfig;
 use ms_dcsim::Ns;
 
 /// Scheduler configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchedulerConfig {
     /// Gap between the end of one periodic run and the start of the next.
     pub period: Ns,

@@ -29,11 +29,16 @@ pub mod diurnal;
 pub mod placement;
 pub mod scenario;
 pub mod sim;
+pub mod spec;
 pub mod tasks;
 pub mod tools;
 
 pub use diurnal::Diurnal;
 pub use placement::{RackClass, RackSpec, RegionKind, RegionSpec, TaskInstance};
-pub use scenario::{rack_sim_for, ScenarioConfig};
+pub use scenario::{rack_sim_for, rack_spec_for, ScenarioConfig};
 pub use sim::{RackSim, RackSimConfig, RackSimReport};
+pub use spec::{
+    AgentSpec, ChatterSpec, GenSpec, McastBurstSpec, NicDropSpec, ScenarioBuilder, ScenarioSpec,
+    ScheduledFlow, StallSpec,
+};
 pub use tasks::{FlowSpec, TaskGen, TaskKind, WorkItem};

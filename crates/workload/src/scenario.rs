@@ -1,17 +1,19 @@
 //! From a placed rack + hour of day to a ready-to-run simulation.
 //!
-//! [`rack_sim_for`] is the glue the experiment harness calls in a loop:
+//! [`rack_spec_for`] is the glue the experiment harness calls in a loop:
 //! it derives the effective load (rack factor × diurnal weight × per-hour
-//! jitter), builds the rack-shared ML step clock, instantiates one
-//! [`TaskGen`] per server, and returns a seeded [`RackSim`] whose
-//! `run_sync_window` yields the hour's `AlignedRackRun`.
+//! jitter), builds the rack-shared ML step clock, and describes one
+//! generator per task instance — all as a declarative [`ScenarioSpec`]
+//! that sweeps can clone, serialize, and ship across worker threads.
+//! [`rack_sim_for`] is the convenience wrapper that builds it on the spot.
 
 use crate::diurnal::Diurnal;
 use crate::placement::RackSpec;
-use crate::sim::{RackSim, RackSimConfig};
-use crate::tasks::{MlPhase, TaskGen, TaskKind};
+use crate::sim::RackSim;
+use crate::spec::{GenSpec, ScenarioSpec};
+use crate::tasks::{MlPhase, TaskKind};
 use millisampler::RunConfig;
-use ms_dcsim::{Ns, RackConfig, SimRng};
+use ms_dcsim::{Ns, SimRng};
 
 /// Sweep-level knobs shared by all racks of an experiment.
 #[derive(Debug, Clone)]
@@ -71,31 +73,25 @@ pub fn effective_load(spec: &RackSpec, diurnal: &Diurnal, hour: usize, run_idx: 
     (spec.load_factor * diurnal.weight(hour) * jitter).max(0.05)
 }
 
-/// Builds the simulation for one `(rack, hour, run)` cell.
-pub fn rack_sim_for(
+/// Describes the simulation for one `(rack, hour, run)` cell as a
+/// declarative [`ScenarioSpec`].
+pub fn rack_spec_for(
     spec: &RackSpec,
     diurnal: &Diurnal,
     hour: usize,
     run_idx: u64,
     cfg: &ScenarioConfig,
-) -> RackSim {
+) -> ScenarioSpec {
     let servers = spec.num_servers();
-    let mut rack_cfg = RackConfig::meta_defaults(servers);
-    rack_cfg.mss = cfg.mss;
-
     let sim_seed = spec.seed
         ^ (hour as u64).wrapping_mul(0xC2B2_AE3D)
         ^ run_idx.wrapping_mul(0x27D4_EB2F)
         ^ 0x5EED;
-    let sim_cfg = RackSimConfig {
-        rack: rack_cfg,
-        sampler: cfg.run_config(),
-        seed: sim_seed,
-        max_clock_skew: cfg.max_clock_skew,
-        warmup: cfg.warmup,
-        ..RackSimConfig::new(servers, sim_seed)
-    };
-    let mut sim = RackSim::new(sim_cfg);
+    let mut scenario = ScenarioSpec::new(servers, sim_seed);
+    scenario.sampler = cfg.run_config();
+    scenario.mss = cfg.mss;
+    scenario.warmup = cfg.warmup;
+    scenario.max_clock_skew = cfg.max_clock_skew;
 
     let load = effective_load(spec, diurnal, hour, run_idx);
 
@@ -114,23 +110,44 @@ pub fn rack_sim_for(
     // also result in somewhat smoother bursts arriving downstream at the
     // racks"). ML-dense racks therefore receive all ingress pre-smoothed.
     if spec.class == crate::placement::RackClass::MlDense {
-        sim.set_fabric_smoothing(11_000_000_000);
+        scenario.fabric_smoothing_bps = Some(11_000_000_000);
     }
 
     let mut gen_rng = SimRng::new(sim_seed ^ 0x6E45);
     let mut chatter_rng = SimRng::new(sim_seed ^ 0xCAA7);
     for t in &spec.tasks {
         let phase = (t.kind == TaskKind::MlTrainer).then_some(ml_phase);
-        let rng = gen_rng.fork(t.server as u64);
-        sim.add_generator(TaskGen::new(t.kind, t.server, t.task, load, rng, phase));
+        scenario.generators.push(GenSpec {
+            kind: t.kind,
+            server: t.server,
+            task: t.task,
+            load,
+            seed: gen_rng.fork(t.server as u64).state(),
+            ml_phase: phase,
+        });
         // Persistent-connection keepalive chatter: a few thousand tiny
         // packets per second from a pool of dozens of long-lived
         // connections (Fig. 8's outside-burst connection floor).
         let pool = 25 + chatter_rng.gen_range(50); // 25-74 standing conns
         let rate = (3_000.0 + 5_000.0 * chatter_rng.next_f64()) * load.clamp(0.5, 2.0);
-        sim.enable_chatter(t.server, pool, rate as u64);
+        scenario.chatter.push(crate::spec::ChatterSpec {
+            server: t.server,
+            pool,
+            pkts_per_sec: rate as u64,
+        });
     }
-    sim
+    scenario
+}
+
+/// Builds the simulation for one `(rack, hour, run)` cell.
+pub fn rack_sim_for(
+    spec: &RackSpec,
+    diurnal: &Diurnal,
+    hour: usize,
+    run_idx: u64,
+    cfg: &ScenarioConfig,
+) -> RackSim {
+    rack_spec_for(spec, diurnal, hour, run_idx, cfg).build()
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ use std::collections::BTreeMap;
 /// of line speed." Enabling GRO reproduces that artifact: bytes that
 /// physically arrived across a bucket boundary are recorded at the flush
 /// instant.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroConfig {
     /// Maximum coalesced super-segment (64 KB in Linux).
     pub max_bytes: u32,
@@ -66,7 +66,7 @@ impl Default for GroConfig {
 /// exceeds the trunk, queueing here smooths bursts *before* the rack —
 /// the emergent version of the §8.1 fabric-smoothing effect (the pacer in
 /// [`RackSim::set_fabric_smoothing`] is the parametric version).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FabricHopConfig {
     /// Trunk rate in bits/s (e.g. one 100 Gbps uplink).
     pub rate_bps: u64,
@@ -259,7 +259,7 @@ struct FabricState {
 
 impl RackSim {
     /// Builds a rack simulation with no workload attached yet.
-    pub fn new(cfg: RackSimConfig) -> Self {
+    pub(crate) fn new(cfg: RackSimConfig) -> Self {
         let mut rng = SimRng::new(cfg.seed);
         let s = u32::try_from(cfg.rack.num_servers).expect("rack size fits u32");
         let mut hosts: Vec<Host> = (0..s)
@@ -335,7 +335,7 @@ impl RackSim {
     /// injection): packets vanish at the NIC *before* the tc filter sees
     /// them — the firmware-bug signature Millisampler helped isolate
     /// ("packet loss although utilization was low", §4.2).
-    pub fn inject_nic_drops(&mut self, server: usize, seed: u64, probability: f64) {
+    pub(crate) fn inject_nic_drops(&mut self, server: usize, seed: u64, probability: f64) {
         self.nic_drops.insert(
             server,
             ms_dcsim::fault::DropInjector::new(seed, probability),
@@ -352,7 +352,7 @@ impl RackSim {
     /// each read out on completion and appended, compressed, to the
     /// host's run store. Drive the simulation with [`RackSim::run_until`]
     /// and read history back with [`RackSim::agent_store`].
-    pub fn start_agent(&mut self, server: usize, cfg: millisampler::SchedulerConfig) {
+    pub(crate) fn start_agent(&mut self, server: usize, cfg: millisampler::SchedulerConfig) {
         let mut scheduler = millisampler::Scheduler::new(cfg);
         let first = scheduler.next_run(self.q.now());
         self.agents[server] = Some(AgentState {
@@ -421,7 +421,7 @@ impl RackSim {
     /// connection counts of Fig. 8; this models that standing population
     /// without simulating full transports for it (the byte volume is
     /// negligible — a few Mbit/s).
-    pub fn enable_chatter(&mut self, server: usize, pool: u64, pkts_per_sec: u64) {
+    pub(crate) fn enable_chatter(&mut self, server: usize, pool: u64, pkts_per_sec: u64) {
         assert!(pool > 0 && pkts_per_sec > 0);
         let gap = Ns(1_000_000_000 / pkts_per_sec.max(1));
         self.chatter.insert(server, (pool, gap));
@@ -451,7 +451,7 @@ impl RackSim {
     /// paced at `bps` (aggregate per connection group). Models the paper's
     /// observation that upstream fabric congestion smooths traffic before
     /// it reaches heavily-loaded racks (§8.1).
-    pub fn set_fabric_smoothing(&mut self, bps: u64) {
+    pub(crate) fn set_fabric_smoothing(&mut self, bps: u64) {
         self.default_pacing = Some(bps);
     }
 
@@ -461,7 +461,7 @@ impl RackSim {
     }
 
     /// Attaches a traffic generator; its first wakeup is scheduled.
-    pub fn add_generator(&mut self, generator: TaskGen) {
+    pub(crate) fn add_generator(&mut self, generator: TaskGen) {
         let idx = self.generators.len();
         let at = generator.next_wakeup();
         self.generators.push(generator);
@@ -469,12 +469,12 @@ impl RackSim {
     }
 
     /// Subscribes a server to a rack-local multicast group (Fig. 3 tool).
-    pub fn join_multicast(&mut self, group: u32, server: usize) {
+    pub(crate) fn join_multicast(&mut self, group: u32, server: usize) {
         self.switch.join_multicast(group, server);
     }
 
     /// Schedules a paced multicast burst at `at` (validation tooling).
-    pub fn schedule_multicast_burst(
+    pub(crate) fn schedule_multicast_burst(
         &mut self,
         at: Ns,
         group: u32,
@@ -495,7 +495,7 @@ impl RackSim {
 
     /// Schedules a single flow spec directly (bypassing generators); used
     /// by the validation tools and examples.
-    pub fn schedule_flow(&mut self, at: Ns, spec: FlowSpec) {
+    pub(crate) fn schedule_flow(&mut self, at: Ns, spec: FlowSpec) {
         self.q.schedule(at, Ev::StartFlow { spec });
     }
 
@@ -506,7 +506,7 @@ impl RackSim {
 
     /// Attaches an occupancy probe to `server`'s ToR egress queue (see
     /// [`SharedBufferSwitch::probe_queue_depth`]).
-    pub fn probe_queue_depth(&mut self, server: usize) {
+    pub(crate) fn probe_queue_depth(&mut self, server: usize) {
         self.switch.probe_queue_depth(server);
     }
 
@@ -525,7 +525,7 @@ impl RackSim {
     /// [`RackSim::telemetry`]). Export with
     /// [`RackSim::write_perfetto_trace`] / [`RackSim::trace_summary`], or
     /// read `hub.borrow().metrics` after [`RackSim::finalize_metrics`].
-    pub fn attach_telemetry(&mut self, cfg: TelemetryConfig) -> SharedTelemetry {
+    pub(crate) fn attach_telemetry(&mut self, cfg: TelemetryConfig) -> SharedTelemetry {
         let hub = Telemetry::shared(cfg);
         self.switch.set_telemetry(hub.clone());
         for (server, filter) in self.filters.iter_mut().enumerate() {
@@ -610,7 +610,7 @@ impl RackSim {
     /// (fault injection, §4.6): the NIC keeps receiving but the tc filter
     /// records nothing, so the sampled series shows a hole even though
     /// the switch delivered traffic.
-    pub fn inject_stall(&mut self, server: usize, from: Ns, to: Ns) {
+    pub(crate) fn inject_stall(&mut self, server: usize, from: Ns, to: Ns) {
         self.hosts[server].set_stall(from, to);
     }
 
@@ -1148,12 +1148,13 @@ impl RackSim {
 mod tests {
     use super::*;
 
-    fn quick_cfg(seed: u64) -> RackSimConfig {
-        let mut cfg = RackSimConfig::new(8, seed);
+    use crate::spec::{GenSpec, ScenarioBuilder};
+
+    fn quick(seed: u64) -> ScenarioBuilder {
+        let mut b = ScenarioBuilder::new(8, seed);
         // Short window: 200 buckets of 1ms.
-        cfg.sampler.buckets = 200;
-        cfg.warmup = Ns::from_millis(20);
-        cfg
+        b.buckets(200).warmup(Ns::from_millis(20));
+        b
     }
 
     fn incast_spec(dst: usize, conns: u32, bytes: u64) -> FlowSpec {
@@ -1169,9 +1170,9 @@ mod tests {
 
     #[test]
     fn single_flow_delivers_and_is_sampled() {
-        let mut sim = RackSim::new(quick_cfg(1));
-        sim.schedule_flow(Ns::from_millis(30), incast_spec(2, 1, 2_000_000));
-        let report = sim.run_sync_window(0);
+        let mut b = quick(1);
+        b.flow_at(Ns::from_millis(30), incast_spec(2, 1, 2_000_000));
+        let report = b.build().run_sync_window(0);
         assert_eq!(report.conns_completed, 1);
         let run = report.rack_run.expect("sampled data");
         let total: u64 = run.servers[2].in_bytes.iter().sum();
@@ -1183,9 +1184,9 @@ mod tests {
 
     #[test]
     fn sampled_rate_never_exceeds_line_rate() {
-        let mut sim = RackSim::new(quick_cfg(2));
-        sim.schedule_flow(Ns::from_millis(25), incast_spec(0, 40, 12_000_000));
-        let report = sim.run_sync_window(0);
+        let mut b = quick(2);
+        b.flow_at(Ns::from_millis(25), incast_spec(0, 40, 12_000_000));
+        let report = b.build().run_sync_window(0);
         let run = report.rack_run.unwrap();
         let per_ms_cap = Ns::from_millis(1).bytes_at_rate(12_500_000_000);
         for (i, &b) in run.servers[0].in_bytes.iter().enumerate() {
@@ -1202,10 +1203,10 @@ mod tests {
         // an RTT — past the ~1.8 MB DT cap before any ECN feedback can
         // land (§3: "even a small congestion window per sender can result
         // in packet loss due to the large number of senders").
-        let mut sim = RackSim::new(quick_cfg(3));
-        sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 200, 30_000_000));
-        sim.schedule_flow(Ns::from_millis(80), incast_spec(1, 200, 30_000_000));
-        let report = sim.run_sync_window(0);
+        let mut b = quick(3);
+        b.flow_at(Ns::from_millis(30), incast_spec(1, 200, 30_000_000))
+            .flow_at(Ns::from_millis(80), incast_spec(1, 200, 30_000_000));
+        let report = b.build().run_sync_window(0);
         assert!(
             report.switch_discard_bytes > 0,
             "incast should overflow the queue"
@@ -1217,11 +1218,11 @@ mod tests {
 
     #[test]
     fn paced_flow_avoids_drops() {
-        let mut sim = RackSim::new(quick_cfg(4));
+        let mut b = quick(4);
         let mut spec = incast_spec(2, 6, 10_000_000);
         spec.paced_bps = Some(9_000_000_000);
-        sim.schedule_flow(Ns::from_millis(30), spec);
-        let report = sim.run_sync_window(0);
+        b.flow_at(Ns::from_millis(30), spec);
+        let report = b.build().run_sync_window(0);
         assert_eq!(
             report.switch_discard_bytes, 0,
             "paced transfer below line rate should not drop"
@@ -1231,9 +1232,9 @@ mod tests {
 
     #[test]
     fn ecn_marks_appear_under_queue_buildup() {
-        let mut sim = RackSim::new(quick_cfg(5));
-        sim.schedule_flow(Ns::from_millis(30), incast_spec(3, 30, 8_000_000));
-        let report = sim.run_sync_window(0);
+        let mut b = quick(5);
+        b.flow_at(Ns::from_millis(30), incast_spec(3, 30, 8_000_000));
+        let report = b.build().run_sync_window(0);
         let run = report.rack_run.unwrap();
         let ecn: u64 = run.servers[3].in_ecn.iter().sum();
         assert!(ecn > 0, "queue > 120KB must CE-mark ECT traffic");
@@ -1241,16 +1242,16 @@ mod tests {
 
     #[test]
     fn multicast_reaches_all_members_simultaneously() {
-        let mut sim = RackSim::new(quick_cfg(6));
+        let mut b = quick(6);
         for s in 0..8 {
-            sim.join_multicast(77, s);
+            b.join_multicast(77, s);
         }
         // 1000 × 1500 B at 2 Gbps ≈ a 6 ms burst: long enough that the
         // ±300 µs clock-skew trim at the window edges is a small fraction
         // of the volume (single-bucket bursts legitimately lose up to one
         // bucket to alignment, like the real tool).
-        sim.schedule_multicast_burst(Ns::from_millis(50), 77, 1000, 1500, 2_000_000_000);
-        let report = sim.run_sync_window(0);
+        b.multicast_burst(Ns::from_millis(50), 77, 1000, 1500, 2_000_000_000);
+        let report = b.build().run_sync_window(0);
         let run = report.rack_run.unwrap();
         let sums: Vec<u64> = run
             .servers
@@ -1269,9 +1270,9 @@ mod tests {
     #[test]
     fn deterministic_with_seed() {
         let run = |seed| {
-            let mut sim = RackSim::new(quick_cfg(seed));
-            sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 20, 4_000_000));
-            let r = sim.run_sync_window(0);
+            let mut b = quick(seed);
+            b.flow_at(Ns::from_millis(30), incast_spec(1, 20, 4_000_000));
+            let r = b.build().run_sync_window(0);
             (
                 r.switch_discard_bytes,
                 r.events,
@@ -1284,10 +1285,16 @@ mod tests {
 
     #[test]
     fn generators_drive_traffic_end_to_end() {
-        let mut sim = RackSim::new(quick_cfg(11));
-        let rng = SimRng::new(77);
-        sim.add_generator(TaskGen::new(TaskKind::Web, 0, 1, 4.0, rng, None));
-        let report = sim.run_sync_window(0);
+        let mut b = quick(11);
+        b.generator(GenSpec {
+            kind: TaskKind::Web,
+            server: 0,
+            task: 1,
+            load: 4.0,
+            seed: 77,
+            ml_phase: None,
+        });
+        let report = b.build().run_sync_window(0);
         assert!(report.flows_started > 3, "{}", report.flows_started);
         let run = report.rack_run.expect("web traffic sampled");
         assert!(run.servers[0].in_bytes.iter().sum::<u64>() > 0);
@@ -1298,14 +1305,14 @@ mod tests {
         // §4.6: "Millisampler will see no data even though the network
         // interface card is receiving".
         let run_with = |stall: bool| {
-            let mut sim = RackSim::new(quick_cfg(13));
+            let mut b = quick(13);
             let mut spec = incast_spec(2, 6, 20_000_000);
             spec.paced_bps = Some(8_000_000_000);
-            sim.schedule_flow(Ns::from_millis(25), spec);
+            b.flow_at(Ns::from_millis(25), spec);
             if stall {
-                sim.inject_stall(2, Ns::from_millis(30), Ns::from_millis(40));
+                b.stall(2, Ns::from_millis(30), Ns::from_millis(40));
             }
-            let report = sim.run_sync_window(0);
+            let report = b.build().run_sync_window(0);
             let sampled = report
                 .rack_run
                 .map(|r| r.servers[2].in_bytes.iter().sum::<u64>())
@@ -1325,9 +1332,9 @@ mod tests {
 
     #[test]
     fn chatter_keeps_connection_counts_alive_outside_bursts() {
-        let mut sim = RackSim::new(quick_cfg(14));
-        sim.enable_chatter(1, 40, 8_000);
-        let report = sim.run_sync_window(0);
+        let mut b = quick(14);
+        b.chatter(1, 40, 8_000);
+        let report = b.build().run_sync_window(0);
         let run = report.rack_run.expect("chatter sampled");
         let conns = &run.servers[1].conns;
         let nonzero = conns.iter().filter(|&&c| c > 0).count();
@@ -1344,12 +1351,12 @@ mod tests {
     #[test]
     fn fabric_smoothing_reduces_incast_loss() {
         let run_with = |smooth: bool| {
-            let mut sim = RackSim::new(quick_cfg(15));
+            let mut b = quick(15);
             if smooth {
-                sim.set_fabric_smoothing(11_000_000_000);
+                b.fabric_smoothing(11_000_000_000);
             }
-            sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
-            sim.run_sync_window(0).switch_discard_bytes
+            b.flow_at(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
+            b.build().run_sync_window(0).switch_discard_bytes
         };
         let rough = run_with(false);
         let smooth = run_with(true);
@@ -1362,11 +1369,11 @@ mod tests {
 
     #[test]
     fn inter_region_cubic_flows_complete_over_wan_rtt() {
-        let mut sim = RackSim::new(quick_cfg(22));
+        let mut b = quick(22);
         let mut spec = incast_spec(0, 2, 2_000_000);
         spec.algorithm = CcAlgorithm::Cubic;
-        sim.schedule_flow(Ns::from_millis(25), spec);
-        let report = sim.run_sync_window(0);
+        b.flow_at(Ns::from_millis(25), spec);
+        let report = b.build().run_sync_window(0);
         assert_eq!(report.conns_completed, 2);
         // The 10ms-scale RTT slows delivery visibly versus in-region: the
         // transfer needs several RTTs of slow start, so the bytes arrive
@@ -1381,10 +1388,11 @@ mod tests {
         // simlint: allow(env-read): test writes a scratch pcap file
         let path = std::env::temp_dir().join("ms_sim_capture_test.pcap");
         {
-            let mut sim = RackSim::new(quick_cfg(21));
+            let mut b = quick(21);
+            b.flow_at(Ns::from_millis(25), incast_spec(0, 4, 1_000_000));
+            let mut sim = b.build();
             let f = std::fs::File::create(&path).unwrap();
             sim.attach_pcap(std::io::BufWriter::new(f)).unwrap();
-            sim.schedule_flow(Ns::from_millis(25), incast_spec(0, 4, 1_000_000));
             sim.run_sync_window(0);
         }
         let bytes = std::fs::read(&path).unwrap();
@@ -1408,7 +1416,7 @@ mod tests {
     #[test]
     fn agent_mode_runs_the_full_collect_store_lifecycle() {
         use millisampler::{RunConfig, SchedulerConfig};
-        let mut sim = RackSim::new(quick_cfg(20));
+        let mut b = quick(20);
         // Short rotation so several runs fit in one second of sim time.
         let agent_cfg = SchedulerConfig {
             period: Ns::from_millis(30),
@@ -1425,12 +1433,13 @@ mod tests {
                 },
             ],
         };
-        sim.start_agent(2, agent_cfg);
+        b.agent(2, agent_cfg);
         // Steady traffic spanning the whole horizon so every run observes
         // packets (400 MB paced at 4 Gbps ≈ 800 ms).
         let mut spec = incast_spec(2, 4, 400_000_000);
         spec.paced_bps = Some(4_000_000_000);
-        sim.schedule_flow(Ns::from_millis(1), spec);
+        b.flow_at(Ns::from_millis(1), spec);
+        let mut sim = b.build();
         sim.run_until(Ns::from_millis(900));
 
         let store = sim.agent_store(2).expect("agent started");
@@ -1450,12 +1459,11 @@ mod tests {
     fn nic_drop_injection_shows_retx_at_low_utilization() {
         // §4.2: the firmware-bug signature — retransmissions while the
         // link is mostly idle.
-        let mut sim = RackSim::new(quick_cfg(16));
+        let mut b = quick(16);
         let mut spec = incast_spec(3, 2, 3_000_000);
         spec.paced_bps = Some(2_000_000_000); // gentle traffic, ~16% util
-        sim.schedule_flow(Ns::from_millis(25), spec);
-        sim.inject_nic_drops(3, 99, 0.02);
-        let report = sim.run_sync_window(0);
+        b.flow_at(Ns::from_millis(25), spec).nic_drops(3, 99, 0.02);
+        let report = b.build().run_sync_window(0);
         assert_eq!(report.switch_discard_bytes, 0, "switch is innocent");
         let run = report.rack_run.unwrap();
         let retx: u64 = run.servers[3].in_retx.iter().sum();
@@ -1474,17 +1482,15 @@ mod tests {
         // §4.6: with receive coalescing, 100µs buckets can exceed line
         // rate because held bytes are stamped at the flush instant.
         let run_with = |gro: bool| {
-            let mut cfg = quick_cfg(17);
-            cfg.sampler.interval = Ns::from_micros(100);
-            cfg.sampler.buckets = 2000; // 200ms window
+            let mut b = quick(17);
+            b.interval(Ns::from_micros(100)).buckets(2000); // 200ms window
             if gro {
-                cfg.gro = Some(GroConfig::default());
+                b.gro(GroConfig::default());
             }
-            let mut sim = RackSim::new(cfg);
             let mut spec = incast_spec(1, 1, 8_000_000);
             spec.paced_bps = Some(11_000_000_000);
-            sim.schedule_flow(Ns::from_millis(25), spec);
-            let report = sim.run_sync_window(0);
+            b.flow_at(Ns::from_millis(25), spec);
+            let report = b.build().run_sync_window(0);
             let run = report.rack_run.unwrap();
             let cap_100us = 156_250u64; // line rate per 100µs
             let over = run.servers[1]
@@ -1511,16 +1517,15 @@ mod tests {
         // §8.1 emergent version: a tight trunk upstream queues the incast
         // so it arrives at the ToR near trunk rate instead of as a wall.
         let run_with = |fabric: bool| {
-            let mut cfg = quick_cfg(18);
+            let mut b = quick(18);
             if fabric {
-                cfg.fabric_hop = Some(FabricHopConfig {
+                b.fabric_hop(FabricHopConfig {
                     rate_bps: 25_000_000_000,
                     buffer_bytes: 24 * 1024 * 1024,
                 });
             }
-            let mut sim = RackSim::new(cfg);
-            sim.schedule_flow(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
-            let r = sim.run_sync_window(0);
+            b.flow_at(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
+            let r = b.build().run_sync_window(0);
             (r.switch_discard_bytes, r.conns_completed)
         };
         let (rough_drops, _) = run_with(false);
@@ -1535,16 +1540,15 @@ mod tests {
 
     #[test]
     fn alpha_tuner_adapts_to_contention() {
-        let mut cfg = quick_cfg(19);
-        cfg.alpha_tune_period = Some(Ns::from_millis(5));
-        let mut sim = RackSim::new(cfg);
+        let mut b = quick(19);
+        b.alpha_tune_period(Ns::from_millis(5));
         // Sustained traffic to several queues so the tuner sees activity.
         for dst in 0..4 {
             let mut spec = incast_spec(dst, 4, 30_000_000);
             spec.paced_bps = Some(8_000_000_000);
-            sim.schedule_flow(Ns::from_millis(20), spec);
+            b.flow_at(Ns::from_millis(20), spec);
         }
-        let report = sim.run_sync_window(0);
+        let report = b.build().run_sync_window(0);
         // The tuner ran (no panic, traffic flowed); with ~2 active queues
         // per quadrant the tuned alpha differs from the default 1.0 —
         // verified indirectly by completion without excess drops.
@@ -1553,9 +1557,9 @@ mod tests {
 
     #[test]
     fn connection_counts_visible_in_sampler() {
-        let mut sim = RackSim::new(quick_cfg(12));
-        sim.schedule_flow(Ns::from_millis(30), incast_spec(4, 50, 8_000_000));
-        let report = sim.run_sync_window(0);
+        let mut b = quick(12);
+        b.flow_at(Ns::from_millis(30), incast_spec(4, 50, 8_000_000));
+        let report = b.build().run_sync_window(0);
         let run = report.rack_run.unwrap();
         let peak_conns = run.servers[4].conns.iter().copied().max().unwrap_or(0);
         assert!(

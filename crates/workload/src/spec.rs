@@ -1,0 +1,1066 @@
+//! Declarative scenario construction: [`ScenarioSpec`] and
+//! [`ScenarioBuilder`].
+//!
+//! Historically [`RackSim`] grew ~10 ad-hoc mutator methods
+//! (`inject_nic_drops`, `enable_chatter`, `schedule_multicast_burst`, …)
+//! that had to be called in the right order on a live simulation. That
+//! made a scenario impossible to name, clone, hash, or ship across a
+//! thread boundary — exactly what a fleet-scale sweep needs to do. This
+//! module replaces the mutator sprawl with one **declarative, cloneable,
+//! codec-serializable description** of everything a rack simulation can
+//! contain:
+//!
+//! ```
+//! use ms_dcsim::Ns;
+//! use ms_workload::{FlowSpec, ScenarioBuilder};
+//! use ms_transport::CcAlgorithm;
+//!
+//! let mut b = ScenarioBuilder::new(8, /* seed */ 1);
+//! b.buckets(300)
+//!     .warmup(Ns::from_millis(20))
+//!     .flow_at(
+//!         Ns::from_millis(50),
+//!         FlowSpec {
+//!             dst_server: 3,
+//!             connections: 40,
+//!             total_bytes: 4_000_000,
+//!             algorithm: CcAlgorithm::Dctcp,
+//!             paced_bps: None,
+//!             task: 1,
+//!         },
+//!     );
+//! let report = b.build().run_sync_window(0);
+//! assert!(report.flows_started > 0);
+//! ```
+//!
+//! [`ScenarioSpec::build`] is the only public way to construct a
+//! [`RackSim`]; the old mutators are crate-private plumbing behind it.
+//! Because a spec is plain data, the `ms-fleet` sweep runner can fan a
+//! grid of specs across worker threads and rebuild each simulation
+//! inside the worker, keeping every run bit-deterministic.
+
+use crate::sim::{FabricHopConfig, GroConfig, RackSim, RackSimConfig};
+use crate::tasks::{FlowSpec, MlPhase, TaskGen, TaskKind};
+use millisampler::codec::{DecodeError, WireReader, WireWriter};
+use millisampler::{RunConfig, SchedulerConfig};
+use ms_dcsim::{Ns, RackConfig, SharingPolicy, SimRng};
+use ms_telemetry::TelemetryConfig;
+use ms_transport::CcAlgorithm;
+
+/// A flow group scheduled at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFlow {
+    /// When the connections start.
+    pub at: Ns,
+    /// What they deliver.
+    pub flow: FlowSpec,
+}
+
+/// A generative traffic program bound to one server (declarative form of
+/// [`TaskGen`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenSpec {
+    /// Service archetype.
+    pub kind: TaskKind,
+    /// Destination server.
+    pub server: usize,
+    /// Task identity (placement diagnostics).
+    pub task: u64,
+    /// Load multiplier (diurnal × rack factors).
+    pub load: f64,
+    /// Seed of the generator's private random stream.
+    pub seed: u64,
+    /// Rack-shared step clock (required iff `kind` is `MlTrainer`).
+    pub ml_phase: Option<MlPhase>,
+}
+
+/// NIC-level random drop injection on one server (§4.2 firmware-bug
+/// signature).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicDropSpec {
+    /// Faulty server.
+    pub server: usize,
+    /// Seed of the drop decision stream.
+    pub seed: u64,
+    /// Per-packet drop probability in `[0, 1]`.
+    pub probability: f64,
+}
+
+/// A kernel/NIC stall window on one server (§4.6 sampler blackout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallSpec {
+    /// Stalled server.
+    pub server: usize,
+    /// Stall start (inclusive).
+    pub from: Ns,
+    /// Stall end (exclusive).
+    pub to: Ns,
+}
+
+/// Persistent-connection keepalive chatter on one server (Fig. 8's
+/// outside-burst connection floor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChatterSpec {
+    /// Chattering server.
+    pub server: usize,
+    /// Standing pool of long-lived connections.
+    pub pool: u64,
+    /// Mean keepalive packets per second across the pool.
+    pub pkts_per_sec: u64,
+}
+
+/// A paced multicast burst (Fig. 3 validation tooling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McastBurstSpec {
+    /// When the burst starts.
+    pub at: Ns,
+    /// Multicast group id.
+    pub group: u32,
+    /// Datagrams in the burst.
+    pub packets: u32,
+    /// Bytes per datagram.
+    pub size: u32,
+    /// Rate limit (multicast is rate limited in production, §4.5).
+    pub paced_bps: u64,
+}
+
+/// A §4.1 user-space agent running periodic Millisampler collection on
+/// one server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentSpec {
+    /// Host running the agent.
+    pub server: usize,
+    /// Run period and interval rotation.
+    pub config: SchedulerConfig,
+}
+
+/// The complete declarative description of one rack simulation.
+///
+/// Everything the old mutator API could express is a field here; the
+/// struct is `Clone`, comparable, and serializable via
+/// [`millisampler::codec`] ([`ScenarioSpec::encode`]), so sweeps can
+/// name, store, and ship scenarios. [`ScenarioSpec::build`] materializes
+/// a ready-to-run [`RackSim`]; identical specs always build simulations
+/// with bit-identical behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Servers in the rack.
+    pub num_servers: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Millisampler run configuration for the sync window.
+    pub sampler: RunConfig,
+    /// MSS used by transports.
+    pub mss: u32,
+    /// Traffic warm-up before samplers enable.
+    pub warmup: Ns,
+    /// Maximum absolute host clock offset (uniform in ±this).
+    pub max_clock_skew: Ns,
+    /// DT α of the ToR shared buffer.
+    pub alpha: f64,
+    /// Buffer sharing policy of the ToR.
+    pub policy: SharingPolicy,
+    /// ECN marking threshold override in bytes (None = the deployed
+    /// 120 KB default).
+    pub ecn_threshold: Option<u64>,
+    /// Receive-side coalescing (§4.6 artifact study).
+    pub gro: Option<GroConfig>,
+    /// Explicit fabric hop before the ToR (§8.1 ablation).
+    pub fabric_hop: Option<FabricHopConfig>,
+    /// Contention-driven DT α retuning period (§9 probe).
+    pub alpha_tune_period: Option<Ns>,
+    /// Pacing applied to flows without their own (§8.1 fabric smoothing).
+    pub fabric_smoothing_bps: Option<u64>,
+    /// Attach a telemetry hub with this trace-ring capacity.
+    pub telemetry_ring: Option<usize>,
+    /// Flow groups scheduled at absolute times.
+    pub flows: Vec<ScheduledFlow>,
+    /// Generative traffic programs.
+    pub generators: Vec<GenSpec>,
+    /// NIC-level drop injectors.
+    pub nic_drops: Vec<NicDropSpec>,
+    /// Kernel/NIC stall windows.
+    pub stalls: Vec<StallSpec>,
+    /// Keepalive chatter per server.
+    pub chatter: Vec<ChatterSpec>,
+    /// Multicast subscriptions: `(group, member server)`.
+    pub mcast_members: Vec<(u32, usize)>,
+    /// Paced multicast bursts.
+    pub mcast_bursts: Vec<McastBurstSpec>,
+    /// ToR egress queues with occupancy probes attached.
+    pub probe_queues: Vec<usize>,
+    /// User-space collection agents.
+    pub agents: Vec<AgentSpec>,
+}
+
+const SPEC_MAGIC: &[u8; 4] = b"MSS1";
+
+impl ScenarioSpec {
+    /// Paper-like defaults on a rack of `num_servers`: 12.5 Gbps links,
+    /// the 16 MB / α=1 / 120 KB-ECN ToR, 1 ms × 2000 sampler buckets,
+    /// ±300 µs NTP skew, 150 ms warm-up, and no workload attached.
+    pub fn new(num_servers: usize, seed: u64) -> Self {
+        let defaults = RackSimConfig::new(num_servers, seed);
+        ScenarioSpec {
+            num_servers,
+            seed,
+            sampler: defaults.sampler,
+            mss: defaults.rack.mss,
+            warmup: defaults.warmup,
+            max_clock_skew: defaults.max_clock_skew,
+            alpha: defaults.rack.switch.alpha,
+            policy: defaults.rack.switch.policy,
+            ecn_threshold: None,
+            gro: None,
+            fabric_hop: None,
+            alpha_tune_period: None,
+            fabric_smoothing_bps: None,
+            telemetry_ring: None,
+            flows: Vec::new(),
+            generators: Vec::new(),
+            nic_drops: Vec::new(),
+            stalls: Vec::new(),
+            chatter: Vec::new(),
+            mcast_members: Vec::new(),
+            mcast_bursts: Vec::new(),
+            probe_queues: Vec::new(),
+            agents: Vec::new(),
+        }
+    }
+
+    /// Panics with a precise message if the spec is internally
+    /// inconsistent. Called by [`ScenarioSpec::build`]; the fleet runner
+    /// converts the panic into a captured per-shard failure instead of
+    /// tearing down the sweep.
+    pub fn validate(&self) {
+        assert!(self.num_servers > 0, "scenario: rack has no servers");
+        assert!(self.sampler.buckets > 0, "scenario: sampler has no buckets");
+        let check = |what: &str, server: usize| {
+            assert!(
+                server < self.num_servers,
+                "scenario: {what} targets server {server}, out of range for {} servers",
+                self.num_servers
+            );
+        };
+        for f in &self.flows {
+            check("flow", f.flow.dst_server);
+        }
+        for g in &self.generators {
+            check("generator", g.server);
+            assert!(g.load > 0.0, "scenario: generator load must be positive");
+            assert!(
+                g.kind != TaskKind::MlTrainer || g.ml_phase.is_some(),
+                "scenario: MlTrainer generator on server {} needs an ml_phase",
+                g.server
+            );
+        }
+        for d in &self.nic_drops {
+            check("nic-drop injector", d.server);
+            assert!(
+                (0.0..=1.0).contains(&d.probability),
+                "scenario: drop probability {} outside [0, 1]",
+                d.probability
+            );
+        }
+        for s in &self.stalls {
+            check("stall", s.server);
+        }
+        for c in &self.chatter {
+            check("chatter", c.server);
+            assert!(
+                c.pool > 0 && c.pkts_per_sec > 0,
+                "scenario: chatter pool and rate must be positive"
+            );
+        }
+        for &(_, server) in &self.mcast_members {
+            check("multicast member", server);
+        }
+        for &q in &self.probe_queues {
+            check("queue probe", q);
+        }
+        for a in &self.agents {
+            check("agent", a.server);
+        }
+    }
+
+    /// Materializes the simulation this spec describes. Replaces the old
+    /// `RackSim::new` + mutator-call sequence; application order is fixed
+    /// by field order, so identical specs yield bit-identical runs.
+    pub fn build(&self) -> RackSim {
+        self.validate();
+        let mut rack = RackConfig::meta_defaults(self.num_servers);
+        rack.mss = self.mss;
+        rack.switch.alpha = self.alpha;
+        rack.switch.policy = self.policy;
+        if let Some(threshold) = self.ecn_threshold {
+            rack.switch.ecn_threshold = threshold;
+        }
+        let cfg = RackSimConfig {
+            rack,
+            sampler: self.sampler,
+            seed: self.seed,
+            max_clock_skew: self.max_clock_skew,
+            warmup: self.warmup,
+            gro: self.gro,
+            fabric_hop: self.fabric_hop,
+            alpha_tune_period: self.alpha_tune_period,
+        };
+        let mut sim = RackSim::new(cfg);
+        if let Some(bps) = self.fabric_smoothing_bps {
+            sim.set_fabric_smoothing(bps);
+        }
+        if let Some(ring) = self.telemetry_ring {
+            sim.attach_telemetry(TelemetryConfig {
+                ring_capacity: ring,
+            });
+        }
+        for f in &self.flows {
+            sim.schedule_flow(f.at, f.flow);
+        }
+        for g in &self.generators {
+            sim.add_generator(TaskGen::new(
+                g.kind,
+                g.server,
+                g.task,
+                g.load,
+                SimRng::new(g.seed),
+                g.ml_phase,
+            ));
+        }
+        for d in &self.nic_drops {
+            sim.inject_nic_drops(d.server, d.seed, d.probability);
+        }
+        for s in &self.stalls {
+            sim.inject_stall(s.server, s.from, s.to);
+        }
+        for c in &self.chatter {
+            sim.enable_chatter(c.server, c.pool, c.pkts_per_sec);
+        }
+        for &(group, server) in &self.mcast_members {
+            sim.join_multicast(group, server);
+        }
+        for b in &self.mcast_bursts {
+            sim.schedule_multicast_burst(b.at, b.group, b.packets, b.size, b.paced_bps);
+        }
+        for &q in &self.probe_queues {
+            sim.probe_queue_depth(q);
+        }
+        for a in &self.agents {
+            sim.start_agent(a.server, a.config.clone());
+        }
+        sim
+    }
+
+    /// Canonical codec encoding (see [`millisampler::codec`]): identical
+    /// specs always encode to identical bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_magic(SPEC_MAGIC);
+        w.u64(self.num_servers as u64);
+        w.u64(self.seed);
+        w.u64(self.sampler.interval.as_nanos());
+        w.u64(self.sampler.buckets as u64);
+        w.bool(self.sampler.count_flows);
+        w.u64(u64::from(self.mss));
+        w.u64(self.warmup.as_nanos());
+        w.u64(self.max_clock_skew.as_nanos());
+        w.f64(self.alpha);
+        w.u64(policy_tag(self.policy));
+        opt_u64(&mut w, self.ecn_threshold);
+        match self.gro {
+            Some(g) => {
+                w.bool(true);
+                w.u64(u64::from(g.max_bytes));
+                w.u64(g.timeout.as_nanos());
+            }
+            None => w.bool(false),
+        }
+        match self.fabric_hop {
+            Some(f) => {
+                w.bool(true);
+                w.u64(f.rate_bps);
+                w.u64(f.buffer_bytes);
+            }
+            None => w.bool(false),
+        }
+        opt_u64(&mut w, self.alpha_tune_period.map(Ns::as_nanos));
+        opt_u64(&mut w, self.fabric_smoothing_bps);
+        opt_u64(&mut w, self.telemetry_ring.map(|r| r as u64));
+        w.u64(self.flows.len() as u64);
+        for f in &self.flows {
+            w.u64(f.at.as_nanos());
+            w.u64(f.flow.dst_server as u64);
+            w.u64(u64::from(f.flow.connections));
+            w.u64(f.flow.total_bytes);
+            w.u64(cc_tag(f.flow.algorithm));
+            opt_u64(&mut w, f.flow.paced_bps);
+            w.u64(f.flow.task);
+        }
+        w.u64(self.generators.len() as u64);
+        for g in &self.generators {
+            w.u64(task_tag(g.kind));
+            w.u64(g.server as u64);
+            w.u64(g.task);
+            w.f64(g.load);
+            w.u64(g.seed);
+            match g.ml_phase {
+                Some(p) => {
+                    w.bool(true);
+                    w.u64(p.period.as_nanos());
+                    w.u64(p.phase.as_nanos());
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.nic_drops.len() as u64);
+        for d in &self.nic_drops {
+            w.u64(d.server as u64);
+            w.u64(d.seed);
+            w.f64(d.probability);
+        }
+        w.u64(self.stalls.len() as u64);
+        for s in &self.stalls {
+            w.u64(s.server as u64);
+            w.u64(s.from.as_nanos());
+            w.u64(s.to.as_nanos());
+        }
+        w.u64(self.chatter.len() as u64);
+        for c in &self.chatter {
+            w.u64(c.server as u64);
+            w.u64(c.pool);
+            w.u64(c.pkts_per_sec);
+        }
+        w.u64(self.mcast_members.len() as u64);
+        for &(group, server) in &self.mcast_members {
+            w.u64(u64::from(group));
+            w.u64(server as u64);
+        }
+        w.u64(self.mcast_bursts.len() as u64);
+        for b in &self.mcast_bursts {
+            w.u64(b.at.as_nanos());
+            w.u64(u64::from(b.group));
+            w.u64(u64::from(b.packets));
+            w.u64(u64::from(b.size));
+            w.u64(b.paced_bps);
+        }
+        w.u64(self.probe_queues.len() as u64);
+        for &q in &self.probe_queues {
+            w.u64(q as u64);
+        }
+        w.u64(self.agents.len() as u64);
+        for a in &self.agents {
+            w.u64(a.server as u64);
+            w.u64(a.config.period.as_nanos());
+            w.u64(a.config.rotation.len() as u64);
+            for r in &a.config.rotation {
+                w.u64(r.interval.as_nanos());
+                w.u64(r.buckets as u64);
+                w.bool(r.count_flows);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a spec previously produced by [`ScenarioSpec::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = WireReader::new(data);
+        r.expect_magic(SPEC_MAGIC)?;
+        let num_servers = r.u64()? as usize;
+        let seed = r.u64()?;
+        let sampler = RunConfig {
+            interval: Ns(r.u64()?),
+            buckets: r.u64()? as usize,
+            count_flows: r.bool()?,
+        };
+        // simlint: allow(cast-truncation): mss is u32 by construction
+        let mss = r.u64()? as u32;
+        let warmup = Ns(r.u64()?);
+        let max_clock_skew = Ns(r.u64()?);
+        let alpha = r.f64()?;
+        let policy = policy_from(r.u64()?)?;
+        let ecn_threshold = opt_u64_from(&mut r)?;
+        let gro = if r.bool()? {
+            Some(GroConfig {
+                // simlint: allow(cast-truncation): GRO cap is u32 by construction
+                max_bytes: r.u64()? as u32,
+                timeout: Ns(r.u64()?),
+            })
+        } else {
+            None
+        };
+        let fabric_hop = if r.bool()? {
+            Some(FabricHopConfig {
+                rate_bps: r.u64()?,
+                buffer_bytes: r.u64()?,
+            })
+        } else {
+            None
+        };
+        let alpha_tune_period = opt_u64_from(&mut r)?.map(Ns);
+        let fabric_smoothing_bps = opt_u64_from(&mut r)?;
+        let telemetry_ring = opt_u64_from(&mut r)?.map(|v| v as usize);
+        let mut flows = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            flows.push(ScheduledFlow {
+                at: Ns(r.u64()?),
+                flow: FlowSpec {
+                    dst_server: r.u64()? as usize,
+                    // simlint: allow(cast-truncation): connection counts are u32 by construction
+                    connections: r.u64()? as u32,
+                    total_bytes: r.u64()?,
+                    algorithm: cc_from(r.u64()?)?,
+                    paced_bps: opt_u64_from(&mut r)?,
+                    task: r.u64()?,
+                },
+            });
+        }
+        let mut generators = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            let kind = task_from(r.u64()?)?;
+            let server = r.u64()? as usize;
+            let task = r.u64()?;
+            let load = r.f64()?;
+            let g_seed = r.u64()?;
+            let ml_phase = if r.bool()? {
+                Some(MlPhase {
+                    period: Ns(r.u64()?),
+                    phase: Ns(r.u64()?),
+                })
+            } else {
+                None
+            };
+            generators.push(GenSpec {
+                kind,
+                server,
+                task,
+                load,
+                seed: g_seed,
+                ml_phase,
+            });
+        }
+        let mut nic_drops = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            nic_drops.push(NicDropSpec {
+                server: r.u64()? as usize,
+                seed: r.u64()?,
+                probability: r.f64()?,
+            });
+        }
+        let mut stalls = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            stalls.push(StallSpec {
+                server: r.u64()? as usize,
+                from: Ns(r.u64()?),
+                to: Ns(r.u64()?),
+            });
+        }
+        let mut chatter = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            chatter.push(ChatterSpec {
+                server: r.u64()? as usize,
+                pool: r.u64()?,
+                pkts_per_sec: r.u64()?,
+            });
+        }
+        let mut mcast_members = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            // simlint: allow(cast-truncation): group ids are u32 by construction
+            mcast_members.push((r.u64()? as u32, r.u64()? as usize));
+        }
+        let mut mcast_bursts = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            mcast_bursts.push(McastBurstSpec {
+                at: Ns(r.u64()?),
+                // simlint: allow(cast-truncation): group ids are u32 by construction
+                group: r.u64()? as u32,
+                // simlint: allow(cast-truncation): burst sizing is u32 by construction
+                packets: r.u64()? as u32,
+                // simlint: allow(cast-truncation): burst sizing is u32 by construction
+                size: r.u64()? as u32,
+                paced_bps: r.u64()?,
+            });
+        }
+        let mut probe_queues = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            probe_queues.push(r.u64()? as usize);
+        }
+        let mut agents = Vec::new();
+        for _ in 0..bounded_len(&mut r)? {
+            let server = r.u64()? as usize;
+            let period = Ns(r.u64()?);
+            let mut rotation = Vec::new();
+            for _ in 0..bounded_len(&mut r)? {
+                rotation.push(RunConfig {
+                    interval: Ns(r.u64()?),
+                    buckets: r.u64()? as usize,
+                    count_flows: r.bool()?,
+                });
+            }
+            agents.push(AgentSpec {
+                server,
+                config: SchedulerConfig { period, rotation },
+            });
+        }
+        Ok(ScenarioSpec {
+            num_servers,
+            seed,
+            sampler,
+            mss,
+            warmup,
+            max_clock_skew,
+            alpha,
+            policy,
+            ecn_threshold,
+            gro,
+            fabric_hop,
+            alpha_tune_period,
+            fabric_smoothing_bps,
+            telemetry_ring,
+            flows,
+            generators,
+            nic_drops,
+            stalls,
+            chatter,
+            mcast_members,
+            mcast_bursts,
+            probe_queues,
+            agents,
+        })
+    }
+}
+
+fn opt_u64(w: &mut WireWriter, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            w.bool(true);
+            w.u64(v);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn opt_u64_from(r: &mut WireReader<'_>) -> Result<Option<u64>, DecodeError> {
+    Ok(if r.bool()? { Some(r.u64()?) } else { None })
+}
+
+/// List lengths are capped so corrupt headers cannot trigger huge
+/// allocations (the same guard the host-series decoder applies).
+fn bounded_len(r: &mut WireReader<'_>) -> Result<u64, DecodeError> {
+    let len = r.u64()?;
+    if len > 1 << 20 {
+        return Err(DecodeError::Overlong);
+    }
+    Ok(len)
+}
+
+fn policy_tag(p: SharingPolicy) -> u64 {
+    match p {
+        SharingPolicy::DynamicThreshold => 0,
+        SharingPolicy::CompleteSharing => 1,
+        SharingPolicy::StaticPartition => 2,
+    }
+}
+
+fn policy_from(tag: u64) -> Result<SharingPolicy, DecodeError> {
+    match tag {
+        0 => Ok(SharingPolicy::DynamicThreshold),
+        1 => Ok(SharingPolicy::CompleteSharing),
+        2 => Ok(SharingPolicy::StaticPartition),
+        _ => Err(DecodeError::Overlong),
+    }
+}
+
+fn cc_tag(a: CcAlgorithm) -> u64 {
+    match a {
+        CcAlgorithm::Dctcp => 0,
+        CcAlgorithm::Cubic => 1,
+        CcAlgorithm::Reno => 2,
+    }
+}
+
+fn cc_from(tag: u64) -> Result<CcAlgorithm, DecodeError> {
+    match tag {
+        0 => Ok(CcAlgorithm::Dctcp),
+        1 => Ok(CcAlgorithm::Cubic),
+        2 => Ok(CcAlgorithm::Reno),
+        _ => Err(DecodeError::Overlong),
+    }
+}
+
+fn task_tag(k: TaskKind) -> u64 {
+    match k {
+        TaskKind::Web => 0,
+        TaskKind::CacheFollower => 1,
+        TaskKind::MlTrainer => 2,
+        TaskKind::Batch => 3,
+        TaskKind::Background => 4,
+    }
+}
+
+fn task_from(tag: u64) -> Result<TaskKind, DecodeError> {
+    match tag {
+        0 => Ok(TaskKind::Web),
+        1 => Ok(TaskKind::CacheFollower),
+        2 => Ok(TaskKind::MlTrainer),
+        3 => Ok(TaskKind::Batch),
+        4 => Ok(TaskKind::Background),
+        _ => Err(DecodeError::Overlong),
+    }
+}
+
+/// Fluent construction of a [`ScenarioSpec`].
+///
+/// Setters take `&mut self` so both chained calls and helper functions
+/// (`ms_workload::tools`) compose; [`ScenarioBuilder::spec`] yields the
+/// description and [`ScenarioBuilder::build`] the ready-to-run
+/// simulation.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Starts from paper-like defaults (see [`ScenarioSpec::new`]).
+    pub fn new(num_servers: usize, seed: u64) -> Self {
+        ScenarioBuilder {
+            spec: ScenarioSpec::new(num_servers, seed),
+        }
+    }
+
+    /// Wraps an existing spec for further modification.
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        ScenarioBuilder { spec }
+    }
+
+    /// Sampler buckets per run.
+    pub fn buckets(&mut self, buckets: usize) -> &mut Self {
+        self.spec.sampler.buckets = buckets;
+        self
+    }
+
+    /// Sampling interval (bucket width).
+    pub fn interval(&mut self, interval: Ns) -> &mut Self {
+        self.spec.sampler.interval = interval;
+        self
+    }
+
+    /// Whether the per-packet flow sketch runs.
+    pub fn count_flows(&mut self, on: bool) -> &mut Self {
+        self.spec.sampler.count_flows = on;
+        self
+    }
+
+    /// Transport MSS.
+    pub fn mss(&mut self, mss: u32) -> &mut Self {
+        self.spec.mss = mss;
+        self
+    }
+
+    /// Warm-up before the sampler window.
+    pub fn warmup(&mut self, warmup: Ns) -> &mut Self {
+        self.spec.warmup = warmup;
+        self
+    }
+
+    /// Maximum absolute host clock offset.
+    pub fn max_clock_skew(&mut self, skew: Ns) -> &mut Self {
+        self.spec.max_clock_skew = skew;
+        self
+    }
+
+    /// DT α of the ToR.
+    pub fn alpha(&mut self, alpha: f64) -> &mut Self {
+        self.spec.alpha = alpha;
+        self
+    }
+
+    /// Buffer sharing policy of the ToR.
+    pub fn sharing_policy(&mut self, policy: SharingPolicy) -> &mut Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// ECN marking threshold in bytes (overrides the deployed 120 KB).
+    pub fn ecn_threshold(&mut self, bytes: u64) -> &mut Self {
+        self.spec.ecn_threshold = Some(bytes);
+        self
+    }
+
+    /// Enables receive-side coalescing (§4.6).
+    pub fn gro(&mut self, gro: GroConfig) -> &mut Self {
+        self.spec.gro = Some(gro);
+        self
+    }
+
+    /// Inserts an explicit fabric hop before the ToR (§8.1).
+    pub fn fabric_hop(&mut self, hop: FabricHopConfig) -> &mut Self {
+        self.spec.fabric_hop = Some(hop);
+        self
+    }
+
+    /// Enables periodic contention-driven α retuning (§9).
+    pub fn alpha_tune_period(&mut self, period: Ns) -> &mut Self {
+        self.spec.alpha_tune_period = Some(period);
+        self
+    }
+
+    /// Paces all unpaced flows at `bps` (§8.1 fabric smoothing).
+    pub fn fabric_smoothing(&mut self, bps: u64) -> &mut Self {
+        self.spec.fabric_smoothing_bps = Some(bps);
+        self
+    }
+
+    /// Attaches a telemetry hub at build time (read it back through
+    /// [`RackSim::telemetry`]).
+    pub fn telemetry(&mut self, cfg: TelemetryConfig) -> &mut Self {
+        self.spec.telemetry_ring = Some(cfg.ring_capacity);
+        self
+    }
+
+    /// Schedules a flow group at `at`.
+    pub fn flow_at(&mut self, at: Ns, flow: FlowSpec) -> &mut Self {
+        self.spec.flows.push(ScheduledFlow { at, flow });
+        self
+    }
+
+    /// Attaches a generative traffic program.
+    pub fn generator(&mut self, gen: GenSpec) -> &mut Self {
+        self.spec.generators.push(gen);
+        self
+    }
+
+    /// Installs a NIC-level random drop injector (§4.2).
+    pub fn nic_drops(&mut self, server: usize, seed: u64, probability: f64) -> &mut Self {
+        self.spec.nic_drops.push(NicDropSpec {
+            server,
+            seed,
+            probability,
+        });
+        self
+    }
+
+    /// Installs a kernel/NIC stall during `[from, to)` (§4.6).
+    pub fn stall(&mut self, server: usize, from: Ns, to: Ns) -> &mut Self {
+        self.spec.stalls.push(StallSpec { server, from, to });
+        self
+    }
+
+    /// Enables keepalive chatter on `server`.
+    pub fn chatter(&mut self, server: usize, pool: u64, pkts_per_sec: u64) -> &mut Self {
+        self.spec.chatter.push(ChatterSpec {
+            server,
+            pool,
+            pkts_per_sec,
+        });
+        self
+    }
+
+    /// Subscribes `server` to multicast `group`.
+    pub fn join_multicast(&mut self, group: u32, server: usize) -> &mut Self {
+        self.spec.mcast_members.push((group, server));
+        self
+    }
+
+    /// Schedules a paced multicast burst (Fig. 3 tooling).
+    pub fn multicast_burst(
+        &mut self,
+        at: Ns,
+        group: u32,
+        packets: u32,
+        size: u32,
+        paced_bps: u64,
+    ) -> &mut Self {
+        self.spec.mcast_bursts.push(McastBurstSpec {
+            at,
+            group,
+            packets,
+            size,
+            paced_bps,
+        });
+        self
+    }
+
+    /// Attaches an occupancy probe to `server`'s ToR egress queue.
+    pub fn probe_queue_depth(&mut self, server: usize) -> &mut Self {
+        self.spec.probe_queues.push(server);
+        self
+    }
+
+    /// Starts a §4.1 user-space collection agent on `server`.
+    pub fn agent(&mut self, server: usize, config: SchedulerConfig) -> &mut Self {
+        self.spec.agents.push(AgentSpec { server, config });
+        self
+    }
+
+    /// The accumulated declarative description.
+    pub fn spec(&self) -> ScenarioSpec {
+        self.spec.clone()
+    }
+
+    /// Builds the simulation (validates first; see
+    /// [`ScenarioSpec::validate`]).
+    pub fn build(&self) -> RackSim {
+        self.spec.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_spec() -> ScenarioSpec {
+        let mut b = ScenarioBuilder::new(8, 42);
+        b.buckets(200)
+            .interval(Ns::from_millis(1))
+            .mss(1500)
+            .warmup(Ns::from_millis(20))
+            .max_clock_skew(Ns::from_micros(200))
+            .alpha(2.0)
+            .sharing_policy(SharingPolicy::DynamicThreshold)
+            .ecn_threshold(60 * 1024)
+            .gro(GroConfig::default())
+            .fabric_hop(FabricHopConfig {
+                rate_bps: 25_000_000_000,
+                buffer_bytes: 1 << 24,
+            })
+            .alpha_tune_period(Ns::from_millis(5))
+            .fabric_smoothing(11_000_000_000)
+            .telemetry(TelemetryConfig::default())
+            .flow_at(
+                Ns::from_millis(30),
+                FlowSpec {
+                    dst_server: 1,
+                    connections: 20,
+                    total_bytes: 4_000_000,
+                    algorithm: CcAlgorithm::Dctcp,
+                    paced_bps: Some(9_000_000_000),
+                    task: 7,
+                },
+            )
+            .generator(GenSpec {
+                kind: TaskKind::MlTrainer,
+                server: 2,
+                task: 3,
+                load: 1.25,
+                seed: 99,
+                ml_phase: Some(MlPhase {
+                    period: Ns::from_micros(25_000),
+                    phase: Ns::from_millis(1),
+                }),
+            })
+            .nic_drops(5, 7, 0.015)
+            .stall(3, Ns::from_millis(10), Ns::from_millis(20))
+            .chatter(1, 40, 8_000)
+            .join_multicast(77, 0)
+            .join_multicast(77, 4)
+            .multicast_burst(Ns::from_millis(50), 77, 100, 1500, 2_000_000_000)
+            .probe_queue_depth(1)
+            .agent(
+                6,
+                SchedulerConfig {
+                    period: Ns::from_millis(30),
+                    rotation: vec![RunConfig {
+                        interval: Ns::from_millis(1),
+                        buckets: 50,
+                        count_flows: true,
+                    }],
+                },
+            );
+        b.spec()
+    }
+
+    #[test]
+    fn codec_round_trip_exact() {
+        let spec = rich_spec();
+        let enc = spec.encode();
+        let dec = ScenarioSpec::decode(&enc).expect("decodable");
+        assert_eq!(dec, spec);
+        // Canonical: same spec, same bytes.
+        assert_eq!(spec.encode(), dec.encode());
+    }
+
+    #[test]
+    fn minimal_spec_round_trips() {
+        let spec = ScenarioSpec::new(4, 1);
+        assert_eq!(ScenarioSpec::decode(&spec.encode()).unwrap(), spec);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ScenarioSpec::decode(b"XXXX123").is_err());
+        let mut enc = rich_spec().encode();
+        enc.truncate(enc.len() / 3);
+        assert!(ScenarioSpec::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn identical_specs_build_identical_runs() {
+        let spec = {
+            let mut b = ScenarioBuilder::new(4, 9);
+            b.buckets(150).warmup(Ns::from_millis(15)).flow_at(
+                Ns::from_millis(20),
+                FlowSpec {
+                    dst_server: 1,
+                    connections: 30,
+                    total_bytes: 5_000_000,
+                    algorithm: CcAlgorithm::Dctcp,
+                    paced_bps: None,
+                    task: 1,
+                },
+            );
+            b.spec()
+        };
+        let run = |s: &ScenarioSpec| {
+            let report = s.build().run_sync_window(0);
+            (
+                report.switch_discard_bytes,
+                report.events,
+                report.rack_run.map(|r| r.servers[1].in_bytes.clone()),
+            )
+        };
+        assert_eq!(run(&spec), run(&spec));
+        // Round-tripping through the codec preserves behaviour too.
+        let rt = ScenarioSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(run(&spec), run(&rt));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_rejects_out_of_range_server() {
+        let mut b = ScenarioBuilder::new(4, 1);
+        b.flow_at(
+            Ns::from_millis(10),
+            FlowSpec {
+                dst_server: 99,
+                connections: 1,
+                total_bytes: 1000,
+                algorithm: CcAlgorithm::Dctcp,
+                paced_bps: None,
+                task: 1,
+            },
+        );
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "ml_phase")]
+    fn validate_rejects_phaseless_trainer() {
+        let mut b = ScenarioBuilder::new(4, 1);
+        b.generator(GenSpec {
+            kind: TaskKind::MlTrainer,
+            server: 0,
+            task: 0,
+            load: 1.0,
+            seed: 1,
+            ml_phase: None,
+        });
+        b.build();
+    }
+
+    #[test]
+    fn telemetry_field_attaches_a_hub() {
+        let mut b = ScenarioBuilder::new(2, 3);
+        b.buckets(50).telemetry(TelemetryConfig::default());
+        let sim = b.build();
+        assert!(sim.telemetry().is_some());
+    }
+}

@@ -11,8 +11,11 @@
 //!   volume (1.8 MB ≈ 3 ms at 12.5 Gbps in the paper's experiment), used
 //!   to verify that post-analysis correctly identifies the number of
 //!   simultaneously bursty servers (Fig. 4).
+//!
+//! Both helpers compose onto a [`ScenarioBuilder`], so a validation setup
+//! is itself a declarative spec that sweeps can clone and serialize.
 
-use crate::sim::RackSim;
+use crate::spec::ScenarioBuilder;
 use crate::tasks::FlowSpec;
 use ms_dcsim::Ns;
 use ms_transport::CcAlgorithm;
@@ -23,7 +26,7 @@ use ms_transport::CcAlgorithm;
 /// is why Fig. 3's bursts do not reach line rate).
 #[allow(clippy::too_many_arguments)]
 pub fn schedule_multicast_validation(
-    sim: &mut RackSim,
+    builder: &mut ScenarioBuilder,
     group: u32,
     servers: &[usize],
     start: Ns,
@@ -34,10 +37,10 @@ pub fn schedule_multicast_validation(
     paced_bps: u64,
 ) {
     for &s in servers {
-        sim.join_multicast(group, s);
+        builder.join_multicast(group, s);
     }
     for i in 0..count {
-        sim.schedule_multicast_burst(start + period * i as u64, group, packets, size, paced_bps);
+        builder.multicast_burst(start + period * i as u64, group, packets, size, paced_bps);
     }
 }
 
@@ -47,7 +50,7 @@ pub fn schedule_multicast_validation(
 /// sub-millisecond and thus immaterial to the 3 ms bursts).
 #[allow(clippy::too_many_arguments)]
 pub fn schedule_burst_requests(
-    sim: &mut RackSim,
+    builder: &mut ScenarioBuilder,
     client_server: usize,
     start: Ns,
     period: Ns,
@@ -56,7 +59,7 @@ pub fn schedule_burst_requests(
     connections: u32,
 ) {
     for i in 0..count {
-        sim.schedule_flow(
+        builder.flow_at(
             start + period * i as u64,
             FlowSpec {
                 dst_server: client_server,
@@ -73,23 +76,21 @@ pub fn schedule_burst_requests(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::RackSimConfig;
     use ms_dcsim::Ns;
 
-    fn sim() -> RackSim {
-        let mut cfg = RackSimConfig::new(8, 42);
-        cfg.sampler.buckets = 400;
-        cfg.warmup = Ns::from_millis(10);
-        RackSim::new(cfg)
+    fn builder() -> ScenarioBuilder {
+        let mut b = ScenarioBuilder::new(8, 42);
+        b.buckets(400).warmup(Ns::from_millis(10));
+        b
     }
 
     #[test]
     fn multicast_validation_synchronizes_across_receivers() {
-        let mut s = sim();
+        let mut b = builder();
         let servers: Vec<usize> = (0..8).collect();
         // Bursts every 100ms, well inside the 400ms window.
         schedule_multicast_validation(
-            &mut s,
+            &mut b,
             900,
             &servers,
             Ns::from_millis(20),
@@ -99,7 +100,7 @@ mod tests {
             1500,
             2_000_000_000,
         );
-        let report = s.run_sync_window(0);
+        let report = b.build().run_sync_window(0);
         let run = report.rack_run.expect("all servers sampled");
         // Every server sees (nearly) the same replicated volume; edge
         // buckets trimmed by alignment cost at most a few percent of a
@@ -131,12 +132,12 @@ mod tests {
 
     #[test]
     fn burst_requests_produce_expected_duration_bursts() {
-        let mut s = sim();
+        let mut b = builder();
         // Paper: 1.8MB bursts ≈ 3ms at 12.5Gbps (their server sends over
         // warm connections; we use 4 parallel cold connections to reach
         // line rate within the first millisecond).
         schedule_burst_requests(
-            &mut s,
+            &mut b,
             2,
             Ns::from_millis(20),
             Ns::from_millis(100),
@@ -144,7 +145,7 @@ mod tests {
             1_800_000,
             4,
         );
-        let report = s.run_sync_window(0);
+        let report = b.build().run_sync_window(0);
         let run = report.rack_run.unwrap();
         let series = &run.servers[2];
         let threshold = 781_250; // 50% of line rate per 1ms

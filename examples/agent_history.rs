@@ -9,17 +9,15 @@
 use millisampler::{RunConfig, SchedulerConfig};
 use ms_dcsim::Ns;
 use ms_transport::CcAlgorithm;
-use ms_workload::sim::{RackSim, RackSimConfig};
-use ms_workload::tasks::FlowSpec;
+use ms_workload::{FlowSpec, ScenarioBuilder};
 
 fn main() {
-    let mut cfg = RackSimConfig::new(4, 77);
-    cfg.warmup = Ns::ZERO;
-    let mut sim = RackSim::new(cfg);
+    let mut scenario = ScenarioBuilder::new(4, 77);
+    scenario.warmup(Ns::ZERO);
 
     // The agent on server 0: short runs every 40 ms, rotating 1 ms and
     // 100 µs sampling (the deployment rotates 10 ms / 1 ms / 100 µs).
-    sim.start_agent(
+    scenario.agent(
         0,
         SchedulerConfig {
             period: Ns::from_millis(40),
@@ -40,7 +38,7 @@ fn main() {
 
     // Two seconds of on-and-off traffic.
     for i in 0..6 {
-        sim.schedule_flow(
+        scenario.flow_at(
             Ns::from_millis(20 + i * 330),
             FlowSpec {
                 dst_server: 0,
@@ -52,6 +50,7 @@ fn main() {
             },
         );
     }
+    let mut sim = scenario.build();
     sim.run_until(Ns::from_secs(2));
 
     let store = sim.agent_store(0).expect("agent running");

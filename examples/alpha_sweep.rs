@@ -1,75 +1,83 @@
 //! Explore the §2.2/§9 buffer-tuning question: how the DT α parameter and
 //! the sharing policy trade burst absorption against fairness, under a
-//! workload with both a heavy incast and background contention.
+//! workload with both a heavy incast and a contending burst.
+//!
+//! The α sweep is a one-axis [`FleetGrid`]; the policy comparison is three
+//! hand-built [`FleetCell`]s. Both run through `run_fleet`, so this example
+//! is also the smallest demo of the fleet API.
 //!
 //! ```sh
-//! cargo run --release -p ms-bench --example alpha_sweep
+//! cargo run --release -p ms-fleet --example alpha_sweep
 //! ```
 
 use ms_dcsim::{Ns, SharingPolicy};
-use ms_transport::CcAlgorithm;
-use ms_workload::sim::{RackSim, RackSimConfig};
-use ms_workload::tasks::FlowSpec;
-
-fn scenario(alpha: f64, policy: SharingPolicy, seed: u64) -> (u64, u64, u64) {
-    let mut cfg = RackSimConfig::new(8, seed);
-    cfg.rack.switch.alpha = alpha;
-    cfg.rack.switch.policy = policy;
-    cfg.sampler.buckets = 250;
-    cfg.warmup = Ns::from_millis(10);
-    let mut sim = RackSim::new(cfg);
-    // Victim incast into server 1 plus two contending bursts in the same
-    // quadrant (servers 5 shares quadrant 1 with server 1 on 8 servers).
-    sim.schedule_flow(
-        Ns::from_millis(30),
-        FlowSpec {
-            dst_server: 1,
-            connections: 100,
-            total_bytes: 12_000_000,
-            algorithm: CcAlgorithm::Dctcp,
-            paced_bps: None,
-            task: 1,
-        },
-    );
-    sim.schedule_flow(
-        Ns::from_millis(28),
-        FlowSpec {
-            dst_server: 5,
-            connections: 60,
-            total_bytes: 10_000_000,
-            algorithm: CcAlgorithm::Dctcp,
-            paced_bps: None,
-            task: 2,
-        },
-    );
-    let report = sim.run_sync_window(0);
-    (
-        report.switch_discard_bytes,
-        report.switch_ingress_bytes,
-        report.conns_completed,
-    )
-}
+use ms_fleet::{run_fleet, FleetCell, FleetConfig, FleetGrid, PlacementKind};
+use ms_workload::ScenarioBuilder;
 
 fn main() {
+    let cfg = FleetConfig::default();
+
+    // One-axis grid: sweep α with everything else pinned.
+    let grid = FleetGrid {
+        alphas: vec![0.25, 0.5, 1.0, 2.0, 4.0],
+        seeds: vec![3],
+        placements: vec![PlacementKind::PairedVictims],
+        buckets: 250,
+        connections: 160,
+        total_bytes: 11_000_000,
+        ..FleetGrid::default()
+    };
+    let report = run_fleet(&grid.cells(), &cfg);
+
     println!("DT alpha sweep under a contended incast (160 connections, ~22 MB):\n");
-    println!("{:>8} {:>16} {:>12}", "alpha", "discard_bytes", "completed");
-    for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let (drops, _, done) = scenario(alpha, SharingPolicy::DynamicThreshold, 3);
-        println!("{alpha:>8} {drops:>16} {done:>12}");
+    println!("{:>26} {:>16} {:>12}", "cell", "discard_bytes", "completed");
+    for r in &report.results {
+        let o = r.outcome.as_ref().expect("sweep cell failed");
+        println!(
+            "{:>26} {:>16} {:>12}",
+            r.label, o.switch_discard_bytes, o.conns_completed
+        );
     }
+
+    // Policy comparison at α = 1: three hand-built cells on the same rack.
+    let policy_cells: Vec<FleetCell> = [
+        ("dynamic_threshold", SharingPolicy::DynamicThreshold),
+        ("complete_sharing", SharingPolicy::CompleteSharing),
+        ("static_partition", SharingPolicy::StaticPartition),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        let mut grid = FleetGrid {
+            alphas: vec![1.0],
+            seeds: vec![3],
+            placements: vec![PlacementKind::PairedVictims],
+            buckets: 250,
+            connections: 160,
+            total_bytes: 11_000_000,
+            ..FleetGrid::default()
+        };
+        grid.warmup = Ns::from_millis(10);
+        let mut cell = grid.cells().remove(0);
+        let mut b = ScenarioBuilder::from_spec(cell.spec);
+        b.sharing_policy(policy);
+        cell.spec = b.spec();
+        cell.label = String::from(name);
+        cell
+    })
+    .collect();
+    let report = run_fleet(&policy_cells, &cfg);
 
     println!("\nsharing policies at alpha=1:\n");
     println!(
         "{:>20} {:>16} {:>12}",
         "policy", "discard_bytes", "completed"
     );
-    for (name, p) in [
-        ("dynamic_threshold", SharingPolicy::DynamicThreshold),
-        ("complete_sharing", SharingPolicy::CompleteSharing),
-        ("static_partition", SharingPolicy::StaticPartition),
-    ] {
-        let (drops, _, done) = scenario(1.0, p, 3);
-        println!("{name:>20} {drops:>16} {done:>12}");
+    for r in &report.results {
+        let o = r.outcome.as_ref().expect("policy cell failed");
+        println!(
+            "{:>20} {:>16} {:>12}",
+            r.label, o.switch_discard_bytes, o.conns_completed
+        );
     }
     println!("\nthe paper's implication (§9): because contention varies so much across racks");
     println!("and over time, no single alpha is right — which is why measuring contention");

@@ -14,18 +14,15 @@
 use ms_analysis::diagnose::{loss_at_low_utilization, FindingKind};
 use ms_dcsim::Ns;
 use ms_transport::CcAlgorithm;
-use ms_workload::sim::{RackSim, RackSimConfig};
-use ms_workload::tasks::FlowSpec;
+use ms_workload::{FlowSpec, ScenarioBuilder};
 
 fn main() {
-    let mut cfg = RackSimConfig::new(8, 2024);
-    cfg.sampler.buckets = 600;
-    cfg.warmup = Ns::from_millis(20);
-    let mut sim = RackSim::new(cfg);
+    let mut scenario = ScenarioBuilder::new(8, 2024);
+    scenario.buckets(600).warmup(Ns::from_millis(20));
 
     // Gentle paced traffic to every server — nothing here should lose.
     for dst in 0..8 {
-        sim.schedule_flow(
+        scenario.flow_at(
             Ns::from_millis(30),
             FlowSpec {
                 dst_server: dst,
@@ -38,9 +35,9 @@ fn main() {
         );
     }
     // The buggy NIC: server 5 silently drops 1.5% of packets.
-    sim.inject_nic_drops(5, 7, 0.015);
+    scenario.nic_drops(5, 7, 0.015);
 
-    let report = sim.run_sync_window(0);
+    let report = scenario.build().run_sync_window(0);
     println!(
         "switch discards: {} bytes (the network is innocent)",
         report.switch_discard_bytes

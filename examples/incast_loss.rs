@@ -17,8 +17,7 @@
 use ms_dcsim::Ns;
 use ms_telemetry::TelemetryConfig;
 use ms_transport::CcAlgorithm;
-use ms_workload::sim::{RackSim, RackSimConfig};
-use ms_workload::tasks::FlowSpec;
+use ms_workload::{FlowSpec, ScenarioBuilder};
 
 fn incast(dst: usize, conns: u32, total: u64) -> FlowSpec {
     FlowSpec {
@@ -32,21 +31,19 @@ fn incast(dst: usize, conns: u32, total: u64) -> FlowSpec {
 }
 
 fn run_case(conns: u32, contended: bool, seed: u64) -> (u64, u64) {
-    let mut cfg = RackSimConfig::new(8, seed);
-    cfg.sampler.buckets = 200;
-    cfg.warmup = Ns::from_millis(10);
-    let mut sim = RackSim::new(cfg);
+    let mut scenario = ScenarioBuilder::new(8, seed);
+    scenario.buckets(200).warmup(Ns::from_millis(10));
     // The burst under study: ~100 KB per connection into server 0.
-    sim.schedule_flow(
+    scenario.flow_at(
         Ns::from_millis(30),
         incast(0, conns, conns as u64 * 100_000),
     );
     if contended {
         // Competing bursts occupy the shared pool of the same quadrant
         // (servers 0 and 4 share quadrant 0 on an 8-server rack).
-        sim.schedule_flow(Ns::from_millis(29), incast(4, 60, 8_000_000));
+        scenario.flow_at(Ns::from_millis(29), incast(4, 60, 8_000_000));
     }
-    let report = sim.run_sync_window(0);
+    let report = scenario.build().run_sync_window(0);
     let retx = report
         .rack_run
         .map(|r| r.servers[0].in_retx.iter().sum::<u64>())
@@ -55,13 +52,14 @@ fn run_case(conns: u32, contended: bool, seed: u64) -> (u64, u64) {
 }
 
 fn run_traced(path: &str) {
-    let mut cfg = RackSimConfig::new(8, 42);
-    cfg.sampler.buckets = 200;
-    cfg.warmup = Ns::from_millis(10);
-    let mut sim = RackSim::new(cfg);
-    sim.attach_telemetry(TelemetryConfig::default());
-    sim.schedule_flow(Ns::from_millis(30), incast(0, 200, 20_000_000));
-    sim.schedule_flow(Ns::from_millis(29), incast(4, 60, 8_000_000));
+    let mut scenario = ScenarioBuilder::new(8, 42);
+    scenario
+        .buckets(200)
+        .warmup(Ns::from_millis(10))
+        .telemetry(TelemetryConfig::default())
+        .flow_at(Ns::from_millis(30), incast(0, 200, 20_000_000))
+        .flow_at(Ns::from_millis(29), incast(4, 60, 8_000_000));
+    let mut sim = scenario.build();
     let report = sim.run_sync_window(0);
 
     let file = std::fs::File::create(path).expect("create trace file");

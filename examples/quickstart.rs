@@ -7,35 +7,33 @@
 
 use ms_dcsim::Ns;
 use ms_transport::CcAlgorithm;
-use ms_workload::sim::{RackSim, RackSimConfig};
-use ms_workload::tasks::FlowSpec;
+use ms_workload::{FlowSpec, ScenarioBuilder};
 
 fn main() {
     // A rack of 8 servers with the paper's ToR: 12.5 Gbps server links,
     // 16 MB shared buffer in 4 MB quadrants, DT alpha = 1, 120 KB ECN
     // threshold. Millisampler runs at 1 ms x 2000 buckets on every host.
-    let mut cfg = RackSimConfig::new(8, /* seed */ 1);
-    cfg.sampler.buckets = 300; // shorten the window for the demo
-    cfg.warmup = Ns::from_millis(20);
-    let mut sim = RackSim::new(cfg);
-
-    // A storage-style incast: 40 remote peers each deliver ~100 KB to
-    // server 3, all starting at t = 50 ms.
-    sim.schedule_flow(
-        Ns::from_millis(50),
-        FlowSpec {
-            dst_server: 3,
-            connections: 40,
-            total_bytes: 4_000_000,
-            algorithm: CcAlgorithm::Dctcp,
-            paced_bps: None,
-            task: 1,
-        },
-    );
+    let mut scenario = ScenarioBuilder::new(8, /* seed */ 1);
+    scenario
+        .buckets(300) // shorten the window for the demo
+        .warmup(Ns::from_millis(20))
+        // A storage-style incast: 40 remote peers each deliver ~100 KB to
+        // server 3, all starting at t = 50 ms.
+        .flow_at(
+            Ns::from_millis(50),
+            FlowSpec {
+                dst_server: 3,
+                connections: 40,
+                total_bytes: 4_000_000,
+                algorithm: CcAlgorithm::Dctcp,
+                paced_bps: None,
+                task: 1,
+            },
+        );
 
     // Run a SyncMillisampler window: warm up, enable all hosts' tc
     // filters simultaneously, collect, align, and trim.
-    let report = sim.run_sync_window(/* rack id */ 0);
+    let report = scenario.build().run_sync_window(/* rack id */ 0);
     let run = report.rack_run.expect("the incast produced traffic");
 
     println!(

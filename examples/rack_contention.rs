@@ -14,7 +14,7 @@
 
 use ms_analysis::contention::queue_share;
 use ms_workload::placement::{build_region, RackClass, RegionKind};
-use ms_workload::scenario::{rack_sim_for, ScenarioConfig};
+use ms_workload::scenario::{rack_spec_for, ScenarioConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,10 +39,11 @@ fn main() {
     );
 
     let cfg = ScenarioConfig::default(); // 500 x 1ms window
-    let mut sim = rack_sim_for(spec, &region.diurnal, /* busy hour */ 7, 0, &cfg);
+    let mut scenario = rack_spec_for(spec, &region.diurnal, /* busy hour */ 7, 0, &cfg);
     if trace_path.is_some() {
-        sim.attach_telemetry(ms_telemetry::TelemetryConfig::default());
+        scenario.telemetry_ring = Some(ms_telemetry::TelemetryConfig::default().ring_capacity);
     }
+    let mut sim = scenario.build();
     let report = sim.run_sync_window(spec.rack_id);
     if let Some(path) = &trace_path {
         let file = std::fs::File::create(path).expect("create trace file");

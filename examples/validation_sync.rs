@@ -7,21 +7,21 @@
 //! ```
 
 use ms_dcsim::Ns;
-use ms_workload::sim::{RackSim, RackSimConfig};
 use ms_workload::tools::schedule_multicast_validation;
+use ms_workload::ScenarioBuilder;
 
 fn main() {
-    let mut cfg = RackSimConfig::new(8, 99);
-    cfg.sampler.buckets = 800;
-    cfg.warmup = Ns::from_millis(20);
-    // Exaggerate NTP error to half the sampling interval to show the
-    // alignment machinery working at its design limit.
-    cfg.max_clock_skew = Ns::from_micros(500);
-    let mut sim = RackSim::new(cfg);
+    let mut scenario = ScenarioBuilder::new(8, 99);
+    scenario
+        .buckets(800)
+        .warmup(Ns::from_millis(20))
+        // Exaggerate NTP error to half the sampling interval to show the
+        // alignment machinery working at its design limit.
+        .max_clock_skew(Ns::from_micros(500));
 
     let servers: Vec<usize> = (0..8).collect();
     schedule_multicast_validation(
-        &mut sim,
+        &mut scenario,
         /* group */ 42,
         &servers,
         /* start */ Ns::from_millis(50),
@@ -32,7 +32,7 @@ fn main() {
         /* rate limit */ 2_000_000_000,
     );
 
-    let report = sim.run_sync_window(0);
+    let report = scenario.build().run_sync_window(0);
     let run = report.rack_run.expect("multicast traffic sampled");
 
     println!(

@@ -1,0 +1,128 @@
+//! The fleet runner's headline contracts, end to end:
+//!
+//! 1. **Thread-count independence** — the merged aggregate (CSV and JSON)
+//!    is byte-identical whether the grid runs on 1 worker or 4.
+//! 2. **Panic capture** — a cell whose spec fails validation becomes a
+//!    failure row; the rest of the sweep completes untouched.
+
+use ms_dcsim::Ns;
+use ms_fleet::{run_fleet, FleetCell, FleetConfig, FleetGrid, PlacementKind};
+use ms_transport::CcAlgorithm;
+use ms_workload::{FlowSpec, ScenarioBuilder};
+
+/// A small 2 seeds × 2 α × 2 placements grid (8 cells) sized to run in
+/// well under a second per cell.
+fn small_grid() -> FleetGrid {
+    FleetGrid {
+        servers: 4,
+        buckets: 60,
+        warmup: Ns::from_millis(5),
+        seeds: vec![1, 2],
+        alphas: vec![0.5, 2.0],
+        placements: vec![PlacementKind::SingleVictim, PlacementKind::Spread],
+        ccs: vec![CcAlgorithm::Dctcp],
+        connections: 12,
+        total_bytes: 600_000,
+    }
+}
+
+fn cfg(jobs: usize) -> FleetConfig {
+    FleetConfig {
+        jobs,
+        progress: false,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_4_merge_byte_identical() {
+    let cells = small_grid().cells();
+    assert_eq!(cells.len(), 8);
+
+    let serial = run_fleet(&cells, &cfg(1));
+    let parallel = run_fleet(&cells, &cfg(4));
+
+    assert_eq!(serial.ok_count(), 8, "all cells must complete");
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "CSV must not depend on thread count"
+    );
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "JSON must not depend on thread count"
+    );
+    // The merge itself is also structurally equal, not just its rendering.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn grid_results_carry_real_traffic() {
+    let cells = small_grid().cells();
+    let report = run_fleet(&cells, &cfg(2));
+    for r in &report.results {
+        let o = r.outcome.as_ref().expect("cell completed");
+        assert!(
+            o.switch_ingress_bytes > 0,
+            "{}: the incast must move bytes",
+            r.label
+        );
+        assert!(o.flows_started > 0, "{}: flows must start", r.label);
+    }
+}
+
+#[test]
+fn panicking_cell_is_reported_not_fatal() {
+    let mut cells = small_grid().cells();
+    // Sabotage one mid-grid cell: a flow targeting a server the rack
+    // doesn't have fails ScenarioSpec::validate with a panic.
+    let mut bad = ScenarioBuilder::new(4, 3);
+    bad.buckets(60).flow_at(
+        Ns::from_millis(10),
+        FlowSpec {
+            dst_server: 9, // out of range for 4 servers
+            connections: 4,
+            total_bytes: 100_000,
+            algorithm: CcAlgorithm::Dctcp,
+            paced_bps: None,
+            task: 1,
+        },
+    );
+    cells[3] = FleetCell {
+        label: String::from("sabotaged"),
+        spec: bad.spec(),
+    };
+
+    let report = run_fleet(&cells, &cfg(2));
+    assert_eq!(report.ok_count(), cells.len() - 1, "others must survive");
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].0, "sabotaged");
+    assert!(
+        failures[0].1.contains("out of range"),
+        "failure must carry the validation message, got: {}",
+        failures[0].1
+    );
+    // The failed row stays in place, in grid order.
+    assert!(report.results[3].outcome.is_err());
+    // And the rendering keeps one row per cell.
+    assert_eq!(report.to_csv().lines().count(), cells.len() + 1);
+}
+
+#[test]
+fn failure_reports_are_thread_count_independent_too() {
+    let mut cells = small_grid().cells();
+    cells.truncate(4);
+    let mut bad = ScenarioBuilder::new(2, 1);
+    bad.buckets(10).probe_queue_depth(7); // out of range for 2 servers
+    cells[1] = FleetCell {
+        label: String::from("bad-probe"),
+        spec: bad.spec(),
+    };
+    let a = run_fleet(&cells, &cfg(1));
+    let b = run_fleet(&cells, &cfg(3));
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.failures(), b.failures());
+}

@@ -103,25 +103,25 @@ fn dctcp_holds_queue_near_ecn_threshold() {
     // racks. Drive one queue with a long greedy transfer and check the
     // occupancy distribution at the ToR.
     use ms_transport::CcAlgorithm;
-    use ms_workload::sim::{RackSim, RackSimConfig};
-    use ms_workload::tasks::FlowSpec;
+    use ms_workload::{FlowSpec, ScenarioBuilder};
 
-    let mut cfg = RackSimConfig::new(4, 55);
-    cfg.sampler.buckets = 300;
-    cfg.warmup = Ns::from_millis(10);
-    let mut sim = RackSim::new(cfg);
-    sim.probe_queue_depth(1);
-    sim.schedule_flow(
-        Ns::from_millis(20),
-        FlowSpec {
-            dst_server: 1,
-            connections: 4,
-            total_bytes: 200_000_000, // saturates the whole window
-            algorithm: CcAlgorithm::Dctcp,
-            paced_bps: None,
-            task: 1,
-        },
-    );
+    let mut scenario = ScenarioBuilder::new(4, 55);
+    scenario
+        .buckets(300)
+        .warmup(Ns::from_millis(10))
+        .probe_queue_depth(1)
+        .flow_at(
+            Ns::from_millis(20),
+            FlowSpec {
+                dst_server: 1,
+                connections: 4,
+                total_bytes: 200_000_000, // saturates the whole window
+                algorithm: CcAlgorithm::Dctcp,
+                paced_bps: None,
+                task: 1,
+            },
+        );
+    let mut sim = scenario.build();
     sim.run_until(Ns::from_millis(300));
 
     // Skip slow-start (first 30ms of samples); then the queue should sit

@@ -9,8 +9,7 @@
 use ms_dcsim::Ns;
 use ms_telemetry::{validate_json, TelemetryConfig, TraceEvent};
 use ms_transport::CcAlgorithm;
-use ms_workload::sim::{RackSim, RackSimConfig};
-use ms_workload::tasks::FlowSpec;
+use ms_workload::{FlowSpec, ScenarioBuilder};
 
 fn incast(dst: usize, conns: u32, total: u64) -> FlowSpec {
     FlowSpec {
@@ -26,13 +25,15 @@ fn incast(dst: usize, conns: u32, total: u64) -> FlowSpec {
 /// A small contended incast that forces drops, marks, retransmits, and
 /// sampler activity — every event type the stack can emit.
 fn traced_run(seed: u64) -> (Vec<u8>, String, String) {
-    let mut cfg = RackSimConfig::new(2, seed);
-    cfg.sampler.buckets = 150;
-    cfg.warmup = Ns::from_millis(10);
-    let mut sim = RackSim::new(cfg);
-    let hub = sim.attach_telemetry(TelemetryConfig::default());
-    sim.schedule_flow(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    let mut scenario = ScenarioBuilder::new(2, seed);
+    scenario
+        .buckets(150)
+        .warmup(Ns::from_millis(10))
+        .telemetry(TelemetryConfig::default())
+        .flow_at(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    let mut sim = scenario.build();
     sim.run_sync_window(0);
+    let hub = sim.telemetry().expect("telemetry attached").clone();
 
     let mut trace = Vec::new();
     sim.write_perfetto_trace(&mut trace).expect("write trace");
@@ -81,13 +82,15 @@ fn trace_is_valid_json_with_counters_and_drops() {
 
 #[test]
 fn trace_events_observe_the_contended_incast() {
-    let mut cfg = RackSimConfig::new(2, 7);
-    cfg.sampler.buckets = 150;
-    cfg.warmup = Ns::from_millis(10);
-    let mut sim = RackSim::new(cfg);
-    let hub = sim.attach_telemetry(TelemetryConfig::default());
-    sim.schedule_flow(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    let mut scenario = ScenarioBuilder::new(2, 7);
+    scenario
+        .buckets(150)
+        .warmup(Ns::from_millis(10))
+        .telemetry(TelemetryConfig::default())
+        .flow_at(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    let mut sim = scenario.build();
     let report = sim.run_sync_window(0);
+    let hub = sim.telemetry().expect("telemetry attached").clone();
 
     let hub = hub.borrow();
     let mut drops = 0u64;
@@ -133,14 +136,12 @@ fn disabled_telemetry_changes_nothing() {
     // simulation outcome (report counters) must be identical — recording
     // must never feed back into behaviour.
     let run = |attach: bool| {
-        let mut cfg = RackSimConfig::new(2, 11);
-        cfg.sampler.buckets = 100;
-        cfg.warmup = Ns::from_millis(10);
-        let mut sim = RackSim::new(cfg);
+        let mut scenario = ScenarioBuilder::new(2, 11);
+        scenario.buckets(100).warmup(Ns::from_millis(10));
         if attach {
-            sim.attach_telemetry(TelemetryConfig::default());
+            scenario.telemetry(TelemetryConfig::default());
         }
-        let r = sim.run_sync_window(0);
+        let r = scenario.build().run_sync_window(0);
         (
             r.switch_discard_bytes,
             r.switch_ingress_bytes,
