@@ -36,4 +36,42 @@ cargo run -q --release -p ms-fleet --bin fleet -- \
     --csv "$FLEET_CSV" --bench BENCH_fleet.json
 rm -f "$FLEET_CSV"
 
+echo "==> lake smoke (writer determinism + query fidelity + compression bench)"
+LAKE_TMP="${TMPDIR:-/tmp}/ms_lake_smoke"
+rm -rf "$LAKE_TMP"
+mkdir -p "$LAKE_TMP"
+# The same grid at --jobs 1 and --jobs 2 must compact to byte-identical
+# segment files (manifest CSV goes to stdout; compare that too).
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 1 --buckets 80 --conns 24 --bytes 1500000 --quiet \
+    --out-lake "$LAKE_TMP/j1" > "$LAKE_TMP/manifest_j1.csv"
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 2 --buckets 80 --conns 24 --bytes 1500000 --quiet \
+    --out-lake "$LAKE_TMP/j2" > "$LAKE_TMP/manifest_j2.csv"
+diff "$LAKE_TMP/manifest_j1.csv" "$LAKE_TMP/manifest_j2.csv"
+for seg in "$LAKE_TMP"/j1/*.msl; do
+    cmp "$seg" "$LAKE_TMP/j2/$(basename "$seg")"
+done
+# The lake's out-of-core outcomes report must equal the in-memory
+# FleetReport CSV from the same grid, byte for byte.
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 2 --buckets 80 --conns 24 --bytes 1500000 --quiet \
+    --csv "$LAKE_TMP/report.csv"
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/j1" --report outcomes --out "$LAKE_TMP/lake_outcomes.csv"
+diff "$LAKE_TMP/report.csv" "$LAKE_TMP/lake_outcomes.csv"
+# Full verification pass over every segment checksum.
+cargo run -q --release -p ms-lake --bin lake -- stat --dir "$LAKE_TMP/j1" > /dev/null
+# 24-hour diurnal corpus: the columnar encoding must beat raw column
+# bytes by >= 4x; BENCH_lake.json records the ratio and scan rate.
+cargo run -q --release -p ms-lake --bin lake -- bench \
+    --dir "$LAKE_TMP/bench" --json BENCH_lake.json
+grep -q '"bench": "lake"' BENCH_lake.json
+awk -F': ' '/"compression_vs_raw"/ {
+    ratio = $2 + 0
+    if (ratio < 4.0) { printf "lake compression %.2fx is below the 4x gate\n", ratio; exit 1 }
+    printf "    (compression_vs_raw: %.2fx)\n", ratio
+}' BENCH_lake.json
+rm -rf "$LAKE_TMP"
+
 echo "==> CI green"

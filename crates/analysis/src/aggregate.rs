@@ -1,0 +1,350 @@
+//! Order-insensitive sweep aggregation shared by the in-memory and
+//! lake-backed analysis paths.
+//!
+//! The lake's streaming query engine must reproduce the in-memory
+//! analysis **bit-for-bit** (ms-lake's acceptance contract). That only
+//! works if both paths fold rows through the *same* integer arithmetic
+//! in the *same* order. [`SweepAggregate`] is that shared fold: plain
+//! sums plus [`ms_telemetry::Histogram`]s (log-linear, integer-bucketed),
+//! so every operation is exact and the result depends only on the
+//! multiset of rows — the grid-order scan of a compacted lake and the
+//! grid-order iteration of an in-memory sweep produce identical structs
+//! and identical CSV bytes.
+//!
+//! The three headline analyses it recomputes (§6–§8 of the paper):
+//!
+//! * **Contention bimodality** (Fig. 9-style): histogram of per-run
+//!   average contention, in per-mille so the fold stays integral.
+//! * **Burst-size CDFs** (Fig. 5/7-style): histograms of burst length
+//!   (buckets) and burst volume (bytes).
+//! * **Loss vs. contention** (§8): per contention level, how many bursts
+//!   saw it and how many of those were lossy.
+
+use crate::classify::ClassifiedBurst;
+use crate::outcome::RunOutcome;
+use ms_telemetry::Histogram;
+
+/// Contention levels tracked individually by the loss-vs-contention
+/// table; the last level absorbs everything at or above it.
+pub const CONTENTION_LEVELS: usize = 17;
+
+/// One classified burst flattened to the scalars the lake stores — the
+/// row shape of the lake's `bursts` table and the unit [`SweepAggregate`]
+/// folds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstRow {
+    /// Grid cell (sweep-global run index) the burst came from.
+    pub cell: u32,
+    /// Server (rack-local index).
+    pub server: u32,
+    /// First bucket index of the burst.
+    pub start: u32,
+    /// Length in buckets (≥ 1).
+    pub len: u32,
+    /// Total ingress bytes over the burst.
+    pub bytes: u64,
+    /// Mean estimated connections per sample inside the burst.
+    pub avg_conns: f64,
+    /// Maximum contention over the burst's samples.
+    pub max_contention: u32,
+    /// Saw contention at any point (`max_contention >= 2`).
+    pub contended: bool,
+    /// Experienced loss (`retx_bytes > 0`).
+    pub lossy: bool,
+    /// Retransmit bytes in the loss-association window.
+    pub retx_bytes: u64,
+}
+
+impl BurstRow {
+    /// Flattens one [`ClassifiedBurst`] for cell `cell`.
+    pub fn from_classified(cell: u32, cb: &ClassifiedBurst) -> Self {
+        BurstRow {
+            cell,
+            // simlint: allow(cast-truncation): rack-local server index
+            server: cb.burst.server as u32,
+            // simlint: allow(cast-truncation): bucket indices are run-sized
+            start: cb.burst.start as u32,
+            // simlint: allow(cast-truncation): bucket indices are run-sized
+            len: cb.burst.len as u32,
+            bytes: cb.burst.bytes,
+            avg_conns: cb.burst.avg_conns,
+            max_contention: cb.max_contention,
+            contended: cb.contended,
+            lossy: cb.lossy,
+            retx_bytes: cb.retx_bytes,
+        }
+    }
+}
+
+/// The sweep-level fold: headline-analysis aggregates over any number of
+/// run outcomes and burst rows.
+///
+/// `PartialEq` compares every field, so "results exactly equal" is a
+/// single `assert_eq!`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAggregate {
+    /// Cells folded in (successful runs).
+    pub cells: u64,
+    /// Cells that failed (panicked / produced no outcome).
+    pub failed_cells: u64,
+    /// Sum of switch-admitted bytes.
+    pub switch_ingress_bytes: u64,
+    /// Sum of switch-discarded bytes.
+    pub switch_discard_bytes: u64,
+    /// Sum of sampled ingress bytes.
+    pub total_in_bytes: u64,
+    /// Sum of sampled retransmit-bit bytes.
+    pub total_retx_bytes: u64,
+    /// Total bursts reported by outcomes.
+    pub bursts: u64,
+    /// Total contended bursts reported by outcomes.
+    pub contended_bursts: u64,
+    /// Total lossy bursts reported by outcomes.
+    pub lossy_bursts: u64,
+    /// Per-run average contention in per-mille (Fig. 9 bimodality).
+    pub contention_avg_pm: Histogram,
+    /// Burst lengths in buckets (burst-duration CDF).
+    pub burst_len: Histogram,
+    /// Burst volumes in bytes (burst-size CDF).
+    pub burst_bytes: Histogram,
+    /// Bursts seen per contention level (index = `max_contention`,
+    /// clamped to [`CONTENTION_LEVELS`]` - 1`).
+    pub bursts_by_contention: [u64; CONTENTION_LEVELS],
+    /// Lossy bursts per contention level (same indexing).
+    pub lossy_by_contention: [u64; CONTENTION_LEVELS],
+}
+
+impl Default for SweepAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        SweepAggregate {
+            cells: 0,
+            failed_cells: 0,
+            switch_ingress_bytes: 0,
+            switch_discard_bytes: 0,
+            total_in_bytes: 0,
+            total_retx_bytes: 0,
+            bursts: 0,
+            contended_bursts: 0,
+            lossy_bursts: 0,
+            contention_avg_pm: Histogram::new(),
+            burst_len: Histogram::new(),
+            burst_bytes: Histogram::new(),
+            bursts_by_contention: [0; CONTENTION_LEVELS],
+            lossy_by_contention: [0; CONTENTION_LEVELS],
+        }
+    }
+
+    /// Folds one successful run outcome.
+    pub fn add_outcome(&mut self, o: &RunOutcome) {
+        self.cells += 1;
+        self.switch_ingress_bytes += o.switch_ingress_bytes;
+        self.switch_discard_bytes += o.switch_discard_bytes;
+        self.total_in_bytes += o.total_in_bytes;
+        self.total_retx_bytes += o.total_retx_bytes;
+        self.bursts += o.bursts;
+        self.contended_bursts += o.contended_bursts;
+        self.lossy_bursts += o.lossy_bursts;
+        // Per-mille keeps the fold integral: the f64 average round-trips
+        // the lake bit-exactly (stored as raw bits), so this rounding is
+        // reproducible on both paths.
+        let pm = (o.contention_avg * 1000.0).round();
+        self.contention_avg_pm
+            .record(if pm >= 0.0 { pm as u64 } else { 0 });
+    }
+
+    /// Folds one failed cell (no outcome row).
+    pub fn add_failed_cell(&mut self) {
+        self.failed_cells += 1;
+    }
+
+    /// Folds one burst row.
+    pub fn add_burst(&mut self, b: &BurstRow) {
+        self.burst_len.record(u64::from(b.len));
+        self.burst_bytes.record(b.bytes);
+        let level = (b.max_contention as usize).min(CONTENTION_LEVELS - 1);
+        self.bursts_by_contention[level] += 1;
+        if b.lossy {
+            self.lossy_by_contention[level] += 1;
+        }
+    }
+
+    /// Fraction of folded bursts that were lossy (NaN when no bursts).
+    pub fn lossy_fraction(&self) -> f64 {
+        if self.bursts == 0 {
+            return f64::NAN;
+        }
+        self.lossy_bursts as f64 / self.bursts as f64
+    }
+
+    /// Deterministic CSV export: `section,key,value` rows — scalar totals,
+    /// then the non-empty buckets of each histogram, then the
+    /// loss-vs-contention table. Identical aggregates print identical
+    /// bytes.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("section,key,value\n");
+        for (key, v) in [
+            ("cells", self.cells),
+            ("failed_cells", self.failed_cells),
+            ("switch_ingress_bytes", self.switch_ingress_bytes),
+            ("switch_discard_bytes", self.switch_discard_bytes),
+            ("total_in_bytes", self.total_in_bytes),
+            ("total_retx_bytes", self.total_retx_bytes),
+            ("bursts", self.bursts),
+            ("contended_bursts", self.contended_bursts),
+            ("lossy_bursts", self.lossy_bursts),
+        ] {
+            let _ = writeln!(out, "totals,{key},{v}");
+        }
+        for (name, h) in [
+            ("contention_avg_pm", &self.contention_avg_pm),
+            ("burst_len", &self.burst_len),
+            ("burst_bytes", &self.burst_bytes),
+        ] {
+            for (lo, count) in h.nonzero_buckets() {
+                let _ = writeln!(out, "{name},{lo},{count}");
+            }
+        }
+        for (level, (&n, &lossy)) in self
+            .bursts_by_contention
+            .iter()
+            .zip(&self.lossy_by_contention)
+            .enumerate()
+        {
+            if n > 0 || lossy > 0 {
+                let _ = writeln!(out, "bursts_by_contention,{level},{n}");
+                let _ = writeln!(out, "lossy_by_contention,{level},{lossy}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(contention_avg: f64, bursts: u64, lossy: u64) -> RunOutcome {
+        let mut o = RunOutcome::empty();
+        o.switch_ingress_bytes = 1000;
+        o.switch_discard_bytes = 10;
+        o.total_in_bytes = 900;
+        o.total_retx_bytes = 5;
+        o.bursts = bursts;
+        o.lossy_bursts = lossy;
+        o.contention_avg = contention_avg;
+        o
+    }
+
+    fn burst(len: u32, bytes: u64, max_contention: u32, lossy: bool) -> BurstRow {
+        BurstRow {
+            cell: 0,
+            server: 0,
+            start: 0,
+            len,
+            bytes,
+            avg_conns: 1.0,
+            max_contention,
+            contended: max_contention >= 2,
+            lossy,
+            retx_bytes: u64::from(lossy),
+        }
+    }
+
+    #[test]
+    fn fold_is_order_insensitive() {
+        let rows = [
+            burst(1, 100, 0, false),
+            burst(3, 5_000, 2, true),
+            burst(7, 900_000, 5, false),
+        ];
+        let outs = [outcome(0.5, 2, 1), outcome(2.25, 1, 0)];
+        let mut fwd = SweepAggregate::new();
+        let mut rev = SweepAggregate::new();
+        for o in &outs {
+            fwd.add_outcome(o);
+        }
+        for b in &rows {
+            fwd.add_burst(b);
+        }
+        for o in outs.iter().rev() {
+            rev.add_outcome(o);
+        }
+        for b in rows.iter().rev() {
+            rev.add_burst(b);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.to_csv(), rev.to_csv());
+    }
+
+    #[test]
+    fn totals_and_loss_table() {
+        let mut a = SweepAggregate::new();
+        a.add_outcome(&outcome(1.5, 3, 2));
+        a.add_failed_cell();
+        a.add_burst(&burst(2, 10, 1, false));
+        a.add_burst(&burst(2, 10, 3, true));
+        a.add_burst(&burst(2, 10, 99, true)); // clamps to the top level
+        assert_eq!(a.cells, 1);
+        assert_eq!(a.failed_cells, 1);
+        assert_eq!(a.bursts, 3);
+        assert_eq!(a.bursts_by_contention[1], 1);
+        assert_eq!(a.bursts_by_contention[3], 1);
+        assert_eq!(a.bursts_by_contention[CONTENTION_LEVELS - 1], 1);
+        assert_eq!(a.lossy_by_contention[3], 1);
+        assert_eq!(a.lossy_by_contention[CONTENTION_LEVELS - 1], 1);
+        assert!((a.lossy_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // Per-mille histogram saw 1500.
+        assert_eq!(a.contention_avg_pm.total(), 1);
+        assert_eq!(a.contention_avg_pm.max(), 1500);
+    }
+
+    #[test]
+    fn csv_sections_are_complete_and_deterministic() {
+        let mut a = SweepAggregate::new();
+        a.add_outcome(&outcome(0.0, 1, 0));
+        a.add_burst(&burst(4, 64, 2, true));
+        let csv = a.to_csv();
+        assert!(csv.starts_with("section,key,value\n"));
+        assert!(csv.contains("totals,cells,1"));
+        assert!(csv.contains("burst_len,4,1"));
+        assert!(csv.contains("burst_bytes,64,1"));
+        assert!(csv.contains("bursts_by_contention,2,1"));
+        assert!(csv.contains("lossy_by_contention,2,1"));
+        assert_eq!(csv, a.clone().to_csv());
+    }
+
+    #[test]
+    fn from_classified_flattens_every_field() {
+        let cb = ClassifiedBurst {
+            burst: crate::burst::Burst {
+                server: 3,
+                start: 17,
+                len: 4,
+                bytes: 123_456,
+                avg_conns: 2.5,
+            },
+            max_contention: 6,
+            contended: true,
+            retx_bytes: 77,
+            lossy: true,
+        };
+        let row = BurstRow::from_classified(9, &cb);
+        assert_eq!(row.cell, 9);
+        assert_eq!(row.server, 3);
+        assert_eq!(row.start, 17);
+        assert_eq!(row.len, 4);
+        assert_eq!(row.bytes, 123_456);
+        assert!((row.avg_conns - 2.5).abs() < f64::EPSILON);
+        assert_eq!(row.max_contention, 6);
+        assert!(row.contended && row.lossy);
+        assert_eq!(row.retx_bytes, 77);
+    }
+}

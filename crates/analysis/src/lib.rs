@@ -18,6 +18,10 @@
 //! * [`dataset`] — multi-rack aggregation: rack categorization into
 //!   RegA-High / RegA-Typical by average contention, and the dataset
 //!   summary rows of Tables 1 and 2.
+//! * [`aggregate`] — the order-insensitive sweep fold ([`SweepAggregate`])
+//!   shared by the in-memory path and the ms-lake streaming query engine,
+//!   so lake-backed analyses can be asserted bit-for-bit against the
+//!   in-memory ones.
 //! * [`outcome`] — the unified per-run result record ([`RunOutcome`]):
 //!   simulation ground truth plus analysis scalars behind one codec
 //!   schema and one CSV row shape, consumed by sweep harnesses.
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod burst;
 pub mod classify;
 pub mod contention;
@@ -38,6 +43,7 @@ pub mod diagnose;
 pub mod outcome;
 pub mod stats;
 
+pub use aggregate::{BurstRow, SweepAggregate};
 pub use burst::{detect_bursts, Burst};
 pub use classify::{analyze_run, RunAnalysis};
 pub use contention::{contention_series, queue_share, ContentionStats};

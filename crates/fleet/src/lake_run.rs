@@ -1,0 +1,166 @@
+//! Lake-backed sweep execution: stream cells to per-worker shards
+//! instead of buffering a whole [`FleetReport`] in memory.
+//!
+//! The in-memory path ([`crate::run_fleet`]) holds every outcome until
+//! the sweep ends — and deliberately drops the heavyweight series data,
+//! because keeping every cell's `AlignedRackRun` alive would not scale.
+//! The lake path inverts that: each worker appends every finished
+//! cell's *full* rows (outcome + classified bursts + raw millisampler
+//! series) to its own shard file and forgets them, so peak memory is
+//! one cell per worker regardless of sweep size. Deterministic
+//! compaction then erases the worker count: the final segments are
+//! byte-identical for `--jobs 1` and `--jobs N`.
+//!
+//! [`run_fleet_in_memory_aggregate`] is the reference fold for tests:
+//! the same cells pushed through the same [`SweepAggregate`] without
+//! touching disk, for bit-for-bit comparison with
+//! [`ms_lake::lake_sweep_aggregate`] over the compacted lake.
+
+use crate::grid::FleetCell;
+use crate::runner::{panic_message, FleetConfig, ShardQueue};
+use ms_analysis::{analyze_run, BurstRow, RunOutcome, SweepAggregate};
+use ms_lake::{CellRows, LakeError, LakeManifest, LakeWriter};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Simulates one cell and flattens everything it produces into the
+/// lake's row shapes. Panics inside the simulation are the caller's
+/// concern (wrap in `catch_unwind`).
+fn run_cell_rows(idx: u64, cell: &FleetCell, cfg: &FleetConfig) -> CellRows {
+    let report = cell.spec.build().run_sync_window(0);
+    match report.rack_run {
+        Some(run) => {
+            let analysis = analyze_run(&run, cfg.link_bps, cfg.loss_slack);
+            let outcome = RunOutcome::from_analysis(
+                &analysis,
+                report.switch_ingress_bytes,
+                report.switch_discard_bytes,
+                report.flows_started,
+                report.conns_completed,
+                report.events,
+            );
+            let bursts = analysis
+                .bursts
+                .iter()
+                // simlint: allow(cast-truncation): grids are far below u32::MAX cells
+                .map(|cb| BurstRow::from_classified(idx as u32, cb))
+                .collect();
+            CellRows {
+                cell: idx,
+                label: cell.label.clone(),
+                outcome: Some(Ok(outcome)),
+                bursts,
+                series: run.servers,
+            }
+        }
+        None => {
+            // A silent rack still reports its ground-truth counters.
+            let mut o = RunOutcome::empty();
+            o.switch_ingress_bytes = report.switch_ingress_bytes;
+            o.switch_discard_bytes = report.switch_discard_bytes;
+            o.flows_started = report.flows_started;
+            o.conns_completed = report.conns_completed;
+            o.events = report.events;
+            CellRows {
+                cell: idx,
+                label: cell.label.clone(),
+                outcome: Some(Ok(o)),
+                bursts: Vec::new(),
+                series: Vec::new(),
+            }
+        }
+    }
+}
+
+/// Runs every cell, streaming results into per-worker shards of
+/// `writer`'s lake, then compacts. Returns the compacted manifest.
+///
+/// Cell panics become failed outcome rows (the sweep continues); shard
+/// I/O errors abort the sweep. The compacted segments depend only on
+/// the cells — never on `jobs` or completion order.
+pub fn run_fleet_to_lake(
+    cells: &[FleetCell],
+    cfg: &FleetConfig,
+    writer: &LakeWriter,
+) -> Result<LakeManifest, LakeError> {
+    let workers = cfg.effective_jobs().min(cells.len()).max(1);
+    let queue = ShardQueue::new(cells.len(), workers);
+    let done = AtomicUsize::new(0);
+    let total = cells.len();
+    let io_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| -> Result<(), LakeError> {
+        for worker in 0..workers {
+            let shard = writer.shard_writer(worker)?;
+            let queue = &queue;
+            let done = &done;
+            let io_errors = &io_errors;
+            scope.spawn(move || {
+                let mut shard = shard;
+                while let Some(idx) = queue.next(worker) {
+                    let cell = &cells[idx];
+                    let rows =
+                        catch_unwind(AssertUnwindSafe(|| run_cell_rows(idx as u64, cell, cfg)))
+                            .unwrap_or_else(|payload| {
+                                CellRows::failed(idx as u64, &cell.label, panic_message(payload))
+                            });
+                    let failed = matches!(rows.outcome, Some(Err(_)));
+                    if let Err(e) = shard.append(&rows) {
+                        let mut errs = io_errors
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        errs.push(format!("worker {worker}: {e}"));
+                        return;
+                    }
+                    if cfg.progress {
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        let status = if failed { "FAILED" } else { "ok" };
+                        eprintln!("[fleet] {finished}/{total} {} {status}", cell.label);
+                    }
+                }
+                if let Err(e) = shard.finish() {
+                    let mut errs = io_errors
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    errs.push(format!("worker {worker}: {e}"));
+                }
+            });
+        }
+        Ok(())
+    })?;
+
+    let errs = io_errors
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !errs.is_empty() {
+        return Err(LakeError::Invalid(format!(
+            "shard write failed: {}",
+            errs.join("; ")
+        )));
+    }
+    writer.compact()
+}
+
+/// The in-memory twin of a lake-backed sweep: runs the same cells
+/// serially and folds their rows straight into a [`SweepAggregate`] —
+/// no disk, no segments. Exists so tests can assert the out-of-core
+/// query result equals the in-memory fold bit for bit.
+pub fn run_fleet_in_memory_aggregate(cells: &[FleetCell], cfg: &FleetConfig) -> SweepAggregate {
+    let mut agg = SweepAggregate::new();
+    for (idx, cell) in cells.iter().enumerate() {
+        match catch_unwind(AssertUnwindSafe(|| run_cell_rows(idx as u64, cell, cfg))) {
+            Ok(rows) => match rows.outcome {
+                Some(Ok(o)) => {
+                    agg.add_outcome(&o);
+                    for b in &rows.bursts {
+                        agg.add_burst(b);
+                    }
+                }
+                Some(Err(_)) | None => agg.add_failed_cell(),
+            },
+            Err(_) => agg.add_failed_cell(),
+        }
+    }
+    agg
+}

@@ -13,6 +13,11 @@
 //! bytes, and a panicking cell becomes a failure row instead of tearing
 //! down the sweep.
 //!
+//! For sweeps too large to buffer, [`run_fleet_to_lake`] streams every
+//! cell's full rows (outcome, classified bursts, raw series) into an
+//! `ms-lake` columnar lake instead of holding a [`FleetReport`]; the
+//! compacted segments are byte-identical across thread counts.
+//!
 //! ```
 //! use ms_fleet::{run_fleet, FleetConfig, FleetGrid};
 //!
@@ -30,9 +35,11 @@
 //! [`RunOutcome`]: ms_analysis::RunOutcome
 
 pub mod grid;
+pub mod lake_run;
 pub mod merge;
 pub mod runner;
 
 pub use grid::{cc_label, cc_parse, FleetCell, FleetGrid, PlacementKind};
+pub use lake_run::{run_fleet_in_memory_aggregate, run_fleet_to_lake};
 pub use merge::{CellFailure, CellResult, FleetReport};
 pub use runner::{run_fleet, FleetConfig};

@@ -4,8 +4,13 @@
 //! fleet [--jobs N] [--seeds 1,2] [--alphas 0.5,2.0]
 //!       [--placements single,paired,spread] [--ccs dctcp,cubic,reno]
 //!       [--servers 8] [--buckets 200] [--conns 80] [--bytes 12000000]
-//!       [--csv PATH] [--json PATH] [--bench PATH] [--quiet]
+//!       [--csv PATH] [--json PATH] [--bench PATH] [--out-lake DIR] [--quiet]
 //! ```
+//!
+//! `--out-lake DIR` switches to lake-backed execution: cells stream
+//! into an `ms-lake` columnar lake (outcome + bursts + raw series, no
+//! in-memory FleetReport), whose compacted segments are byte-identical
+//! for any `--jobs`. Query it with `lake query --dir DIR`.
 //!
 //! `--bench PATH` additionally runs the grid serially (`jobs = 1`),
 //! asserts the aggregate outputs are byte-identical to the parallel
@@ -14,7 +19,8 @@
 //! binary; the library stays deterministic and env-free (simlint
 //! enforces this split via `simlint.toml` allows scoped to this file).
 
-use ms_fleet::{cc_parse, run_fleet, FleetConfig, FleetGrid, PlacementKind};
+use ms_fleet::{cc_parse, run_fleet, run_fleet_to_lake, FleetConfig, FleetGrid, PlacementKind};
+use ms_lake::{LakeConfig, LakeWriter};
 use std::time::Instant;
 
 fn main() {
@@ -47,6 +53,34 @@ fn main() {
             grid.placements.len(),
             grid.ccs.len(),
         );
+    }
+
+    if let Some(dir) = &out.lake_dir {
+        // Lake mode: stream cells to disk, no in-memory FleetReport.
+        let writer = match LakeWriter::create(std::path::Path::new(dir), LakeConfig::default()) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("fleet: cannot create lake {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let started = Instant::now();
+        let manifest = match run_fleet_to_lake(&cells, &cfg, &writer) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("fleet: lake sweep failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !out.quiet {
+            eprintln!(
+                "[fleet] lake written to {dir} in {:.2}s ({} outcome rows)",
+                started.elapsed().as_secs_f64(),
+                manifest.rows(ms_lake::TableKind::Outcomes),
+            );
+        }
+        print!("{}", manifest.to_csv());
+        return;
     }
 
     let started = Instant::now();
@@ -120,6 +154,7 @@ struct OutputSpec {
     csv_path: Option<String>,
     json_path: Option<String>,
     bench_path: Option<String>,
+    lake_dir: Option<String>,
     quiet: bool,
 }
 
@@ -133,6 +168,7 @@ fn parse_args(args: &[String]) -> Result<(FleetGrid, FleetConfig, OutputSpec), S
         csv_path: None,
         json_path: None,
         bench_path: None,
+        lake_dir: None,
         quiet: false,
     };
 
@@ -179,12 +215,20 @@ fn parse_args(args: &[String]) -> Result<(FleetGrid, FleetConfig, OutputSpec), S
             "--csv" => out.csv_path = Some(value("--csv")?.clone()),
             "--json" => out.json_path = Some(value("--json")?.clone()),
             "--bench" => out.bench_path = Some(value("--bench")?.clone()),
+            "--out-lake" => out.lake_dir = Some(value("--out-lake")?.clone()),
             "--quiet" => {
                 out.quiet = true;
                 cfg.progress = false;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if out.lake_dir.is_some()
+        && (out.csv_path.is_some() || out.json_path.is_some() || out.bench_path.is_some())
+    {
+        return Err(String::from(
+            "--out-lake replaces the in-memory report; it cannot combine with --csv/--json/--bench",
+        ));
     }
     Ok((grid, cfg, out))
 }
@@ -229,6 +273,10 @@ fn print_help() {
          \x20 --csv PATH            write aggregate CSV (default: stdout)\n\
          \x20 --json PATH           write aggregate JSON\n\
          \x20 --bench PATH          also run serially, verify byte-identity,\n\
-         \x20                       and write a BENCH_fleet.json artifact"
+         \x20                       and write a BENCH_fleet.json artifact\n\
+         \x20 --out-lake DIR        stream full results (outcomes, bursts, raw\n\
+         \x20                       series) into an ms-lake columnar lake at DIR\n\
+         \x20                       instead of buffering a report; segments are\n\
+         \x20                       byte-identical for any --jobs"
     );
 }

@@ -142,7 +142,7 @@ fn run_cell(cell: &FleetCell, cfg: &FleetConfig) -> Vec<u8> {
     outcome.encode()
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -1,0 +1,306 @@
+//! Out-of-core recomputation of the paper's headline analyses.
+//!
+//! Both entry points stream lake chunks through the *same*
+//! [`SweepAggregate`] integer fold the in-memory path uses, so the
+//! result is bit-for-bit equal to folding the original `RunOutcome`s
+//! and `BurstRow`s directly — over a lake of any size, holding at most
+//! one chunk per open column.
+
+use crate::query::{Batch, Operator, TableScan};
+use crate::segment::TableKind;
+use crate::writer::Lake;
+use crate::LakeError;
+use millisampler::HostSeries;
+use ms_analysis::{BurstRow, RunOutcome, SweepAggregate};
+use ms_dcsim::{Ns, SimRng};
+
+// Column indices of the `outcomes` table (on-disk order; see
+// `segment::OUTCOME_COLS`).
+const OC_STATUS: usize = 1;
+const OC_LABEL: usize = 2;
+const OC_FIRST_METRIC: usize = 4; // switch_ingress_bytes
+
+/// Streams the whole lake through the shared sweep fold: contention
+/// bimodality, burst-size CDFs, and the loss-vs-contention table.
+pub fn lake_sweep_aggregate(lake: &Lake) -> Result<SweepAggregate, LakeError> {
+    let mut agg = SweepAggregate::new();
+    let mut batch = Batch::new();
+
+    let mut outcomes = TableScan::full(lake, TableKind::Outcomes)?;
+    while outcomes.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            if batch.value(OC_STATUS, row) != 0 {
+                agg.add_failed_cell();
+                continue;
+            }
+            agg.add_outcome(&outcome_from_row(&batch, row));
+        }
+    }
+
+    let mut bursts = TableScan::full(lake, TableKind::Bursts)?;
+    while bursts.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            agg.add_burst(&burst_from_row(&batch, row));
+        }
+    }
+    Ok(agg)
+}
+
+/// Reconstructs a [`RunOutcome`] from a full-projection outcomes row.
+/// Inverse of the flattening in `writer::append_cell`; floats come back
+/// from their stored bit patterns, so the round trip is exact.
+fn outcome_from_row(batch: &Batch, row: usize) -> RunOutcome {
+    let m = |i: usize| batch.value(OC_FIRST_METRIC + i, row);
+    RunOutcome {
+        switch_ingress_bytes: m(0),
+        switch_discard_bytes: m(1),
+        flows_started: m(2),
+        conns_completed: m(3),
+        events: m(4),
+        total_in_bytes: m(5),
+        total_retx_bytes: m(6),
+        bursts: m(7),
+        contended_bursts: m(8),
+        lossy_bursts: m(9),
+        contention_avg: f64::from_bits(m(10)),
+        // simlint: allow(cast-truncation): stored from u32 fields
+        contention_p90: m(11) as u32,
+        // simlint: allow(cast-truncation): stored from u32 fields
+        contention_max: m(12) as u32,
+        // simlint: allow(cast-truncation): stored from u32 fields
+        active_servers: m(13) as u32,
+        // simlint: allow(cast-truncation): stored from u32 fields
+        bursty_servers: m(14) as u32,
+    }
+}
+
+/// Reconstructs a [`BurstRow`] from a full-projection bursts row.
+fn burst_from_row(batch: &Batch, row: usize) -> BurstRow {
+    let v = |i: usize| batch.value(i, row);
+    BurstRow {
+        // simlint: allow(cast-truncation): stored from u32 fields
+        cell: v(0) as u32,
+        // simlint: allow(cast-truncation): stored from u32 fields
+        server: v(1) as u32,
+        // simlint: allow(cast-truncation): stored from u32 fields
+        start: v(2) as u32,
+        // simlint: allow(cast-truncation): stored from u32 fields
+        len: v(3) as u32,
+        bytes: v(4),
+        avg_conns: f64::from_bits(v(5)),
+        // simlint: allow(cast-truncation): stored from u32 fields
+        max_contention: v(6) as u32,
+        contended: v(7) != 0,
+        lossy: v(8) != 0,
+        retx_bytes: v(9),
+    }
+}
+
+/// Streams the outcomes table back out as the exact CSV the in-memory
+/// `FleetReport::to_csv` renders — same header, same row order (the
+/// lake is compacted in cell order, which is grid order), same bytes.
+pub fn outcomes_csv(lake: &Lake) -> Result<String, LakeError> {
+    let mut out = String::new();
+    out.push_str("label,status,");
+    out.push_str(RunOutcome::CSV_HEADER);
+    out.push('\n');
+    let empty_cells = RunOutcome::CSV_HEADER.matches(',').count() + 1;
+
+    let mut scan = TableScan::full(lake, TableKind::Outcomes)?;
+    let mut batch = Batch::new();
+    while scan.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            let label_id = batch.value(OC_LABEL, row);
+            let label = usize::try_from(label_id)
+                .ok()
+                .and_then(|i| scan.dict().get(i))
+                .ok_or(LakeError::Corrupt("label id not in dictionary"))?;
+            out.push_str(label);
+            if batch.value(OC_STATUS, row) == 0 {
+                out.push_str(",ok,");
+                out.push_str(&outcome_from_row(&batch, row).csv_cells());
+            } else {
+                out.push_str(",failed");
+                for _ in 0..empty_cells {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Synthesizes `hosts` smooth diurnal millisampler series of `buckets`
+/// samples each — the bench corpus for the lake's compression-ratio
+/// gate. Deterministic in `seed`; integer arithmetic only (a triangular
+/// day-cycle plus bounded jitter), so identical inputs give identical
+/// series on every platform. The smoothness is the point: real rack
+/// traffic has strong bucket-to-bucket correlation, which is what the
+/// delta encoding exploits.
+pub fn synth_diurnal_series(
+    seed: u64,
+    hosts: u32,
+    buckets: usize,
+    interval: Ns,
+) -> Vec<HostSeries> {
+    const DAY_MS: u64 = 86_400_000;
+    let mut root = SimRng::new(seed);
+    let mut out = Vec::with_capacity(hosts as usize);
+    for host in 0..hosts {
+        let mut rng = root.fork(u64::from(host));
+        let mut s = HostSeries::zeroed(host, Ns::ZERO, interval, buckets);
+        for b in 0..buckets {
+            let t_ms = (b as u64).wrapping_mul(interval.as_millis()) % DAY_MS;
+            // Triangular diurnal load factor in [0, HALF_DAY].
+            let half = DAY_MS / 2;
+            let tri = if t_ms < half { t_ms } else { DAY_MS - t_ms };
+            // Scale to a byte rate: quiet troughs ~50 kB, busy peaks ~1 MB.
+            let base = 50_000 + tri * 950_000 / half;
+            let jitter = rng.gen_range(base / 8 + 1);
+            s.in_bytes[b] = base + jitter;
+            s.out_bytes[b] = base / 2 + rng.gen_range(base / 16 + 1);
+            s.conns[b] = 4 + tri * 28 / half + rng.gen_range(3);
+            // Rare loss and ECN marks, denser at peak load.
+            if rng.gen_range(DAY_MS) < tri / 4 {
+                s.in_retx[b] = 1460 * (1 + rng.gen_range(4));
+            }
+            if rng.gen_range(DAY_MS) < tri {
+                s.in_ecn[b] = 1460 * (1 + rng.gen_range(8));
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::CellRows;
+    use crate::writer::{LakeConfig, LakeWriter};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        // simlint: allow(env-read): tests write scratch lakes
+        let base = std::env::temp_dir();
+        let dir = base.join(format!("ms-lake-analyses-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn outcome(i: u64) -> RunOutcome {
+        let mut o = RunOutcome::empty();
+        o.switch_ingress_bytes = 1000 * i;
+        o.switch_discard_bytes = i;
+        o.bursts = i % 4;
+        o.lossy_bursts = i % 2;
+        o.contention_avg = i as f64 * 0.37;
+        // simlint: allow(cast-truncation): small test values
+        o.contention_max = i as u32;
+        o
+    }
+
+    fn burst(cell: u64, i: u32) -> BurstRow {
+        BurstRow {
+            // simlint: allow(cast-truncation): small test values
+            cell: cell as u32,
+            server: i,
+            start: i * 3,
+            len: 1 + i % 5,
+            bytes: 10_000 * u64::from(i + 1),
+            avg_conns: f64::from(i) * 0.5 + 1.0,
+            max_contention: i % 7,
+            contended: i % 7 >= 2,
+            lossy: i % 3 == 0,
+            retx_bytes: u64::from(i % 3 == 0) * 1460,
+        }
+    }
+
+    /// Builds a lake and the in-memory fold over the same rows.
+    fn build(dir: &PathBuf, cells: u64) -> (Lake, SweepAggregate) {
+        let w = LakeWriter::create(
+            dir,
+            LakeConfig {
+                chunk_rows: 8,
+                segment_rows: 16,
+            },
+        )
+        .unwrap();
+        let mut expect = SweepAggregate::new();
+        let mut shard = w.shard_writer(0).unwrap();
+        for c in 0..cells {
+            let rows = if c % 5 == 4 {
+                expect.add_failed_cell();
+                CellRows::failed(c, &format!("cell-{c}"), String::from("boom"))
+            } else {
+                let o = outcome(c);
+                // simlint: allow(cast-truncation): small test values
+                let bursts: Vec<BurstRow> = (0..(c % 4) as u32).map(|i| burst(c, i)).collect();
+                expect.add_outcome(&o);
+                for b in &bursts {
+                    expect.add_burst(b);
+                }
+                CellRows {
+                    cell: c,
+                    label: format!("cell-{c}"),
+                    outcome: Some(Ok(o)),
+                    bursts,
+                    series: Vec::new(),
+                }
+            };
+            shard.append(&rows).unwrap();
+        }
+        shard.finish().unwrap();
+        w.compact().unwrap();
+        (Lake::open(dir).unwrap(), expect)
+    }
+
+    #[test]
+    fn lake_aggregate_matches_in_memory_fold_bit_for_bit() {
+        let dir = temp_dir("agg");
+        let (lake, expect) = build(&dir, 23);
+        let got = lake_sweep_aggregate(&lake).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(got.to_csv(), expect.to_csv());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcomes_csv_matches_fleet_report_shape() {
+        let dir = temp_dir("csv");
+        let (lake, _) = build(&dir, 7);
+        let csv = outcomes_csv(&lake).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 8); // header + 7 cells in cell order
+        assert!(lines[0].starts_with("label,status,switch_ingress_bytes"));
+        assert!(lines[1].starts_with("cell-0,ok,"));
+        assert!(lines[5].starts_with("cell-4,failed,"));
+        let header_cols = lines[0].matches(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.matches(',').count(), header_cols, "bad row: {line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diurnal_series_is_deterministic_and_smooth() {
+        let interval = Ns::from_millis(50);
+        let a = synth_diurnal_series(7, 2, 500, interval);
+        let b = synth_diurnal_series(7, 2, 500, interval);
+        assert_eq!(a, b);
+        let c = synth_diurnal_series(8, 2, 500, interval);
+        assert_ne!(a, c);
+        // Smoothness: the mean absolute bucket-to-bucket delta is far
+        // below the mean level, which is what delta encoding compresses.
+        let s = &a[0].in_bytes;
+        let mean: u64 = s.iter().sum::<u64>() / s.len() as u64;
+        let mean_delta: u64 =
+            s.windows(2).map(|w| w[0].abs_diff(w[1])).sum::<u64>() / (s.len() as u64 - 1);
+        assert!(
+            mean_delta * 4 < mean,
+            "mean {mean}, mean_delta {mean_delta}"
+        );
+        let _ = interval;
+    }
+}

@@ -1,0 +1,95 @@
+//! Draining a `HostStore` retention window into a lake.
+//!
+//! The on-host ring buffer (`millisampler::HostStore`) holds a bounded
+//! window of recent runs; fleet-wide studies need them persisted before
+//! retention evicts them. [`HostStoreExt::export_to_lake`] is that
+//! drain: every retained run becomes `series` rows of one lake cell
+//! (no outcomes row — these are raw samples, not sweep results), via a
+//! named shard so host exports can never collide with fleet workers.
+
+use crate::shard::CellRows;
+use crate::writer::LakeWriter;
+use crate::LakeError;
+use millisampler::HostStore;
+use ms_dcsim::Ns;
+
+/// Lake export for the on-host sample store.
+pub trait HostStoreExt {
+    /// Writes every retained run into `writer` as the series rows of
+    /// cell `cell` (shard `shard-host-<cell>.mss`; compaction folds it
+    /// into the lake). Returns the number of series rows exported.
+    fn export_to_lake(&self, writer: &LakeWriter, cell: u64, label: &str)
+        -> Result<u64, LakeError>;
+}
+
+impl HostStoreExt for HostStore {
+    fn export_to_lake(
+        &self,
+        writer: &LakeWriter,
+        cell: u64,
+        label: &str,
+    ) -> Result<u64, LakeError> {
+        let series = self.fetch_range(Ns::ZERO, Ns::MAX)?;
+        let rows = series.iter().map(|s| s.len() as u64).sum();
+        let mut shard = writer.shard_writer_named(&format!("host-{cell:08}"))?;
+        shard.append(&CellRows {
+            cell,
+            label: label.to_string(),
+            outcome: None,
+            bursts: Vec::new(),
+            series,
+        })?;
+        shard.finish()?;
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Batch, Operator, TableScan};
+    use crate::segment::TableKind;
+    use crate::writer::{Lake, LakeConfig};
+    use millisampler::store::StoreConfig;
+    use millisampler::{HostSeries, HostStore};
+
+    #[test]
+    fn retained_runs_land_in_the_series_table() {
+        // simlint: allow(env-read): tests write scratch lakes
+        let dir = std::env::temp_dir().join(format!("ms-lake-host-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let store = HostStore::new(StoreConfig::default());
+        for run in 0..3u64 {
+            let mut s = HostSeries::zeroed(5, Ns::from_secs(run), Ns::from_millis(1), 4);
+            for (i, v) in s.in_bytes.iter_mut().enumerate() {
+                *v = run * 100 + i as u64;
+            }
+            store.append(&s);
+        }
+
+        let writer = LakeWriter::create(&dir, LakeConfig::default()).unwrap();
+        let rows = store.export_to_lake(&writer, 42, "host-5-drain").unwrap();
+        assert_eq!(rows, 12);
+        writer.compact().unwrap();
+
+        let lake = Lake::open(&dir).unwrap();
+        assert_eq!(lake.manifest.rows(TableKind::Series), 12);
+        assert_eq!(lake.manifest.rows(TableKind::Outcomes), 0);
+        let cell_col = TableKind::Series.column("cell").unwrap();
+        let host_col = TableKind::Series.column("host").unwrap();
+        let mut scan =
+            TableScan::new(&lake, TableKind::Series, &[cell_col, host_col], Vec::new()).unwrap();
+        let mut batch = Batch::new();
+        let mut seen = 0;
+        while scan.next_batch(&mut batch).unwrap() {
+            for row in 0..batch.rows {
+                assert_eq!(batch.value(0, row), 42);
+                assert_eq!(batch.value(1, row), 5);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

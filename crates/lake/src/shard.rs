@@ -1,0 +1,271 @@
+//! Per-worker shard files and the cell row-group they carry.
+//!
+//! Fleet workers cannot write final segments directly — chunk layout
+//! depends on global row order, and workers finish cells in a
+//! nondeterministic order. Instead each worker streams every completed
+//! cell into its own transient *shard*: a row-oriented append-only file
+//! of [`CellRows`] records (`"MSC1"` framing, one record per cell).
+//! Compaction (see [`crate::writer`]) then replays the records in cell
+//! order, which is what makes the final segments byte-identical
+//! regardless of worker count.
+
+use crate::LakeError;
+use millisampler::codec::{self, WireReader, WireWriter};
+use millisampler::HostSeries;
+use ms_analysis::{BurstRow, RunOutcome};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Shard record magic.
+pub const CELL_MAGIC: &[u8; 4] = b"MSC1";
+
+/// Everything one cell contributes to the lake: an outcomes row (or a
+/// failure row, or neither for series-only exports), its classified
+/// bursts, and its raw millisampler series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRows {
+    /// Sweep-global cell index; compaction orders the lake by it.
+    pub cell: u64,
+    /// Grid label (or a free-form name for exports).
+    pub label: String,
+    /// `Some(Ok(_))` → an ok outcomes row; `Some(Err(msg))` → a failed
+    /// outcomes row carrying the panic message; `None` → no outcomes row
+    /// (host-history exports feed only the series table).
+    pub outcome: Option<Result<RunOutcome, String>>,
+    /// Classified bursts (the lake's `bursts` table rows).
+    pub bursts: Vec<BurstRow>,
+    /// Raw per-host series (exploded into the `series` table).
+    pub series: Vec<HostSeries>,
+}
+
+impl CellRows {
+    /// A failure record for a cell that panicked.
+    pub fn failed(cell: u64, label: &str, message: String) -> Self {
+        CellRows {
+            cell,
+            label: label.to_string(),
+            outcome: Some(Err(message)),
+            bursts: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Canonical codec encoding (identical records encode to identical
+    /// bytes, so shard contents are deterministic per cell), with a
+    /// trailing FNV-1a checksum so any single-byte corruption of a
+    /// shard record is an error rather than a different record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_magic(CELL_MAGIC);
+        w.u64(self.cell);
+        w.str(&self.label);
+        match &self.outcome {
+            None => w.u64(0),
+            Some(Ok(o)) => {
+                w.u64(1);
+                w.bytes(&o.encode());
+            }
+            Some(Err(msg)) => {
+                w.u64(2);
+                w.str(msg);
+            }
+        }
+        w.u64(self.bursts.len() as u64);
+        for b in &self.bursts {
+            w.u64(u64::from(b.server));
+            w.u64(u64::from(b.start));
+            w.u64(u64::from(b.len));
+            w.u64(b.bytes);
+            w.f64(b.avg_conns);
+            w.u64(u64::from(b.max_contention));
+            w.bool(b.contended);
+            w.bool(b.lossy);
+            w.u64(b.retx_bytes);
+        }
+        w.u64(self.series.len() as u64);
+        for s in &self.series {
+            w.bytes(&codec::encode(s));
+        }
+        let mut buf = w.finish();
+        let sum = codec::fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a record produced by [`CellRows::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self, LakeError> {
+        let body_len = data
+            .len()
+            .checked_sub(8)
+            .ok_or(LakeError::Corrupt("cell record shorter than checksum"))?;
+        let stored = u64::from_le_bytes(
+            data[body_len..]
+                .try_into()
+                .map_err(|_| LakeError::Corrupt("cell record checksum slice"))?,
+        );
+        let body = &data[..body_len];
+        if codec::fnv1a64(body) != stored {
+            return Err(LakeError::Corrupt("cell record checksum mismatch"));
+        }
+        let mut r = WireReader::new(body);
+        r.expect_magic(CELL_MAGIC)?;
+        let cell = r.u64()?;
+        let label = r.string()?;
+        let outcome = match r.u64()? {
+            0 => None,
+            1 => Some(Ok(RunOutcome::decode(&r.bytes()?)?)),
+            2 => Some(Err(r.string()?)),
+            _ => return Err(LakeError::Corrupt("bad outcome tag in cell record")),
+        };
+        let n_bursts = r.u64()?;
+        if n_bursts as usize > data.len() {
+            return Err(LakeError::Corrupt("burst count exceeds record"));
+        }
+        let mut bursts = Vec::with_capacity(n_bursts as usize);
+        for _ in 0..n_bursts {
+            bursts.push(BurstRow {
+                // simlint: allow(cast-truncation): encoded from u32 fields
+                cell: cell as u32,
+                // simlint: allow(cast-truncation): encoded from u32 fields
+                server: r.u64()? as u32,
+                // simlint: allow(cast-truncation): encoded from u32 fields
+                start: r.u64()? as u32,
+                // simlint: allow(cast-truncation): encoded from u32 fields
+                len: r.u64()? as u32,
+                bytes: r.u64()?,
+                avg_conns: r.f64()?,
+                // simlint: allow(cast-truncation): encoded from u32 fields
+                max_contention: r.u64()? as u32,
+                contended: r.bool()?,
+                lossy: r.bool()?,
+                retx_bytes: r.u64()?,
+            });
+        }
+        let n_series = r.u64()?;
+        if n_series as usize > data.len() {
+            return Err(LakeError::Corrupt("series count exceeds record"));
+        }
+        let mut series = Vec::with_capacity(n_series as usize);
+        for _ in 0..n_series {
+            series.push(codec::decode(&r.bytes()?)?);
+        }
+        if r.remaining() != 0 {
+            return Err(LakeError::Corrupt("trailing bytes in cell record"));
+        }
+        Ok(CellRows {
+            cell,
+            label,
+            outcome,
+            bursts,
+            series,
+        })
+    }
+}
+
+/// Append-only writer for one worker's shard file. Records are framed
+/// as `[len u64 LE][record bytes]` so compaction can index them with
+/// one sequential pass.
+#[derive(Debug)]
+pub struct ShardWriter {
+    out: BufWriter<std::fs::File>,
+    path: PathBuf,
+    records: u64,
+}
+
+impl ShardWriter {
+    /// Creates (truncating) the shard file at `path`.
+    pub fn create(path: &Path) -> Result<Self, LakeError> {
+        let file = std::fs::File::create(path)?;
+        Ok(ShardWriter {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    /// Appends one cell's rows.
+    pub fn append(&mut self, rows: &CellRows) -> Result<(), LakeError> {
+        let record = rows.encode();
+        self.out.write_all(&(record.len() as u64).to_le_bytes())?;
+        self.out.write_all(&record)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The shard's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes and closes the shard.
+    pub fn finish(mut self) -> Result<(), LakeError> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_dcsim::Ns;
+
+    fn sample_rows() -> CellRows {
+        let mut o = RunOutcome::empty();
+        o.bursts = 2;
+        o.contention_avg = 1.25;
+        let mut s = HostSeries::zeroed(3, Ns::from_millis(5), Ns::from_millis(1), 4);
+        s.in_bytes = vec![10, 20, 30, 40];
+        CellRows {
+            cell: 7,
+            label: String::from("s1-a0.50-single-dctcp"),
+            outcome: Some(Ok(o)),
+            bursts: vec![BurstRow {
+                cell: 7,
+                server: 3,
+                start: 1,
+                len: 2,
+                bytes: 999,
+                avg_conns: 4.5,
+                max_contention: 2,
+                contended: true,
+                lossy: false,
+                retx_bytes: 0,
+            }],
+            series: vec![s],
+        }
+    }
+
+    #[test]
+    fn cell_record_round_trips() {
+        let rows = sample_rows();
+        let enc = rows.encode();
+        assert_eq!(CellRows::decode(&enc).unwrap(), rows);
+        assert_eq!(enc, CellRows::decode(&enc).unwrap().encode());
+    }
+
+    #[test]
+    fn failed_and_series_only_variants_round_trip() {
+        let failed = CellRows::failed(2, "s9-x", String::from("boom\nline2"));
+        assert_eq!(CellRows::decode(&failed.encode()).unwrap(), failed);
+        let bare = CellRows {
+            cell: 0,
+            label: String::from("host-store"),
+            outcome: None,
+            bursts: Vec::new(),
+            series: Vec::new(),
+        };
+        assert_eq!(CellRows::decode(&bare.encode()).unwrap(), bare);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CellRows::decode(b"NOPE").is_err());
+        let mut enc = sample_rows().encode();
+        enc.truncate(enc.len() / 2);
+        assert!(CellRows::decode(&enc).is_err());
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! The encoding is canonical: a given [`HostSeries`] always produces the
 //! same byte string, which is what the determinism regression tests compare.
+//! A trailing FNV-1a checksum ([`fnv1a64`]) makes any single-byte
+//! corruption of a stored run decode to [`DecodeError::Checksum`] instead
+//! of a silently different series.
 
 use crate::run::HostSeries;
 use ms_dcsim::Ns;
@@ -23,6 +26,8 @@ pub enum DecodeError {
     Overlong,
     /// The header did not carry the expected magic bytes.
     BadMagic,
+    /// The trailing FNV-1a checksum did not match the decoded bytes.
+    Checksum,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -31,13 +36,30 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "encoded run truncated"),
             DecodeError::Overlong => write!(f, "overlong varint"),
             DecodeError::BadMagic => write!(f, "bad magic (not a millisampler run)"),
+            DecodeError::Checksum => write!(f, "checksum mismatch (corrupted encoding)"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-const MAGIC: &[u8; 4] = b"MSR1";
+/// `MSR2` = `MSR1` (delta + zig-zag + varint columns) plus a trailing
+/// FNV-1a checksum, so any single-byte corruption of a stored run is
+/// detected instead of silently decoding into a different series.
+const MAGIC: &[u8; 4] = b"MSR2";
+
+/// FNV-1a over `bytes` — the workspace's integrity hash for stored
+/// encodings (runs here, lake segments in `ms-lake`). Not cryptographic;
+/// it exists to turn bit rot into a [`DecodeError::Checksum`] instead of
+/// a silently different time series.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Canonical append-only varint writer — the public face of this module's
 /// wire primitives, shared by every codec-encoded schema in the workspace
@@ -98,6 +120,23 @@ impl WireWriter {
     /// prefix; the reader must know the length from the header).
     pub fn series(&mut self, series: &[u64]) {
         put_series(&mut self.buf, series);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Takes the encoded bytes, leaving the writer empty for reuse (the
+    /// chunked column encoders in `ms-lake` recycle one writer per
+    /// column across chunks).
+    pub fn take(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
     }
 
     /// The encoded bytes.
@@ -206,7 +245,10 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+/// Appends one LEB128 varint to `buf` — the workspace's lowest-level wire
+/// primitive, public so per-value encoders (the lake's `ColumnWriter`)
+/// can append without constructing a [`WireWriter`].
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8; // simlint: allow(cast-truncation): masked to 7 bits
         v >>= 7;
@@ -230,29 +272,36 @@ fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
     Err(DecodeError::Overlong)
 }
 
-fn zigzag(v: i64) -> u64 {
+/// Zig-zag maps signed deltas onto unsigned varint-friendly values.
+pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 fn put_series(buf: &mut Vec<u8>, series: &[u64]) {
     let mut prev = 0i64;
     for &v in series {
-        let delta = v as i64 - prev;
+        let delta = (v as i64).wrapping_sub(prev);
         put_varint(buf, zigzag(delta));
         prev = v as i64;
     }
 }
 
 fn get_series(buf: &mut Reader<'_>, len: usize) -> Result<Vec<u64>, DecodeError> {
-    let mut out = Vec::with_capacity(len);
+    // Capacity is clamped to what the remaining input could possibly
+    // hold (≥ 1 byte per value), so a corrupt length cannot trigger a
+    // huge allocation before the Truncated error surfaces.
+    let mut out = Vec::with_capacity(len.min(buf.remaining()));
     let mut prev = 0i64;
     for _ in 0..len {
         let delta = unzigzag(get_varint(buf)?);
-        prev += delta;
+        // Wrapping: valid encodings never wrap (counters fit i64), and
+        // corrupt deltas must reach the checksum check, not overflow.
+        prev = prev.wrapping_add(delta);
         out.push(prev.max(0) as u64);
     }
     Ok(out)
@@ -276,6 +325,10 @@ pub fn encode(series: &HostSeries) -> Vec<u8> {
     ] {
         put_series(&mut buf, s);
     }
+    // Trailing integrity hash over everything before it: a store serving
+    // week-old runs must detect corruption, not decode a different series.
+    let sum = fnv1a64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
     buf
 }
 
@@ -300,6 +353,15 @@ pub fn decode(data: &[u8]) -> Result<HostSeries, DecodeError> {
     let out_retx = get_series(&mut buf, len)?;
     let in_ecn = get_series(&mut buf, len)?;
     let conns = get_series(&mut buf, len)?;
+    let covered = buf.pos;
+    let stored = u64::from_le_bytes(
+        buf.get_bytes(8)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?,
+    );
+    if stored != fnv1a64(&data[..covered]) {
+        return Err(DecodeError::Checksum);
+    }
     Ok(HostSeries {
         host,
         start,
@@ -424,5 +486,50 @@ mod tests {
         let s = HostSeries::zeroed(1, Ns::ZERO, Ns::from_millis(1), 0);
         let dec = decode(&encode(&s)).unwrap();
         assert_eq!(dec, s);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        // The trailing FNV-1a hash turns any one-byte flip anywhere in
+        // the encoding into an error: either a structural decode failure
+        // or a checksum mismatch — never a silently different series.
+        let enc = encode(&sample_series());
+        for pos in 0..enc.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = enc.clone();
+                bad[pos] ^= flip;
+                assert!(
+                    decode(&bad).is_err(),
+                    "flip {flip:#04x} at byte {pos} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let enc = encode(&sample_series());
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn wire_writer_take_resets_for_reuse() {
+        let mut w = WireWriter::new();
+        w.u64(7);
+        let first = w.take();
+        assert!(!first.is_empty());
+        assert!(w.is_empty());
+        w.u64(7);
+        assert_eq!(w.take(), first, "reused writer must encode identically");
     }
 }

@@ -194,4 +194,61 @@ mod tests {
         let store = HostStore::new(StoreConfig::default());
         assert!(store.latest().unwrap().is_none());
     }
+
+    #[test]
+    fn retention_boundary_is_inclusive() {
+        // Eviction is `start >= newest - retention`: a run exactly at the
+        // boundary survives; one tick (1 ns) older is evicted.
+        let store = HostStore::new(StoreConfig {
+            retention: Ns::from_secs(10),
+            max_bytes: usize::MAX,
+        });
+        let boundary = HostSeries::zeroed(0, Ns::from_secs(10), Ns::from_millis(1), 10);
+        let mut too_old = HostSeries::zeroed(0, Ns::from_secs(10), Ns::from_millis(1), 10);
+        too_old.start = Ns(Ns::from_secs(10).as_nanos() - 1);
+        store.append(&too_old);
+        store.append(&boundary);
+        store.append(&series_at(20_000)); // newest = 20 s, cutoff = 10 s
+        assert_eq!(store.len(), 2, "boundary run survives, 1 ns older evicts");
+        let runs = store.fetch_range(Ns::ZERO, Ns::from_secs(100)).unwrap();
+        assert_eq!(runs[0].start, Ns::from_secs(10));
+    }
+
+    #[test]
+    fn byte_budget_never_evicts_the_sole_newest_run() {
+        // Tie-break: when the budget cannot hold even one run, the loop
+        // stops at len == 1 — the newest run is always served, over-budget
+        // or not.
+        let store = HostStore::new(StoreConfig {
+            retention: Ns::MAX,
+            max_bytes: 1,
+        });
+        store.append(&series_at(1000));
+        store.append(&series_at(2000));
+        assert_eq!(store.len(), 1);
+        assert!(store.stored_bytes() > store.cfg.max_bytes);
+        assert_eq!(
+            store.latest().unwrap().unwrap().start,
+            Ns::from_millis(2000)
+        );
+    }
+
+    #[test]
+    fn byte_budget_tie_break_on_equal_starts_evicts_first_appended() {
+        // Two runs with the same start time: the sort is stable, so the
+        // earlier-appended one sits first and is the eviction victim.
+        let mut a = series_at(1000);
+        a.host = 1;
+        let mut b = series_at(1000);
+        b.host = 2;
+        let per_run = codec::encode(&a).len();
+        let store = HostStore::new(StoreConfig {
+            retention: Ns::MAX,
+            max_bytes: per_run, // room for exactly one
+        });
+        store.append(&a);
+        store.append(&b);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.latest().unwrap().unwrap().host, 2);
+    }
 }

@@ -69,8 +69,9 @@ fn codec_survives_single_byte_corruption() {
         let pos = rng.gen_range(v.len() as u64) as usize;
         let flip = 1 + rng.gen_range(255) as u8;
         v[pos] ^= flip;
-        // Either rejected or decoded into *something* — never a panic.
-        let _ = codec::decode(&v);
+        // The trailing checksum guarantees rejection — and in particular
+        // the decoder must neither panic nor loop on the way there.
+        assert!(codec::decode(&v).is_err(), "corrupt byte {pos} decoded");
     }
 }
 

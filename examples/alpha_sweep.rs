@@ -8,14 +8,32 @@
 //!
 //! ```sh
 //! cargo run --release -p ms-fleet --example alpha_sweep
+//!
+//! # Additionally persist the α-sweep cells (outcomes, classified bursts,
+//! # raw series) into an ms-lake columnar lake for out-of-core queries:
+//! cargo run --release -p ms-fleet --example alpha_sweep -- --out-lake /tmp/alpha-lake
+//! cargo run --release -p ms-lake --bin lake -- query --dir /tmp/alpha-lake
 //! ```
 
 use ms_dcsim::{Ns, SharingPolicy};
-use ms_fleet::{run_fleet, FleetCell, FleetConfig, FleetGrid, PlacementKind};
+use ms_fleet::{run_fleet, run_fleet_to_lake, FleetCell, FleetConfig, FleetGrid, PlacementKind};
+use ms_lake::{LakeConfig, LakeWriter, TableKind};
 use ms_workload::ScenarioBuilder;
+use std::path::Path;
 
 fn main() {
     let cfg = FleetConfig::default();
+    let mut lake_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out-lake" => lake_dir = args.next(),
+            other => {
+                eprintln!("alpha_sweep: unknown flag {other:?} (only --out-lake DIR)");
+                std::process::exit(2);
+            }
+        }
+    }
 
     // One-axis grid: sweep α with everything else pinned.
     let grid = FleetGrid {
@@ -28,6 +46,21 @@ fn main() {
         ..FleetGrid::default()
     };
     let report = run_fleet(&grid.cells(), &cfg);
+
+    if let Some(dir) = &lake_dir {
+        // The same cells, streamed to disk: the lake's aggregate equals the
+        // in-memory report (see tests/lake_roundtrip.rs), so the printed
+        // table below can be regenerated later with `lake query`.
+        let writer = LakeWriter::create(Path::new(dir), LakeConfig::default())
+            .expect("cannot create the output lake");
+        let manifest =
+            run_fleet_to_lake(&grid.cells(), &cfg, &writer).expect("lake-backed sweep failed");
+        println!(
+            "lake written to {dir}: {} outcome rows, {} series rows\n",
+            manifest.rows(TableKind::Outcomes),
+            manifest.rows(TableKind::Series),
+        );
+    }
 
     println!("DT alpha sweep under a contended incast (160 connections, ~22 MB):\n");
     println!("{:>26} {:>16} {:>12}", "cell", "discard_bytes", "completed");

@@ -1,0 +1,196 @@
+//! End-to-end contracts of the lake-backed sweep path:
+//!
+//! 1. **Writer determinism** — `--jobs 1` and `--jobs 4` sweeps compact
+//!    to byte-identical segment files (same manifest, same bytes).
+//! 2. **Query fidelity** — the out-of-core aggregation over a
+//!    multi-segment lake equals the in-memory fold bit for bit, and the
+//!    lake's outcomes CSV equals `FleetReport::to_csv` byte for byte.
+//! 3. **Bounded memory** — scanning a lake ≥10× the chunk budget never
+//!    holds more than one chunk of rows per open column.
+//! 4. **Pushdown** — a cell-range predicate skips non-matching chunks
+//!    without reading them.
+
+use ms_dcsim::Ns;
+use ms_fleet::{
+    run_fleet, run_fleet_in_memory_aggregate, run_fleet_to_lake, FleetConfig, FleetGrid,
+    PlacementKind,
+};
+use ms_lake::{
+    lake_sweep_aggregate, outcomes_csv, Batch, ColumnRange, Lake, LakeConfig, LakeWriter, Operator,
+    TableKind, TableScan,
+};
+use ms_transport::CcAlgorithm;
+use std::path::PathBuf;
+
+/// A small 8-cell grid sized to run in well under a second per cell.
+fn small_grid() -> FleetGrid {
+    FleetGrid {
+        servers: 4,
+        buckets: 60,
+        warmup: Ns::from_millis(5),
+        seeds: vec![1, 2],
+        alphas: vec![0.5, 2.0],
+        placements: vec![PlacementKind::SingleVictim, PlacementKind::Spread],
+        ccs: vec![CcAlgorithm::Dctcp],
+        connections: 12,
+        total_bytes: 600_000,
+    }
+}
+
+fn cfg(jobs: usize) -> FleetConfig {
+    FleetConfig {
+        jobs,
+        progress: false,
+        // A low analysis line rate so the small grid's incast exceeds the
+        // 50%-of-line-rate burst threshold and populates the bursts table.
+        link_bps: 1_000_000_000,
+        ..FleetConfig::default()
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    // simlint: allow(env-read): tests write scratch lakes
+    let dir = std::env::temp_dir().join(format!("ms-lake-rt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small segments force the multi-segment code paths even on an 8-cell
+/// grid: 4 servers × 60 buckets × 8 cells = 1920 series rows → many
+/// segments of 128 rows, chunked at 32.
+fn small_lake_cfg() -> LakeConfig {
+    LakeConfig {
+        chunk_rows: 32,
+        segment_rows: 128,
+    }
+}
+
+fn sweep_to_lake(dir: &PathBuf, jobs: usize) -> Lake {
+    let cells = small_grid().cells();
+    let writer = LakeWriter::create(dir, small_lake_cfg()).unwrap();
+    run_fleet_to_lake(&cells, &cfg(jobs), &writer).unwrap();
+    Lake::open(dir).unwrap()
+}
+
+#[test]
+fn jobs_1_and_jobs_4_lakes_are_byte_identical() {
+    let dir1 = temp_dir("j1");
+    let dir4 = temp_dir("j4");
+    let lake1 = sweep_to_lake(&dir1, 1);
+    let lake4 = sweep_to_lake(&dir4, 4);
+
+    assert_eq!(lake1.manifest, lake4.manifest);
+    assert!(!lake1.manifest.entries.is_empty());
+    for e in &lake1.manifest.entries {
+        let a = std::fs::read(dir1.join(&e.file)).unwrap();
+        let b = std::fs::read(dir4.join(&e.file)).unwrap();
+        assert_eq!(a, b, "{} differs between jobs 1 and jobs 4", e.file);
+    }
+    // The grid really does span multiple segments per table.
+    assert!(
+        lake1
+            .manifest
+            .entries
+            .iter()
+            .filter(|e| e.table == TableKind::Series)
+            .count()
+            > 1,
+        "series table must roll across segments"
+    );
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn out_of_core_aggregate_equals_in_memory_fold_bit_for_bit() {
+    let dir = temp_dir("agg");
+    let lake = sweep_to_lake(&dir, 3);
+    let cells = small_grid().cells();
+
+    let in_memory = run_fleet_in_memory_aggregate(&cells, &cfg(1));
+    let from_lake = lake_sweep_aggregate(&lake).unwrap();
+    assert_eq!(from_lake, in_memory);
+    assert_eq!(from_lake.to_csv(), in_memory.to_csv());
+    assert_eq!(from_lake.cells, 8);
+    assert!(from_lake.bursts > 0, "the incast grid must produce bursts");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lake_outcomes_csv_equals_fleet_report_csv() {
+    let dir = temp_dir("csv");
+    let lake = sweep_to_lake(&dir, 2);
+    let cells = small_grid().cells();
+
+    let report = run_fleet(&cells, &cfg(1));
+    assert_eq!(outcomes_csv(&lake).unwrap(), report.to_csv());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_memory_is_bounded_by_one_chunk_over_a_10x_lake() {
+    let dir = temp_dir("mem");
+    let lake = sweep_to_lake(&dir, 2);
+
+    let chunk_rows = small_lake_cfg().chunk_rows as u64;
+    let total_rows = lake.manifest.rows(TableKind::Series);
+    assert!(
+        total_rows >= 10 * chunk_rows,
+        "lake ({total_rows} rows) must be ≥10× the chunk budget ({chunk_rows})"
+    );
+
+    let mut scan = TableScan::full(&lake, TableKind::Series).unwrap();
+    let mut batch = Batch::new();
+    let mut rows_seen = 0u64;
+    while scan.next_batch(&mut batch).unwrap() {
+        assert!(
+            batch.rows as u64 <= chunk_rows,
+            "a batch exceeded the chunk budget"
+        );
+        rows_seen += batch.rows as u64;
+    }
+    assert_eq!(rows_seen, total_rows);
+    let stats = scan.stats();
+    assert_eq!(stats.rows_scanned, total_rows);
+    assert!(
+        stats.peak_resident_rows <= chunk_rows,
+        "peak resident rows {} exceeds chunk budget {chunk_rows}",
+        stats.peak_resident_rows
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cell_predicate_pushdown_skips_chunks_unread() {
+    let dir = temp_dir("push");
+    let lake = sweep_to_lake(&dir, 2);
+
+    let cell_col = TableKind::Series.column("cell").unwrap();
+    let range = ColumnRange {
+        col: cell_col,
+        min: 6,
+        max: 6,
+    };
+    let mut scan = TableScan::new(&lake, TableKind::Series, &[cell_col], vec![range]).unwrap();
+    let mut batch = Batch::new();
+    let mut matching = 0u64;
+    while scan.next_batch(&mut batch).unwrap() {
+        for r in 0..batch.rows {
+            // Pushdown is chunk-granular: surviving chunks may straddle
+            // neighbouring cells, so filter exactly here.
+            if batch.value(0, r) == 6 {
+                matching += 1;
+            }
+        }
+    }
+    // One cell = 4 servers × 60 buckets.
+    assert_eq!(matching, 240);
+    let stats = scan.stats();
+    assert!(
+        stats.chunks_skipped > stats.chunks_read,
+        "most chunks must be skipped (read {}, skipped {})",
+        stats.chunks_read,
+        stats.chunks_skipped
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
