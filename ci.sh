@@ -6,8 +6,12 @@ set -eu
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> simlint --deny"
-cargo run -q -p simlint -- --deny
+echo "==> simlint --deny (baseline-gated, bench artifact)"
+# New findings fail the run; known ones must be fingerprinted in the
+# checked-in simlint.baseline. BENCH_simlint.json records scan size and
+# wall time so analyzer slowdowns show up in CI history.
+cargo run -q -p simlint -- --deny --baseline simlint.baseline --bench BENCH_simlint.json
+grep -q '"files_scanned"' BENCH_simlint.json
 
 echo "==> clippy"
 # clippy may be absent on minimal toolchains; the simlint + test gates

@@ -196,14 +196,12 @@ mod tests {
         o.bursts = i % 4;
         o.lossy_bursts = i % 2;
         o.contention_avg = i as f64 * 0.37;
-        // simlint: allow(cast-truncation): small test values
         o.contention_max = i as u32;
         o
     }
 
     fn burst(cell: u64, i: u32) -> BurstRow {
         BurstRow {
-            // simlint: allow(cast-truncation): small test values
             cell: cell as u32,
             server: i,
             start: i * 3,
@@ -235,7 +233,6 @@ mod tests {
                 CellRows::failed(c, &format!("cell-{c}"), String::from("boom"))
             } else {
                 let o = outcome(c);
-                // simlint: allow(cast-truncation): small test values
                 let bursts: Vec<BurstRow> = (0..(c % 4) as u32).map(|i| burst(c, i)).collect();
                 expect.add_outcome(&o);
                 for b in &bursts {

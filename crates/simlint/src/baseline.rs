@@ -1,0 +1,138 @@
+//! Finding fingerprints and the checked-in baseline.
+//!
+//! A fingerprint identifies a finding across unrelated edits: FNV-1a 64
+//! of rule + file + message + the call chain with line/column positions
+//! stripped (see [`Diagnostic::fingerprint_seed`]), rendered as 16 hex
+//! digits. When several findings share a seed (the same construct
+//! repeated in one file), later ones in sorted order get a `#2`, `#3`,
+//! … suffix so every fingerprint in a run is unique and stable.
+//!
+//! `simlint.baseline` holds one `<fingerprint> <rule> <file>` line per
+//! accepted pre-existing finding. `--baseline` subtracts it from the
+//! output (and from `--deny`), so CI fails only on *new* fingerprints;
+//! `--write-baseline` regenerates the file. The workspace is currently
+//! clean, so the checked-in baseline is empty — the mechanism exists so
+//! that a future intentional exception is a one-line, reviewable diff.
+
+use crate::diag::{fnv1a64, Diagnostic};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Assigns `d.fingerprint` for every finding. Input order must already
+/// be the final sorted order — suffix numbering follows it.
+pub fn assign_fingerprints(diags: &mut [Diagnostic]) {
+    let mut seen: BTreeMap<u64, u32> = BTreeMap::new();
+    for d in diags.iter_mut() {
+        let h = fnv1a64(d.fingerprint_seed().as_bytes());
+        let n = seen.entry(h).or_insert(0);
+        *n += 1;
+        d.fingerprint = if *n == 1 {
+            format!("{h:016x}")
+        } else {
+            format!("{h:016x}#{n}")
+        };
+    }
+}
+
+/// Parses baseline text into its fingerprint set. Lines are
+/// `<fingerprint> <rule> <file>`; blank lines and `#` comments are
+/// skipped. Malformed lines are errors — a half-read baseline would
+/// silently re-accept findings.
+pub fn parse(text: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(fp), Some(_rule), Some(_file), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `<fingerprint> <rule> <file>`, got {line:?}",
+                i + 1
+            ));
+        };
+        let hex = fp.split('#').next().unwrap_or(fp);
+        if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!(
+                "baseline line {}: {fp:?} is not a 16-hex-digit fingerprint",
+                i + 1
+            ));
+        }
+        out.push(fp.to_string());
+    }
+    Ok(out)
+}
+
+/// Renders the baseline file for the given (fingerprinted) findings.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# simlint baseline — accepted pre-existing findings, one per line:\n\
+         # <fingerprint> <rule> <file>\n\
+         # Regenerate with `cargo run -p simlint -- --write-baseline simlint.baseline`.\n",
+    );
+    for d in diags {
+        let _ = writeln!(out, "{} {} {}", d.fingerprint, d.rule, d.file);
+    }
+    out
+}
+
+/// Splits findings into (new, baselined) against a fingerprint set.
+pub fn split(diags: Vec<Diagnostic>, baseline: &[String]) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    diags
+        .into_iter()
+        .partition(|d| !baseline.contains(&d.fingerprint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, rule: &str, msg: &str) -> Diagnostic {
+        Diagnostic::new(file, line, 1, rule, msg, "h")
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_line_moves() {
+        let mut a = vec![diag("a.rs", 3, "r", "m")];
+        let mut b = vec![diag("a.rs", 99, "r", "m")];
+        assign_fingerprints(&mut a);
+        assign_fingerprints(&mut b);
+        assert_eq!(a[0].fingerprint, b[0].fingerprint);
+        assert_eq!(a[0].fingerprint.len(), 16);
+    }
+
+    #[test]
+    fn duplicate_seeds_get_suffixes() {
+        let mut d = vec![
+            diag("a.rs", 3, "r", "m"),
+            diag("a.rs", 9, "r", "m"),
+            diag("a.rs", 12, "r", "m"),
+        ];
+        assign_fingerprints(&mut d);
+        assert!(!d[0].fingerprint.contains('#'));
+        assert!(d[1].fingerprint.ends_with("#2"), "{}", d[1].fingerprint);
+        assert!(d[2].fingerprint.ends_with("#3"), "{}", d[2].fingerprint);
+    }
+
+    #[test]
+    fn roundtrip_through_file_format() {
+        let mut d = vec![diag("a.rs", 3, "r", "m"), diag("b.rs", 1, "s", "n")];
+        assign_fingerprints(&mut d);
+        let text = render(&d);
+        let fps = parse(&text).unwrap();
+        assert_eq!(fps.len(), 2);
+        let (new, old) = split(d, &fps);
+        assert!(new.is_empty());
+        assert_eq!(old.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse("deadbeef r f\n").is_err(), "short fingerprint");
+        assert!(parse("0123456789abcdef0 r\n").is_err(), "missing file");
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+}

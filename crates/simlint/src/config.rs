@@ -20,16 +20,37 @@
 //! rules = ["cast-truncation crates/dcsim/src/pcap.rs"]
 //! ```
 
+/// One file-level suppression from `[allow] rules`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAllow {
+    pub rule: String,
+    /// Workspace-relative path the rule is suppressed for.
+    pub path: String,
+    /// Line of the entry in `simlint.toml` — the suppression audit
+    /// points here when the entry matches no finding.
+    pub line: u32,
+}
+
 /// Parsed configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
-    /// Workspace-relative crate directories subject to the simulation
-    /// invariants (determinism + cast rules).
+    /// Workspace-relative crate directories to scan.
     pub crates: Vec<String>,
+    /// Crates in `crates` where the determinism + cast rules do not
+    /// apply (bench harnesses legitimately read the wall clock; simlint
+    /// itself names the forbidden idents). The interprocedural passes
+    /// — hot-path, lock-order, suppression audit — still run there.
+    pub relaxed: Vec<String>,
+    /// Path prefixes skipped entirely (lint-pass fixture sources).
+    pub exclude: Vec<String>,
     /// `Type::function` names whose bodies must obey the hot-path rules.
     pub hot_functions: Vec<String>,
-    /// File-level suppressions: `(rule-id, workspace-relative path)`.
-    pub allow: Vec<(String, String)>,
+    /// Hot functions exempt from `hot-path-block` because blocking is
+    /// their documented contract (`ShardQueue::next` parks on its
+    /// deque by design).
+    pub may_block: Vec<String>,
+    /// File-level suppressions.
+    pub allow: Vec<FileAllow>,
 }
 
 impl Config {
@@ -65,7 +86,10 @@ impl Config {
             let values = parse_value(&value).map_err(|e| format!("line {}: {e}", idx + 1))?;
             match (table.as_str(), key) {
                 ("scan", "crates") => cfg.crates = values,
+                ("scan", "relaxed") => cfg.relaxed = values,
+                ("scan", "exclude") => cfg.exclude = values,
                 ("hotpath", "functions") => cfg.hot_functions = values,
+                ("hotpath", "may_block") => cfg.may_block = values,
                 ("allow", "rules") => {
                     for entry in values {
                         let Some((rule, path)) = entry.split_once(' ') else {
@@ -74,7 +98,11 @@ impl Config {
                                 idx + 1
                             ));
                         };
-                        cfg.allow.push((rule.to_string(), path.trim().to_string()));
+                        cfg.allow.push(FileAllow {
+                            rule: rule.to_string(),
+                            path: path.trim().to_string(),
+                            line: u32::try_from(idx + 1).unwrap_or(u32::MAX),
+                        });
                     }
                 }
                 _ => {
@@ -97,7 +125,19 @@ impl Config {
 
     /// Whether `rule` is suppressed for the whole of `path`.
     pub fn file_allowed(&self, rule: &str, path: &str) -> bool {
-        self.allow.iter().any(|(r, p)| r == rule && p == path)
+        self.allow.iter().any(|a| a.rule == rule && a.path == path)
+    }
+
+    /// Whether `path` (workspace-relative) is under an excluded prefix.
+    pub fn excluded(&self, path: &str) -> bool {
+        self.exclude
+            .iter()
+            .any(|e| path == e || path.starts_with(&format!("{}/", e.trim_end_matches('/'))))
+    }
+
+    /// Whether the determinism/cast rules are relaxed for `crate_dir`.
+    pub fn is_relaxed(&self, crate_dir: &str) -> bool {
+        self.relaxed.iter().any(|c| c == crate_dir)
     }
 }
 
@@ -206,6 +246,23 @@ rules = ["cast-truncation crates/dcsim/src/pcap.rs"]
     #[test]
     fn hash_inside_string_survives() {
         let cfg = Config::parse("[allow]\nrules = [\"env-read a/b#c.rs\"]\n").unwrap();
-        assert_eq!(cfg.allow[0].1, "a/b#c.rs");
+        assert_eq!(cfg.allow[0].path, "a/b#c.rs");
+        assert_eq!(cfg.allow[0].line, 2);
+    }
+
+    #[test]
+    fn scan_relaxed_exclude_and_may_block() {
+        let cfg = Config::parse(
+            "[scan]\ncrates = [\"crates/a\", \"crates/bench\"]\n\
+             relaxed = [\"crates/bench\"]\n\
+             exclude = [\"crates/a/tests/fixtures\"]\n\
+             [hotpath]\nfunctions = [\"Q::next\"]\nmay_block = [\"Q::next\"]\n",
+        )
+        .unwrap();
+        assert!(cfg.is_relaxed("crates/bench"));
+        assert!(!cfg.is_relaxed("crates/a"));
+        assert!(cfg.excluded("crates/a/tests/fixtures/x.rs"));
+        assert!(!cfg.excluded("crates/a/tests/fixtures_other.rs"));
+        assert_eq!(cfg.may_block, ["Q::next"]);
     }
 }

@@ -1,4 +1,5 @@
-//! Diagnostics: the finding type and the two output formats.
+//! Diagnostics: the finding type, fingerprints, and the two output
+//! formats.
 
 use std::fmt::Write as _;
 
@@ -17,6 +18,14 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it (or how to suppress it when it is intentional).
     pub hint: String,
+    /// For interprocedural findings: the call chain from the checked
+    /// function to the offending construct, outermost first. Each step
+    /// reads `` `Ty::fn` (file:line) ``.
+    pub chain: Vec<String>,
+    /// Stable identity for baseline diffing — FNV-1a 64 over the
+    /// position-independent content, `#k`-suffixed for duplicates.
+    /// Assigned once per run by [`crate::baseline::assign_fingerprints`].
+    pub fingerprint: String,
 }
 
 impl Diagnostic {
@@ -35,26 +44,80 @@ impl Diagnostic {
             rule: rule.to_string(),
             message: message.into(),
             hint: hint.into(),
+            chain: Vec::new(),
+            fingerprint: String::new(),
         }
     }
+
+    #[must_use]
+    pub fn with_chain(mut self, chain: Vec<String>) -> Self {
+        self.chain = chain;
+        self
+    }
+
+    /// The position-independent content hashed into the fingerprint.
+    /// Line/column positions are stripped so findings survive unrelated
+    /// edits above them; rule + file + message + chain shape remain.
+    pub fn fingerprint_seed(&self) -> String {
+        let mut seed = format!("{}\x1f{}\x1f{}", self.rule, self.file, self.message);
+        for step in &self.chain {
+            seed.push('\x1f');
+            seed.push_str(&strip_positions(step));
+        }
+        seed
+    }
+}
+
+/// Removes `:123`-style position suffixes from a chain step.
+fn strip_positions(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == ':' && chars.peek().is_some_and(char::is_ascii_digit) {
+            while chars.peek().is_some_and(char::is_ascii_digit) {
+                chars.next();
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// FNV-1a 64 — the same hash the lake uses for checksums; good enough
+/// for fingerprint identity and trivially stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Renders findings for humans: `file:line:col: [rule] message` plus an
 /// indented hint line, mirroring rustc's layout so editors linkify it.
+/// Interprocedural findings show their call chain step by step.
 pub fn render_human(diags: &[Diagnostic]) -> String {
     let mut out = String::new();
     for d in diags {
         let _ = writeln!(
             out,
-            "{}:{}:{}: [{}] {}\n    hint: {}",
-            d.file, d.line, d.col, d.rule, d.message, d.hint
+            "{}:{}:{}: [{}] {}",
+            d.file, d.line, d.col, d.rule, d.message
         );
+        for (i, step) in d.chain.iter().enumerate() {
+            let arrow = if i == 0 { "chain:" } else { "    ->" };
+            let _ = writeln!(out, "    {arrow} {step}");
+        }
+        let _ = writeln!(out, "    hint: {}", d.hint);
     }
     out
 }
 
 /// Renders findings as a single JSON object (hand-rolled — the workspace
-/// builds without serde).
+/// builds without serde). Byte-stable for identical findings: contains
+/// no timestamps or other run-varying fields.
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("{\"findings\":[");
     for (i, d) in diags.iter().enumerate() {
@@ -63,7 +126,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         }
         let _ = write!(
             out,
-            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"hint\":{},\"chain\":[",
             json_str(&d.file),
             d.line,
             d.col,
@@ -71,6 +134,13 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
             json_str(&d.message),
             json_str(&d.hint)
         );
+        for (j, step) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(step));
+        }
+        let _ = write!(out, "],\"fingerprint\":{}}}", json_str(&d.fingerprint));
     }
     let _ = write!(out, "],\"count\":{}}}", diags.len());
     out
@@ -107,6 +177,17 @@ mod tests {
     }
 
     #[test]
+    fn human_output_shows_chain() {
+        let d = Diagnostic::new("a.rs", 1, 1, "hot-path-panic", "m", "h").with_chain(vec![
+            "`A::f` (a.rs:1)".into(),
+            "`.unwrap()` (a.rs:9:3)".into(),
+        ]);
+        let text = render_human(&[d]);
+        assert!(text.contains("chain: `A::f` (a.rs:1)"), "{text}");
+        assert!(text.contains("-> `.unwrap()` (a.rs:9:3)"), "{text}");
+    }
+
+    #[test]
     fn json_escapes_quotes() {
         let d = Diagnostic::new("a.rs", 1, 1, "r", "say \"hi\"", "h");
         let j = render_json(&[d]);
@@ -117,5 +198,20 @@ mod tests {
     #[test]
     fn empty_findings_is_valid_json() {
         assert_eq!(render_json(&[]), "{\"findings\":[],\"count\":0}");
+    }
+
+    #[test]
+    fn fingerprint_seed_ignores_positions() {
+        let a =
+            Diagnostic::new("a.rs", 3, 7, "r", "m", "h").with_chain(vec!["`f` (a.rs:10)".into()]);
+        let b =
+            Diagnostic::new("a.rs", 99, 1, "r", "m", "h").with_chain(vec!["`f` (a.rs:42)".into()]);
+        assert_eq!(a.fingerprint_seed(), b.fingerprint_seed());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a 64 of "a" per the published reference implementation.
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

@@ -55,11 +55,17 @@ pub struct Lexed {
 }
 
 /// Extracts rule ids from a `simlint: allow(a, b): reason` comment body.
+///
+/// The directive must *start* the comment (after the `//`/`///`/`//!`
+/// marker and whitespace). Anchoring matters: simlint's own docs and
+/// the DESIGN chapter *mention* the directive syntax mid-sentence, and
+/// a substring match would turn each mention into a live suppression —
+/// which the unused-allow audit would then (correctly) flag.
 fn parse_allow_directive(comment: &str, line: u32, out: &mut Vec<(u32, String)>) {
-    let Some(pos) = comment.find("simlint: allow(") else {
+    let body = comment.trim_start_matches(['/', '!']).trim_start();
+    let Some(rest) = body.strip_prefix("simlint: allow(") else {
         return;
     };
-    let rest = &comment[pos + "simlint: allow(".len()..];
     let Some(close) = rest.find(')') else {
         return;
     };
@@ -155,16 +161,13 @@ pub fn lex(src: &str) -> Lexed {
         } else if c == '"' {
             lex_string(&mut cur);
             push(&mut out, TokKind::Literal, "\"…\"", line, col);
-        } else if c == 'r' && matches!(cur.peek(1), Some('"') | Some('#')) {
+        } else if c == 'r' && matches!(cur.peek(1), Some('"' | '#')) {
             lex_maybe_raw(&mut cur, &mut out, line, col);
         } else if c == 'b' && cur.peek(1) == Some('"') {
             cur.bump();
             lex_string(&mut cur);
             push(&mut out, TokKind::Literal, "b\"…\"", line, col);
-        } else if c == 'b'
-            && cur.peek(1) == Some('r')
-            && matches!(cur.peek(2), Some('"') | Some('#'))
-        {
+        } else if c == 'b' && cur.peek(1) == Some('r') && matches!(cur.peek(2), Some('"' | '#')) {
             cur.bump();
             lex_raw_string(&mut cur);
             push(&mut out, TokKind::Literal, "br\"…\"", line, col);
@@ -368,5 +371,65 @@ mod tests {
         let l = lex("a\n  bb");
         assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
         assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments_emit_no_false_tokens() {
+        let src = "/* outer /* HashMap inner */ Instant::now() still comment */ let x = 1;";
+        let l = lex(src);
+        assert!(
+            l.toks.iter().all(|t| !t.is_ident("HashMap")),
+            "{:?}",
+            l.toks
+        );
+        assert!(
+            l.toks.iter().all(|t| !t.is_ident("Instant")),
+            "{:?}",
+            l.toks
+        );
+        // Columns resume correctly after the comment.
+        let let_tok = l.toks.iter().find(|t| t.is_ident("let")).unwrap();
+        assert_eq!(let_tok.line, 1);
+        assert_eq!(let_tok.col as usize, src.find("let").unwrap() + 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_emit_no_false_tokens() {
+        // A raw string containing both a quote and lint-relevant idents:
+        // nothing inside may become a token, and lexing continues after
+        // the matching `"#` (not at the inner quote).
+        let l = lex("let s = r#\"a \" quote, HashMap::new() and thread_rng()\"#; let y = 2;");
+        assert!(
+            l.toks.iter().all(|t| !t.is_ident("HashMap")),
+            "{:?}",
+            l.toks
+        );
+        assert!(l.toks.iter().all(|t| !t.is_ident("thread_rng")));
+        assert!(l.toks.iter().any(|t| t.is_ident("y")));
+        // Multi-hash raw strings terminate on their own delimiter.
+        let l2 = lex("let s = r##\"inner \"# not the end\"##; let z = 3;");
+        assert!(l2.toks.iter().any(|t| t.is_ident("z")), "{:?}", l2.toks);
+        assert!(!l2.toks.iter().any(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn allow_directive_must_start_the_comment() {
+        // Mid-comment mentions (docs quoting the syntax) are not
+        // directives...
+        let l = lex("// use a `// simlint: allow(cast-truncation): reason` comment\n");
+        assert!(l.allows.is_empty(), "{:?}", l.allows);
+        // ...but the doc-comment markers and leading whitespace are.
+        let l2 = lex("///  simlint: allow(env-read): doc-comment directive\n");
+        assert_eq!(l2.allows, vec![(1, "env-read".to_string())]);
+        let l3 = lex("//! simlint: allow(wall-clock): module-doc directive\n");
+        assert_eq!(l3.allows, vec![(1, "wall-clock".to_string())]);
+    }
+
+    #[test]
+    fn every_token_carries_line_and_column() {
+        let l = lex("fn f() {\n    x.unwrap();\n}");
+        let unwrap = l.toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+        assert!(l.toks.iter().all(|t| t.line >= 1 && t.col >= 1));
     }
 }

@@ -9,41 +9,79 @@
 //!
 //! * determinism — no hash-ordered collections, wall-clock reads,
 //!   ambient randomness, or environment reads inside simulation crates;
-//! * hot-path discipline — the functions named in `simlint.toml` neither
-//!   panic nor allocate;
-//! * cast safety — no silent `as u8/u16/u32` truncation.
+//! * hot-path discipline — the functions named in `simlint.toml`
+//!   neither panic, allocate, nor block **anywhere in their call
+//!   trees** (see [`graph`] and [`hotpath`]);
+//! * lock ordering — no two call paths may acquire `Mutex`es in
+//!   cycle-forming orders (see [`locks`]);
+//! * cast safety — no silent `as u8/u16/u32` truncation;
+//! * suppression hygiene — every `allow` must still suppress something
+//!   (see [`suppress`]).
 //!
-//! Run it with `cargo run -p simlint -- --deny` (CI does). Rules are
-//! listed and suppressed in the checked-in `simlint.toml`; one-off
-//! exceptions use `// simlint: allow(rule-id): reason` on or above the
-//! offending line. See `DESIGN.md` § "Invariants & static analysis".
+//! Run it with `cargo run -p simlint -- --deny` (CI adds
+//! `--baseline simlint.baseline`). Rules are configured in the
+//! checked-in `simlint.toml`; one-off exceptions use
+//! `// simlint: allow(rule-id): reason` on or above the offending line.
+//! See `DESIGN.md` § "Invariants & static analysis".
 //!
-//! The analyzer is deliberately a token-level tool (see [`lexer`]): every
-//! invariant above is lexical, and keeping `syn` out keeps the workspace
-//! building offline with zero dependencies.
+//! The analyzer stays dependency-free: a hand-rolled [`lexer`] feeds a
+//! hand-rolled recursive-descent [`parser`], whose function bodies form
+//! a workspace-wide call [`graph`]. Keeping `syn` out keeps the
+//! workspace building offline.
 
+pub mod baseline;
 pub mod config;
 pub mod diag;
+pub mod graph;
+pub mod hotpath;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
 pub mod rules;
+pub mod suppress;
 
 pub use config::Config;
 pub use diag::{render_human, render_json, Diagnostic};
 pub use rules::FileClass;
 
-use std::collections::BTreeSet;
+use graph::CallGraph;
 use std::path::{Path, PathBuf};
+use suppress::Suppressions;
+
+/// Scan-size counters, reported via `--bench`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    pub files_scanned: usize,
+    pub fns_in_graph: usize,
+    pub resolved_calls: usize,
+}
+
+/// The result of one full analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings, sorted by (file, line, col, rule), fingerprints
+    /// assigned.
+    pub diags: Vec<Diagnostic>,
+    pub stats: Stats,
+}
 
 /// Analyzes every `.rs` file of every configured crate under `root`.
 ///
+/// Two phases: the token-local rules run per file while the sources are
+/// parsed into the call graph, then the interprocedural passes run over
+/// the whole graph. Suppression is applied centrally at the end so the
+/// audit can flag allows that matched nothing.
+///
 /// Files are visited in sorted order so output (and JSON) is stable.
-/// Returns the findings; IO problems (unreadable config, missing crate
-/// dir) are errors, because a lint run that silently scans nothing would
-/// report a misleading green.
-pub fn analyze(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, String> {
-    let mut diags = Vec::new();
-    let mut found_hot = BTreeSet::new();
-    let mut scanned = 0usize;
+/// IO problems (unreadable config, missing crate dir) are errors,
+/// because a lint run that silently scans nothing would report a
+/// misleading green.
+pub fn analyze(root: &Path, cfg: &Config) -> Result<Analysis, String> {
+    let mut raw = Vec::new();
+    let mut suppressions = Suppressions::new(cfg);
+    let mut parsed_files = Vec::new();
+    let mut stats = Stats::default();
+
     for crate_dir in &cfg.crates {
         let dir = root.join(crate_dir);
         if !dir.is_dir() {
@@ -57,35 +95,45 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, String> {
         files.sort();
         for path in files {
             let rel = rel_path(root, &path);
+            if cfg.excluded(&rel) {
+                continue;
+            }
             let rel_in_crate = rel
                 .strip_prefix(crate_dir.trim_end_matches('/'))
-                .map(|s| s.trim_start_matches('/'))
-                .unwrap_or(&rel);
+                .map_or(rel.as_str(), |s| s.trim_start_matches('/'));
+            let relaxed = cfg.is_relaxed(crate_dir);
             let class = FileClass {
-                determinism: true,
-                cast: !rel_in_crate.starts_with("tests/"),
+                determinism: !relaxed,
+                cast: !relaxed && !rel_in_crate.starts_with("tests/"),
             };
             let src = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            diags.extend(rules::check_source(&rel, &src, cfg, class, &mut found_hot));
-            scanned += 1;
+            let lexed = lexer::lex(&src);
+            suppressions.add_file(&rel, &lexed.allows);
+            raw.extend(rules::check_tokens(&rel, &lexed.toks, class));
+            parsed_files.push((rel, crate_dir.clone(), parser::parse_file(&lexed.toks).fns));
+            stats.files_scanned += 1;
         }
     }
-    if scanned == 0 {
+    if stats.files_scanned == 0 {
         return Err("no .rs files scanned — check [scan] crates in simlint.toml".into());
     }
-    for missing in cfg.hot_functions.iter().filter(|f| !found_hot.contains(*f)) {
-        diags.push(Diagnostic::new(
-            "simlint.toml",
-            1,
-            1,
-            "hot-path-missing",
-            format!("configured hot function `{missing}` was not found in any scanned file"),
-            "a rename silently disables its coverage — update [hotpath] functions",
-        ));
-    }
+
+    let graph = CallGraph::build(parsed_files);
+    stats.fns_in_graph = graph.nodes.len();
+    stats.resolved_calls = graph.resolved_edges;
+
+    raw.extend(hotpath::hotpath_pass(&graph, cfg));
+    raw.extend(locks::LockPass::run(&graph));
+
+    let mut diags = suppressions.filter(raw);
+    // The audit runs after every pass has been filtered; its findings
+    // are not themselves allow-suppressible (see the suppress module).
+    diags.extend(suppressions.unused());
+
     diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
-    Ok(diags)
+    baseline::assign_fingerprints(&mut diags);
+    Ok(Analysis { diags, stats })
 }
 
 /// Recursively collects `.rs` files, skipping build output and hidden

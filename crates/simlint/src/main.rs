@@ -1,8 +1,9 @@
 //! CLI: `cargo run -p simlint -- [--deny] [--json] [--root DIR]
-//! [--config FILE]`.
+//! [--config FILE] [--baseline FILE] [--write-baseline FILE]
+//! [--bench FILE]`.
 //!
 //! Exit status: 0 when clean (or merely warning), 1 when `--deny` and
-//! findings exist, 2 on usage/config errors.
+//! non-baselined findings exist, 2 on usage/config errors.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -21,6 +22,9 @@ struct Args {
     json: bool,
     root: PathBuf,
     config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    bench: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +33,9 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         root: PathBuf::from("."),
         config: None,
+        baseline: None,
+        write_baseline: None,
+        bench: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -41,14 +48,29 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
             }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(
+                    it.next().ok_or("--write-baseline needs a file")?,
+                ));
+            }
+            "--bench" => {
+                args.bench = Some(PathBuf::from(it.next().ok_or("--bench needs a file")?));
+            }
             "--help" | "-h" => {
                 println!(
-                    "simlint — determinism and hot-path invariants\n\n\
-                     USAGE: simlint [--deny] [--json] [--root DIR] [--config FILE]\n\n\
-                     --deny     exit nonzero if any finding survives suppression\n\
-                     --json     machine-readable output\n\
-                     --root     workspace root (default: current directory)\n\
-                     --config   config file (default: <root>/simlint.toml)"
+                    "simlint — determinism, hot-path, and lock-order invariants\n\n\
+                     USAGE: simlint [--deny] [--json] [--root DIR] [--config FILE]\n\
+                     \x20              [--baseline FILE] [--write-baseline FILE] [--bench FILE]\n\n\
+                     --deny            exit nonzero if any non-baselined finding survives\n\
+                     --json            machine-readable output (chains + fingerprints)\n\
+                     --root            workspace root (default: current directory)\n\
+                     --config          config file (default: <root>/simlint.toml)\n\
+                     --baseline        subtract accepted fingerprints from the output\n\
+                     --write-baseline  write current findings as the new baseline, then exit\n\
+                     --bench           write scan-size/timing counters as JSON"
                 );
                 std::process::exit(0);
             }
@@ -56,6 +78,22 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Subtracts the accepted fingerprints in `path` (when given) from the
+/// findings; returns the surviving findings and the suppressed count.
+fn apply_baseline(
+    diags: Vec<simlint::Diagnostic>,
+    path: Option<&std::path::Path>,
+) -> Result<(Vec<simlint::Diagnostic>, usize), String> {
+    let Some(path) = path else {
+        return Ok((diags, 0));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let fps = simlint::baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (new, old) = simlint::baseline::split(diags, &fps);
+    Ok((new, old.len()))
 }
 
 fn main() -> ExitCode {
@@ -77,8 +115,45 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = match simlint::analyze(&args.root, &cfg) {
-        Ok(d) => d,
+    // Wall time is a bench artifact only — it never enters the JSON
+    // findings, which must stay byte-identical across runs.
+    let started = std::time::Instant::now();
+    let analysis = match simlint::analyze(&args.root, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if let Some(path) = &args.bench {
+        let s = analysis.stats;
+        let json = format!(
+            "{{\"files_scanned\":{},\"fns_in_call_graph\":{},\"resolved_calls\":{},\
+             \"wall_ms\":{wall_ms:.3}}}\n",
+            s.files_scanned, s.fns_in_graph, s.resolved_calls
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &args.write_baseline {
+        let text = simlint::baseline::render(&analysis.diags);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "simlint: wrote {} fingerprint{} to {}",
+            analysis.diags.len(),
+            if analysis.diags.len() == 1 { "" } else { "s" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (diags, baselined) = match apply_baseline(analysis.diags, args.baseline.as_deref()) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("simlint: {e}");
             return ExitCode::from(2);
@@ -99,6 +174,12 @@ fn main() -> ExitCode {
                 if args.deny { " (denied)" } else { "" }
             );
         }
+    }
+    if baselined > 0 {
+        eprintln!(
+            "simlint: {baselined} baselined finding{} suppressed",
+            if baselined == 1 { "" } else { "s" }
+        );
     }
     if args.deny && !diags.is_empty() {
         ExitCode::from(1)

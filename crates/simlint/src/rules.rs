@@ -1,37 +1,32 @@
-//! The lint rules.
+//! The token-local lint rules.
 //!
-//! Three families, all expressed over the token stream:
+//! Two families remain expressed directly over the token stream:
 //!
 //! * **Determinism** (`hash-collections`, `wall-clock`, `ambient-rng`,
 //!   `env-read`) — a simulation whose output depends on hasher seeds,
 //!   wall-clock reads, ambient randomness, or the process environment is
 //!   not reproducible, and reproducibility is the core claim the
 //!   regression tests in this workspace assert (bit-identical reruns).
-//! * **Hot path** (`hot-path-panic`, `hot-path-alloc`) — the per-packet
-//!   functions named in `simlint.toml` must neither panic (`panic!`,
-//!   `.unwrap()`, `.expect()`) nor allocate (`vec!`, `format!`,
-//!   `Box::new`, `.to_string()`, `.collect()`, `.clone()`, …). The paper's
-//!   7 ns disabled-path budget (§4.3) leaves no room for either; `assert!`
-//!   and `debug_assert!` remain permitted as guards.
 //! * **Cast safety** (`cast-truncation`) — `expr as u8/u16/u32` silently
 //!   truncates. Widening casts should spell `u32::from(x)`; intentional
 //!   truncation carries an inline allow naming the invariant that bounds
 //!   the value.
 //!
-//! Suppression is two-level: an inline `// simlint: allow(rule): reason`
-//! comment (same line or the line above the finding), or a file-level
-//! `[allow]` entry in `simlint.toml`.
+//! The hot-path family moved to [`crate::hotpath`], which checks whole
+//! call trees over the [`crate::graph`] instead of single bodies; the
+//! lock-order rule lives in [`crate::locks`]. Findings are emitted
+//! *raw* — suppression (inline and file-level) is applied centrally by
+//! [`crate::suppress`], which is what lets stale allows be audited.
 
-use crate::config::Config;
 use crate::diag::Diagnostic;
-use crate::lexer::{lex, Tok, TokKind};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::lexer::{Tok, TokKind};
 
-/// Which rule families apply to a file.
+/// Which token-local rule families apply to a file.
 #[derive(Debug, Clone, Copy)]
 pub struct FileClass {
     /// Determinism rules (sim crates — including their tests: a flaky
-    /// test is as non-reproducible as a flaky simulation).
+    /// test is as non-reproducible as a flaky simulation). Off in
+    /// `[scan] relaxed` crates.
     pub determinism: bool,
     /// Cast rule (sim crates, excluding `tests/` files and
     /// `#[cfg(test)]` modules: test scaffolding counters are not packet
@@ -39,32 +34,11 @@ pub struct FileClass {
     pub cast: bool,
 }
 
-/// Lints one file. `rel` is the workspace-relative path used in
-/// diagnostics and allowlist matching. Hot functions found in this file
-/// are added to `found_hot` so the caller can report configured-but-
-/// missing ones.
-pub fn check_source(
-    rel: &str,
-    src: &str,
-    cfg: &Config,
-    class: FileClass,
-    found_hot: &mut BTreeSet<String>,
-) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let toks = &lexed.toks;
-    let mut allows: BTreeMap<u32, BTreeSet<&str>> = BTreeMap::new();
-    for (line, rule) in &lexed.allows {
-        allows.entry(*line).or_default().insert(rule.as_str());
-    }
+/// Lints one file's token stream. `rel` is the workspace-relative path
+/// used in diagnostics. Returns unsuppressed findings in token order.
+pub fn check_tokens(rel: &str, toks: &[Tok], class: FileClass) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let mut emit = |d: Diagnostic| {
-        let inline = |l: u32| allows.get(&l).is_some_and(|s| s.contains(d.rule.as_str()));
-        if cfg.file_allowed(&d.rule, rel) || inline(d.line) || (d.line > 1 && inline(d.line - 1)) {
-            return;
-        }
-        diags.push(d);
-    };
-
+    let mut emit = |d: Diagnostic| diags.push(d);
     if class.determinism {
         determinism_pass(rel, toks, &mut emit);
     }
@@ -72,12 +46,10 @@ pub fn check_source(
         let skip = test_mod_ranges(toks);
         cast_pass(rel, toks, &skip, &mut emit);
     }
-    hot_path_pass(rel, toks, cfg, found_hot, &mut emit);
-    diags.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
     diags
 }
 
-fn ident_at<'t>(toks: &'t [Tok], i: usize) -> Option<&'t str> {
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
     toks.get(i)
         .filter(|t| t.kind == TokKind::Ident)
         .map(|t| t.text.as_str())
@@ -89,7 +61,7 @@ fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
 
 /// `toks[i] :: toks[i+3]` — whether a `::` separates token `i` from the
 /// ident two puncts later, returning that ident.
-fn path_seg<'t>(toks: &'t [Tok], i: usize) -> Option<&'t str> {
+fn path_seg(toks: &[Tok], i: usize) -> Option<&str> {
     if punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':') {
         ident_at(toks, i + 3)
     } else {
@@ -255,190 +227,13 @@ fn matching(toks: &[Tok], open: usize, op: char, cl: char) -> Option<usize> {
     None
 }
 
-fn hot_path_pass(
-    rel: &str,
-    toks: &[Tok],
-    cfg: &Config,
-    found_hot: &mut BTreeSet<String>,
-    emit: &mut impl FnMut(Diagnostic),
-) {
-    if cfg.hot_functions.is_empty() {
-        return;
-    }
-    for (qualified, start, end) in impl_fn_bodies(toks) {
-        if !cfg.hot_functions.contains(&qualified) {
-            continue;
-        }
-        found_hot.insert(qualified.clone());
-        scan_hot_body(rel, toks, start, end, &qualified, emit);
-    }
-}
-
-/// Yields `(Type::fn, body_start, body_end)` for every method of every
-/// `impl` block (inherent or trait) in the file.
-fn impl_fn_bodies(toks: &[Tok]) -> Vec<(String, usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if !toks[i].is_ident("impl") {
-            i += 1;
-            continue;
-        }
-        let mut j = i + 1;
-        if punct_at(toks, j, '<') {
-            j = skip_angles(toks, j);
-        }
-        // `impl [Trait for] Type [<…>] [where …] {`: the self type is the
-        // last path segment before generics, after `for` when present.
-        let mut ty = String::new();
-        let mut angle = 0i64;
-        let mut in_where = false;
-        while j < toks.len() && !(angle == 0 && punct_at(toks, j, '{')) {
-            let t = &toks[j];
-            if t.is_punct('<') {
-                angle += 1;
-            } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
-                angle -= 1;
-            } else if angle == 0 && t.kind == TokKind::Ident {
-                match t.text.as_str() {
-                    "for" => ty.clear(),
-                    "where" => in_where = true,
-                    "dyn" => {}
-                    _ if !in_where => ty = t.text.clone(),
-                    _ => {}
-                }
-            } else if angle == 0 && t.is_punct(';') {
-                // `impl Trait for Type;` cannot occur, but bail safely.
-                break;
-            }
-            j += 1;
-        }
-        let Some(impl_close) = matching(toks, j, '{', '}') else {
-            break;
-        };
-        let mut k = j + 1;
-        while k < impl_close {
-            if toks[k].is_ident("fn") {
-                if let Some(name) = ident_at(toks, k + 1) {
-                    let qualified = format!("{ty}::{name}");
-                    // Find the body `{` (or `;` for a bodiless signature).
-                    let mut m = k + 2;
-                    while m < impl_close && !punct_at(toks, m, '{') && !punct_at(toks, m, ';') {
-                        m += 1;
-                    }
-                    if punct_at(toks, m, '{') {
-                        if let Some(close) = matching(toks, m, '{', '}') {
-                            out.push((qualified, m + 1, close));
-                            k = close + 1;
-                            continue;
-                        }
-                    }
-                }
-            }
-            k += 1;
-        }
-        i = impl_close + 1;
-    }
-    out
-}
-
-/// Skips a balanced `<…>` starting at `open`, returning the index after it.
-fn skip_angles(toks: &[Tok], open: usize) -> usize {
-    let mut depth = 0i64;
-    for (k, t) in toks.iter().enumerate().skip(open) {
-        if t.is_punct('<') {
-            depth += 1;
-        } else if t.is_punct('>') && !(k > 0 && toks[k - 1].is_punct('-')) {
-            depth -= 1;
-            if depth == 0 {
-                return k + 1;
-            }
-        }
-    }
-    toks.len()
-}
-
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
-const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
-const ALLOC_METHODS: [&str; 5] = ["to_string", "to_owned", "to_vec", "collect", "clone"];
-const ALLOC_CTORS: [&str; 6] = ["Box", "Vec", "String", "VecDeque", "BTreeMap", "BTreeSet"];
-
-fn scan_hot_body(
-    rel: &str,
-    toks: &[Tok],
-    start: usize,
-    end: usize,
-    qualified: &str,
-    emit: &mut impl FnMut(Diagnostic),
-) {
-    for k in start..end {
-        let t = &toks[k];
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        let name = t.text.as_str();
-        let after_dot = k > 0 && toks[k - 1].is_punct('.');
-        let before_bang = punct_at(toks, k + 1, '!');
-        if PANIC_MACROS.contains(&name) && before_bang {
-            emit(Diagnostic::new(
-                rel,
-                t.line,
-                t.col,
-                "hot-path-panic",
-                format!("`{name}!` in hot function `{qualified}`"),
-                "hot paths must be total: return a sentinel/Option, or guard with debug_assert!",
-            ));
-        } else if (name == "unwrap" || name == "expect") && after_dot {
-            emit(Diagnostic::new(
-                rel,
-                t.line,
-                t.col,
-                "hot-path-panic",
-                format!("`.{name}()` can panic in hot function `{qualified}`"),
-                "hot paths must be total: match the Option/Result explicitly",
-            ));
-        } else if ALLOC_MACROS.contains(&name) && before_bang {
-            emit(Diagnostic::new(
-                rel,
-                t.line,
-                t.col,
-                "hot-path-alloc",
-                format!("`{name}!` allocates in hot function `{qualified}`"),
-                "preallocate in the constructor; the per-packet path must not touch the heap",
-            ));
-        } else if ALLOC_METHODS.contains(&name) && after_dot && punct_at(toks, k + 1, '(') {
-            emit(Diagnostic::new(
-                rel,
-                t.line,
-                t.col,
-                "hot-path-alloc",
-                format!("`.{name}()` allocates in hot function `{qualified}`"),
-                "preallocate in the constructor; the per-packet path must not touch the heap",
-            ));
-        } else if ALLOC_CTORS.contains(&name) {
-            if let Some(ctor) = path_seg(toks, k) {
-                if ctor == "new" || ctor == "with_capacity" || ctor == "from" {
-                    emit(Diagnostic::new(
-                        rel,
-                        t.line,
-                        t.col,
-                        "hot-path-alloc",
-                        format!("`{name}::{ctor}` allocates in hot function `{qualified}`"),
-                        "preallocate in the constructor; the per-packet path must not touch the heap",
-                    ));
-                }
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
-    fn run(src: &str, cfg: &Config, class: FileClass) -> Vec<Diagnostic> {
-        let mut found = BTreeSet::new();
-        check_source("test.rs", src, cfg, class, &mut found)
+    fn run(src: &str, class: FileClass) -> Vec<Diagnostic> {
+        check_tokens("test.rs", &lex(src).toks, class)
     }
 
     fn all() -> FileClass {
@@ -449,79 +244,53 @@ mod tests {
     }
 
     #[test]
-    fn finds_hot_fn_in_generic_impl() {
-        let cfg = Config {
-            hot_functions: vec!["Widget::poll".into()],
-            ..Config::default()
-        };
-        let src = "impl<T: Clone> Widget<T> where T: Send {\n\
-                   fn helper(&self) {}\n\
-                   pub fn poll(&mut self) -> u64 { self.x.unwrap() }\n\
-                   }";
-        let d = run(src, &cfg, all());
-        assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].rule, "hot-path-panic");
-        assert_eq!(d[0].line, 3);
-    }
-
-    #[test]
-    fn trait_impl_uses_self_type() {
-        let cfg = Config {
-            hot_functions: vec!["Engine::next".into()],
-            ..Config::default()
-        };
-        let src = "impl Iterator for Engine { fn next(&mut self) -> Option<u8> { panic!() } }";
-        let d = run(src, &cfg, all());
-        assert_eq!(d.len(), 1, "{d:?}");
-        assert!(d[0].message.contains("Engine::next"));
-    }
-
-    #[test]
-    fn non_hot_fn_may_unwrap() {
-        let cfg = Config {
-            hot_functions: vec!["Widget::poll".into()],
-            ..Config::default()
-        };
-        let src = "impl Widget { fn setup(&self) { self.x.unwrap(); } }";
-        assert!(run(src, &cfg, all()).is_empty());
+    fn wall_clock_and_rng_are_flagged() {
+        let d = run(
+            "fn f() { let t = Instant::now(); let r = thread_rng(); }",
+            all(),
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].rule, "wall-clock");
+        assert_eq!(d[1].rule, "ambient-rng");
     }
 
     #[test]
     fn cfg_test_mod_exempts_casts_not_determinism() {
-        let cfg = Config::default();
         let src = "#[cfg(test)]\nmod tests {\n\
                    fn f(x: u64) -> u32 { x as u32 }\n\
                    fn g() { let m: HashMap<u8, u8> = HashMap::new(); let _ = m; }\n\
                    }";
-        let d = run(src, &cfg, all());
+        let d = run(src, all());
         assert!(d.iter().all(|d| d.rule == "hash-collections"), "{d:?}");
         assert_eq!(d.len(), 2);
     }
 
     #[test]
-    fn inline_allow_on_previous_line() {
-        let cfg = Config::default();
-        let src = "// simlint: allow(wall-clock): bench harness\nlet t = Instant::now();";
-        assert!(run(src, &cfg, all()).is_empty());
+    fn relaxed_class_skips_determinism_and_cast() {
+        let src = "fn f(x: u64) -> u32 { let t = Instant::now(); x as u32 }";
+        let d = run(
+            src,
+            FileClass {
+                determinism: false,
+                cast: false,
+            },
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
-    fn file_allow_suppresses_everywhere() {
-        let cfg = Config {
-            allow: vec![("cast-truncation".into(), "test.rs".into())],
-            ..Config::default()
-        };
-        let src = "fn f(x: u64) -> u32 { x as u32 }";
-        assert!(run(src, &cfg, all()).is_empty());
+    fn findings_are_emitted_raw_even_with_inline_allow() {
+        // Suppression is the suppress module's job now; the pass itself
+        // must keep emitting so the audit can see what an allow covers.
+        let src = "// simlint: allow(wall-clock): bench harness\nlet t = Instant::now();";
+        let d = run(src, all());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "wall-clock");
     }
 
     #[test]
     fn as_u64_is_not_flagged() {
-        let d = run(
-            "fn f(x: u32) -> u64 { x as u64 }",
-            &Config::default(),
-            all(),
-        );
+        let d = run("fn f(x: u32) -> u64 { x as u64 }", all());
         assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -1,8 +1,10 @@
 //! Rule-by-rule fixture tests: every rule must fire on its bad fixture,
-//! and every suppression mechanism (inline allow, file-level config
-//! allow, `tests/` exemption, `#[cfg(test)]` exemption) must suppress.
+//! every suppression mechanism (inline allow, file-level config allow,
+//! `tests/` exemption, `#[cfg(test)]` exemption) must suppress, and the
+//! three interprocedural passes must see through call indirection.
 
-use simlint::{analyze, Config, Diagnostic};
+use simlint::config::FileAllow;
+use simlint::{analyze, render_json, Config, Diagnostic};
 use std::path::PathBuf;
 
 fn fixtures_root() -> PathBuf {
@@ -15,12 +17,14 @@ fn base_config() -> Config {
     Config {
         crates: vec![".".to_string()],
         hot_functions: vec!["Widget::poll".to_string()],
-        allow: Vec::new(),
+        ..Config::default()
     }
 }
 
 fn run(cfg: &Config) -> Vec<Diagnostic> {
-    analyze(&fixtures_root(), cfg).expect("fixture scan must succeed")
+    analyze(&fixtures_root(), cfg)
+        .expect("fixture scan must succeed")
+        .diags
 }
 
 fn has(diags: &[Diagnostic], file: &str, rule: &str, line: u32) -> bool {
@@ -93,8 +97,11 @@ fn cast_rule_fires_and_inline_allow_suppresses() {
 #[test]
 fn file_level_config_allow_suppresses() {
     let mut cfg = base_config();
-    cfg.allow
-        .push(("cast-truncation".to_string(), "casts.rs".to_string()));
+    cfg.allow.push(FileAllow {
+        rule: "cast-truncation".to_string(),
+        path: "casts.rs".to_string(),
+        line: 1,
+    });
     let d = run(&cfg);
     assert!(
         d.iter().all(|d| d.file != "casts.rs"),
@@ -150,4 +157,134 @@ fn nonexistent_crate_dir_is_an_error_not_a_green() {
         ..Config::default()
     };
     assert!(analyze(&fixtures_root(), &cfg).is_err());
+}
+
+#[test]
+fn transitive_panic_three_calls_deep_carries_full_chain() {
+    let mut cfg = base_config();
+    cfg.hot_functions.push("Meter::record".to_string());
+    let d = run(&cfg);
+    let f = "transitive/chain.rs";
+
+    let panic = d
+        .iter()
+        .find(|d| d.file == f && d.rule == "hot-path-panic")
+        .expect("the .unwrap() three calls down must surface");
+    assert_eq!(panic.line, 13, "anchored at the `step_one(...)` call site");
+    assert!(
+        panic.message.contains("`Meter::record`") && panic.message.contains("via `step_one`"),
+        "{}",
+        panic.message
+    );
+    assert_eq!(
+        panic.chain.len(),
+        5,
+        "hot fn + three hops + construct: {:?}",
+        panic.chain
+    );
+    assert!(panic.chain[0].contains("Meter::record"));
+    assert!(panic.chain[1].contains("step_one"));
+    assert!(panic.chain[2].contains("step_two"));
+    assert!(panic.chain[3].contains("step_three"));
+    assert!(panic.chain[4].contains(".unwrap()"));
+
+    let alloc = d
+        .iter()
+        .find(|d| d.file == f && d.rule == "hot-path-alloc")
+        .expect("the format! one call down must surface");
+    assert_eq!(alloc.line, 14, "anchored at the `label(...)` call site");
+    assert!(alloc.message.contains("via `label`"), "{}", alloc.message);
+}
+
+#[test]
+fn transitive_fixture_is_silent_when_its_fn_is_not_hot() {
+    let d = run(&base_config());
+    assert!(
+        d.iter().all(|d| d.file != "transitive/chain.rs"),
+        "nothing in chain.rs is hot under the base config: {d:?}"
+    );
+}
+
+#[test]
+fn two_mutex_lock_order_cycle_fires_on_both_edges() {
+    let d = run(&base_config());
+    let f = "locks/cycle.rs";
+    assert!(has(&d, f, "lock-cycle", 15), "a→b edge, anchored at b");
+    assert!(has(&d, f, "lock-cycle", 21), "b→a edge, anchored at a");
+    let cycle = d
+        .iter()
+        .find(|d| d.file == f && d.rule == "lock-cycle" && d.line == 15)
+        .unwrap();
+    assert!(
+        cycle.message.contains("Pair::a") && cycle.message.contains("Pair::b"),
+        "{}",
+        cycle.message
+    );
+    assert!(
+        !cycle.chain.is_empty(),
+        "cycle findings carry the acquisition chain"
+    );
+}
+
+#[test]
+fn consistent_lock_hierarchy_is_not_a_finding() {
+    let d = run(&base_config());
+    assert!(
+        d.iter().all(|d| d.file != "locks/hierarchy.rs"),
+        "coarse-before-fine everywhere is a clean hierarchy: {d:?}"
+    );
+}
+
+#[test]
+fn stale_allow_is_flagged_at_its_directive_line() {
+    let d = run(&base_config());
+    let f = "suppress/unused_allow.rs";
+    let unused: Vec<&Diagnostic> = d
+        .iter()
+        .filter(|d| d.file == f && d.rule == "unused-allow")
+        .collect();
+    assert_eq!(unused.len(), 1, "only the stale allow: {unused:?}");
+    assert_eq!(unused[0].line, 5, "anchored at the directive, not the fn");
+    assert!(
+        unused[0].message.contains("wall-clock"),
+        "{}",
+        unused[0].message
+    );
+    // The live cast allow two functions down stays legal and silent.
+    assert!(
+        !d.iter().any(|d| d.file == f && d.line > 5),
+        "used allow must not be audited: {d:?}"
+    );
+}
+
+/// Golden `--json` snapshot over the interprocedural fixtures: the
+/// rendered output — chains, fingerprints, ordering — must match the
+/// checked-in snapshot byte-for-byte, and a second analysis of the same
+/// tree must render identically (fingerprint stability is what makes
+/// `simlint.baseline` diffing trustworthy).
+#[test]
+fn golden_json_snapshot_and_fingerprint_stability() {
+    let cfg = Config {
+        crates: vec![
+            "locks".to_string(),
+            "suppress".to_string(),
+            "transitive".to_string(),
+        ],
+        hot_functions: vec!["Meter::record".to_string()],
+        ..Config::default()
+    };
+    let first = render_json(&run(&cfg));
+    let second = render_json(&run(&cfg));
+    assert_eq!(first, second, "two runs must render byte-identically");
+
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_fixtures.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden snapshot is checked in");
+    assert_eq!(
+        first,
+        golden.trim_end(),
+        "JSON output drifted from tests/golden_fixtures.json — if the \
+         change is intentional, regenerate the snapshot"
+    );
 }

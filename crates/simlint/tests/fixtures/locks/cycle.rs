@@ -1,0 +1,24 @@
+//! Fixture: the classic two-mutex deadlock — `forward` takes a then b,
+//! `reverse` takes b then a. Each order alone is fine; together they
+//! form a cycle in the lock-acquisition graph.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn reverse(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+}

@@ -1,0 +1,43 @@
+//! Fixture: a clean nested-lock hierarchy — both paths take `coarse`
+//! before `fine`, a third narrows its guard scope so the locks never
+//! overlap, and a fourth releases explicitly with `drop`. A consistent
+//! order is not a finding.
+
+use std::sync::Mutex;
+
+pub struct Tiered {
+    coarse: Mutex<u64>,
+    fine: Mutex<u64>,
+}
+
+impl Tiered {
+    pub fn read_both(&self) -> u64 {
+        let c = self.coarse.lock().unwrap();
+        let f = self.fine.lock().unwrap();
+        *c + *f
+    }
+
+    pub fn write_both(&self, v: u64) {
+        let mut c = self.coarse.lock().unwrap();
+        *c = v;
+        let mut f = self.fine.lock().unwrap();
+        *f = v;
+    }
+
+    pub fn scoped(&self, v: u64) -> u64 {
+        {
+            let mut f = self.fine.lock().unwrap();
+            *f = v;
+        }
+        let c = self.coarse.lock().unwrap();
+        *c
+    }
+
+    pub fn dropped(&self, v: u64) -> u64 {
+        let mut f = self.fine.lock().unwrap();
+        *f = v;
+        drop(f);
+        let c = self.coarse.lock().unwrap();
+        *c
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a stale suppression. The `Instant::now()` this allow once
+//! excused was deleted, so the directive covers nothing — and a
+//! suppression that suppresses nothing is a silently-disabled invariant.
+
+// simlint: allow(wall-clock): timing readout (stale — the read is gone)
+pub fn elapsed_placeholder() -> u64 {
+    42
+}
+
+pub fn used_allow_stays_legal() -> u64 {
+    // simlint: allow(cast-truncation): masked to 16 bits
+    let x = (0x1_2345u64 & 0xffff) as u16;
+    u64::from(x)
+}

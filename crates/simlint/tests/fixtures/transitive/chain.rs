@@ -1,0 +1,33 @@
+//! Fixture: the hot function `Meter::record` is locally spotless — every
+//! construct in its body passes the v1 token scan — but it reaches a
+//! panic three calls down and an allocation one call down. Only the
+//! call-graph pass can see either.
+
+pub struct Meter {
+    total: u64,
+    name_len: usize,
+}
+
+impl Meter {
+    pub fn record(&mut self, v: u64) -> u64 {
+        self.total = step_one(self.total, v);
+        self.name_len = label(self.total).len();
+        self.total
+    }
+}
+
+fn step_one(acc: u64, v: u64) -> u64 {
+    step_two(acc, v)
+}
+
+fn step_two(acc: u64, v: u64) -> u64 {
+    step_three(acc, v)
+}
+
+fn step_three(acc: u64, v: u64) -> u64 {
+    acc.checked_add(v).unwrap()
+}
+
+fn label(acc: u64) -> String {
+    format!("meter-{acc}")
+}

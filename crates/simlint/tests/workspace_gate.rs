@@ -14,10 +14,15 @@ fn workspace_is_lint_clean() {
         !cfg.crates.is_empty() && !cfg.hot_functions.is_empty(),
         "config must actually cover something"
     );
-    let diags = simlint::analyze(&root, &cfg).expect("scan succeeds");
+    let analysis = simlint::analyze(&root, &cfg).expect("scan succeeds");
     assert!(
-        diags.is_empty(),
+        analysis.diags.is_empty(),
         "workspace must be simlint-clean:\n{}",
-        simlint::render_human(&diags)
+        simlint::render_human(&analysis.diags)
     );
+    // The scan must actually have covered the workspace: every crate
+    // contributes files, and the call graph resolved real edges.
+    assert!(analysis.stats.files_scanned > 30, "{:?}", analysis.stats);
+    assert!(analysis.stats.fns_in_graph > 300, "{:?}", analysis.stats);
+    assert!(analysis.stats.resolved_calls > 300, "{:?}", analysis.stats);
 }
