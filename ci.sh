@@ -12,6 +12,12 @@ echo "==> simlint --deny (baseline-gated, bench artifact)"
 # wall time so analyzer slowdowns show up in CI history.
 cargo run -q -p simlint -- --deny --baseline simlint.baseline --bench BENCH_simlint.json
 grep -q '"files_scanned"' BENCH_simlint.json
+# The dataflow tier (units/float passes) must actually have run: the
+# bench artifact carries its counters, and a workspace where no
+# function carries a dimension or the float fact would mean the passes
+# were silently disabled.
+grep -q '"float_tainted_fns"' BENCH_simlint.json
+grep -q '"dimension_facts"' BENCH_simlint.json
 
 echo "==> clippy"
 # clippy may be absent on minimal toolchains; the simlint + test gates

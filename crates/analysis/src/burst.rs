@@ -5,6 +5,7 @@
 //! not typically result in buffering."
 
 use millisampler::HostSeries;
+use ms_dcsim::{Bps, Bytes, Ns};
 
 /// A detected burst on one server's ingress series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,13 +35,13 @@ impl Burst {
 }
 
 /// The burst threshold in bytes per bucket: 50 % of line rate.
-pub fn burst_threshold(interval: ms_dcsim::Ns, link_bps: u64) -> u64 {
-    interval.bytes_at_rate(link_bps) / 2
+pub fn burst_threshold(interval: Ns, link: Bps) -> Bytes {
+    interval.bytes_at_rate(link) / 2
 }
 
 /// Detects bursts on one host's ingress series.
-pub fn detect_bursts(series: &HostSeries, link_bps: u64) -> Vec<Burst> {
-    let threshold = burst_threshold(series.interval, link_bps);
+pub fn detect_bursts(series: &HostSeries, link: Bps) -> Vec<Burst> {
+    let threshold = burst_threshold(series.interval, link).as_u64();
     let mut out = Vec::new();
     let mut current: Option<Burst> = None;
     for (i, &bytes) in series.in_bytes.iter().enumerate() {
@@ -75,19 +76,19 @@ pub fn detect_bursts(series: &HostSeries, link_bps: u64) -> Vec<Burst> {
 
 /// Whether any sample of `series` is bursty — "bursty server runs" in
 /// Table 1's accounting.
-pub fn is_bursty_run(series: &HostSeries, link_bps: u64) -> bool {
-    let threshold = burst_threshold(series.interval, link_bps);
+pub fn is_bursty_run(series: &HostSeries, link: Bps) -> bool {
+    let threshold = burst_threshold(series.interval, link).as_u64();
     series.in_bytes.iter().any(|&b| b > threshold)
 }
 
 /// Fraction of the run's ingress bytes carried inside bursts (§5 reports
 /// 49.7 % for the production dataset).
-pub fn bytes_in_bursts_fraction(series: &HostSeries, link_bps: u64) -> f64 {
+pub fn bytes_in_bursts_fraction(series: &HostSeries, link: Bps) -> f64 {
     let total: u64 = series.in_bytes.iter().sum();
     if total == 0 {
         return 0.0;
     }
-    let bursts = detect_bursts(series, link_bps);
+    let bursts = detect_bursts(series, link);
     let in_bursts: u64 = bursts.iter().map(|b| b.bytes).sum();
     in_bursts as f64 / total as f64
 }
@@ -95,8 +96,8 @@ pub fn bytes_in_bursts_fraction(series: &HostSeries, link_bps: u64) -> f64 {
 /// Mean per-sample connection estimates inside vs. outside bursts
 /// (Fig. 8). Returns `(inside, outside)`; either is NaN when that side has
 /// no samples.
-pub fn conns_inside_outside(series: &HostSeries, link_bps: u64) -> (f64, f64) {
-    let threshold = burst_threshold(series.interval, link_bps);
+pub fn conns_inside_outside(series: &HostSeries, link: Bps) -> (f64, f64) {
+    let threshold = burst_threshold(series.interval, link).as_u64();
     let mut inside = (0u64, 0usize);
     let mut outside = (0u64, 0usize);
     for (i, &bytes) in series.in_bytes.iter().enumerate() {
@@ -121,9 +122,7 @@ pub fn conns_inside_outside(series: &HostSeries, link_bps: u64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ms_dcsim::Ns;
-
-    const LINK: u64 = 12_500_000_000;
+    const LINK: Bps = Bps(12_500_000_000);
     /// 50% of 12.5 Gbps over 1 ms.
     const THRESH: u64 = 781_250;
 
@@ -136,7 +135,7 @@ mod tests {
 
     #[test]
     fn threshold_is_half_line_rate() {
-        assert_eq!(burst_threshold(Ns::from_millis(1), LINK), THRESH);
+        assert_eq!(burst_threshold(Ns::from_millis(1), LINK), Bytes(THRESH));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::burst::{detect_bursts, is_bursty_run, Burst};
 use crate::contention::{contention_series, ContentionStats};
 use millisampler::AlignedRackRun;
+use ms_dcsim::Bps;
 
 /// A burst with its §8 classification attached.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,8 +82,8 @@ pub struct RunAnalysis {
 /// retransmission is still attributed to the burst — RTT-to-RTO scale
 /// (default recommendation: 5 buckets at 1 ms, covering the 4 ms
 /// datacenter min-RTO).
-pub fn analyze_run(run: &AlignedRackRun, link_bps: u64, loss_slack: usize) -> RunAnalysis {
-    let contention = contention_series(run, link_bps);
+pub fn analyze_run(run: &AlignedRackRun, link: Bps, loss_slack: usize) -> RunAnalysis {
+    let contention = contention_series(run, link);
     let contention_stats = ContentionStats::from_series(&contention);
     let n = run.len();
 
@@ -93,16 +94,16 @@ pub fn analyze_run(run: &AlignedRackRun, link_bps: u64, loss_slack: usize) -> Ru
     let mut total_in = 0u64;
     let mut total_retx = 0u64;
 
-    let threshold = crate::burst::burst_threshold(run.interval, link_bps);
-    let capacity = run.interval.bytes_at_rate(link_bps).max(1) as f64;
+    let threshold = crate::burst::burst_threshold(run.interval, link).as_u64();
+    let capacity = run.interval.bytes_at_rate(link).as_u64().max(1) as f64;
 
     for server in &run.servers {
         total_in += server.total_in_bytes();
         total_retx += server.total_in_retx();
         if server.total_in_bytes() > 0 {
             active_servers += 1;
-            let server_bursts = detect_bursts(server, link_bps);
-            let (conns_in, conns_out) = crate::burst::conns_inside_outside(server, link_bps);
+            let server_bursts = detect_bursts(server, link);
+            let (conns_in, conns_out) = crate::burst::conns_inside_outside(server, link);
             let mut in_sum = (0u64, 0usize);
             let mut out_sum = (0u64, 0usize);
             for &b in &server.in_bytes {
@@ -122,17 +123,17 @@ pub fn analyze_run(run: &AlignedRackRun, link_bps: u64, loss_slack: usize) -> Ru
             server_runs.push(ServerRunStats {
                 server: server.host as usize,
                 bursts: server_bursts.len(),
-                avg_utilization: server.avg_utilization(link_bps),
+                avg_utilization: server.avg_utilization(link),
                 util_inside_bursts: util(in_sum),
                 util_outside_bursts: util(out_sum),
                 conns_inside: conns_in,
                 conns_outside: conns_out,
             });
         }
-        if is_bursty_run(server, link_bps) {
+        if is_bursty_run(server, link) {
             bursty_servers += 1;
         }
-        for burst in detect_bursts(server, link_bps) {
+        for burst in detect_bursts(server, link) {
             let max_contention = contention[burst.start..burst.end()]
                 .iter()
                 .copied()
@@ -197,7 +198,7 @@ mod tests {
     use millisampler::HostSeries;
     use ms_dcsim::Ns;
 
-    const LINK: u64 = 12_500_000_000;
+    const LINK: Bps = Bps(12_500_000_000);
     const HI: u64 = 800_000;
 
     fn make_run(data: Vec<(Vec<u64>, Vec<u64>)>) -> AlignedRackRun {

@@ -7,10 +7,11 @@
 
 use crate::burst::burst_threshold;
 use millisampler::AlignedRackRun;
+use ms_dcsim::Bps;
 
 /// The per-sample contention series for an aligned rack run.
-pub fn contention_series(run: &AlignedRackRun, link_bps: u64) -> Vec<u32> {
-    let threshold = burst_threshold(run.interval, link_bps);
+pub fn contention_series(run: &AlignedRackRun, link: Bps) -> Vec<u32> {
+    let threshold = burst_threshold(run.interval, link).as_u64();
     let n = run.len();
     let mut out = vec![0u32; n];
     for server in &run.servers {
@@ -94,7 +95,7 @@ mod tests {
     use millisampler::HostSeries;
     use ms_dcsim::Ns;
 
-    const LINK: u64 = 12_500_000_000;
+    const LINK: Bps = Bps(12_500_000_000);
     const HI: u64 = 800_000; // > 781,250 threshold
 
     fn run(servers: Vec<Vec<u64>>) -> AlignedRackRun {

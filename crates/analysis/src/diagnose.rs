@@ -8,6 +8,7 @@
 //! those signatures as detectors over [`HostSeries`] runs.
 
 use millisampler::HostSeries;
+use ms_dcsim::Bps;
 
 /// A diagnostic finding over a window of samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,12 +50,12 @@ pub enum FindingKind {
 /// `max_utilization` (e.g. 0.10).
 pub fn loss_at_low_utilization(
     series: &HostSeries,
-    link_bps: u64,
+    link: Bps,
     window: usize,
     max_utilization: f64,
 ) -> Vec<Finding> {
     assert!(window > 0);
-    let capacity = series.interval.bytes_at_rate(link_bps).max(1) as f64;
+    let capacity = series.interval.bytes_at_rate(link).as_u64().max(1) as f64;
     let mut out = Vec::new();
     let n = series.len();
     let mut i = 0;
@@ -121,7 +122,7 @@ mod tests {
     use super::*;
     use ms_dcsim::Ns;
 
-    const LINK: u64 = 12_500_000_000;
+    const LINK: Bps = Bps(12_500_000_000);
 
     fn series(in_bytes: Vec<u64>, in_retx: Vec<u64>) -> HostSeries {
         let n = in_bytes.len();

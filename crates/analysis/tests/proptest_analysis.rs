@@ -11,7 +11,7 @@ use ms_analysis::stats::Cdf;
 use ms_analysis::{analyze_run, Burst};
 use ms_dcsim::{Ns, SimRng};
 
-const LINK: u64 = 12_500_000_000;
+const LINK: ms_dcsim::Bps = ms_dcsim::Bps(12_500_000_000);
 
 fn series_from(host: u32, values: Vec<u64>) -> HostSeries {
     let mut s = HostSeries::zeroed(host, Ns::ZERO, Ns::from_millis(1), values.len());
@@ -35,7 +35,7 @@ fn bursts_partition_above_threshold_samples() {
     for _ in 0..128 {
         let values = random_values(&mut rng, 1, 199);
         let s = series_from(0, values.clone());
-        let threshold = burst_threshold(s.interval, LINK);
+        let threshold = burst_threshold(s.interval, LINK).as_u64();
         let bursts = detect_bursts(&s, LINK);
         // Every above-threshold sample is covered by exactly one burst;
         // every burst sample is above threshold.
@@ -87,7 +87,7 @@ fn contention_equals_per_sample_bursty_count() {
             interval: Ns::from_millis(1),
             servers,
         };
-        let threshold = burst_threshold(run.interval, LINK);
+        let threshold = burst_threshold(run.interval, LINK).as_u64();
         let contention = contention_series(&run, LINK);
         for i in 0..30 {
             let expect = rows.iter().filter(|r| r[i] > threshold).count() as u32;
@@ -128,7 +128,7 @@ fn classified_bursts_consistent_with_run() {
         let expect_in: u64 = rows.iter().flatten().sum();
         assert_eq!(a.total_in_bytes, expect_in);
         // bursty_servers counts rows with any above-threshold sample.
-        let threshold = burst_threshold(run.interval, LINK);
+        let threshold = burst_threshold(run.interval, LINK).as_u64();
         let expect_bursty = rows
             .iter()
             .filter(|r| r.iter().any(|&v| v > threshold))

@@ -15,12 +15,12 @@
 //! 5. **Sketch width** — estimate error vs. true flow counts for 64/128/
 //!    256-bit direct bitmaps and the multiresolution variant.
 
-use ms_dcsim::{Ns, SharingPolicy};
+use ms_dcsim::{Bps, Bytes, Ns, SharingPolicy};
 use ms_sketch::{mix64, FlowSketch, MultiresBitmap};
 use ms_transport::CcAlgorithm;
 use ms_workload::{FlowSpec, ScenarioBuilder};
 
-fn incast(dst: usize, conns: u32, bytes: u64, paced: Option<u64>) -> FlowSpec {
+fn incast(dst: usize, conns: u32, bytes: u64, paced: Option<Bps>) -> FlowSpec {
     FlowSpec {
         dst_server: dst,
         connections: conns,
@@ -98,7 +98,7 @@ fn ecn_sweep() {
     );
     for kb in [30u64, 60, 120, 240, 480] {
         let mut b = ScenarioBuilder::new(8, 7);
-        b.ecn_threshold(kb * 1024);
+        b.ecn_threshold(Bytes(kb * 1024));
         contended(&mut b);
         let report = b.build().run_sync_window(0);
         let ecn: u64 = report
@@ -118,7 +118,7 @@ fn smoothing_ablation() {
         "{:>10} {:>16} {:>12}",
         "paced", "discard_bytes", "completed"
     );
-    for (name, pace) in [("off", None), ("10Gbps", Some(10_000_000_000u64))] {
+    for (name, pace) in [("off", None), ("10Gbps", Some(Bps(10_000_000_000)))] {
         let mut b = ScenarioBuilder::new(8, 11);
         b.buckets(300).warmup(Ns::from_millis(10));
         // Six "trainers" receive synchronized 10MB steps.
@@ -168,8 +168,8 @@ fn sampling_interval_ablation() {
             }
             let report = b.build().run_sync_window(0);
             let Some(run) = report.rack_run else { continue };
-            let bursts = detect_bursts(&run.servers[2], 12_500_000_000).len();
-            let cap = interval.bytes_at_rate(12_500_000_000).max(1);
+            let bursts = detect_bursts(&run.servers[2], Bps(12_500_000_000)).len();
+            let cap = interval.bytes_at_rate(Bps(12_500_000_000)).as_u64().max(1);
             let max_rate = run.servers[2]
                 .in_bytes
                 .iter()
@@ -230,13 +230,13 @@ fn fabric_hop_ablation() {
     );
     for (name, pace, hop) in [
         ("none", None, None),
-        ("pacer_11Gbps", Some(11_000_000_000u64), None),
+        ("pacer_11Gbps", Some(Bps(11_000_000_000)), None),
         (
             "fabric_trunk_25Gbps",
             None,
             Some(FabricHopConfig {
-                rate_bps: 25_000_000_000,
-                buffer_bytes: 24 * 1024 * 1024,
+                rate_bps: Bps(25_000_000_000),
+                buffer_bytes: Bytes::from_mib(24),
             }),
         ),
     ] {

@@ -8,7 +8,7 @@ use ms_bench::report::{f3, Report};
 use ms_dcsim::Ns;
 use ms_workload::placement::RegionKind;
 use ms_workload::tools::{schedule_burst_requests, schedule_multicast_validation};
-use ms_workload::ScenarioBuilder;
+use ms_workload::{Bps, ScenarioBuilder};
 
 /// Fig. 1: `T(S) = α/(1+αS)` for α ∈ {0.25, 0.5, 1, 2, 4}, S = 1..10.
 pub fn fig1(ctx: &mut Ctx) {
@@ -53,7 +53,7 @@ pub fn fig3(ctx: &mut Ctx) {
         19,
         800,
         1500,
-        2_000_000_000,
+        Bps(2_000_000_000),
     );
     let report = scenario.build().run_sync_window(0);
     let run = report.rack_run.expect("validation rack produced data");
@@ -137,7 +137,7 @@ pub fn fig4(ctx: &mut Ctx) {
     }
     let report = scenario.build().run_sync_window(0);
     let run = report.rack_run.expect("burst traffic sampled");
-    let contention = contention_series(&run, 12_500_000_000);
+    let contention = contention_series(&run, Bps(12_500_000_000));
 
     let mut r = Report::new("fig4", &["sample_ms", "bursty_servers"]);
     for (i, &c) in contention.iter().enumerate() {

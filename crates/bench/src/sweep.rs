@@ -54,8 +54,8 @@ impl SweepConfig {
     }
 
     /// Server link rate used by the analyses.
-    pub fn link_bps(&self) -> u64 {
-        12_500_000_000
+    pub fn link_bps(&self) -> ms_workload::Bps {
+        ms_workload::Bps(12_500_000_000)
     }
 }
 

@@ -17,6 +17,7 @@
 use crate::link::Link;
 use crate::packet::FlowId;
 use crate::time::Ns;
+use ms_units::Bps;
 
 /// Index of a host within its rack (also its ToR egress queue index).
 pub type HostId = u32;
@@ -51,15 +52,15 @@ pub struct Host {
 }
 
 impl Host {
-    /// Creates a host. `uplink_rate_bps` is the server link rate toward the
+    /// Creates a host. `uplink_rate` is the server link rate toward the
     /// ToR (12.5 Gbps for the studied server type).
-    pub fn new(id: HostId, num_cpus: usize, uplink_rate_bps: u64, uplink_delay: Ns) -> Self {
+    pub fn new(id: HostId, num_cpus: usize, uplink_rate: Bps, uplink_delay: Ns) -> Self {
         assert!(num_cpus > 0, "host needs at least one CPU");
         Host {
             id,
             num_cpus,
             clock_offset_ns: 0,
-            uplink: Link::new(uplink_rate_bps, uplink_delay),
+            uplink: Link::new(uplink_rate, uplink_delay),
             stats: HostStats::default(),
             stall: None,
         }
@@ -144,7 +145,7 @@ mod tests {
 
     #[test]
     fn clock_offset_applies() {
-        let mut h = Host::new(0, 4, 12_500_000_000, Ns::from_micros(1));
+        let mut h = Host::new(0, 4, Bps(12_500_000_000), Ns::from_micros(1));
         h.set_clock_offset(500_000); // +0.5ms
         assert_eq!(h.local_clock(Ns::from_millis(1)), Ns(1_500_000));
         h.set_clock_offset(-500_000);
@@ -153,14 +154,14 @@ mod tests {
 
     #[test]
     fn negative_clock_saturates_at_zero() {
-        let mut h = Host::new(0, 4, 1_000_000_000, Ns::ZERO);
+        let mut h = Host::new(0, 4, Bps(1_000_000_000), Ns::ZERO);
         h.set_clock_offset(-1_000_000);
         assert_eq!(h.local_clock(Ns(100)), Ns::ZERO);
     }
 
     #[test]
     fn rss_spreads_flows_over_cpus() {
-        let h = Host::new(0, 4, 1_000_000_000, Ns::ZERO);
+        let h = Host::new(0, 4, Bps(1_000_000_000), Ns::ZERO);
         let mut seen = [false; 4];
         for i in 0..64 {
             seen[h.rss_cpu(FlowId(i))] = true;
@@ -170,7 +171,7 @@ mod tests {
 
     #[test]
     fn rss_is_stable_per_flow() {
-        let h = Host::new(0, 4, 1_000_000_000, Ns::ZERO);
+        let h = Host::new(0, 4, Bps(1_000_000_000), Ns::ZERO);
         let cpu = h.rss_cpu(FlowId(42));
         for _ in 0..10 {
             assert_eq!(h.rss_cpu(FlowId(42)), cpu);
@@ -179,7 +180,7 @@ mod tests {
 
     #[test]
     fn stall_window_is_half_open() {
-        let mut h = Host::new(0, 1, 1_000_000_000, Ns::ZERO);
+        let mut h = Host::new(0, 1, Bps(1_000_000_000), Ns::ZERO);
         h.set_stall(Ns(100), Ns(200));
         assert!(!h.is_stalled(Ns(99)));
         assert!(h.is_stalled(Ns(100)));
@@ -189,7 +190,7 @@ mod tests {
 
     #[test]
     fn nic_counters_accumulate() {
-        let mut h = Host::new(0, 1, 1_000_000_000, Ns::ZERO);
+        let mut h = Host::new(0, 1, Bps(1_000_000_000), Ns::ZERO);
         h.note_rx(1500);
         h.note_rx(1500);
         h.note_tx(64);

@@ -50,6 +50,7 @@ pub use link::Link;
 /// Re-exported from `ms-telemetry`: the drop taxonomy shared by
 /// [`EnqueueOutcome`] and the trace bus, and the shared telemetry handle.
 pub use ms_telemetry::{DropReason, SharedTelemetry, TraceEvent};
+pub use ms_units::{Bps, Bytes};
 pub use packet::{Direction, EcnCodepoint, FlowId, Packet, PacketKind};
 pub use rng::SimRng;
 pub use switch::{EnqueueOutcome, SharedBufferSwitch, SharingPolicy, SwitchConfig};

@@ -11,8 +11,22 @@
 //! windows at the hosts. Where a sender could otherwise offer unbounded
 //! packets (e.g. the fabric-side pacer), callers use [`Link::idle_at`] to
 //! self-clock.
+//!
+//! All timing arithmetic here is exact integer math: the pacer's token
+//! bucket counts in *bit-nanoseconds* (bytes × 8 × 10⁹) so refill and
+//! deficit computations divide evenly by any bps rate with a single final
+//! ceil-division, never a float. This is what makes the pacer schedule
+//! byte-identical across runs and platforms (the previous f64 bucket was
+//! within 1 ns of these values but not reproducibly so).
 
 use crate::time::Ns;
+use ms_units::{Bps, Bytes};
+
+/// Token-bucket scale factor: one byte of credit = 8 × 10⁹ bucket units.
+/// At this scale, `dt_ns × rate_bps` *is* the refill in bucket units and
+/// `deficit / rate_bps` (ceil) is the wait in whole nanoseconds — both
+/// exact.
+const TOKEN_SCALE: u128 = 8_000_000_000;
 
 /// Counters every link maintains; cheap enough to keep always-on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,27 +40,27 @@ pub struct LinkStats {
 /// A unidirectional link with a fixed rate and propagation delay.
 #[derive(Debug, Clone)]
 pub struct Link {
-    rate_bps: u64,
+    rate: Bps,
     prop_delay: Ns,
     busy_until: Ns,
     stats: LinkStats,
 }
 
 impl Link {
-    /// Creates a link. `rate_bps` must be positive.
-    pub fn new(rate_bps: u64, prop_delay: Ns) -> Self {
-        assert!(rate_bps > 0, "link rate must be positive");
+    /// Creates a link. `rate` must be positive.
+    pub fn new(rate: Bps, prop_delay: Ns) -> Self {
+        assert!(rate.is_positive(), "link rate must be positive");
         Link {
-            rate_bps,
+            rate,
             prop_delay,
             busy_until: Ns::ZERO,
             stats: LinkStats::default(),
         }
     }
 
-    /// The link rate in bits per second.
-    pub fn rate_bps(&self) -> u64 {
-        self.rate_bps
+    /// The link rate.
+    pub fn rate(&self) -> Bps {
+        self.rate
     }
 
     /// The propagation delay.
@@ -76,10 +90,10 @@ impl Link {
     /// the arrival event (sans-io: the link never touches the event queue).
     pub fn transmit(&mut self, now: Ns, size: u32) -> (Ns, Ns) {
         let start = self.busy_until.max(now);
-        let departed = start + Ns::tx_time(size as u64, self.rate_bps);
+        let departed = start + Ns::tx_time(Bytes(u64::from(size)), self.rate);
         self.busy_until = departed;
         self.stats.packets += 1;
-        self.stats.bytes += size as u64;
+        self.stats.bytes += u64::from(size);
         let arrived = departed + self.prop_delay;
         (departed, arrived)
     }
@@ -97,38 +111,55 @@ impl Link {
 ///
 /// The pacer answers one question: *given the pacing rate, at what time may
 /// the next `size`-byte packet be released?* Callers hold packets until then.
+///
+/// Token accounting is pure integer arithmetic in bucket units of
+/// [`TOKEN_SCALE`] per byte (see the module docs): signed `i128` tokens so
+/// the bucket may run a deficit, `u128` intermediates so no realistic
+/// `rate × dt` product can overflow.
 #[derive(Debug, Clone)]
 pub struct Pacer {
-    rate_bps: u64,
-    /// Maximum burst the bucket may accumulate, in bytes.
-    burst_bytes: u64,
-    /// Tokens available at `updated`.
-    tokens: f64,
+    rate: Bps,
+    /// Maximum burst the bucket may accumulate.
+    burst: Bytes,
+    /// Tokens available at `updated`, in bucket units (byte × `TOKEN_SCALE`).
+    /// Negative while the bucket is in deficit.
+    tokens: i128,
     updated: Ns,
 }
 
 impl Pacer {
-    /// Creates a pacer at `rate_bps` allowing bursts of `burst_bytes`.
-    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
-        assert!(rate_bps > 0, "pacing rate must be positive");
+    /// Creates a pacer at `rate` allowing bursts of `burst` bytes.
+    pub fn new(rate: Bps, burst: Bytes) -> Self {
+        assert!(rate.is_positive(), "pacing rate must be positive");
         Pacer {
-            rate_bps,
-            burst_bytes,
-            tokens: burst_bytes as f64,
+            rate,
+            burst,
+            tokens: Pacer::scaled(burst),
             updated: Ns::ZERO,
         }
     }
 
-    /// The pacing rate in bits per second.
-    pub fn rate_bps(&self) -> u64 {
-        self.rate_bps
+    /// The pacing rate.
+    pub fn rate(&self) -> Bps {
+        self.rate
+    }
+
+    /// A byte count in bucket units.
+    fn scaled(bytes: Bytes) -> i128 {
+        bytes.as_u64() as i128 * TOKEN_SCALE as i128
     }
 
     fn refill(&mut self, now: Ns) {
         if now > self.updated {
-            let dt = (now - self.updated).as_nanos() as f64;
-            self.tokens =
-                (self.tokens + dt * self.rate_bps as f64 / 8e9).min(self.burst_bytes as f64);
+            let dt = (now - self.updated).as_nanos();
+            // dt_ns × rate_bps is the credit earned, already in bucket
+            // units: (bits/s × ns) × (scale / 8e9) = bytes × scale.
+            let earned = dt as u128 * self.rate.as_u64() as u128;
+            let cap = Pacer::scaled(self.burst);
+            self.tokens = self
+                .tokens
+                .saturating_add(i128::try_from(earned).unwrap_or(i128::MAX))
+                .min(cap);
             self.updated = now;
         }
     }
@@ -140,20 +171,22 @@ impl Pacer {
     /// rates for packets larger than the configured burst.
     pub fn release_at(&mut self, now: Ns, size: u32) -> Ns {
         self.refill(now);
-        self.tokens -= size as f64;
-        if self.tokens >= 0.0 {
+        self.tokens -= Pacer::scaled(Bytes(u64::from(size)));
+        if self.tokens >= 0 {
             now
         } else {
-            // Time until the deficit refills.
-            let deficit_bytes = -self.tokens;
-            let wait_ns = deficit_bytes * 8e9 / self.rate_bps as f64;
-            now + Ns(wait_ns.ceil() as u64)
+            // Time until the deficit refills: deficit is in bucket units
+            // (byte-bits × 1e9), so dividing by the rate in bits/s gives
+            // whole nanoseconds; round up so we never release early.
+            let deficit = self.tokens.unsigned_abs();
+            let wait_ns = deficit.div_ceil(self.rate.as_u64() as u128);
+            now + Ns(u64::try_from(wait_ns).unwrap_or(u64::MAX))
         }
     }
 
     /// Resets to a full bucket at time zero.
     pub fn reset(&mut self) {
-        self.tokens = self.burst_bytes as f64;
+        self.tokens = Pacer::scaled(self.burst);
         self.updated = Ns::ZERO;
     }
 }
@@ -166,7 +199,7 @@ mod tests {
 
     #[test]
     fn back_to_back_serialization() {
-        let mut l = Link::new(12 * GBPS + 500_000_000, Ns::from_micros(1));
+        let mut l = Link::new(Bps(12 * GBPS + 500_000_000), Ns::from_micros(1));
         // 1500B at 12.5G = 960ns.
         let (d1, a1) = l.transmit(Ns::ZERO, 1500);
         assert_eq!(d1, Ns(960));
@@ -178,7 +211,7 @@ mod tests {
 
     #[test]
     fn idle_wire_transmits_immediately() {
-        let mut l = Link::new(100 * GBPS, Ns::ZERO);
+        let mut l = Link::new(Bps::from_gbps(100), Ns::ZERO);
         l.transmit(Ns::ZERO, 1500);
         // Offer the next packet long after the first completed.
         let (d, _) = l.transmit(Ns::from_millis(1), 1500);
@@ -187,7 +220,7 @@ mod tests {
 
     #[test]
     fn link_counts_bytes_and_packets() {
-        let mut l = Link::new(GBPS, Ns::ZERO);
+        let mut l = Link::new(Bps(GBPS), Ns::ZERO);
         l.transmit(Ns::ZERO, 1000);
         l.transmit(Ns::ZERO, 500);
         assert_eq!(
@@ -201,7 +234,7 @@ mod tests {
 
     #[test]
     fn sustained_rate_matches_configured_rate() {
-        let mut l = Link::new(10 * GBPS, Ns::ZERO);
+        let mut l = Link::new(Bps::from_gbps(10), Ns::ZERO);
         let mut last = Ns::ZERO;
         for _ in 0..10_000 {
             let (d, _) = l.transmit(Ns::ZERO, 1500);
@@ -216,7 +249,7 @@ mod tests {
     #[test]
     fn pacer_allows_initial_burst_then_paces() {
         // 1 Gbps pacer, 3000B bucket.
-        let mut p = Pacer::new(GBPS, 3000);
+        let mut p = Pacer::new(Bps(GBPS), Bytes(3000));
         assert_eq!(p.release_at(Ns::ZERO, 1500), Ns::ZERO);
         assert_eq!(p.release_at(Ns::ZERO, 1500), Ns::ZERO);
         // Bucket exhausted: third packet waits 1500B*8/1G = 12us.
@@ -226,23 +259,22 @@ mod tests {
 
     #[test]
     fn pacer_long_run_rate() {
-        let mut p = Pacer::new(GBPS, 1500);
+        let mut p = Pacer::new(Bps(GBPS), Bytes(1500));
         let mut t = Ns::ZERO;
         let n = 1000u64;
         for _ in 0..n {
             t = p.release_at(t, 1500);
         }
-        // n packets at 1 Gbps: about n * 12us.
+        // n packets at 1 Gbps: exactly (n-1) * 12us with integer tokens —
+        // each release drains the bucket to zero, so there is no residual
+        // credit and no rounding drift at all.
         let expect = (n - 1) * 12_000;
-        assert!(
-            t.as_nanos().abs_diff(expect) < expect / 100,
-            "paced finish {t} vs expected ~{expect}ns"
-        );
+        assert_eq!(t.as_nanos(), expect, "paced finish {t}");
     }
 
     #[test]
     fn pacer_refill_caps_at_burst() {
-        let mut p = Pacer::new(GBPS, 1500);
+        let mut p = Pacer::new(Bps(GBPS), Bytes(1500));
         p.release_at(Ns::ZERO, 1500);
         // Wait far longer than needed to refill; bucket must cap at 1500.
         let now = Ns::from_secs(1);
@@ -251,9 +283,52 @@ mod tests {
         assert!(p.release_at(now, 1500) > now);
     }
 
+    /// The pacing schedule is a pure function of the offered sequence:
+    /// repeated runs produce byte-identical schedules, including at odd
+    /// rates where the old f64 bucket accumulated representation error
+    /// (e.g. 12.5 Gbps: 1500 B = 960 ns exactly, but 8e9/12.5e9 = 0.64
+    /// has no finite binary representation).
+    ///
+    /// Golden-value deltas vs the f64 version: at round rates (1 Gbps)
+    /// the schedules agree everywhere; at 12.5 Gbps the f64 version was
+    /// occasionally 1 ns late after long deficit runs (ceil of a value
+    /// like 960.0000000001). The integer schedule is taken as the new
+    /// golden truth.
+    #[test]
+    fn pacer_schedule_is_reproducible_and_exact() {
+        let run = |rate: Bps, burst: Bytes| -> Vec<u64> {
+            let mut p = Pacer::new(rate, burst);
+            let mut t = Ns::ZERO;
+            let mut out = Vec::new();
+            // Mixed sizes exercise deficit and partial-refill paths.
+            for i in 0u32..5000 {
+                let size = match i % 3 {
+                    0 => 1500,
+                    1 => 64,
+                    _ => 9000, // jumbo: larger than burst, forces deficit
+                };
+                t = p.release_at(t, size);
+                out.push(t.as_nanos());
+            }
+            out
+        };
+        for rate in [Bps(GBPS), Bps(12_500_000_000), Bps(25_000_000_000)] {
+            let a = run(rate, Bytes(3000));
+            let b = run(rate, Bytes(3000));
+            assert_eq!(a, b, "schedule must be byte-identical across runs");
+        }
+        // Exact spot-check at 12.5 Gbps, 3000B bucket: after the initial
+        // 1500+64 the bucket holds 1436B; the 9000B jumbo leaves a 7564B
+        // deficit = 7564*8e9/12.5e9 ns = 4840.96 -> ceil 4841 ns wait.
+        let mut p = Pacer::new(Bps(12_500_000_000), Bytes(3000));
+        assert_eq!(p.release_at(Ns::ZERO, 1500), Ns::ZERO);
+        assert_eq!(p.release_at(Ns::ZERO, 64), Ns::ZERO);
+        assert_eq!(p.release_at(Ns::ZERO, 9000), Ns(4841));
+    }
+
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_rate_link_rejected() {
-        let _ = Link::new(0, Ns::ZERO);
+        let _ = Link::new(Bps(0), Ns::ZERO);
     }
 }

@@ -33,6 +33,7 @@
 use crate::packet::{EcnCodepoint, Packet};
 use crate::time::Ns;
 use ms_telemetry::{DropReason, SharedTelemetry, TraceEvent};
+use ms_units::Bytes;
 use std::collections::VecDeque;
 
 /// How the shared pool is apportioned among queues.
@@ -59,14 +60,14 @@ pub struct SwitchConfig {
     pub num_queues: usize,
     /// Number of buffer quadrants.
     pub num_quadrants: usize,
-    /// Bytes of buffer per quadrant (dedicated reserves + shared pool).
-    pub quadrant_bytes: u64,
+    /// Buffer per quadrant (dedicated reserves + shared pool).
+    pub quadrant_bytes: Bytes,
     /// Dedicated reserve per queue, always admissible.
-    pub dedicated_per_queue: u64,
+    pub dedicated_per_queue: Bytes,
     /// The DT α parameter.
     pub alpha: f64,
-    /// Static ECN marking threshold on per-queue occupancy, in bytes.
-    pub ecn_threshold: u64,
+    /// Static ECN marking threshold on per-queue occupancy.
+    pub ecn_threshold: Bytes,
     /// Shared-pool apportioning policy.
     pub policy: SharingPolicy,
 }
@@ -84,16 +85,16 @@ impl SwitchConfig {
         SwitchConfig {
             num_queues,
             num_quadrants,
-            quadrant_bytes: 4 * 1024 * 1024,
-            dedicated_per_queue: (400 * 1024) / queues_per_quadrant as u64,
+            quadrant_bytes: Bytes::from_mib(4),
+            dedicated_per_queue: Bytes::from_kib(400) / queues_per_quadrant as u64,
             alpha: 1.0,
-            ecn_threshold: 120 * 1024,
+            ecn_threshold: Bytes::from_kib(120),
             policy: SharingPolicy::DynamicThreshold,
         }
     }
 
     /// Shared-pool capacity of one quadrant (quadrant minus reserves).
-    pub fn shared_capacity(&self) -> u64 {
+    pub fn shared_capacity(&self) -> Bytes {
         let queues_per_quadrant = self.num_queues.div_ceil(self.num_quadrants).max(1);
         self.quadrant_bytes
             .saturating_sub(self.dedicated_per_queue * queues_per_quadrant as u64)
@@ -163,15 +164,15 @@ pub struct QueueStats {
     pub marked_packets: u64,
     /// Bytes CE-marked on enqueue.
     pub marked_bytes: u64,
-    /// High-water mark of queue occupancy in bytes.
-    pub max_occupancy: u64,
+    /// High-water mark of queue occupancy.
+    pub max_occupancy: Bytes,
 }
 
 #[derive(Debug)]
 struct QueueState {
     fifo: VecDeque<Buffered>,
-    dedicated_used: u64,
-    shared_used: u64,
+    dedicated_used: Bytes,
+    shared_used: Bytes,
     stats: QueueStats,
 }
 
@@ -179,13 +180,13 @@ impl QueueState {
     fn new() -> Self {
         QueueState {
             fifo: VecDeque::new(),
-            dedicated_used: 0,
-            shared_used: 0,
+            dedicated_used: Bytes::ZERO,
+            shared_used: Bytes::ZERO,
             stats: QueueStats::default(),
         }
     }
 
-    fn occupancy(&self) -> u64 {
+    fn occupancy(&self) -> Bytes {
         self.dedicated_used + self.shared_used
     }
 }
@@ -209,13 +210,13 @@ pub struct SharedBufferSwitch {
     cfg: SwitchConfig,
     queues: Vec<QueueState>,
     /// Shared-pool occupancy per quadrant.
-    shared_occupancy: Vec<u64>,
+    shared_occupancy: Vec<Bytes>,
     /// 1-minute telemetry bins, indexed by minute number.
     minutes: Vec<MinuteBin>,
     /// Multicast groups: group id → member queues.
     groups: Vec<(u32, Vec<usize>)>,
     /// Optional depth probe: (queue, samples).
-    depth_probe: Option<(usize, Vec<(Ns, u64)>)>,
+    depth_probe: Option<(usize, Vec<(Ns, Bytes)>)>,
     /// Optional telemetry hub; `None` keeps the hot path to one branch.
     telemetry: Option<SharedTelemetry>,
 }
@@ -227,7 +228,7 @@ impl SharedBufferSwitch {
         assert!(cfg.num_quadrants > 0, "switch needs at least one quadrant");
         assert!(cfg.alpha > 0.0, "DT alpha must be positive");
         let queues = (0..cfg.num_queues).map(|_| QueueState::new()).collect();
-        let shared_occupancy = vec![0; cfg.num_quadrants];
+        let shared_occupancy = vec![Bytes::ZERO; cfg.num_quadrants];
         SharedBufferSwitch {
             cfg,
             queues,
@@ -271,7 +272,7 @@ impl SharedBufferSwitch {
     }
 
     /// The recorded `(time, occupancy)` samples of the probed queue.
-    pub fn depth_samples(&self) -> &[(Ns, u64)] {
+    pub fn depth_samples(&self) -> &[(Ns, Bytes)] {
         self.depth_probe
             .as_ref()
             .map(|(_, v)| v.as_slice())
@@ -286,8 +287,8 @@ impl SharedBufferSwitch {
         queue: usize,
         now: Ns,
         size: u32,
-        occ_before: u64,
-        occ_after: u64,
+        occ_before: Bytes,
+        occ_after: Bytes,
         marked: bool,
     ) {
         if let Some((probed, log)) = &mut self.depth_probe {
@@ -349,16 +350,21 @@ impl SharedBufferSwitch {
 
     /// The dynamic threshold `α·(B_shared − Q_shared)` currently governing
     /// admission in `quadrant`.
-    pub fn dynamic_threshold(&self, quadrant: usize) -> u64 {
+    ///
+    /// α is fractional configuration (not sim-time arithmetic); the single
+    /// f64 multiply is off every scheduling path and deterministic per
+    /// IEEE 754 — simlint's float-determinism roots deliberately exclude
+    /// admission math.
+    pub fn dynamic_threshold(&self, quadrant: usize) -> Bytes {
         let free = self
             .cfg
             .shared_capacity()
             .saturating_sub(self.shared_occupancy[quadrant]);
-        (self.cfg.alpha * free as f64) as u64
+        Bytes((self.cfg.alpha * free.as_u64() as f64) as u64)
     }
 
-    /// Current occupancy (bytes) of a queue, both pools.
-    pub fn queue_occupancy(&self, queue: usize) -> u64 {
+    /// Current occupancy of a queue, both pools.
+    pub fn queue_occupancy(&self, queue: usize) -> Bytes {
         self.queues[queue].occupancy()
     }
 
@@ -368,7 +374,7 @@ impl SharedBufferSwitch {
     }
 
     /// Shared-pool occupancy of a quadrant.
-    pub fn shared_occupancy(&self, quadrant: usize) -> u64 {
+    pub fn shared_occupancy(&self, quadrant: usize) -> Bytes {
         self.shared_occupancy[quadrant]
     }
 
@@ -410,7 +416,7 @@ impl SharedBufferSwitch {
     pub fn try_enqueue(&mut self, queue: usize, mut pkt: Packet, now: Ns) -> EnqueueOutcome {
         assert!(queue < self.cfg.num_queues, "queue {queue} out of range");
         let quadrant = self.cfg.quadrant_of(queue);
-        let size = pkt.size as u64;
+        let size = Bytes(u64::from(pkt.size));
         let occ_before = self.queues[queue].occupancy();
 
         let pool = if self.queues[queue].dedicated_used + size <= self.cfg.dedicated_per_queue {
@@ -447,9 +453,9 @@ impl SharedBufferSwitch {
                 };
                 let q = &mut self.queues[queue];
                 q.stats.drop_packets += 1;
-                q.stats.drop_bytes += size;
+                q.stats.drop_bytes += size.as_u64();
                 let bin = self.minute_bin_mut(now);
-                bin.discard_bytes += size;
+                bin.discard_bytes += size.as_u64();
                 bin.discard_packets += 1;
                 if let Some(tr) = &self.telemetry {
                     tr.borrow_mut().bus.record(TraceEvent::PacketDrop {
@@ -474,7 +480,7 @@ impl SharedBufferSwitch {
         let q = &mut self.queues[queue];
         let occupancy = q.occupancy();
         q.stats.enq_packets += 1;
-        q.stats.enq_bytes += size;
+        q.stats.enq_bytes += size.as_u64();
         q.stats.max_occupancy = q.stats.max_occupancy.max(occupancy);
 
         let mut marked = false;
@@ -482,12 +488,12 @@ impl SharedBufferSwitch {
             pkt.ecn = EcnCodepoint::Ce;
             marked = true;
             q.stats.marked_packets += 1;
-            q.stats.marked_bytes += size;
+            q.stats.marked_bytes += size.as_u64();
         }
 
         let psize = pkt.size;
         q.fifo.push_back(Buffered { pkt, pool });
-        self.minute_bin_mut(now).ingress_bytes += size;
+        self.minute_bin_mut(now).ingress_bytes += size.as_u64();
         self.note_admit(queue, now, psize, occ_before, occupancy, marked);
         EnqueueOutcome::Enqueued { marked }
     }
@@ -509,7 +515,7 @@ impl SharedBufferSwitch {
         let q = &mut self.queues[queue];
         let occ_before = q.occupancy();
         let Buffered { pkt, pool } = q.fifo.pop_front()?;
-        let size = pkt.size as u64;
+        let size = Bytes(u64::from(pkt.size));
         match pool {
             Pool::Dedicated => {
                 debug_assert!(q.dedicated_used >= size);
@@ -561,7 +567,7 @@ impl SharedBufferSwitch {
     /// quadrant occupancy, and occupancy must never exceed capacity.
     pub fn check_invariants(&self) {
         for quadrant in 0..self.cfg.num_quadrants {
-            let sum: u64 = (0..self.cfg.num_queues)
+            let sum: Bytes = (0..self.cfg.num_queues)
                 .filter(|&q| self.cfg.quadrant_of(q) == quadrant)
                 .map(|q| self.queues[q].shared_used)
                 .sum();
@@ -579,7 +585,7 @@ impl SharedBufferSwitch {
                 q.dedicated_used <= self.cfg.dedicated_per_queue,
                 "queue {i} dedicated over reserve"
             );
-            let fifo_bytes: u64 = q.fifo.iter().map(|b| b.pkt.size as u64).sum();
+            let fifo_bytes: Bytes = q.fifo.iter().map(|b| Bytes(u64::from(b.pkt.size))).sum();
             assert_eq!(fifo_bytes, q.occupancy(), "queue {i} byte accounting");
         }
     }
@@ -594,10 +600,10 @@ mod tests {
         SwitchConfig {
             num_queues: 4,
             num_quadrants: 1,
-            quadrant_bytes: 100_000,
-            dedicated_per_queue: 2_000,
+            quadrant_bytes: Bytes(100_000),
+            dedicated_per_queue: Bytes(2_000),
             alpha: 1.0,
-            ecn_threshold: 20_000,
+            ecn_threshold: Bytes(20_000),
             policy: SharingPolicy::DynamicThreshold,
         }
     }
@@ -610,7 +616,7 @@ mod tests {
     fn meta_tor_shared_capacity_close_to_paper() {
         let cfg = SwitchConfig::meta_tor(32);
         // Paper: "about 3.6MB" shared per 4MB quadrant.
-        let shared = cfg.shared_capacity();
+        let shared = cfg.shared_capacity().as_u64();
         assert!((3_500_000..=3_800_000).contains(&shared), "shared {shared}");
     }
 
@@ -637,7 +643,7 @@ mod tests {
         }
         // Queue 0 still gets its dedicated reserve.
         assert!(sw.try_enqueue(0, pkt(999, 1500), Ns::ZERO).accepted());
-        assert_eq!(sw.queue_occupancy(0), 1500);
+        assert_eq!(sw.queue_occupancy(0), Bytes(1500));
         sw.check_invariants();
     }
 
@@ -658,7 +664,7 @@ mod tests {
         let shared_used = sw.shared_occupancy(0);
         let target = shared_cap / 2;
         assert!(
-            shared_used.abs_diff(target) <= 1000,
+            shared_used.abs_diff(target) <= Bytes(1000),
             "shared {shared_used} vs target {target}"
         );
         sw.check_invariants();
@@ -684,7 +690,7 @@ mod tests {
             let used = sw.queues[q].shared_used;
             let target = shared_cap / 3;
             assert!(
-                used.abs_diff(target) <= 1500,
+                used.abs_diff(target) <= Bytes(1500),
                 "queue {q} shared {used} vs {target}"
             );
         }
@@ -704,8 +710,8 @@ mod tests {
             let p = sw.dequeue(2, Ns(i)).expect("packet");
             assert_eq!(p.seq, i * 1000);
         }
-        assert_eq!(sw.queue_occupancy(2), 0);
-        assert!(occ_before > 0);
+        assert_eq!(sw.queue_occupancy(2), Bytes::ZERO);
+        assert!(occ_before > Bytes::ZERO);
         assert!(sw.dequeue(2, Ns(5)).is_none());
         sw.check_invariants();
     }
@@ -719,7 +725,7 @@ mod tests {
             match sw.try_enqueue(0, pkt(i, 1000), Ns::ZERO) {
                 EnqueueOutcome::Enqueued { marked } => {
                     // Threshold is 20k: first ~20 packets unmarked.
-                    if sw.queue_occupancy(0) <= 20_000 {
+                    if sw.queue_occupancy(0) <= Bytes(20_000) {
                         assert!(!marked);
                         unmarked_seen = true;
                     }
@@ -799,7 +805,10 @@ mod tests {
         sw.try_enqueue(1, pkt(1, 1000), Ns(10));
         sw.try_enqueue(0, pkt(2, 500), Ns(20)); // other queue: not traced
         sw.try_enqueue(1, pkt(3, 1000), Ns(30));
-        assert_eq!(sw.depth_samples(), &[(Ns(10), 1000), (Ns(30), 2000)]);
+        assert_eq!(
+            sw.depth_samples(),
+            &[(Ns(10), Bytes(1000)), (Ns(30), Bytes(2000))]
+        );
         // Runtime alpha retuning is visible in admission behaviour.
         sw.set_alpha(0.25);
         assert!(sw.dynamic_threshold(0) < sw.config().shared_capacity() / 2);
@@ -821,7 +830,7 @@ mod tests {
         // The queue filled the whole shared pool (not just the DT half).
         let cap = sw.config().shared_capacity();
         assert!(
-            sw.shared_occupancy(0) + 1000 > cap,
+            sw.shared_occupancy(0) + Bytes(1000) > cap,
             "{}",
             sw.shared_occupancy(0)
         );
@@ -844,7 +853,7 @@ mod tests {
             }
         }
         assert!(sw.queues[0].shared_used <= slice);
-        assert!(sw.queues[0].shared_used + 1000 > slice);
+        assert!(sw.queues[0].shared_used + Bytes(1000) > slice);
         // Other queues still get their slices even though queue 0 is full.
         assert!(sw.try_enqueue(1, pkt(9999, 1000), Ns::ZERO).accepted());
         sw.check_invariants();

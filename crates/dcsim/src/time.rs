@@ -5,6 +5,7 @@
 //! floating-point drift, and two events scheduled for "the same time" compare
 //! equal rather than almost-equal.
 
+use ms_units::{Bps, Bytes};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -28,19 +29,45 @@ impl Ns {
         Ns(ns)
     }
 
-    /// Constructs from whole microseconds.
+    /// Constructs from whole microseconds, saturating at [`Ns::MAX`].
     pub const fn from_micros(us: u64) -> Self {
-        Ns(us * 1_000)
+        Ns(us.saturating_mul(1_000))
     }
 
-    /// Constructs from whole milliseconds.
+    /// Constructs from whole milliseconds, saturating at [`Ns::MAX`].
     pub const fn from_millis(ms: u64) -> Self {
-        Ns(ms * 1_000_000)
+        Ns(ms.saturating_mul(1_000_000))
     }
 
-    /// Constructs from whole seconds.
+    /// Constructs from whole seconds, saturating at [`Ns::MAX`].
     pub const fn from_secs(s: u64) -> Self {
-        Ns(s * 1_000_000_000)
+        Ns(s.saturating_mul(1_000_000_000))
+    }
+
+    /// Constructs from whole microseconds, `None` if the value does not
+    /// fit in `u64` nanoseconds. Use for externally supplied durations
+    /// (scenario decode paths) where saturation would mask bad input.
+    pub const fn checked_from_micros(us: u64) -> Option<Ns> {
+        match us.checked_mul(1_000) {
+            Some(v) => Some(Ns(v)),
+            None => None,
+        }
+    }
+
+    /// Checked variant of [`Ns::from_millis`]; see [`Ns::checked_from_micros`].
+    pub const fn checked_from_millis(ms: u64) -> Option<Ns> {
+        match ms.checked_mul(1_000_000) {
+            Some(v) => Some(Ns(v)),
+            None => None,
+        }
+    }
+
+    /// Checked variant of [`Ns::from_secs`]; see [`Ns::checked_from_micros`].
+    pub const fn checked_from_secs(s: u64) -> Option<Ns> {
+        match s.checked_mul(1_000_000_000) {
+            Some(v) => Some(Ns(v)),
+            None => None,
+        }
     }
 
     /// Raw nanoseconds.
@@ -76,20 +103,20 @@ impl Ns {
         }
     }
 
-    /// The transmission (serialization) time of `bytes` at `rate_bps`.
+    /// The transmission (serialization) time of `bytes` at `rate`.
     ///
     /// Rounds up to the next nanosecond so that back-to-back packets never
     /// serialize faster than line rate due to truncation.
-    pub fn tx_time(bytes: u64, rate_bps: u64) -> Ns {
-        debug_assert!(rate_bps > 0, "link rate must be positive");
-        let bits = bytes as u128 * 8 * 1_000_000_000;
-        Ns(bits.div_ceil(rate_bps as u128) as u64)
+    pub fn tx_time(bytes: Bytes, rate: Bps) -> Ns {
+        debug_assert!(rate.is_positive(), "link rate must be positive");
+        let bits = bytes.as_u64() as u128 * 8 * 1_000_000_000;
+        Ns(bits.div_ceil(rate.as_u64() as u128) as u64)
     }
 
-    /// How many bytes a link at `rate_bps` drains in this duration
+    /// How many bytes a link at `rate` drains in this duration
     /// (truncating).
-    pub fn bytes_at_rate(self, rate_bps: u64) -> u64 {
-        (self.0 as u128 * rate_bps as u128 / 8 / 1_000_000_000) as u64
+    pub fn bytes_at_rate(self, rate: Bps) -> Bytes {
+        Bytes((self.0 as u128 * rate.as_u64() as u128 / 8 / 1_000_000_000) as u64)
     }
 
     /// `self` as a multiple of `interval`, i.e. which sampling bucket this
@@ -169,24 +196,36 @@ mod tests {
     #[test]
     fn tx_time_at_line_rates() {
         // 1500 B at 12.5 Gbps = 960 ns exactly.
-        assert_eq!(Ns::tx_time(1500, 12_500_000_000), Ns(960));
+        assert_eq!(Ns::tx_time(Bytes(1500), Bps(12_500_000_000)), Ns(960));
         // 1500 B at 100 Gbps = 120 ns exactly.
-        assert_eq!(Ns::tx_time(1500, 100_000_000_000), Ns(120));
+        assert_eq!(Ns::tx_time(Bytes(1500), Bps::from_gbps(100)), Ns(120));
     }
 
     #[test]
     fn tx_time_rounds_up() {
         // 1 byte at 3 bps: 8/3 s -> must round up to a whole ns above 2.66e9.
-        let t = Ns::tx_time(1, 3);
+        let t = Ns::tx_time(Bytes(1), Bps(3));
         assert_eq!(t, Ns(2_666_666_667));
     }
 
     #[test]
     fn bytes_at_rate_inverts_tx_time_approximately() {
-        let rate = 12_500_000_000;
-        let t = Ns::tx_time(1_000_000, rate);
-        let b = t.bytes_at_rate(rate);
+        let rate = Bps(12_500_000_000);
+        let t = Ns::tx_time(Bytes(1_000_000), rate);
+        let b = t.bytes_at_rate(rate).as_u64();
         assert!((1_000_000..=1_000_001).contains(&b), "got {b}");
+    }
+
+    #[test]
+    fn checked_constructors_reject_overflow() {
+        assert_eq!(Ns::checked_from_micros(7), Some(Ns(7_000)));
+        assert_eq!(Ns::checked_from_micros(u64::MAX / 999), None);
+        assert_eq!(Ns::checked_from_millis(4), Some(Ns(4_000_000)));
+        assert_eq!(Ns::checked_from_millis(u64::MAX / 999_999), None);
+        assert_eq!(Ns::checked_from_secs(2), Some(Ns(2_000_000_000)));
+        assert_eq!(Ns::checked_from_secs(u64::MAX / 999_999_999), None);
+        // The saturating constructors clamp instead.
+        assert_eq!(Ns::from_secs(u64::MAX / 2), Ns::MAX);
     }
 
     #[test]

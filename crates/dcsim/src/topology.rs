@@ -6,6 +6,7 @@
 
 use crate::switch::SwitchConfig;
 use crate::time::Ns;
+use ms_units::{Bps, Bytes};
 
 /// Configuration of one simulated rack and its attachment to the fabric.
 #[derive(Debug, Clone)]
@@ -14,13 +15,13 @@ pub struct RackConfig {
     pub num_servers: usize,
     /// Simulated CPUs per server (per-CPU Millisampler counters).
     pub cpus_per_server: usize,
-    /// Server link rate, bits/s. The studied type: 50 Gbps NIC shared by
+    /// Server link rate. The studied type: 50 Gbps NIC shared by
     /// 4 servers → 12.5 Gbps per server.
-    pub server_link_bps: u64,
+    pub server_link_bps: Bps,
     /// Server link propagation delay.
     pub server_link_delay: Ns,
-    /// Remote (fabric-side) sender NIC rate, bits/s.
-    pub remote_nic_bps: u64,
+    /// Remote (fabric-side) sender NIC rate.
+    pub remote_nic_bps: Bps,
     /// One-way fabric latency between a remote sender and the ToR.
     pub fabric_delay: Ns,
     /// MSS used by transports, bytes on the wire per full segment.
@@ -37,9 +38,9 @@ impl RackConfig {
         RackConfig {
             num_servers,
             cpus_per_server: 4,
-            server_link_bps: 12_500_000_000,
+            server_link_bps: Bps(12_500_000_000),
             server_link_delay: Ns::from_micros(1),
-            remote_nic_bps: 25_000_000_000,
+            remote_nic_bps: Bps(25_000_000_000),
             fabric_delay: Ns::from_micros(20),
             mss: 1500,
             switch: SwitchConfig::meta_tor(num_servers),
@@ -50,23 +51,24 @@ impl RackConfig {
     /// when queues are empty: two fabric traversals, two server-link
     /// propagation delays, plus one full-size serialization at each hop.
     pub fn base_rtt(&self) -> Ns {
-        let data_tx = Ns::tx_time(self.mss as u64, self.server_link_bps)
-            + Ns::tx_time(self.mss as u64, self.remote_nic_bps);
-        let ack_tx = Ns::tx_time(64, self.server_link_bps);
+        let mss = Bytes(u64::from(self.mss));
+        let data_tx =
+            Ns::tx_time(mss, self.server_link_bps) + Ns::tx_time(mss, self.remote_nic_bps);
+        let ack_tx = Ns::tx_time(Bytes(64), self.server_link_bps);
         self.fabric_delay * 2 + self.server_link_delay * 2 + data_tx + ack_tx
     }
 
     /// Bytes that constitute 50 % of server line rate over `interval` —
     /// the paper's burst threshold (§5: "any consecutive set of one or more
     /// sample data points that exceeds 50% of line rate").
-    pub fn burst_threshold_bytes(&self, interval: Ns) -> u64 {
+    pub fn burst_threshold_bytes(&self, interval: Ns) -> Bytes {
         interval.bytes_at_rate(self.server_link_bps) / 2
     }
 
     /// How many bytes one server link drains per 1 ms — the scale factor
     /// that makes "the switch buffers about 1 ms worth of packets per
     /// queue" (§5) concrete.
-    pub fn bytes_per_ms(&self) -> u64 {
+    pub fn bytes_per_ms(&self) -> Bytes {
         Ns::from_millis(1).bytes_at_rate(self.server_link_bps)
     }
 }
@@ -78,10 +80,10 @@ mod tests {
     #[test]
     fn meta_defaults_match_paper() {
         let cfg = RackConfig::meta_defaults(32);
-        assert_eq!(cfg.server_link_bps, 12_500_000_000);
+        assert_eq!(cfg.server_link_bps, Bps(12_500_000_000));
         assert_eq!(cfg.switch.alpha, 1.0);
-        assert_eq!(cfg.switch.ecn_threshold, 120 * 1024);
-        assert_eq!(cfg.switch.quadrant_bytes, 4 * 1024 * 1024);
+        assert_eq!(cfg.switch.ecn_threshold, Bytes::from_kib(120));
+        assert_eq!(cfg.switch.quadrant_bytes, Bytes::from_mib(4));
     }
 
     #[test]
@@ -99,8 +101,8 @@ mod tests {
         // §5: switch buffers ~1ms/queue. Max per-queue share at α=1 is
         // ~1.8MB; 1ms at 12.5Gbps is ~1.56MB: same order, slightly less.
         let cfg = RackConfig::meta_defaults(32);
-        let per_ms = cfg.bytes_per_ms();
-        let max_share = cfg.switch.shared_capacity() / 2;
+        let per_ms = cfg.bytes_per_ms().as_u64();
+        let max_share = (cfg.switch.shared_capacity() / 2).as_u64();
         assert!(per_ms as f64 / max_share as f64 > 0.7);
         assert!((per_ms as f64 / max_share as f64) < 1.3);
     }
@@ -109,6 +111,9 @@ mod tests {
     fn burst_threshold_at_1ms() {
         let cfg = RackConfig::meta_defaults(32);
         // 12.5 Gbps → 1.5625 MB/ms → threshold 781250 B.
-        assert_eq!(cfg.burst_threshold_bytes(Ns::from_millis(1)), 781_250);
+        assert_eq!(
+            cfg.burst_threshold_bytes(Ns::from_millis(1)),
+            Bytes(781_250)
+        );
     }
 }

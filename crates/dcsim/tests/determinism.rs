@@ -46,10 +46,10 @@ fn switch_trace(seed: u64) -> Vec<u8> {
             trace.push(3);
             push_u64(&mut trace, popped.map_or(0, |p| u64::from(p.size)));
         }
-        push_u64(&mut trace, sw.queue_occupancy(queue));
+        push_u64(&mut trace, sw.queue_occupancy(queue).as_u64());
         push_u64(
             &mut trace,
-            sw.shared_occupancy(sw.config().quadrant_of(queue)),
+            sw.shared_occupancy(sw.config().quadrant_of(queue)).as_u64(),
         );
     }
     sw.check_invariants();
@@ -62,7 +62,7 @@ fn switch_trace(seed: u64) -> Vec<u8> {
             st.drop_bytes,
             st.marked_packets,
             st.marked_bytes,
-            st.max_occupancy,
+            st.max_occupancy.as_u64(),
         ] {
             push_u64(&mut trace, v);
         }

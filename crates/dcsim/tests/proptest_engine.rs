@@ -2,7 +2,7 @@
 //! the repo's deterministic [`SimRng`] (the workspace builds offline,
 //! without proptest).
 
-use ms_dcsim::{EventQueue, Link, Ns, SimRng};
+use ms_dcsim::{Bps, Bytes, EventQueue, Link, Ns, SimRng};
 
 #[test]
 fn pops_are_time_sorted_and_fifo_stable() {
@@ -41,7 +41,7 @@ fn link_never_exceeds_line_rate() {
                 )
             })
             .collect();
-        let rate = 10_000_000_000u64;
+        let rate = Bps(10_000_000_000);
         let mut link = Link::new(rate, Ns::ZERO);
         offers.sort_by_key(|&(t, _)| t);
         let mut total_bytes = 0u64;
@@ -55,7 +55,7 @@ fn link_never_exceeds_line_rate() {
         }
         // Over the whole busy horizon the link served at most line rate.
         let span = (last_depart - first).as_nanos().max(1);
-        let max_bytes = u128::from(span) * u128::from(rate) / 8 / 1_000_000_000 + 9000;
+        let max_bytes = u128::from(span) * u128::from(rate.as_u64()) / 8 / 1_000_000_000 + 9000;
         assert!(
             u128::from(total_bytes) <= max_bytes,
             "served {total_bytes} bytes in {span} ns"
@@ -69,9 +69,9 @@ fn tx_time_monotone_in_size() {
     for _ in 0..256 {
         let a = 1 + rng.gen_range(99_999);
         let b = 1 + rng.gen_range(99_999);
-        let rate = 12_500_000_000;
+        let rate = Bps(12_500_000_000);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        assert!(Ns::tx_time(lo, rate) <= Ns::tx_time(hi, rate));
+        assert!(Ns::tx_time(Bytes(lo), rate) <= Ns::tx_time(Bytes(hi), rate));
     }
 }
 

@@ -7,7 +7,7 @@
 //! reproducible from its printed seed.
 
 use ms_dcsim::packet::FlowId;
-use ms_dcsim::{Ns, Packet, SharedBufferSwitch, SharingPolicy, SimRng, SwitchConfig};
+use ms_dcsim::{Bytes, Ns, Packet, SharedBufferSwitch, SharingPolicy, SimRng, SwitchConfig};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -36,10 +36,10 @@ fn config(policy: SharingPolicy, alpha: f64) -> SwitchConfig {
     SwitchConfig {
         num_queues: 6,
         num_quadrants: 2,
-        quadrant_bytes: 200_000,
-        dedicated_per_queue: 4_000,
+        quadrant_bytes: Bytes(200_000),
+        dedicated_per_queue: Bytes(4_000),
         alpha,
-        ecn_threshold: 30_000,
+        ecn_threshold: Bytes(30_000),
         policy,
     }
 }
@@ -74,10 +74,10 @@ fn run_ops(cfg: SwitchConfig, ops: &[Op]) {
     // Drain everything; accounting must return to zero.
     for queue in 0..cfg.num_queues {
         while sw.dequeue(queue, Ns::ZERO).is_some() {}
-        assert_eq!(sw.queue_occupancy(queue), 0);
+        assert_eq!(sw.queue_occupancy(queue), Bytes::ZERO);
     }
     for quadrant in 0..cfg.num_quadrants {
-        assert_eq!(sw.shared_occupancy(quadrant), 0);
+        assert_eq!(sw.shared_occupancy(quadrant), Bytes::ZERO);
     }
 }
 
@@ -146,7 +146,7 @@ fn admitted_bytes_conserved() {
         for queue in 0..4 {
             assert_eq!(
                 admitted[queue],
-                dequeued[queue] + sw.queue_occupancy(queue),
+                dequeued[queue] + sw.queue_occupancy(queue).as_u64(),
                 "queue {queue} leaked bytes"
             );
         }
@@ -167,7 +167,7 @@ fn ecn_marks_only_above_threshold() {
             let pkt = Packet::data(FlowId(i as u64), 100, 0, 0, size);
             if let ms_dcsim::EnqueueOutcome::Enqueued { marked } = sw.try_enqueue(0, pkt, Ns::ZERO)
             {
-                let after = before + u64::from(size);
+                let after = before + Bytes(u64::from(size));
                 assert_eq!(
                     marked,
                     after > threshold,

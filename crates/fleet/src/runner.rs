@@ -19,6 +19,7 @@
 use crate::grid::FleetCell;
 use crate::merge::{CellFailure, CellResult, FleetReport};
 use ms_analysis::{analyze_run, RunOutcome};
+use ms_workload::Bps;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,7 +31,7 @@ pub struct FleetConfig {
     /// Worker threads (0 = available parallelism).
     pub jobs: usize,
     /// Server link rate fed to the analyses.
-    pub link_bps: u64,
+    pub link_bps: Bps,
     /// Loss-association slack in buckets (§8 methodology).
     pub loss_slack: usize,
     /// Emit a progress line to stderr as each cell finishes.
@@ -41,7 +42,7 @@ impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             jobs: 0,
-            link_bps: 12_500_000_000,
+            link_bps: Bps(12_500_000_000),
             loss_slack: 5,
             progress: false,
         }

@@ -54,7 +54,9 @@ struct Opts {
     seed: u64,
     hosts: u32,
     buckets: usize,
-    interval_ms: u64,
+    /// Bucket width, validated against the nanosecond clock at parse
+    /// time (`--interval-ms`).
+    interval: ms_dcsim::Ns,
     chunk_rows: usize,
     segment_rows: u64,
     report: String,
@@ -68,7 +70,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: 1,
         hosts: 8,
         buckets: 86_400,
-        interval_ms: 1000,
+        interval: ms_dcsim::Ns::from_millis(1000),
         chunk_rows: LakeConfig::default().chunk_rows,
         segment_rows: LakeConfig::default().segment_rows,
         report: String::from("aggregate"),
@@ -85,7 +87,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--seed" => o.seed = parse_num(value("--seed")?, "--seed")?,
             "--hosts" => o.hosts = parse_num(value("--hosts")?, "--hosts")?,
             "--buckets" => o.buckets = parse_num(value("--buckets")?, "--buckets")?,
-            "--interval-ms" => o.interval_ms = parse_num(value("--interval-ms")?, "--interval-ms")?,
+            "--interval-ms" => {
+                let ms: u64 = parse_num(value("--interval-ms")?, "--interval-ms")?;
+                o.interval = ms_dcsim::Ns::checked_from_millis(ms)
+                    .ok_or_else(|| format!("--interval-ms {ms} overflows the nanosecond clock"))?;
+            }
             "--chunk-rows" => o.chunk_rows = parse_num(value("--chunk-rows")?, "--chunk-rows")?,
             "--segment-rows" => {
                 o.segment_rows = parse_num(value("--segment-rows")?, "--segment-rows")?;
@@ -118,12 +124,7 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
 }
 
 fn synth_lake(o: &Opts) -> Result<ms_lake::LakeManifest, LakeError> {
-    let series = synth_diurnal_series(
-        o.seed,
-        o.hosts,
-        o.buckets,
-        ms_dcsim::Ns::from_millis(o.interval_ms),
-    );
+    let series = synth_diurnal_series(o.seed, o.hosts, o.buckets, o.interval);
     let writer = LakeWriter::create(&o.dir, lake_cfg(o))?;
     let mut shard = writer.shard_writer_named("synth")?;
     shard.append(&CellRows {
@@ -190,12 +191,7 @@ fn cmd_stat(args: &[String]) -> Result<(), String> {
 /// out-of-core scan rate. Writes `BENCH_lake.json`.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
-    let series = synth_diurnal_series(
-        o.seed,
-        o.hosts,
-        o.buckets,
-        ms_dcsim::Ns::from_millis(o.interval_ms),
-    );
+    let series = synth_diurnal_series(o.seed, o.hosts, o.buckets, o.interval);
     let rows: u64 = series.iter().map(|s| s.len() as u64).sum();
     let raw_bytes = rows * 8 * TableKind::Series.columns().len() as u64;
     let codec_bytes: u64 = series

@@ -1,6 +1,6 @@
 //! Run configuration and per-host run output.
 
-use ms_dcsim::Ns;
+use ms_dcsim::{Bps, Bytes, Ns};
 
 /// Configuration of one Millisampler run.
 ///
@@ -121,22 +121,22 @@ impl HostSeries {
         self.in_retx.iter().sum()
     }
 
-    /// Ingress link utilization of bucket `i` against `link_bps`.
-    pub fn utilization(&self, i: usize, link_bps: u64) -> f64 {
-        let capacity = self.interval.bytes_at_rate(link_bps);
-        if capacity == 0 {
+    /// Ingress link utilization of bucket `i` against `link`.
+    pub fn utilization(&self, i: usize, link: Bps) -> f64 {
+        let capacity = self.interval.bytes_at_rate(link);
+        if capacity == Bytes::ZERO {
             return 0.0;
         }
-        self.in_bytes[i] as f64 / capacity as f64
+        self.in_bytes[i] as f64 / capacity.as_u64() as f64
     }
 
     /// Average ingress utilization over the whole run.
-    pub fn avg_utilization(&self, link_bps: u64) -> f64 {
+    pub fn avg_utilization(&self, link: Bps) -> f64 {
         if self.is_empty() {
             return 0.0;
         }
-        let capacity = self.interval.bytes_at_rate(link_bps) * self.len() as u64;
-        self.total_in_bytes() as f64 / capacity as f64
+        let capacity = self.interval.bytes_at_rate(link) * self.len() as u64;
+        self.total_in_bytes() as f64 / capacity.as_u64() as f64
     }
 }
 
@@ -157,9 +157,9 @@ mod tests {
         // 12.5 Gbps → 1,562,500 B/ms capacity.
         s.in_bytes[0] = 1_562_500; // 100%
         s.in_bytes[1] = 781_250; // 50%
-        assert!((s.utilization(0, 12_500_000_000) - 1.0).abs() < 1e-9);
-        assert!((s.utilization(1, 12_500_000_000) - 0.5).abs() < 1e-9);
-        assert!((s.avg_utilization(12_500_000_000) - 0.375).abs() < 1e-9);
+        assert!((s.utilization(0, Bps(12_500_000_000)) - 1.0).abs() < 1e-9);
+        assert!((s.utilization(1, Bps(12_500_000_000)) - 0.5).abs() < 1e-9);
+        assert!((s.avg_utilization(Bps(12_500_000_000)) - 0.375).abs() < 1e-9);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct Config {
     /// their documented contract (`ShardQueue::next` parks on its
     /// deque by design).
     pub may_block: Vec<String>,
+    /// `Type::function` names whose whole call tree must be float-free
+    /// (the float-determinism pass): event scheduling, trace emission,
+    /// link serialization.
+    pub float_roots: Vec<String>,
     /// File-level suppressions.
     pub allow: Vec<FileAllow>,
 }
@@ -90,6 +94,7 @@ impl Config {
                 ("scan", "exclude") => cfg.exclude = values,
                 ("hotpath", "functions") => cfg.hot_functions = values,
                 ("hotpath", "may_block") => cfg.may_block = values,
+                ("float", "roots") => cfg.float_roots = values,
                 ("allow", "rules") => {
                     for entry in values {
                         let Some((rule, path)) = entry.split_once(' ') else {
@@ -217,6 +222,9 @@ functions = [
     "EventQueue::pop",
 ]
 
+[float]
+roots = ["EventQueue::schedule"]
+
 [allow]
 rules = ["cast-truncation crates/dcsim/src/pcap.rs"]
 "#,
@@ -224,6 +232,7 @@ rules = ["cast-truncation crates/dcsim/src/pcap.rs"]
         .unwrap();
         assert_eq!(cfg.crates, ["crates/dcsim", "crates/millisampler"]);
         assert_eq!(cfg.hot_functions, ["TcFilter::record", "EventQueue::pop"]);
+        assert_eq!(cfg.float_roots, ["EventQueue::schedule"]);
         assert!(cfg.file_allowed("cast-truncation", "crates/dcsim/src/pcap.rs"));
         assert!(!cfg.file_allowed("cast-truncation", "crates/dcsim/src/lib.rs"));
     }

@@ -24,22 +24,34 @@
 use crate::parser::{Block, CallKind, CallSite, FnDef, Node};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The three propagated facts.
+/// The propagated facts. The first three drive the hot-path pass;
+/// `Float` (may reach floating-point math) drives the
+/// float-determinism pass and is seeded from the token stream by
+/// [`crate::floatflow`] rather than the intrinsic call tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Fact {
     Panic,
     Alloc,
     Block,
+    Float,
 }
 
+/// Number of propagated facts (the width of [`FnNode::trans`]).
+pub const N_FACTS: usize = 4;
+
 impl Fact {
+    /// The hot-path facts — [`Fact::Float`] deliberately excluded; it
+    /// has its own pass with its own roots.
     pub const ALL: [Fact; 3] = [Fact::Panic, Fact::Alloc, Fact::Block];
+    /// Every fact the fixpoint engine propagates.
+    pub const PROPAGATED: [Fact; N_FACTS] = [Fact::Panic, Fact::Alloc, Fact::Block, Fact::Float];
 
     pub fn verb(self) -> &'static str {
         match self {
             Fact::Panic => "panic",
             Fact::Alloc => "allocate",
             Fact::Block => "block",
+            Fact::Float => "use floats",
         }
     }
 
@@ -48,6 +60,7 @@ impl Fact {
             Fact::Panic => "hot-path-panic",
             Fact::Alloc => "hot-path-alloc",
             Fact::Block => "hot-path-block",
+            Fact::Float => "float-determinism",
         }
     }
 }
@@ -80,8 +93,9 @@ pub struct FnNode {
     pub crate_dir: String,
     pub local: Vec<LocalFact>,
     pub calls: Vec<CallEdge>,
-    /// Transitive facts (filled by [`CallGraph::propagate`]).
-    pub trans: [bool; 3],
+    /// Transitive facts (filled by [`CallGraph::propagate`]),
+    /// indexed by `Fact as usize`.
+    pub trans: [bool; N_FACTS],
 }
 
 impl FnNode {
@@ -180,7 +194,7 @@ impl CallGraph {
                     crate_dir: crate_dir.clone(),
                     local: Vec::new(),
                     calls: Vec::new(),
-                    trans: [false; 3],
+                    trans: [false; N_FACTS],
                 });
             }
         }
@@ -328,10 +342,21 @@ impl CallGraph {
         }
     }
 
-    /// Fixed-point propagation of the three facts caller-ward.
+    /// Appends extra local facts computed outside the intrinsic tables
+    /// (the token-level float evidence) and re-runs propagation. The
+    /// fixpoint is monotone, so re-propagating after seeding is exact.
+    pub fn add_local_facts(&mut self, mut facts_for: impl FnMut(&FnNode) -> Vec<LocalFact>) {
+        for i in 0..self.nodes.len() {
+            let extra = facts_for(&self.nodes[i]);
+            self.nodes[i].local.extend(extra);
+        }
+        self.propagate();
+    }
+
+    /// Fixed-point propagation of every fact caller-ward.
     fn propagate(&mut self) {
         for i in 0..self.nodes.len() {
-            for (f, fact) in Fact::ALL.iter().enumerate() {
+            for (f, fact) in Fact::PROPAGATED.iter().enumerate() {
                 self.nodes[i].trans[f] = self.nodes[i].has_local(*fact);
             }
         }

@@ -16,7 +16,14 @@
 //!   cycle-forming orders (see [`locks`]);
 //! * cast safety — no silent `as u8/u16/u32` truncation;
 //! * suppression hygiene — every `allow` must still suppress something
-//!   (see [`suppress`]).
+//!   (see [`suppress`]);
+//! * units/dimension dataflow — `ns + us`, cross-dimension compares,
+//!   and unchecked `u64` scale multiplies are flagged by an
+//!   intraprocedural evaluator seeded from the `Ns`/`Bytes`/`Bps`
+//!   newtypes and `_ns`-style suffixes (see [`unitflow`]);
+//! * float determinism — no `f32`/`f64` arithmetic transitively
+//!   reachable from the `[float] roots` scheduling/trace-emission
+//!   functions (see [`floatflow`]).
 //!
 //! Run it with `cargo run -p simlint -- --deny` (CI adds
 //! `--baseline simlint.baseline`). Rules are configured in the
@@ -32,6 +39,7 @@
 pub mod baseline;
 pub mod config;
 pub mod diag;
+pub mod floatflow;
 pub mod graph;
 pub mod hotpath;
 pub mod lexer;
@@ -39,6 +47,7 @@ pub mod locks;
 pub mod parser;
 pub mod rules;
 pub mod suppress;
+pub mod unitflow;
 
 pub use config::Config;
 pub use diag::{render_human, render_json, Diagnostic};
@@ -48,12 +57,26 @@ use graph::CallGraph;
 use std::path::{Path, PathBuf};
 use suppress::Suppressions;
 
-/// Scan-size counters, reported via `--bench`.
+/// Scan-size counters and per-pass wall times, reported via `--bench`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Stats {
     pub files_scanned: usize,
     pub fns_in_graph: usize,
     pub resolved_calls: usize,
+    /// Functions the units pass entered with at least one known
+    /// dimension.
+    pub fns_typed: usize,
+    /// Dimension assignments tracked by the units pass (seeded params
+    /// + dimensioned `let` bindings).
+    pub dimension_facts: usize,
+    /// Functions that locally use or transitively reach float
+    /// arithmetic.
+    pub float_tainted_fns: usize,
+    /// Per-pass wall times in milliseconds.
+    pub hotpath_ms: f64,
+    pub locks_ms: f64,
+    pub float_ms: f64,
+    pub unit_ms: f64,
 }
 
 /// The result of one full analysis.
@@ -80,6 +103,8 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Analysis, String> {
     let mut raw = Vec::new();
     let mut suppressions = Suppressions::new(cfg);
     let mut parsed_files = Vec::new();
+    let mut tokens: std::collections::BTreeMap<String, Vec<lexer::Tok>> =
+        std::collections::BTreeMap::new();
     let mut stats = Stats::default();
 
     for crate_dir in &cfg.crates {
@@ -111,7 +136,14 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Analysis, String> {
             let lexed = lexer::lex(&src);
             suppressions.add_file(&rel, &lexed.allows);
             raw.extend(rules::check_tokens(&rel, &lexed.toks, class));
-            parsed_files.push((rel, crate_dir.clone(), parser::parse_file(&lexed.toks).fns));
+            parsed_files.push((
+                rel.clone(),
+                crate_dir.clone(),
+                parser::parse_file(&lexed.toks).fns,
+            ));
+            // The dataflow passes re-walk raw tokens (operators and
+            // literals are not in the statement tree), so keep them.
+            tokens.insert(rel, lexed.toks);
             stats.files_scanned += 1;
         }
     }
@@ -119,12 +151,38 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Analysis, String> {
         return Err("no .rs files scanned — check [scan] crates in simlint.toml".into());
     }
 
-    let graph = CallGraph::build(parsed_files);
+    let mut graph = CallGraph::build(parsed_files);
+    // Token-level float evidence becomes a fourth propagated fact
+    // before the graph is handed to the passes.
+    graph.add_local_facts(|node| {
+        tokens
+            .get(&node.file)
+            .map_or_else(Vec::new, |toks| floatflow::float_evidence(toks, &node.def))
+    });
     stats.fns_in_graph = graph.nodes.len();
     stats.resolved_calls = graph.resolved_edges;
+    stats.float_tainted_fns = graph
+        .nodes
+        .iter()
+        .filter(|n| n.trans[graph::Fact::Float as usize])
+        .count();
 
+    let ms = |t0: std::time::Instant| t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
     raw.extend(hotpath::hotpath_pass(&graph, cfg));
+    stats.hotpath_ms = ms(t0);
+    let t0 = std::time::Instant::now();
     raw.extend(locks::LockPass::run(&graph));
+    stats.locks_ms = ms(t0);
+    let t0 = std::time::Instant::now();
+    raw.extend(floatflow::float_pass(&graph, cfg));
+    stats.float_ms = ms(t0);
+    let t0 = std::time::Instant::now();
+    let (unit_diags, unit_stats) = unitflow::unit_pass(&graph, &tokens, cfg);
+    raw.extend(unit_diags);
+    stats.unit_ms = ms(t0);
+    stats.fns_typed = unit_stats.fns_typed;
+    stats.dimension_facts = unit_stats.dimension_facts;
 
     let mut diags = suppressions.filter(raw);
     // The audit runs after every pass has been filtered; its findings

@@ -47,6 +47,10 @@ pub struct FnDef {
     /// Parameter identifier names (`self` included), best effort —
     /// tuple/struct patterns contribute nothing.
     pub params: Vec<String>,
+    /// Type idents of each parameter, space-joined, parallel to
+    /// `params` (`"Ns"`, `"Vec FlowId"`; empty for `self` receivers).
+    /// The dataflow passes seed dimensions and float facts from these.
+    pub param_types: Vec<String>,
     /// Identifiers appearing in the return type, space-joined
     /// (`"MutexGuard Vec Entry"`). Empty when the function returns `()`.
     pub ret: String,
@@ -54,6 +58,11 @@ pub struct FnDef {
     /// `#[test]`.
     pub in_cfg_test: bool,
     pub body: Block,
+    /// Token-index span `[start, end)` of the body within the file's
+    /// token stream, `(0, 0)` for bodyless signatures. The token-level
+    /// dataflow passes (units, float) re-walk this range — the
+    /// statement tree drops operators and literals.
+    pub body_range: (usize, usize),
 }
 
 impl FnDef {
@@ -379,9 +388,13 @@ impl Parser<'_> {
             j = skip_angles(self.toks, j);
         }
         let mut params = Vec::new();
+        let mut param_types = Vec::new();
         if punct_at(self.toks, j, '(') {
             let close = matching(self.toks, j, '(', ')').unwrap_or(end);
-            params = self.param_names(j + 1, close.min(end));
+            for (name, ty) in self.param_list(j + 1, close.min(end)) {
+                params.push(name);
+                param_types.push(ty);
+            }
             j = close + 1;
         }
         // Return type: idents between `->` and the body/`;`/`where`.
@@ -406,11 +419,15 @@ impl Parser<'_> {
         while j < end && !punct_at(self.toks, j, '{') && !punct_at(self.toks, j, ';') {
             j += 1;
         }
-        let (body, next) = if punct_at(self.toks, j, '{') {
+        let (body, body_range, next) = if punct_at(self.toks, j, '{') {
             let close = matching(self.toks, j, '{', '}').unwrap_or(end);
-            (self.block(j + 1, close.min(end), in_test), close + 1)
+            (
+                self.block(j + 1, close.min(end), in_test),
+                (j + 1, close.min(end)),
+                close + 1,
+            )
         } else {
-            (Block::default(), j + 1)
+            (Block::default(), (0, 0), j + 1)
         };
         self.out.fns.push(FnDef {
             self_ty: self_ty.map(str::to_string),
@@ -418,16 +435,19 @@ impl Parser<'_> {
             line,
             col,
             params,
+            param_types,
             ret,
             in_cfg_test: in_test,
             body,
+            body_range,
         });
         next
     }
 
-    /// Parameter names from the token range of a parameter list.
-    fn param_names(&self, from: usize, end: usize) -> Vec<String> {
-        let mut names = Vec::new();
+    /// `(name, type idents)` pairs from the token range of a parameter
+    /// list. Segments without a nameable pattern contribute nothing.
+    fn param_list(&self, from: usize, end: usize) -> Vec<(String, String)> {
+        let mut pairs = Vec::new();
         let mut depth = 0i64;
         let mut seg_start = from;
         let mut j = from;
@@ -436,8 +456,11 @@ impl Parser<'_> {
             let is_comma = !at_end && depth == 0 && punct_at(self.toks, j, ',');
             if at_end || is_comma {
                 // Idents before the top-level `:` (or the whole segment
-                // for `self` receivers), excluding binding keywords.
+                // for `self` receivers), excluding binding keywords; the
+                // idents after it are the parameter's type.
                 let mut last = None;
+                let mut ty = String::new();
+                let mut past_colon = false;
                 let mut d = 0i64;
                 for k in seg_start..j {
                     let t = &self.toks[k];
@@ -445,17 +468,23 @@ impl Parser<'_> {
                         d += 1;
                     } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
                         d -= 1;
-                    } else if d == 0 && t.is_punct(':') {
-                        break;
-                    } else if d == 0
-                        && t.kind == TokKind::Ident
-                        && !matches!(t.text.as_str(), "mut" | "ref" | "dyn")
-                    {
-                        last = Some(t.text.clone());
+                    } else if d == 0 && t.is_punct(':') && !past_colon {
+                        past_colon = true;
+                    } else if t.kind == TokKind::Ident {
+                        if past_colon {
+                            if !matches!(t.text.as_str(), "mut" | "dyn" | "impl") {
+                                if !ty.is_empty() {
+                                    ty.push(' ');
+                                }
+                                ty.push_str(&t.text);
+                            }
+                        } else if d == 0 && !matches!(t.text.as_str(), "mut" | "ref" | "dyn") {
+                            last = Some(t.text.clone());
+                        }
                     }
                 }
                 if let Some(n) = last {
-                    names.push(n);
+                    pairs.push((n, ty));
                 }
                 if at_end {
                     break;
@@ -474,7 +503,7 @@ impl Parser<'_> {
             }
             j += 1;
         }
-        names
+        pairs
     }
 
     /// Parses the statements of a block body in `[i, end)`.
@@ -905,7 +934,29 @@ mod tests {
         let p = parse("fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> { m }");
         assert_eq!(p.fns[0].name, "lock_recover");
         assert_eq!(p.fns[0].params, vec!["m"]);
+        assert_eq!(p.fns[0].param_types, vec!["Mutex T"]);
         assert!(p.fns[0].ret.contains("MutexGuard"));
+    }
+
+    #[test]
+    fn param_types_stay_parallel_to_names() {
+        let p = parse("impl W { fn f(&self, start: Ns, sizes: &[u32], rate: Bps) -> Bytes { x } }");
+        assert_eq!(p.fns[0].params, vec!["self", "start", "sizes", "rate"]);
+        assert_eq!(p.fns[0].param_types, vec!["", "Ns", "u32", "Bps"]);
+        assert_eq!(p.fns[0].ret, "Bytes");
+    }
+
+    #[test]
+    fn body_range_spans_the_body_tokens() {
+        let src = "fn f(x: u64) -> u64 { x + 1 }";
+        let toks = lex(src).toks;
+        let p = parse_file(&toks);
+        let (start, end) = p.fns[0].body_range;
+        let texts: Vec<&str> = toks[start..end].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["x", "+", "1"]);
+        // Bodyless trait signatures carry the empty sentinel.
+        let p2 = parse("trait T { fn g(&self); }");
+        assert_eq!(p2.fns[0].body_range, (0, 0));
     }
 
     #[test]

@@ -257,6 +257,97 @@ fn stale_allow_is_flagged_at_its_directive_line() {
     );
 }
 
+#[test]
+fn unit_mismatch_fires_on_each_planted_line() {
+    let d = run(&base_config());
+    let f = "units/units_bad.rs";
+    assert!(has(&d, f, "unit-mismatch", 5), "ns + us: {d:?}");
+    assert!(has(&d, f, "unit-mismatch", 9), "ns < bytes: {d:?}");
+    assert!(has(&d, f, "unit-mismatch", 13), "bps * bytes: {d:?}");
+    assert!(has(&d, f, "unit-mismatch", 17), "Ns(us): {d:?}");
+    assert!(
+        has(&d, f, "unit-mismatch", 21),
+        "let total_ns = t_us: {d:?}"
+    );
+    let add = d
+        .iter()
+        .find(|d| d.file == f && d.line == 5)
+        .expect("the add finding");
+    assert!(
+        add.message.contains("adds `ns` and `us`") && add.message.contains("`deadline`"),
+        "{}",
+        add.message
+    );
+    // The inline allow in `allowed` and the same-dimension `fine`
+    // arithmetic stay silent.
+    assert!(
+        !d.iter().any(|d| d.file == f && d.line > 21),
+        "allowed/fine must not flag: {d:?}"
+    );
+}
+
+#[test]
+fn unchecked_scale_fires_on_raw_multiplies_only() {
+    let d = run(&base_config());
+    let f = "scale/scale_bad.rs";
+    assert!(has(&d, f, "unchecked-scale", 5), "us * 1_000: {d:?}");
+    assert!(has(&d, f, "unchecked-scale", 9), "bytes * 8: {d:?}");
+    assert!(
+        !d.iter().any(|d| d.file == f && d.line == 13),
+        "the u128-widened multiply is the sanctioned form: {d:?}"
+    );
+}
+
+#[test]
+fn float_on_scheduling_path_three_hops_deep_carries_full_chain() {
+    let mut cfg = base_config();
+    cfg.float_roots.push("EventQueue::schedule".to_string());
+    let d = run(&cfg);
+    let f = "floatpath/chain.rs";
+    let hit = d
+        .iter()
+        .find(|d| d.file == f && d.rule == "float-determinism")
+        .expect("the f64 three calls down must surface");
+    assert_eq!(hit.line, 11, "anchored at the `self.jitter(...)` call site");
+    assert!(
+        hit.message.contains("`EventQueue::schedule`")
+            && hit.message.contains("via `EventQueue::jitter`"),
+        "{}",
+        hit.message
+    );
+    assert_eq!(
+        hit.chain.len(),
+        4,
+        "root + two hops + construct: {:?}",
+        hit.chain
+    );
+    assert!(hit.chain[0].contains("EventQueue::schedule"));
+    assert!(hit.chain[1].contains("EventQueue::jitter"));
+    assert!(hit.chain[2].contains("EventQueue::scaled"));
+    assert!(hit.chain[3].contains("f64"));
+}
+
+#[test]
+fn float_fixture_is_silent_without_a_configured_root() {
+    let d = run(&base_config());
+    assert!(
+        d.iter().all(|d| d.file != "floatpath/chain.rs"),
+        "no [float] roots configured — nothing may fire: {d:?}"
+    );
+}
+
+#[test]
+fn missing_float_root_is_reported() {
+    let mut cfg = base_config();
+    cfg.float_roots.push("Vanished::gone".to_string());
+    let d = run(&cfg);
+    assert!(
+        d.iter()
+            .any(|d| d.rule == "float-root-missing" && d.message.contains("Vanished::gone")),
+        "renamed-away float roots must be loud: {d:?}"
+    );
+}
+
 /// Golden `--json` snapshot over the interprocedural fixtures: the
 /// rendered output — chains, fingerprints, ordering — must match the
 /// checked-in snapshot byte-for-byte, and a second analysis of the same
@@ -266,11 +357,15 @@ fn stale_allow_is_flagged_at_its_directive_line() {
 fn golden_json_snapshot_and_fingerprint_stability() {
     let cfg = Config {
         crates: vec![
+            "floatpath".to_string(),
             "locks".to_string(),
+            "scale".to_string(),
             "suppress".to_string(),
             "transitive".to_string(),
+            "units".to_string(),
         ],
         hot_functions: vec!["Meter::record".to_string()],
+        float_roots: vec!["EventQueue::schedule".to_string()],
         ..Config::default()
     };
     let first = render_json(&run(&cfg));

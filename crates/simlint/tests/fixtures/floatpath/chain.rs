@@ -1,0 +1,22 @@
+//! A three-hop float chain under a local `EventQueue::schedule`: the
+//! float-determinism pass must walk schedule → jitter → scaled down to
+//! the f64 arithmetic.
+
+pub struct EventQueue {
+    now: u64,
+}
+
+impl EventQueue {
+    pub fn schedule(&mut self, at: u64) {
+        let j = self.jitter(at);
+        self.now = at + j;
+    }
+
+    fn jitter(&self, at: u64) -> u64 {
+        self.scaled(at)
+    }
+
+    fn scaled(&self, at: u64) -> u64 {
+        (at as f64 * 0.5) as u64
+    }
+}

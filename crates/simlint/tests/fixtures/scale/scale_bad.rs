@@ -1,0 +1,14 @@
+//! Planted unchecked-scale findings: raw u64 multiplies by recognized
+//! conversion factors, plus the sanctioned u128-widened form.
+
+pub fn to_ns(interval_us: u64) -> u64 {
+    interval_us * 1_000
+}
+
+pub fn to_bits(len_bytes: u64) -> u64 {
+    len_bytes * 8
+}
+
+pub fn widened(len_bytes: u64) -> u128 {
+    len_bytes as u128 * 8 * 1_000_000_000
+}

@@ -1,0 +1,32 @@
+//! Planted findings for the units/dimension dataflow pass — each
+//! arithmetic line mixes dimensions in a way the evaluator must catch.
+
+pub fn deadline(start_ns: u64, delay_us: u64) -> u64 {
+    start_ns + delay_us
+}
+
+pub fn window_check(t_ns: u64, lim_bytes: u64) -> bool {
+    t_ns < lim_bytes
+}
+
+pub fn bandwidth(rate_bps: u64, sz_bytes: u64) -> u64 {
+    rate_bps * sz_bytes
+}
+
+pub fn wrap(delay_us: u64) -> u64 {
+    Ns(delay_us)
+}
+
+pub fn rebind(t_us: u64) -> u64 {
+    let total_ns = t_us;
+    total_ns
+}
+
+pub fn allowed(a_ns: u64, b_us: u64) -> u64 {
+    // simlint: allow(unit-mismatch): fixture proves inline allows reach this pass
+    a_ns + b_us
+}
+
+pub fn fine(a_ns: u64, b_ns: u64) -> u64 {
+    a_ns + b_ns + 5
+}

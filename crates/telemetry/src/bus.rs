@@ -9,6 +9,8 @@
 //! lost events is reported so exporters can say so instead of silently
 //! presenting a truncated trace as complete.
 
+use ms_units::Bytes;
+
 /// Why the switch (or a fault injector) discarded a packet.
 ///
 /// This is the shared drop taxonomy used by both the switch's
@@ -75,8 +77,8 @@ pub enum TraceEvent {
         queue: u32,
         /// Packet size in bytes.
         size: u32,
-        /// Queue occupancy (bytes) *after* the enqueue.
-        occupancy: u64,
+        /// Queue occupancy *after* the enqueue.
+        occupancy: Bytes,
         /// Whether the packet was CE-marked on admission.
         marked: bool,
     },
@@ -97,8 +99,8 @@ pub enum TraceEvent {
         ns: u64,
         /// Egress queue index.
         queue: u32,
-        /// Queue occupancy (bytes) at the mark.
-        occupancy: u64,
+        /// Queue occupancy at the mark.
+        occupancy: Bytes,
     },
     /// Queue occupancy crossed the static ECN threshold.
     ThresholdCross {
@@ -106,10 +108,10 @@ pub enum TraceEvent {
         ns: u64,
         /// Egress queue index.
         queue: u32,
-        /// Queue occupancy (bytes) after the crossing operation.
-        occupancy: u64,
+        /// Queue occupancy after the crossing operation.
+        occupancy: Bytes,
         /// The threshold crossed.
-        threshold: u64,
+        threshold: Bytes,
         /// `true` when crossing upward (enqueue), `false` downward.
         up: bool,
     },
@@ -121,8 +123,8 @@ pub enum TraceEvent {
         queue: u32,
         /// Packet size in bytes.
         size: u32,
-        /// Queue occupancy (bytes) *after* the dequeue.
-        occupancy: u64,
+        /// Queue occupancy *after* the dequeue.
+        occupancy: Bytes,
     },
     /// A drain found its queue empty (the egress link went idle).
     DequeueIdle {
@@ -146,8 +148,8 @@ pub enum TraceEvent {
         ns: u64,
         /// Flow id.
         flow: u64,
-        /// New congestion window (bytes).
-        cwnd: u64,
+        /// New congestion window.
+        cwnd: Bytes,
     },
     /// A sender's retransmission timeout genuinely fired.
     RtoFired {
@@ -389,7 +391,7 @@ mod tests {
                 ns: 1,
                 queue: 0,
                 size: 1500,
-                occupancy: 1500,
+                occupancy: Bytes(1500),
                 marked: false,
             },
             TraceEvent::PacketDrop {
@@ -401,20 +403,20 @@ mod tests {
             TraceEvent::EcnMark {
                 ns: 3,
                 queue: 0,
-                occupancy: 0,
+                occupancy: Bytes::ZERO,
             },
             TraceEvent::ThresholdCross {
                 ns: 4,
                 queue: 0,
-                occupancy: 0,
-                threshold: 0,
+                occupancy: Bytes::ZERO,
+                threshold: Bytes::ZERO,
                 up: true,
             },
             TraceEvent::Dequeue {
                 ns: 5,
                 queue: 0,
                 size: 0,
-                occupancy: 0,
+                occupancy: Bytes::ZERO,
             },
             TraceEvent::DequeueIdle { ns: 6, queue: 0 },
             TraceEvent::WindowFlush {
@@ -425,7 +427,7 @@ mod tests {
             TraceEvent::CwndChange {
                 ns: 8,
                 flow: 0,
-                cwnd: 0,
+                cwnd: Bytes::ZERO,
             },
             TraceEvent::RtoFired { ns: 9, flow: 0 },
             TraceEvent::SamplerWindowClose { ns: 10, host: 0 },

@@ -101,7 +101,7 @@ pub fn write_perfetto<W: Write>(w: &mut W, bus: &TraceBus, meta: &PerfettoMeta) 
                 ..
             } => {
                 let name = format!("queue{queue}.occupancy");
-                write_counter(w, &mut first, ns, &name, "bytes", occupancy)?;
+                write_counter(w, &mut first, ns, &name, "bytes", occupancy.as_u64())?;
             }
             TraceEvent::PacketDrop {
                 ns,
@@ -118,7 +118,7 @@ pub fn write_perfetto<W: Write>(w: &mut W, bus: &TraceBus, meta: &PerfettoMeta) 
                 queue,
                 occupancy,
             } => {
-                let args = format!("\"queue\":{queue},\"occupancy\":{occupancy}");
+                let args = format!("\"queue\":{queue},\"occupancy\":{}", occupancy.as_u64());
                 write_instant(w, &mut first, ns, u64::from(queue), "ecn-mark", &args)?;
             }
             TraceEvent::ThresholdCross {
@@ -134,7 +134,9 @@ pub fn write_perfetto<W: Write>(w: &mut W, bus: &TraceBus, meta: &PerfettoMeta) 
                     "threshold-cross:down"
                 };
                 let args = format!(
-                    "\"queue\":{queue},\"occupancy\":{occupancy},\"threshold\":{threshold}"
+                    "\"queue\":{queue},\"occupancy\":{},\"threshold\":{}",
+                    occupancy.as_u64(),
+                    threshold.as_u64()
                 );
                 write_instant(w, &mut first, ns, u64::from(queue), name, &args)?;
             }
@@ -145,7 +147,7 @@ pub fn write_perfetto<W: Write>(w: &mut W, bus: &TraceBus, meta: &PerfettoMeta) 
             }
             TraceEvent::CwndChange { ns, flow, cwnd } => {
                 let name = format!("flow{flow}.cwnd");
-                write_counter(w, &mut first, ns, &name, "bytes", cwnd)?;
+                write_counter(w, &mut first, ns, &name, "bytes", cwnd.as_u64())?;
             }
             TraceEvent::RtoFired { ns, flow } => {
                 let args = format!("\"flow\":{flow}");
@@ -351,6 +353,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::bus::DropReason;
+    use ms_units::Bytes;
 
     fn sample_bus() -> TraceBus {
         let mut bus = TraceBus::with_capacity(64);
@@ -358,20 +361,20 @@ mod tests {
             ns: 1_000,
             queue: 2,
             size: 1500,
-            occupancy: 1500,
+            occupancy: Bytes(1500),
             marked: false,
         });
         bus.record(TraceEvent::ThresholdCross {
             ns: 1_500,
             queue: 2,
-            occupancy: 130_000,
-            threshold: 120_000,
+            occupancy: Bytes(130_000),
+            threshold: Bytes(120_000),
             up: true,
         });
         bus.record(TraceEvent::EcnMark {
             ns: 1_600,
             queue: 2,
-            occupancy: 130_000,
+            occupancy: Bytes(130_000),
         });
         bus.record(TraceEvent::PacketDrop {
             ns: 2_000,
@@ -383,7 +386,7 @@ mod tests {
             ns: 2_500,
             queue: 2,
             size: 1500,
-            occupancy: 0,
+            occupancy: Bytes::ZERO,
         });
         bus.record(TraceEvent::DequeueIdle {
             ns: 2_600,
@@ -392,7 +395,7 @@ mod tests {
         bus.record(TraceEvent::CwndChange {
             ns: 3_000,
             flow: 7,
-            cwnd: 29_200,
+            cwnd: Bytes(29_200),
         });
         bus.record(TraceEvent::RtoFired { ns: 4_000, flow: 7 });
         bus.record(TraceEvent::WindowFlush {

@@ -12,7 +12,7 @@
 use crate::cc::{AckInfo, CcAlgorithm, CongestionControl};
 use crate::rtt::RttEstimator;
 use ms_dcsim::packet::NodeId;
-use ms_dcsim::{FlowId, Ns, Packet};
+use ms_dcsim::{Bytes, FlowId, Ns, Packet};
 use std::collections::VecDeque;
 
 /// Sender configuration.
@@ -142,7 +142,7 @@ impl Sender {
                     .record(ms_telemetry::TraceEvent::CwndChange {
                         ns: now.as_nanos(),
                         flow: self.flow.0,
-                        cwnd,
+                        cwnd: Bytes(cwnd),
                     });
             }
         }
@@ -180,9 +180,9 @@ impl Sender {
         self.snd_nxt - self.snd_una
     }
 
-    /// Current congestion window (bytes).
-    pub fn cwnd(&self) -> u64 {
-        self.cc.cwnd()
+    /// Current congestion window.
+    pub fn cwnd(&self) -> Bytes {
+        Bytes(self.cc.cwnd())
     }
 
     /// Bytes committed but not yet sent for the first time.
@@ -512,7 +512,7 @@ mod tests {
         assert!(out[0].retx_bit);
         assert_eq!(out[0].seq, 0);
         assert_eq!(s.stats().timeouts, 1);
-        assert_eq!(s.cwnd(), 1500);
+        assert_eq!(s.cwnd(), Bytes(1500));
         // Backoff: next deadline further out than the first interval.
         let second = s.next_timer().unwrap();
         assert!(second - deadline >= deadline - Ns::ZERO);

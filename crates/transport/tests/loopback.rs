@@ -5,7 +5,7 @@
 
 use ms_dcsim::fault::DropInjector;
 use ms_dcsim::packet::PacketKind;
-use ms_dcsim::{EventQueue, FlowId, Link, Ns, Packet};
+use ms_dcsim::{Bps, Bytes, EventQueue, FlowId, Link, Ns, Packet};
 use ms_transport::{CcAlgorithm, Receiver, Sender, SenderConfig};
 
 #[derive(Debug)]
@@ -34,7 +34,7 @@ struct Loopback {
 }
 
 impl Loopback {
-    fn new(algorithm: CcAlgorithm, rate_bps: u64, delay: Ns) -> Self {
+    fn new(algorithm: CcAlgorithm, rate: Bps, delay: Ns) -> Self {
         let cfg = SenderConfig {
             algorithm,
             ..SenderConfig::default()
@@ -43,7 +43,7 @@ impl Loopback {
             q: EventQueue::new(),
             tx: Sender::new(FlowId(1), 100, 0, &cfg),
             rx: Receiver::new(FlowId(1), 0, 100),
-            bottleneck: Link::new(rate_bps, delay),
+            bottleneck: Link::new(rate, delay),
             back_delay: delay,
             drops: None,
             drop_ordinals: Vec::new(),
@@ -124,7 +124,7 @@ impl Loopback {
 #[test]
 fn clean_transfer_completes_for_all_algorithms() {
     for alg in [CcAlgorithm::Dctcp, CcAlgorithm::Cubic, CcAlgorithm::Reno] {
-        let mut lb = Loopback::new(alg, 10_000_000_000, Ns::from_micros(20));
+        let mut lb = Loopback::new(alg, Bps(10_000_000_000), Ns::from_micros(20));
         let done = lb
             .run(1_000_000, Ns::from_secs(5))
             .unwrap_or_else(|| panic!("{alg:?} did not complete"));
@@ -139,9 +139,9 @@ fn clean_transfer_completes_for_all_algorithms() {
 #[test]
 fn throughput_approaches_bottleneck_rate() {
     // 10 MB over a 5 Gbps link, 10 µs delay: ideal time = 16 ms.
-    let mut lb = Loopback::new(CcAlgorithm::Dctcp, 5_000_000_000, Ns::from_micros(10));
+    let mut lb = Loopback::new(CcAlgorithm::Dctcp, Bps(5_000_000_000), Ns::from_micros(10));
     let done = lb.run(10_000_000, Ns::from_secs(5)).expect("complete");
-    let ideal = Ns::tx_time(10_000_000, 5_000_000_000);
+    let ideal = Ns::tx_time(Bytes(10_000_000), Bps(5_000_000_000));
     let efficiency = ideal.as_secs_f64() / done.as_secs_f64();
     assert!(
         efficiency > 0.80,
@@ -151,7 +151,7 @@ fn throughput_approaches_bottleneck_rate() {
 
 #[test]
 fn single_loss_repaired_by_fast_retransmit() {
-    let mut lb = Loopback::new(CcAlgorithm::Dctcp, 10_000_000_000, Ns::from_micros(20));
+    let mut lb = Loopback::new(CcAlgorithm::Dctcp, Bps(10_000_000_000), Ns::from_micros(20));
     lb.drop_ordinals = vec![3];
     let done = lb.run(500_000, Ns::from_secs(5)).expect("complete");
     assert_eq!(lb.rx.stats().bytes_delivered, 500_000);
@@ -164,7 +164,7 @@ fn single_loss_repaired_by_fast_retransmit() {
 
 #[test]
 fn tail_loss_repaired_by_rto() {
-    let mut lb = Loopback::new(CcAlgorithm::Dctcp, 10_000_000_000, Ns::from_micros(20));
+    let mut lb = Loopback::new(CcAlgorithm::Dctcp, Bps(10_000_000_000), Ns::from_micros(20));
     // 3000 bytes = 2 segments; drop the last one (no dupacks possible).
     lb.drop_ordinals = vec![2];
     let done = lb.run(3_000, Ns::from_secs(5)).expect("complete");
@@ -180,7 +180,7 @@ fn tail_loss_repaired_by_rto() {
 #[test]
 fn random_loss_still_completes() {
     for seed in 0..5 {
-        let mut lb = Loopback::new(CcAlgorithm::Dctcp, 10_000_000_000, Ns::from_micros(20));
+        let mut lb = Loopback::new(CcAlgorithm::Dctcp, Bps(10_000_000_000), Ns::from_micros(20));
         lb.drops = Some(DropInjector::new(seed, 0.03));
         lb.run(2_000_000, Ns::from_secs(30))
             .unwrap_or_else(|| panic!("seed {seed} did not complete"));
@@ -192,11 +192,11 @@ fn random_loss_still_completes() {
 #[test]
 fn loss_makes_transfer_slower() {
     let clean = {
-        let mut lb = Loopback::new(CcAlgorithm::Reno, 10_000_000_000, Ns::from_micros(20));
+        let mut lb = Loopback::new(CcAlgorithm::Reno, Bps(10_000_000_000), Ns::from_micros(20));
         lb.run(2_000_000, Ns::from_secs(30)).unwrap()
     };
     let lossy = {
-        let mut lb = Loopback::new(CcAlgorithm::Reno, 10_000_000_000, Ns::from_micros(20));
+        let mut lb = Loopback::new(CcAlgorithm::Reno, Bps(10_000_000_000), Ns::from_micros(20));
         lb.drops = Some(DropInjector::new(7, 0.05));
         lb.run(2_000_000, Ns::from_secs(30)).unwrap()
     };
@@ -206,7 +206,7 @@ fn loss_makes_transfer_slower() {
 #[test]
 fn deterministic_under_fixed_seed() {
     let run = |seed| {
-        let mut lb = Loopback::new(CcAlgorithm::Dctcp, 10_000_000_000, Ns::from_micros(20));
+        let mut lb = Loopback::new(CcAlgorithm::Dctcp, Bps(10_000_000_000), Ns::from_micros(20));
         lb.drops = Some(DropInjector::new(seed, 0.02));
         let t = lb.run(1_000_000, Ns::from_secs(30)).unwrap();
         (t, lb.tx.stats(), lb.rx.stats().acks_sent)

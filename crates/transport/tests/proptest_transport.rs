@@ -163,7 +163,10 @@ fn cwnd_stays_positive_under_arbitrary_acks() {
         for (i, &(seq, ecn)) in acks.iter().enumerate() {
             let ack = Packet::ack(FlowId(1), 1, 9, seq, ecn);
             tx.on_ack(Ns(i as u64 * 10_000), &ack);
-            assert!(tx.cwnd() >= 1500, "cwnd collapsed below 1 MSS");
+            assert!(
+                tx.cwnd() >= ms_dcsim::Bytes(1500),
+                "cwnd collapsed below 1 MSS"
+            );
             assert!(tx.in_flight() <= 1_000_000);
         }
     }

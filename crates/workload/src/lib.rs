@@ -34,6 +34,9 @@ pub mod tasks;
 pub mod tools;
 
 pub use diurnal::Diurnal;
+/// Re-exported from `ms-units` via `ms-dcsim`: the rate and volume
+/// newtypes used throughout scenario specs.
+pub use ms_dcsim::{Bps, Bytes};
 pub use placement::{RackClass, RackSpec, RegionKind, RegionSpec, TaskInstance};
 pub use scenario::{rack_sim_for, rack_spec_for, ScenarioConfig};
 pub use sim::{RackSim, RackSimConfig, RackSimReport};

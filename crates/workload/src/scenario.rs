@@ -110,7 +110,7 @@ pub fn rack_spec_for(
     // also result in somewhat smoother bursts arriving downstream at the
     // racks"). ML-dense racks therefore receive all ingress pre-smoothed.
     if spec.class == crate::placement::RackClass::MlDense {
-        scenario.fabric_smoothing_bps = Some(11_000_000_000);
+        scenario.fabric_smoothing_bps = Some(ms_dcsim::Bps(11_000_000_000));
     }
 
     let mut gen_rng = SimRng::new(sim_seed ^ 0x6E45);

@@ -29,7 +29,8 @@ use ms_dcsim::link::Pacer;
 use ms_dcsim::packet::{NodeId, PacketKind};
 use ms_dcsim::switch::MinuteBin;
 use ms_dcsim::{
-    Direction, EventQueue, FlowId, Host, Link, Ns, Packet, RackConfig, SharedBufferSwitch, SimRng,
+    Bps, Bytes, Direction, EventQueue, FlowId, Host, Link, Ns, Packet, RackConfig,
+    SharedBufferSwitch, SimRng,
 };
 use ms_telemetry::{PerfettoMeta, SharedTelemetry, Telemetry, TelemetryConfig, TraceEvent};
 use ms_transport::{CcAlgorithm, Receiver, Sender, SenderConfig};
@@ -68,10 +69,10 @@ impl Default for GroConfig {
 /// [`RackSim::set_fabric_smoothing`] is the parametric version).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FabricHopConfig {
-    /// Trunk rate in bits/s (e.g. one 100 Gbps uplink).
-    pub rate_bps: u64,
-    /// Fabric buffer in bytes (fabric ASICs are deeper than ToRs, §8.1).
-    pub buffer_bytes: u64,
+    /// Trunk rate (e.g. one 100 Gbps uplink).
+    pub rate_bps: Bps,
+    /// Fabric buffer depth (fabric ASICs are deeper than ToRs, §8.1).
+    pub buffer_bytes: Bytes,
 }
 
 /// Configuration of one rack simulation.
@@ -154,7 +155,7 @@ enum Ev {
         group: u32,
         remaining: u32,
         size: u32,
-        paced_bps: u64,
+        paced_bps: Bps,
     },
     /// Next keepalive packet of a server's persistent-connection chatter.
     Chatter { server: usize },
@@ -211,7 +212,7 @@ pub struct RackSim {
     /// Pacing applied to flows that do not specify their own — models
     /// upstream fabric congestion smoothing *all* traffic arriving at a
     /// rack (the §8.1 hypothesis for RegA-High's low loss).
-    default_pacing: Option<u64>,
+    default_pacing: Option<Bps>,
     /// Per-server chatter state: (pool of persistent flow ids, mean gap).
     chatter: BTreeMap<usize, (u64, Ns)>,
     /// Per-server NIC-level drop injectors (fault injection, §4.2's
@@ -250,7 +251,7 @@ struct GroPending {
 struct FabricState {
     cfg: FabricHopConfig,
     fifo: std::collections::VecDeque<Packet>,
-    occupancy: u64,
+    occupancy: Bytes,
     link: Link,
     draining: bool,
     /// Packets dropped at the fabric hop.
@@ -315,7 +316,7 @@ impl RackSim {
             fabric: cfg.fabric_hop.map(|fc| FabricState {
                 cfg: fc,
                 fifo: std::collections::VecDeque::new(),
-                occupancy: 0,
+                occupancy: Bytes::ZERO,
                 link: Link::new(fc.rate_bps, Ns::from_micros(5)),
                 draining: false,
                 drops: 0,
@@ -451,8 +452,8 @@ impl RackSim {
     /// paced at `bps` (aggregate per connection group). Models the paper's
     /// observation that upstream fabric congestion smooths traffic before
     /// it reaches heavily-loaded racks (§8.1).
-    pub(crate) fn set_fabric_smoothing(&mut self, bps: u64) {
-        self.default_pacing = Some(bps);
+    pub(crate) fn set_fabric_smoothing(&mut self, rate: Bps) {
+        self.default_pacing = Some(rate);
     }
 
     /// The configuration in effect.
@@ -480,7 +481,7 @@ impl RackSim {
         group: u32,
         packets: u32,
         size: u32,
-        paced_bps: u64,
+        paced_bps: Bps,
     ) {
         self.q.schedule(
             at,
@@ -511,7 +512,7 @@ impl RackSim {
     }
 
     /// The probed queue's `(time, occupancy)` admission samples.
-    pub fn depth_samples(&self) -> &[(Ns, u64)] {
+    pub fn depth_samples(&self) -> &[(Ns, Bytes)] {
         self.switch.depth_samples()
     }
 
@@ -577,7 +578,7 @@ impl RackSim {
         }
         let h = m.histogram("switch.queue_max_occupancy");
         for queue in 0..self.cfg.rack.num_servers {
-            m.observe(h, self.switch.queue_stats(queue).max_occupancy);
+            m.observe(h, self.switch.queue_stats(queue).max_occupancy.as_u64());
         }
     }
 
@@ -661,11 +662,11 @@ impl RackSim {
 
     fn handle_fabric_arrive(&mut self, pkt: Packet, now: Ns) {
         let fabric = self.fabric.as_mut().expect("fabric event without fabric");
-        if fabric.occupancy + pkt.size as u64 > fabric.cfg.buffer_bytes {
+        if fabric.occupancy + Bytes(u64::from(pkt.size)) > fabric.cfg.buffer_bytes {
             fabric.drops += 1;
             return;
         }
-        fabric.occupancy += pkt.size as u64;
+        fabric.occupancy += Bytes(u64::from(pkt.size));
         fabric.fifo.push_back(pkt);
         if !fabric.draining {
             fabric.draining = true;
@@ -678,7 +679,7 @@ impl RackSim {
         let fabric = self.fabric.as_mut().expect("fabric event without fabric");
         match fabric.fifo.pop_front() {
             Some(pkt) => {
-                fabric.occupancy -= pkt.size as u64;
+                fabric.occupancy -= Bytes(u64::from(pkt.size));
                 let (departed, arrived) = fabric.link.transmit(now, pkt.size);
                 self.q.schedule(arrived, Ev::TorArrive { pkt });
                 self.q.schedule(departed, Ev::FabricDrain);
@@ -760,10 +761,10 @@ impl RackSim {
             sender.push(per_conn);
             sender.close();
             let receiver = Receiver::new(flow, dst_node, src_node);
-            let pacer = spec.paced_bps.or(self.default_pacing).map(|bps| {
+            let pacer = spec.paced_bps.or(self.default_pacing).map(|rate| {
                 Pacer::new(
-                    (bps / conns as u64).max(1_000_000),
-                    2 * self.cfg.rack.mss as u64,
+                    Bps((rate.as_u64() / u64::from(conns)).max(1_000_000)),
+                    Bytes(2 * u64::from(self.cfg.rack.mss)),
                 )
             });
             // §3: in-region traffic runs DCTCP across tens of µs; the
@@ -1003,7 +1004,7 @@ impl RackSim {
         group: u32,
         remaining: u32,
         size: u32,
-        paced_bps: u64,
+        paced_bps: Bps,
         now: Ns,
     ) {
         if remaining == 0 {
@@ -1012,7 +1013,7 @@ impl RackSim {
         let pacer = self
             .mcast_pacers
             .entry(group)
-            .or_insert_with(|| Pacer::new(paced_bps, 2 * size as u64));
+            .or_insert_with(|| Pacer::new(paced_bps, Bytes(2 * u64::from(size))));
         let release = pacer.release_at(now, size);
         let flow = FlowId(u64::MAX - group as u64);
         let pkt = Packet::multicast(flow, 20_000 + group, group, size);
@@ -1188,7 +1189,9 @@ mod tests {
         b.flow_at(Ns::from_millis(25), incast_spec(0, 40, 12_000_000));
         let report = b.build().run_sync_window(0);
         let run = report.rack_run.unwrap();
-        let per_ms_cap = Ns::from_millis(1).bytes_at_rate(12_500_000_000);
+        let per_ms_cap = Ns::from_millis(1)
+            .bytes_at_rate(Bps(12_500_000_000))
+            .as_u64();
         for (i, &b) in run.servers[0].in_bytes.iter().enumerate() {
             assert!(
                 b <= per_ms_cap + per_ms_cap / 10,
@@ -1220,7 +1223,7 @@ mod tests {
     fn paced_flow_avoids_drops() {
         let mut b = quick(4);
         let mut spec = incast_spec(2, 6, 10_000_000);
-        spec.paced_bps = Some(9_000_000_000);
+        spec.paced_bps = Some(Bps(9_000_000_000));
         b.flow_at(Ns::from_millis(30), spec);
         let report = b.build().run_sync_window(0);
         assert_eq!(
@@ -1250,7 +1253,7 @@ mod tests {
         // ±300 µs clock-skew trim at the window edges is a small fraction
         // of the volume (single-bucket bursts legitimately lose up to one
         // bucket to alignment, like the real tool).
-        b.multicast_burst(Ns::from_millis(50), 77, 1000, 1500, 2_000_000_000);
+        b.multicast_burst(Ns::from_millis(50), 77, 1000, 1500, Bps(2_000_000_000));
         let report = b.build().run_sync_window(0);
         let run = report.rack_run.unwrap();
         let sums: Vec<u64> = run
@@ -1307,7 +1310,7 @@ mod tests {
         let run_with = |stall: bool| {
             let mut b = quick(13);
             let mut spec = incast_spec(2, 6, 20_000_000);
-            spec.paced_bps = Some(8_000_000_000);
+            spec.paced_bps = Some(Bps(8_000_000_000));
             b.flow_at(Ns::from_millis(25), spec);
             if stall {
                 b.stall(2, Ns::from_millis(30), Ns::from_millis(40));
@@ -1353,7 +1356,7 @@ mod tests {
         let run_with = |smooth: bool| {
             let mut b = quick(15);
             if smooth {
-                b.fabric_smoothing(11_000_000_000);
+                b.fabric_smoothing(Bps(11_000_000_000));
             }
             b.flow_at(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
             b.build().run_sync_window(0).switch_discard_bytes
@@ -1437,7 +1440,7 @@ mod tests {
         // Steady traffic spanning the whole horizon so every run observes
         // packets (400 MB paced at 4 Gbps ≈ 800 ms).
         let mut spec = incast_spec(2, 4, 400_000_000);
-        spec.paced_bps = Some(4_000_000_000);
+        spec.paced_bps = Some(Bps(4_000_000_000));
         b.flow_at(Ns::from_millis(1), spec);
         let mut sim = b.build();
         sim.run_until(Ns::from_millis(900));
@@ -1461,7 +1464,7 @@ mod tests {
         // link is mostly idle.
         let mut b = quick(16);
         let mut spec = incast_spec(3, 2, 3_000_000);
-        spec.paced_bps = Some(2_000_000_000); // gentle traffic, ~16% util
+        spec.paced_bps = Some(Bps(2_000_000_000)); // gentle traffic, ~16% util
         b.flow_at(Ns::from_millis(25), spec).nic_drops(3, 99, 0.02);
         let report = b.build().run_sync_window(0);
         assert_eq!(report.switch_discard_bytes, 0, "switch is innocent");
@@ -1488,7 +1491,7 @@ mod tests {
                 b.gro(GroConfig::default());
             }
             let mut spec = incast_spec(1, 1, 8_000_000);
-            spec.paced_bps = Some(11_000_000_000);
+            spec.paced_bps = Some(Bps(11_000_000_000));
             b.flow_at(Ns::from_millis(25), spec);
             let report = b.build().run_sync_window(0);
             let run = report.rack_run.unwrap();
@@ -1520,8 +1523,8 @@ mod tests {
             let mut b = quick(18);
             if fabric {
                 b.fabric_hop(FabricHopConfig {
-                    rate_bps: 25_000_000_000,
-                    buffer_bytes: 24 * 1024 * 1024,
+                    rate_bps: Bps(25_000_000_000),
+                    buffer_bytes: Bytes::from_mib(24),
                 });
             }
             b.flow_at(Ns::from_millis(30), incast_spec(1, 150, 25_000_000));
@@ -1545,7 +1548,7 @@ mod tests {
         // Sustained traffic to several queues so the tuner sees activity.
         for dst in 0..4 {
             let mut spec = incast_spec(dst, 4, 30_000_000);
-            spec.paced_bps = Some(8_000_000_000);
+            spec.paced_bps = Some(Bps(8_000_000_000));
             b.flow_at(Ns::from_millis(20), spec);
         }
         let report = b.build().run_sync_window(0);

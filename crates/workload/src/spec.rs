@@ -43,7 +43,7 @@ use crate::sim::{FabricHopConfig, GroConfig, RackSim, RackSimConfig};
 use crate::tasks::{FlowSpec, MlPhase, TaskGen, TaskKind};
 use millisampler::codec::{DecodeError, WireReader, WireWriter};
 use millisampler::{RunConfig, SchedulerConfig};
-use ms_dcsim::{Ns, RackConfig, SharingPolicy, SimRng};
+use ms_dcsim::{Bps, Bytes, Ns, RackConfig, SharingPolicy, SimRng};
 use ms_telemetry::TelemetryConfig;
 use ms_transport::CcAlgorithm;
 
@@ -121,7 +121,7 @@ pub struct McastBurstSpec {
     /// Bytes per datagram.
     pub size: u32,
     /// Rate limit (multicast is rate limited in production, §4.5).
-    pub paced_bps: u64,
+    pub paced_bps: Bps,
 }
 
 /// A §4.1 user-space agent running periodic Millisampler collection on
@@ -160,9 +160,9 @@ pub struct ScenarioSpec {
     pub alpha: f64,
     /// Buffer sharing policy of the ToR.
     pub policy: SharingPolicy,
-    /// ECN marking threshold override in bytes (None = the deployed
-    /// 120 KB default).
-    pub ecn_threshold: Option<u64>,
+    /// ECN marking threshold override (None = the deployed 120 KB
+    /// default).
+    pub ecn_threshold: Option<Bytes>,
     /// Receive-side coalescing (§4.6 artifact study).
     pub gro: Option<GroConfig>,
     /// Explicit fabric hop before the ToR (§8.1 ablation).
@@ -170,7 +170,7 @@ pub struct ScenarioSpec {
     /// Contention-driven DT α retuning period (§9 probe).
     pub alpha_tune_period: Option<Ns>,
     /// Pacing applied to flows without their own (§8.1 fabric smoothing).
-    pub fabric_smoothing_bps: Option<u64>,
+    pub fabric_smoothing_bps: Option<Bps>,
     /// Attach a telemetry hub with this trace-ring capacity.
     pub telemetry_ring: Option<usize>,
     /// Flow groups scheduled at absolute times.
@@ -306,8 +306,8 @@ impl ScenarioSpec {
             alpha_tune_period: self.alpha_tune_period,
         };
         let mut sim = RackSim::new(cfg);
-        if let Some(bps) = self.fabric_smoothing_bps {
-            sim.set_fabric_smoothing(bps);
+        if let Some(rate) = self.fabric_smoothing_bps {
+            sim.set_fabric_smoothing(rate);
         }
         if let Some(ring) = self.telemetry_ring {
             sim.attach_telemetry(TelemetryConfig {
@@ -365,7 +365,7 @@ impl ScenarioSpec {
         w.u64(self.max_clock_skew.as_nanos());
         w.f64(self.alpha);
         w.u64(policy_tag(self.policy));
-        opt_u64(&mut w, self.ecn_threshold);
+        opt_u64(&mut w, self.ecn_threshold.map(Bytes::as_u64));
         match self.gro {
             Some(g) => {
                 w.bool(true);
@@ -377,13 +377,13 @@ impl ScenarioSpec {
         match self.fabric_hop {
             Some(f) => {
                 w.bool(true);
-                w.u64(f.rate_bps);
-                w.u64(f.buffer_bytes);
+                w.u64(f.rate_bps.as_u64());
+                w.u64(f.buffer_bytes.as_u64());
             }
             None => w.bool(false),
         }
         opt_u64(&mut w, self.alpha_tune_period.map(Ns::as_nanos));
-        opt_u64(&mut w, self.fabric_smoothing_bps);
+        opt_u64(&mut w, self.fabric_smoothing_bps.map(Bps::as_u64));
         opt_u64(&mut w, self.telemetry_ring.map(|r| r as u64));
         w.u64(self.flows.len() as u64);
         for f in &self.flows {
@@ -392,7 +392,7 @@ impl ScenarioSpec {
             w.u64(u64::from(f.flow.connections));
             w.u64(f.flow.total_bytes);
             w.u64(cc_tag(f.flow.algorithm));
-            opt_u64(&mut w, f.flow.paced_bps);
+            opt_u64(&mut w, f.flow.paced_bps.map(Bps::as_u64));
             w.u64(f.flow.task);
         }
         w.u64(self.generators.len() as u64);
@@ -440,7 +440,7 @@ impl ScenarioSpec {
             w.u64(u64::from(b.group));
             w.u64(u64::from(b.packets));
             w.u64(u64::from(b.size));
-            w.u64(b.paced_bps);
+            w.u64(b.paced_bps.as_u64());
         }
         w.u64(self.probe_queues.len() as u64);
         for &q in &self.probe_queues {
@@ -477,7 +477,7 @@ impl ScenarioSpec {
         let max_clock_skew = Ns(r.u64()?);
         let alpha = r.f64()?;
         let policy = policy_from(r.u64()?)?;
-        let ecn_threshold = opt_u64_from(&mut r)?;
+        let ecn_threshold = opt_u64_from(&mut r)?.map(Bytes);
         let gro = if r.bool()? {
             Some(GroConfig {
                 // simlint: allow(cast-truncation): GRO cap is u32 by construction
@@ -489,14 +489,14 @@ impl ScenarioSpec {
         };
         let fabric_hop = if r.bool()? {
             Some(FabricHopConfig {
-                rate_bps: r.u64()?,
-                buffer_bytes: r.u64()?,
+                rate_bps: Bps(r.u64()?),
+                buffer_bytes: Bytes(r.u64()?),
             })
         } else {
             None
         };
         let alpha_tune_period = opt_u64_from(&mut r)?.map(Ns);
-        let fabric_smoothing_bps = opt_u64_from(&mut r)?;
+        let fabric_smoothing_bps = opt_u64_from(&mut r)?.map(Bps);
         let telemetry_ring = opt_u64_from(&mut r)?.map(|v| v as usize);
         let mut flows = Vec::new();
         for _ in 0..bounded_len(&mut r)? {
@@ -508,7 +508,7 @@ impl ScenarioSpec {
                     connections: r.u64()? as u32,
                     total_bytes: r.u64()?,
                     algorithm: cc_from(r.u64()?)?,
-                    paced_bps: opt_u64_from(&mut r)?,
+                    paced_bps: opt_u64_from(&mut r)?.map(Bps),
                     task: r.u64()?,
                 },
             });
@@ -576,7 +576,7 @@ impl ScenarioSpec {
                 packets: r.u64()? as u32,
                 // simlint: allow(cast-truncation): burst sizing is u32 by construction
                 size: r.u64()? as u32,
-                paced_bps: r.u64()?,
+                paced_bps: Bps(r.u64()?),
             });
         }
         let mut probe_queues = Vec::new();
@@ -779,9 +779,9 @@ impl ScenarioBuilder {
         self
     }
 
-    /// ECN marking threshold in bytes (overrides the deployed 120 KB).
-    pub fn ecn_threshold(&mut self, bytes: u64) -> &mut Self {
-        self.spec.ecn_threshold = Some(bytes);
+    /// ECN marking threshold (overrides the deployed 120 KB).
+    pub fn ecn_threshold(&mut self, threshold: Bytes) -> &mut Self {
+        self.spec.ecn_threshold = Some(threshold);
         self
     }
 
@@ -803,9 +803,9 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Paces all unpaced flows at `bps` (§8.1 fabric smoothing).
-    pub fn fabric_smoothing(&mut self, bps: u64) -> &mut Self {
-        self.spec.fabric_smoothing_bps = Some(bps);
+    /// Paces all unpaced flows at `rate` (§8.1 fabric smoothing).
+    pub fn fabric_smoothing(&mut self, rate: Bps) -> &mut Self {
+        self.spec.fabric_smoothing_bps = Some(rate);
         self
     }
 
@@ -867,7 +867,7 @@ impl ScenarioBuilder {
         group: u32,
         packets: u32,
         size: u32,
-        paced_bps: u64,
+        paced_bps: Bps,
     ) -> &mut Self {
         self.spec.mcast_bursts.push(McastBurstSpec {
             at,
@@ -916,14 +916,14 @@ mod tests {
             .max_clock_skew(Ns::from_micros(200))
             .alpha(2.0)
             .sharing_policy(SharingPolicy::DynamicThreshold)
-            .ecn_threshold(60 * 1024)
+            .ecn_threshold(Bytes::from_kib(60))
             .gro(GroConfig::default())
             .fabric_hop(FabricHopConfig {
-                rate_bps: 25_000_000_000,
-                buffer_bytes: 1 << 24,
+                rate_bps: Bps(25_000_000_000),
+                buffer_bytes: Bytes(1 << 24),
             })
             .alpha_tune_period(Ns::from_millis(5))
-            .fabric_smoothing(11_000_000_000)
+            .fabric_smoothing(Bps(11_000_000_000))
             .telemetry(TelemetryConfig::default())
             .flow_at(
                 Ns::from_millis(30),
@@ -932,7 +932,7 @@ mod tests {
                     connections: 20,
                     total_bytes: 4_000_000,
                     algorithm: CcAlgorithm::Dctcp,
-                    paced_bps: Some(9_000_000_000),
+                    paced_bps: Some(Bps(9_000_000_000)),
                     task: 7,
                 },
             )
@@ -952,7 +952,7 @@ mod tests {
             .chatter(1, 40, 8_000)
             .join_multicast(77, 0)
             .join_multicast(77, 4)
-            .multicast_burst(Ns::from_millis(50), 77, 100, 1500, 2_000_000_000)
+            .multicast_burst(Ns::from_millis(50), 77, 100, 1500, Bps(2_000_000_000))
             .probe_queue_depth(1)
             .agent(
                 6,

@@ -21,7 +21,7 @@
 //! * [`TaskKind::Background`] — a constant drizzle of mice flows keeping
 //!   connection counts realistic outside bursts (Fig. 8).
 
-use ms_dcsim::{Ns, SimRng};
+use ms_dcsim::{Bps, Ns, SimRng};
 use ms_transport::CcAlgorithm;
 
 /// Service archetypes.
@@ -51,7 +51,7 @@ pub struct FlowSpec {
     /// Congestion control for these connections.
     pub algorithm: CcAlgorithm,
     /// Aggregate source pacing across the group, if smoothed upstream.
-    pub paced_bps: Option<u64>,
+    pub paced_bps: Option<Bps>,
     /// Task identity (for placement diagnostics).
     pub task: u64,
 }
@@ -70,7 +70,7 @@ pub enum WorkItem {
         /// Bytes per datagram.
         size: u32,
         /// Rate limit for the burst (multicast is rate limited, §4.5).
-        paced_bps: u64,
+        paced_bps: Bps,
     },
 }
 
@@ -224,7 +224,7 @@ impl TaskGen {
                     total_bytes: (mb * 1e6) as u64,
                     algorithm: CcAlgorithm::Dctcp,
                     // Fabric smoothing: arrives at ~80% of server line rate.
-                    paced_bps: Some(10_000_000_000),
+                    paced_bps: Some(Bps(10_000_000_000)),
                     task: self.task,
                 }
             }

@@ -34,7 +34,7 @@ pub fn schedule_multicast_validation(
     count: u32,
     packets: u32,
     size: u32,
-    paced_bps: u64,
+    paced_bps: ms_dcsim::Bps,
 ) {
     for &s in servers {
         builder.join_multicast(group, s);
@@ -98,7 +98,7 @@ mod tests {
             3,
             800,
             1500,
-            2_000_000_000,
+            ms_dcsim::Bps(2_000_000_000),
         );
         let report = b.build().run_sync_window(0);
         let run = report.rack_run.expect("all servers sampled");

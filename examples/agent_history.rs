@@ -45,7 +45,7 @@ fn main() {
                 connections: 8 + i as u32 * 6,
                 total_bytes: 20_000_000,
                 algorithm: CcAlgorithm::Dctcp,
-                paced_bps: Some(5_000_000_000),
+                paced_bps: Some(ms_workload::Bps(5_000_000_000)),
                 task: i,
             },
         );

@@ -14,7 +14,7 @@
 use ms_analysis::diagnose::{loss_at_low_utilization, FindingKind};
 use ms_dcsim::Ns;
 use ms_transport::CcAlgorithm;
-use ms_workload::{FlowSpec, ScenarioBuilder};
+use ms_workload::{Bps, FlowSpec, ScenarioBuilder};
 
 fn main() {
     let mut scenario = ScenarioBuilder::new(8, 2024);
@@ -29,7 +29,7 @@ fn main() {
                 connections: 3,
                 total_bytes: 8_000_000,
                 algorithm: CcAlgorithm::Dctcp,
-                paced_bps: Some(1_500_000_000), // ~12% utilization
+                paced_bps: Some(Bps(1_500_000_000)), // ~12% utilization
                 task: dst as u64,
             },
         );
@@ -47,9 +47,9 @@ fn main() {
     println!("\nper-server diagnosis (20ms windows, flag retx at <10% util):");
     let mut suspects = 0;
     for s in &run.servers {
-        let findings = loss_at_low_utilization(s, 12_500_000_000, 20, 0.10);
+        let findings = loss_at_low_utilization(s, Bps(12_500_000_000), 20, 0.10);
         let retx: u64 = s.in_retx.iter().sum();
-        let util = 100.0 * s.avg_utilization(12_500_000_000);
+        let util = 100.0 * s.avg_utilization(Bps(12_500_000_000));
         print!(
             "  server {}: util {:>5.2}%, retx {:>7} B, findings {:>2}",
             s.host,

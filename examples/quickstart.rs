@@ -65,7 +65,7 @@ fn main() {
     }
 
     // The analysis layer: bursts (>50% line rate) and their classification.
-    let analysis = ms_analysis::analyze_run(&run, 12_500_000_000, 5);
+    let analysis = ms_analysis::analyze_run(&run, ms_workload::Bps(12_500_000_000), 5);
     println!("\nbursts detected: {}", analysis.bursts.len());
     for b in &analysis.bursts {
         println!(

@@ -56,7 +56,7 @@ fn main() {
         println!("rack was silent this window");
         return;
     };
-    let a = ms_analysis::analyze_run(&run, 12_500_000_000, 5);
+    let a = ms_analysis::analyze_run(&run, ms_workload::Bps(12_500_000_000), 5);
 
     let cs = &a.contention_stats;
     println!(

@@ -29,7 +29,7 @@ fn main() {
         /* bursts */ 7,
         /* packets */ 600,
         /* bytes each */ 1500,
-        /* rate limit */ 2_000_000_000,
+        /* rate limit */ ms_workload::Bps(2_000_000_000),
     );
 
     let report = scenario.build().run_sync_window(0);

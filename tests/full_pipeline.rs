@@ -6,7 +6,7 @@ use ms_dcsim::Ns;
 use ms_workload::placement::{build_region, RackClass, RegionKind};
 use ms_workload::scenario::{rack_sim_for, ScenarioConfig};
 
-const LINK: u64 = 12_500_000_000;
+const LINK: ms_workload::Bps = ms_workload::Bps(12_500_000_000);
 
 fn small_cfg() -> ScenarioConfig {
     ScenarioConfig {
@@ -130,7 +130,7 @@ fn dctcp_holds_queue_near_ecn_threshold() {
         .depth_samples()
         .iter()
         .filter(|(t, _)| *t > Ns::from_millis(50))
-        .map(|(_, occ)| *occ)
+        .map(|(_, occ)| occ.as_u64())
         .collect();
     assert!(
         samples.len() > 1000,

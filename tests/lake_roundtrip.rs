@@ -43,7 +43,7 @@ fn cfg(jobs: usize) -> FleetConfig {
         progress: false,
         // A low analysis line rate so the small grid's incast exceeds the
         // 50%-of-line-rate burst threshold and populates the bursts table.
-        link_bps: 1_000_000_000,
+        link_bps: ms_workload::Bps(1_000_000_000),
         ..FleetConfig::default()
     }
 }
