@@ -37,6 +37,22 @@ cargo run -q --release -p ms-bench --example incast_loss -- --trace "$TRACE_TMP"
 cargo run -q --release -p ms-bench --example trace_check -- "$TRACE_TMP"
 rm -f "$TRACE_TMP"
 
+echo "==> forensics smoke (every drop -> exactly one classified forensic)"
+# The example exits non-zero unless the blackbox attributed every
+# dropped byte of the contended showcase to one classified record.
+cargo run -q --release -p ms-bench --example incast_loss -- --forensics \
+    | grep -q '^OK: every dropped byte attributed'
+
+echo "==> engine profiler bench (dispatch determinism + overhead artifact)"
+# Runs the showcase stock / traced / wall-clocked, asserts the sim-time
+# dispatch counters are identical across all three, and writes
+# BENCH_profile.json plus the collapsed-stack flamegraph text.
+cargo run -q --release -p ms-bench --example incast_loss -- --profile BENCH_profile.json
+grep -q '"bench": "profile"' BENCH_profile.json
+grep -q '"detached_hook_overhead_pct"' BENCH_profile.json
+grep -q '"telemetry_overhead_pct"' BENCH_profile.json
+test -s BENCH_profile.json.folded
+
 echo "==> fleet sweep smoke (parallel vs serial byte-identity + bench artifact)"
 # --bench re-runs the grid serially, asserts the aggregate CSV/JSON are
 # byte-identical to the parallel run, and writes BENCH_fleet.json.
@@ -51,21 +67,33 @@ LAKE_TMP="${TMPDIR:-/tmp}/ms_lake_smoke"
 rm -rf "$LAKE_TMP"
 mkdir -p "$LAKE_TMP"
 # The same grid at --jobs 1 and --jobs 2 must compact to byte-identical
-# segment files (manifest CSV goes to stdout; compare that too).
+# segment files (manifest CSV goes to stdout; compare that too). With
+# --forensics the comparison also covers the forensics table, so the
+# drop-attribution rows themselves are held to the byte-identity bar.
 cargo run -q --release -p ms-fleet --bin fleet -- \
-    --jobs 1 --buckets 80 --conns 24 --bytes 1500000 --quiet \
-    --out-lake "$LAKE_TMP/j1" > "$LAKE_TMP/manifest_j1.csv"
+    --jobs 1 --buckets 80 --conns 160 --bytes 20000000 --quiet \
+    --forensics --out-lake "$LAKE_TMP/j1" > "$LAKE_TMP/manifest_j1.csv"
 cargo run -q --release -p ms-fleet --bin fleet -- \
-    --jobs 2 --buckets 80 --conns 24 --bytes 1500000 --quiet \
-    --out-lake "$LAKE_TMP/j2" > "$LAKE_TMP/manifest_j2.csv"
+    --jobs 2 --buckets 80 --conns 160 --bytes 20000000 --quiet \
+    --forensics --out-lake "$LAKE_TMP/j2" > "$LAKE_TMP/manifest_j2.csv"
 diff "$LAKE_TMP/manifest_j1.csv" "$LAKE_TMP/manifest_j2.csv"
 for seg in "$LAKE_TMP"/j1/*.msl; do
     cmp "$seg" "$LAKE_TMP/j2/$(basename "$seg")"
 done
+# The S8 loss-attribution report folds the forensics table out of core;
+# both lakes must render the identical histogram.
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/j1" --report attribution --out "$LAKE_TMP/attr_j1.csv"
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/j2" --report attribution --out "$LAKE_TMP/attr_j2.csv"
+diff "$LAKE_TMP/attr_j1.csv" "$LAKE_TMP/attr_j2.csv"
+grep -q '^cell,self_burst,cross_contention,fabric_transient,total$' "$LAKE_TMP/attr_j1.csv"
+# The grid is sized to actually drop: the histogram must have rows.
+test "$(wc -l < "$LAKE_TMP/attr_j1.csv")" -gt 1
 # The lake's out-of-core outcomes report must equal the in-memory
 # FleetReport CSV from the same grid, byte for byte.
 cargo run -q --release -p ms-fleet --bin fleet -- \
-    --jobs 2 --buckets 80 --conns 24 --bytes 1500000 --quiet \
+    --jobs 2 --buckets 80 --conns 160 --bytes 20000000 --quiet \
     --csv "$LAKE_TMP/report.csv"
 cargo run -q --release -p ms-lake --bin lake -- query \
     --dir "$LAKE_TMP/j1" --report outcomes --out "$LAKE_TMP/lake_outcomes.csv"

@@ -39,6 +39,7 @@ pub mod host;
 pub mod link;
 pub mod packet;
 pub mod pcap;
+pub mod profile;
 pub mod rng;
 pub mod switch;
 pub mod time;
@@ -52,6 +53,7 @@ pub use link::Link;
 pub use ms_telemetry::{DropReason, SharedTelemetry, TraceEvent};
 pub use ms_units::{Bps, Bytes};
 pub use packet::{Direction, EcnCodepoint, FlowId, Packet, PacketKind};
+pub use profile::EngineProfile;
 pub use rng::SimRng;
 pub use switch::{EnqueueOutcome, SharedBufferSwitch, SharingPolicy, SwitchConfig};
 pub use time::Ns;

@@ -32,9 +32,18 @@
 
 use crate::packet::{EcnCodepoint, Packet};
 use crate::time::Ns;
-use ms_telemetry::{DropReason, SharedTelemetry, TraceEvent};
+use ms_telemetry::{DropCause, DropForensic, DropReason, SharedTelemetry, TraceEvent};
 use ms_units::Bytes;
 use std::collections::VecDeque;
+
+/// Arrivals remembered per quadrant for drop attribution (§8): the
+/// forensic capture scans this window to split recent ingress bytes into
+/// the dropping flow's own share vs competing flows'.
+const ARRIVAL_WINDOW: usize = 32;
+
+/// Number of preceding trace-bus events packed into a forensic record's
+/// `recent_kinds` flight recorder (one kind code per byte of a `u64`).
+const RECENT_KINDS: usize = 8;
 
 /// How the shared pool is apportioned among queues.
 ///
@@ -174,6 +183,11 @@ struct QueueState {
     dedicated_used: Bytes,
     shared_used: Bytes,
     stats: QueueStats,
+    /// Flow of the most recent arrival (forensics burst tracking).
+    burst_flow: u64,
+    /// Consecutive arrivals from `burst_flow` — the in-progress burst
+    /// length a drop forensic reports.
+    burst_len: u32,
 }
 
 impl QueueState {
@@ -183,6 +197,8 @@ impl QueueState {
             dedicated_used: Bytes::ZERO,
             shared_used: Bytes::ZERO,
             stats: QueueStats::default(),
+            burst_flow: 0,
+            burst_len: 0,
         }
     }
 
@@ -219,6 +235,17 @@ pub struct SharedBufferSwitch {
     depth_probe: Option<(usize, Vec<(Ns, Bytes)>)>,
     /// Optional telemetry hub; `None` keeps the hot path to one branch.
     telemetry: Option<SharedTelemetry>,
+    /// Cached "the hub wants drop forensics" flag so the enqueue hot path
+    /// pays one branch, not a borrow, when the blackbox is off.
+    forensics_on: bool,
+    /// Per-quadrant ring of recent `(flow, bytes)` arrivals, flattened to
+    /// `num_quadrants × ARRIVAL_WINDOW`; allocated only when forensics
+    /// are enabled.
+    arrivals: Vec<(u64, u32)>,
+    /// Next write slot per quadrant.
+    arrival_cursor: Vec<usize>,
+    /// Valid entries per quadrant (saturates at [`ARRIVAL_WINDOW`]).
+    arrival_len: Vec<usize>,
 }
 
 impl SharedBufferSwitch {
@@ -237,12 +264,25 @@ impl SharedBufferSwitch {
             groups: Vec::new(),
             depth_probe: None,
             telemetry: None,
+            forensics_on: false,
+            arrivals: Vec::new(),
+            arrival_cursor: Vec::new(),
+            arrival_len: Vec::new(),
         }
     }
 
     /// Attaches a telemetry hub: every admission, drop, ECN mark, dequeue,
     /// and ECN-threshold crossing is recorded on its trace bus from now on.
+    /// If the hub's forensic store has capacity, the drop forensics
+    /// blackbox switches on too (its arrival window is allocated here,
+    /// once — never on the enqueue path).
     pub fn set_telemetry(&mut self, telemetry: SharedTelemetry) {
+        self.forensics_on = telemetry.borrow().forensics.capacity() > 0;
+        if self.forensics_on {
+            self.arrivals = vec![(0, 0); self.cfg.num_quadrants * ARRIVAL_WINDOW];
+            self.arrival_cursor = vec![0; self.cfg.num_quadrants];
+            self.arrival_len = vec![0; self.cfg.num_quadrants];
+        }
         self.telemetry = Some(telemetry);
     }
 
@@ -325,6 +365,53 @@ impl SharedBufferSwitch {
                 });
             }
         }
+    }
+
+    /// Notes one arrival for drop attribution: appends `(flow, size)` to
+    /// the quadrant's arrival window and advances the queue's in-progress
+    /// burst tracker. On the enqueue hot path when forensics are enabled:
+    /// bounded stores and index arithmetic only — no allocation, no panic
+    /// (the window was sized at attach time).
+    #[inline]
+    fn record_arrival(&mut self, queue: usize, quadrant: usize, flow: u64, size: u32) {
+        let slot = quadrant * ARRIVAL_WINDOW + self.arrival_cursor[quadrant];
+        self.arrivals[slot] = (flow, size);
+        self.arrival_cursor[quadrant] += 1;
+        if self.arrival_cursor[quadrant] == ARRIVAL_WINDOW {
+            self.arrival_cursor[quadrant] = 0;
+        }
+        if self.arrival_len[quadrant] < ARRIVAL_WINDOW {
+            self.arrival_len[quadrant] += 1;
+        }
+        let q = &mut self.queues[queue];
+        if q.burst_flow == flow && q.burst_len > 0 {
+            q.burst_len = q.burst_len.saturating_add(1);
+        } else {
+            q.burst_flow = flow;
+            q.burst_len = 1;
+        }
+    }
+
+    /// Splits the quadrant's recent arrival bytes into the dropping flow's
+    /// own share vs competing flows' (plus the distinct competitor count)
+    /// — the §8 attribution inputs.
+    fn arrival_shares(&self, quadrant: usize, flow: u64) -> (u64, u64, u32) {
+        let base = quadrant * ARRIVAL_WINDOW;
+        let window = &self.arrivals[base..base + self.arrival_len[quadrant]];
+        let mut self_bytes = 0u64;
+        let mut other_bytes = 0u64;
+        let mut competing = 0u32;
+        for (i, &(f, bytes)) in window.iter().enumerate() {
+            if f == flow {
+                self_bytes += u64::from(bytes);
+            } else {
+                other_bytes += u64::from(bytes);
+                if !window[..i].iter().any(|&(g, _)| g == f) {
+                    competing += 1;
+                }
+            }
+        }
+        (self_bytes, other_bytes, competing)
     }
 
     /// Registers (or extends) a multicast group delivering to `queues`.
@@ -418,6 +505,9 @@ impl SharedBufferSwitch {
         let quadrant = self.cfg.quadrant_of(queue);
         let size = Bytes(u64::from(pkt.size));
         let occ_before = self.queues[queue].occupancy();
+        if self.forensics_on {
+            self.record_arrival(queue, quadrant, pkt.flow.0, pkt.size);
+        }
 
         let pool = if self.queues[queue].dedicated_used + size <= self.cfg.dedicated_per_queue {
             Pool::Dedicated
@@ -458,12 +548,68 @@ impl SharedBufferSwitch {
                 bin.discard_bytes += size.as_u64();
                 bin.discard_packets += 1;
                 if let Some(tr) = &self.telemetry {
-                    tr.borrow_mut().bus.record(TraceEvent::PacketDrop {
-                        ns: now.as_nanos(),
-                        queue: queue as u32, // simlint: allow(cast-truncation): queue index < num_queues
-                        size: pkt.size,
-                        reason,
-                    });
+                    let mut tr = tr.borrow_mut();
+                    let ns = now.as_nanos();
+                    let q32 = queue as u32; // simlint: allow(cast-truncation): queue index < num_queues
+                    if self.forensics_on {
+                        // Pack the flight recorder *before* the drop event
+                        // lands on the bus: "the preceding N events".
+                        let mut recent = 0u64;
+                        for i in 0..RECENT_KINDS {
+                            match tr.bus.recent(i) {
+                                Some(ev) => recent |= u64::from(ev.kind_code()) << (8 * i),
+                                None => break,
+                            }
+                        }
+                        let flow = pkt.flow.0;
+                        let (self_bytes, other_bytes, competing) =
+                            self.arrival_shares(quadrant, flow);
+                        // §8 attribution: the loss is self-inflicted when
+                        // the dropping flow itself dominates the recent
+                        // arrival window; otherwise it lost a buffer
+                        // contention against competing traffic.
+                        let cause = if self_bytes >= other_bytes {
+                            DropCause::SelfBurst
+                        } else {
+                            DropCause::CrossContention
+                        };
+                        tr.bus.record(TraceEvent::PacketDrop {
+                            ns,
+                            queue: q32,
+                            size: pkt.size,
+                            reason,
+                        });
+                        tr.bus.record(TraceEvent::ForensicDrop {
+                            ns,
+                            queue: q32,
+                            flow,
+                            cause,
+                        });
+                        tr.forensics.record(DropForensic {
+                            ns,
+                            queue: q32,
+                            flow,
+                            size: pkt.size,
+                            reason,
+                            cause,
+                            queue_occupancy: occ_before.as_u64(),
+                            shared_occupancy: self.shared_occupancy[quadrant].as_u64(),
+                            dt_threshold: self.dynamic_threshold(quadrant).as_u64(),
+                            burst_len: self.queues[queue].burst_len,
+                            competing_flows: competing,
+                            self_bytes,
+                            other_bytes,
+                            ecn_on: occ_before > self.cfg.ecn_threshold,
+                            recent_kinds: recent,
+                        });
+                    } else {
+                        tr.bus.record(TraceEvent::PacketDrop {
+                            ns,
+                            queue: q32,
+                            size: pkt.size,
+                            reason,
+                        });
+                    }
                 }
                 return EnqueueOutcome::Dropped { reason };
             }
@@ -952,6 +1098,79 @@ mod tests {
         assert_eq!(crossings_up, 1, "occupancy crossed the ECN threshold once");
         assert_eq!(dequeues, 1);
         assert_eq!(idles, 1);
+    }
+
+    #[test]
+    fn forensics_classify_single_flow_overflow_as_self_burst() {
+        use ms_telemetry::{Telemetry, TelemetryConfig};
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let hub = Telemetry::shared(TelemetryConfig::default().with_forensics());
+        sw.set_telemetry(hub.clone());
+        let mut drops = 0u64;
+        for i in 0..200 {
+            // One flow hammering one queue: every drop is its own burst.
+            if !sw.try_enqueue(0, pkt(7, 1000), Ns(i)).accepted() {
+                drops += 1;
+            }
+        }
+        assert!(drops > 0);
+        let hub = hub.borrow();
+        assert_eq!(hub.forensics.total(), drops, "one forensic per drop");
+        assert_eq!(hub.forensics.count(DropCause::SelfBurst), drops);
+        assert_eq!(hub.forensics.count(DropCause::CrossContention), 0);
+        let f = hub.forensics.records()[0];
+        assert_eq!(f.reason, DropReason::DynamicThresholdReject);
+        assert_eq!(f.flow, 7);
+        assert_eq!(f.competing_flows, 0);
+        assert!(f.burst_len > 1, "the whole window was one burst");
+        assert!(f.self_bytes > 0 && f.other_bytes == 0);
+        assert!(f.dt_threshold > 0);
+        assert!(f.queue_occupancy > 0);
+        // The flight recorder saw the enqueues that filled the queue.
+        assert_ne!(f.recent_kinds, 0);
+    }
+
+    #[test]
+    fn forensics_classify_contended_drop_as_cross_contention() {
+        use ms_telemetry::{Telemetry, TelemetryConfig};
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let hub = Telemetry::shared(TelemetryConfig::default().with_forensics());
+        sw.set_telemetry(hub.clone());
+        // Many flows interleaved into one queue: any single flow owns a
+        // small minority of the arrival window when its packet drops.
+        let mut i = 0u64;
+        let mut dropped = false;
+        while !dropped {
+            for flow in 0..16u64 {
+                i += 1;
+                if !sw.try_enqueue(0, pkt(flow, 1000), Ns(i)).accepted() {
+                    dropped = true;
+                }
+            }
+        }
+        let hub = hub.borrow();
+        assert!(hub.forensics.count(DropCause::CrossContention) > 0);
+        assert_eq!(hub.forensics.count(DropCause::SelfBurst), 0);
+        let f = hub.forensics.records()[0];
+        assert!(
+            f.competing_flows > 1,
+            "competitors seen: {}",
+            f.competing_flows
+        );
+        assert!(f.other_bytes > f.self_bytes);
+    }
+
+    #[test]
+    fn forensics_off_means_no_records_and_no_window() {
+        use ms_telemetry::{Telemetry, TelemetryConfig};
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let hub = Telemetry::shared(TelemetryConfig::default());
+        sw.set_telemetry(hub.clone());
+        for i in 0..200 {
+            let _ = sw.try_enqueue(0, pkt(i, 1000), Ns(i));
+        }
+        assert_eq!(hub.borrow().forensics.total(), 0);
+        assert!(sw.arrivals.is_empty(), "window only allocated when enabled");
     }
 
     #[test]

@@ -95,6 +95,9 @@ pub struct FleetGrid {
     pub connections: u32,
     /// Bytes delivered per connection group.
     pub total_bytes: u64,
+    /// Capture a classified [`ms_telemetry::DropForensic`] per drop in
+    /// every cell (the lake's `forensics` table).
+    pub forensics: bool,
 }
 
 impl Default for FleetGrid {
@@ -111,6 +114,7 @@ impl Default for FleetGrid {
             ccs: vec![CcAlgorithm::Dctcp],
             connections: 80,
             total_bytes: 12_000_000,
+            forensics: false,
         }
     }
 }
@@ -157,6 +161,9 @@ impl FleetGrid {
     ) -> ScenarioSpec {
         let mut b = ScenarioBuilder::new(self.servers, seed);
         b.buckets(self.buckets).warmup(self.warmup).alpha(alpha);
+        if self.forensics {
+            b.forensics();
+        }
         let start = self.warmup + Ns::from_millis(10);
         let flow = |dst: usize, conns: u32| FlowSpec {
             dst_server: dst,

@@ -28,7 +28,14 @@ use std::sync::Mutex;
 /// lake's row shapes. Panics inside the simulation are the caller's
 /// concern (wrap in `catch_unwind`).
 fn run_cell_rows(idx: u64, cell: &FleetCell, cfg: &FleetConfig) -> CellRows {
-    let report = cell.spec.build().run_sync_window(0);
+    let mut sim = cell.spec.build();
+    let report = sim.run_sync_window(0);
+    // Harvest the drop-forensics blackbox before the sim goes away; the
+    // store is empty (capacity 0) unless the spec asked for forensics.
+    let forensics = sim
+        .telemetry()
+        .map(|hub| hub.borrow().forensics.records().to_vec())
+        .unwrap_or_default();
     match report.rack_run {
         Some(run) => {
             let analysis = analyze_run(&run, cfg.link_bps, cfg.loss_slack);
@@ -52,6 +59,7 @@ fn run_cell_rows(idx: u64, cell: &FleetCell, cfg: &FleetConfig) -> CellRows {
                 outcome: Some(Ok(outcome)),
                 bursts,
                 series: run.servers,
+                forensics,
             }
         }
         None => {
@@ -68,6 +76,7 @@ fn run_cell_rows(idx: u64, cell: &FleetCell, cfg: &FleetConfig) -> CellRows {
                 outcome: Some(Ok(o)),
                 bursts: Vec::new(),
                 series: Vec::new(),
+                forensics,
             }
         }
     }

@@ -4,7 +4,8 @@
 //! fleet [--jobs N] [--seeds 1,2] [--alphas 0.5,2.0]
 //!       [--placements single,paired,spread] [--ccs dctcp,cubic,reno]
 //!       [--servers 8] [--buckets 200] [--conns 80] [--bytes 12000000]
-//!       [--csv PATH] [--json PATH] [--bench PATH] [--out-lake DIR] [--quiet]
+//!       [--csv PATH] [--json PATH] [--bench PATH] [--out-lake DIR]
+//!       [--forensics] [--quiet]
 //! ```
 //!
 //! `--out-lake DIR` switches to lake-backed execution: cells stream
@@ -212,6 +213,7 @@ fn parse_args(args: &[String]) -> Result<(FleetGrid, FleetConfig, OutputSpec), S
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--forensics" => grid.forensics = true,
             "--csv" => out.csv_path = Some(value("--csv")?.clone()),
             "--json" => out.json_path = Some(value("--json")?.clone()),
             "--bench" => out.bench_path = Some(value("--bench")?.clone()),
@@ -267,6 +269,9 @@ fn print_help() {
          \n\
          Execution:\n\
          \x20 --jobs N              worker threads (0 = host cores) [default 0]\n\
+         \x20 --forensics           capture a classified drop forensic per drop\n\
+         \x20                       (lands in the lake's forensics table;\n\
+         \x20                       query with lake --report forensics|attribution)\n\
          \x20 --quiet               suppress progress lines\n\
          \n\
          Output (aggregates are byte-identical for any --jobs):\n\

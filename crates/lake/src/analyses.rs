@@ -131,6 +131,126 @@ pub fn outcomes_csv(lake: &Lake) -> Result<String, LakeError> {
     Ok(out)
 }
 
+// Column indices of the `forensics` table (on-disk order; see
+// `segment::FORENSIC_COLS`).
+const FO_CELL: usize = 0;
+const FO_REASON: usize = 5;
+const FO_CAUSE: usize = 6;
+
+/// One cell's drop-attribution counts from the lake's forensics table:
+/// how many drops §8 classifies as each cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellAttribution {
+    /// Sweep-global cell index.
+    pub cell: u64,
+    /// Drops where the victim flow's own burst dominated the window.
+    pub self_burst: u64,
+    /// Drops where competing flows dominated the window.
+    pub cross_contention: u64,
+    /// Drops away from the shared-buffer switch (fabric FIFO, NIC fault).
+    pub fabric_transient: u64,
+}
+
+impl CellAttribution {
+    /// All classified drops in the cell.
+    pub fn total(&self) -> u64 {
+        self.self_burst + self.cross_contention + self.fabric_transient
+    }
+}
+
+/// Streams the forensics table into a per-cell attribution histogram —
+/// the paper's §8 loss split, recomputed out-of-core. Rows come back in
+/// cell order (the lake is compacted in cell order); cells with no
+/// forensics are absent.
+pub fn lake_loss_attribution(lake: &Lake) -> Result<Vec<CellAttribution>, LakeError> {
+    let mut out: Vec<CellAttribution> = Vec::new();
+    let mut scan = TableScan::new(lake, TableKind::Forensics, &[FO_CELL, FO_CAUSE], Vec::new())?;
+    let mut batch = Batch::new();
+    while scan.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            let cell = batch.value(0, row);
+            if out.last().map_or(true, |a| a.cell != cell) {
+                out.push(CellAttribution {
+                    cell,
+                    ..CellAttribution::default()
+                });
+            }
+            let a = out
+                .last_mut()
+                .ok_or(LakeError::Corrupt("empty attribution"))?;
+            match batch.value(1, row) {
+                0 => a.self_burst += 1,
+                1 => a.cross_contention += 1,
+                2 => a.fabric_transient += 1,
+                _ => return Err(LakeError::Corrupt("bad cause code in forensics table")),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders [`lake_loss_attribution`] as deterministic CSV.
+pub fn attribution_csv(lake: &Lake) -> Result<String, LakeError> {
+    use std::fmt::Write;
+    let mut out = String::from("cell,self_burst,cross_contention,fabric_transient,total\n");
+    for a in lake_loss_attribution(lake)? {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            a.cell,
+            a.self_burst,
+            a.cross_contention,
+            a.fabric_transient,
+            a.total()
+        );
+    }
+    Ok(out)
+}
+
+/// Streams the forensics table back out as CSV, one row per classified
+/// drop, with reason/cause codes rendered as their stable names.
+pub fn forensics_csv(lake: &Lake) -> Result<String, LakeError> {
+    use ms_telemetry::{DropCause, DropReason};
+    use std::fmt::Write;
+    let mut out = String::new();
+    let cols = TableKind::Forensics.columns();
+    out.push_str(&cols.join(","));
+    out.push('\n');
+    let mut scan = TableScan::full(lake, TableKind::Forensics)?;
+    let mut batch = Batch::new();
+    while scan.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            for col in 0..cols.len() {
+                if col > 0 {
+                    out.push(',');
+                }
+                let v = batch.value(col, row);
+                match col {
+                    FO_REASON => {
+                        let reason = DropReason::ALL
+                            .iter()
+                            .find(|r| u64::from(r.code()) == v)
+                            .ok_or(LakeError::Corrupt("bad reason code in forensics table"))?;
+                        out.push_str(reason.as_str());
+                    }
+                    FO_CAUSE => {
+                        let cause = u8::try_from(v)
+                            .ok()
+                            .and_then(DropCause::from_code)
+                            .ok_or(LakeError::Corrupt("bad cause code in forensics table"))?;
+                        out.push_str(cause.as_str());
+                    }
+                    _ => {
+                        let _ = write!(out, "{v}");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
 /// Synthesizes `hosts` smooth diurnal millisampler series of `buckets`
 /// samples each — the bench corpus for the lake's compression-ratio
 /// gate. Deterministic in `seed`; integer arithmetic only (a triangular
@@ -215,6 +335,28 @@ mod tests {
         }
     }
 
+    fn forensic(cell: u64, i: u64) -> ms_telemetry::DropForensic {
+        use ms_telemetry::{DropCause, DropReason};
+        let cause = DropCause::from_code((i % 3) as u8).unwrap();
+        ms_telemetry::DropForensic {
+            ns: cell * 1_000_000 + i,
+            queue: (i % 4) as u32,
+            flow: cell * 10 + i,
+            size: 1500,
+            reason: DropReason::DynamicThresholdReject,
+            cause,
+            queue_occupancy: 50_000 + i,
+            shared_occupancy: 120_000 + i,
+            dt_threshold: 48_000,
+            burst_len: 1 + (i % 7) as u32,
+            competing_flows: (i % 5) as u32,
+            self_bytes: 3_000 * i,
+            other_bytes: 9_000 * i,
+            ecn_on: i % 2 == 0,
+            recent_kinds: 0x0101 * i,
+        }
+    }
+
     /// Builds a lake and the in-memory fold over the same rows.
     fn build(dir: &PathBuf, cells: u64) -> (Lake, SweepAggregate) {
         let w = LakeWriter::create(
@@ -244,6 +386,7 @@ mod tests {
                     outcome: Some(Ok(o)),
                     bursts,
                     series: Vec::new(),
+                    forensics: (0..(c % 3)).map(|i| forensic(c, i)).collect(),
                 }
             };
             shard.append(&rows).unwrap();
@@ -277,6 +420,49 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.matches(',').count(), header_cols, "bad row: {line}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loss_attribution_folds_the_forensics_table_per_cell() {
+        let dir = temp_dir("attr");
+        // build() gives cell c (c % 3) forensics with causes cycling
+        // 0,1,2 — so cells with 1 forensic are pure self-burst, cells
+        // with 2 add one cross-contention, and cells c % 3 == 0 are
+        // absent from the histogram.
+        let (lake, _) = build(&dir, 9);
+        let attr = lake_loss_attribution(&lake).unwrap();
+        let cells: Vec<u64> = attr.iter().map(|a| a.cell).collect();
+        assert_eq!(cells, vec![1, 2, 5, 7, 8]); // c%3 != 0, minus failed cells 4
+        for a in &attr {
+            assert_eq!(a.self_burst, 1);
+            assert_eq!(a.cross_contention, u64::from(a.cell % 3 == 2));
+            assert_eq!(a.fabric_transient, 0);
+            assert_eq!(a.total(), a.cell % 3);
+        }
+        let csv = attribution_csv(&lake).unwrap();
+        assert!(csv.starts_with("cell,self_burst,cross_contention,fabric_transient,total\n"));
+        assert!(csv.contains("\n2,1,1,0,2\n"), "{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forensics_csv_renders_codes_as_names() {
+        let dir = temp_dir("fcsv");
+        let (lake, _) = build(&dir, 6);
+        let csv = forensics_csv(&lake).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("cell,ns,queue,flow,size,reason,cause,"));
+        // build() gives cells 1,2,3,5 forensics: 1+2+0+2 = 5 rows.
+        assert_eq!(lines.len(), 1 + 5);
+        for line in &lines[1..] {
+            assert!(
+                line.contains(",dynamic-threshold-reject,"),
+                "bad row: {line}"
+            );
+        }
+        assert!(csv.contains(",self-burst,"));
+        assert!(csv.contains(",cross-contention,"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

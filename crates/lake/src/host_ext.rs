@@ -38,6 +38,7 @@ impl HostStoreExt for HostStore {
             outcome: None,
             bursts: Vec::new(),
             series,
+            forensics: Vec::new(),
         })?;
         shard.finish()?;
         Ok(rows)

@@ -35,7 +35,10 @@ pub mod segment;
 pub mod shard;
 pub mod writer;
 
-pub use analyses::{lake_sweep_aggregate, outcomes_csv, synth_diurnal_series};
+pub use analyses::{
+    attribution_csv, forensics_csv, lake_loss_attribution, lake_sweep_aggregate, outcomes_csv,
+    synth_diurnal_series, CellAttribution,
+};
 pub use host_ext::HostStoreExt;
 pub use query::{for_each_row, Batch, ColumnRange, Operator, RowFilter, ScanStats, TableScan};
 pub use segment::{

@@ -4,7 +4,8 @@
 //! lake synth   --dir DIR [--seed N] [--hosts N] [--buckets N]
 //!              [--interval-ms N] [--chunk-rows N] [--segment-rows N]
 //! lake compact --dir DIR [--chunk-rows N] [--segment-rows N]
-//! lake query   --dir DIR [--report aggregate|outcomes] [--out PATH]
+//! lake query   --dir DIR [--report aggregate|outcomes|forensics|attribution]
+//!              [--out PATH]
 //! lake stat    --dir DIR
 //! lake bench   --dir DIR [--seed N] [--hosts N] [--json PATH]
 //! ```
@@ -133,6 +134,7 @@ fn synth_lake(o: &Opts) -> Result<ms_lake::LakeManifest, LakeError> {
         outcome: None,
         bursts: Vec::new(),
         series,
+        forensics: Vec::new(),
     })?;
     shard.finish()?;
     writer.compact()
@@ -154,7 +156,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?
             .to_csv(),
         "outcomes" => outcomes_csv(&lake).map_err(|e| e.to_string())?,
-        other => return Err(format!("--report: {other:?} is not aggregate/outcomes")),
+        "forensics" => ms_lake::forensics_csv(&lake).map_err(|e| e.to_string())?,
+        "attribution" => ms_lake::attribution_csv(&lake).map_err(|e| e.to_string())?,
+        other => {
+            return Err(format!(
+                "--report: {other:?} is not aggregate/outcomes/forensics/attribution"
+            ))
+        }
     };
     match &o.out {
         Some(path) => std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}")),
@@ -210,6 +218,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             outcome: None,
             bursts: Vec::new(),
             series,
+            forensics: Vec::new(),
         })
         .map_err(|e| e.to_string())?;
     shard.finish().map_err(|e| e.to_string())?;
@@ -276,7 +285,8 @@ fn print_help() {
          COMMANDS:\n\
          \x20 synth    write a deterministic diurnal corpus and compact it\n\
          \x20 compact  fold leftover shard files into final segments\n\
-         \x20 query    stream an analysis out-of-core (--report aggregate|outcomes)\n\
+         \x20 query    stream an analysis out-of-core\n\
+         \x20          (--report aggregate|outcomes|forensics|attribution)\n\
          \x20 stat     print the manifest and verify every segment checksum\n\
          \x20 bench    build the diurnal corpus, measure compression + scan rate\n\
          \n\
@@ -288,7 +298,8 @@ fn print_help() {
          \x20 --interval-ms N     sample interval in ms             [default 1000]\n\
          \x20 --chunk-rows N      rows per chunk                    [default 4096]\n\
          \x20 --segment-rows N    rows per segment file             [default 262144]\n\
-         \x20 --report KIND       query report: aggregate|outcomes  [default aggregate]\n\
+         \x20 --report KIND       query report: aggregate|outcomes|forensics|attribution\n\
+         \x20                     [default aggregate]\n\
          \x20 --out PATH          write query output to PATH (default: stdout)\n\
          \x20 --json PATH         write BENCH_lake.json to PATH (bench only)"
     );

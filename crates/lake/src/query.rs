@@ -326,6 +326,7 @@ mod tests {
                     outcome: None,
                     bursts: Vec::new(),
                     series: vec![s],
+                    forensics: Vec::new(),
                 })
                 .unwrap();
         }

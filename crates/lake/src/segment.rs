@@ -51,6 +51,9 @@ pub enum TableKind {
     Bursts,
     /// One row per (host, bucket) sample of every millisampler series.
     Series,
+    /// One row per classified drop forensic
+    /// ([`ms_telemetry::DropForensic`]).
+    Forensics,
 }
 
 /// Column names of the `outcomes` table.
@@ -90,6 +93,28 @@ pub const BURST_COLS: &[&str] = &[
     "retx_bytes",
 ];
 
+/// Column names of the `forensics` table (the flattened
+/// [`ms_telemetry::DropForensic`], with enum fields stored as their
+/// stable codes).
+pub const FORENSIC_COLS: &[&str] = &[
+    "cell",
+    "ns",
+    "queue",
+    "flow",
+    "size",
+    "reason",
+    "cause",
+    "queue_occupancy",
+    "shared_occupancy",
+    "dt_threshold",
+    "burst_len",
+    "competing_flows",
+    "self_bytes",
+    "other_bytes",
+    "ecn",
+    "recent_kinds",
+];
+
 /// Column names of the `series` table.
 pub const SERIES_COLS: &[&str] = &[
     "cell",
@@ -112,6 +137,7 @@ impl TableKind {
             TableKind::Outcomes => 0,
             TableKind::Bursts => 1,
             TableKind::Series => 2,
+            TableKind::Forensics => 3,
         }
     }
 
@@ -121,6 +147,7 @@ impl TableKind {
             0 => Some(TableKind::Outcomes),
             1 => Some(TableKind::Bursts),
             2 => Some(TableKind::Series),
+            3 => Some(TableKind::Forensics),
             _ => None,
         }
     }
@@ -131,6 +158,7 @@ impl TableKind {
             TableKind::Outcomes => "outcomes",
             TableKind::Bursts => "bursts",
             TableKind::Series => "series",
+            TableKind::Forensics => "forensics",
         }
     }
 
@@ -140,6 +168,7 @@ impl TableKind {
             "outcomes" => Some(TableKind::Outcomes),
             "bursts" => Some(TableKind::Bursts),
             "series" => Some(TableKind::Series),
+            "forensics" => Some(TableKind::Forensics),
             _ => None,
         }
     }
@@ -150,6 +179,7 @@ impl TableKind {
             TableKind::Outcomes => OUTCOME_COLS,
             TableKind::Bursts => BURST_COLS,
             TableKind::Series => SERIES_COLS,
+            TableKind::Forensics => FORENSIC_COLS,
         }
     }
 

@@ -13,6 +13,7 @@ use crate::LakeError;
 use millisampler::codec::{self, WireReader, WireWriter};
 use millisampler::HostSeries;
 use ms_analysis::{BurstRow, RunOutcome};
+use ms_telemetry::{DropCause, DropForensic, DropReason};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
@@ -36,6 +37,8 @@ pub struct CellRows {
     pub bursts: Vec<BurstRow>,
     /// Raw per-host series (exploded into the `series` table).
     pub series: Vec<HostSeries>,
+    /// Classified drop forensics (the lake's `forensics` table rows).
+    pub forensics: Vec<DropForensic>,
 }
 
 impl CellRows {
@@ -47,6 +50,7 @@ impl CellRows {
             outcome: Some(Err(message)),
             bursts: Vec::new(),
             series: Vec::new(),
+            forensics: Vec::new(),
         }
     }
 
@@ -84,6 +88,24 @@ impl CellRows {
         w.u64(self.series.len() as u64);
         for s in &self.series {
             w.bytes(&codec::encode(s));
+        }
+        w.u64(self.forensics.len() as u64);
+        for f in &self.forensics {
+            w.u64(f.ns);
+            w.u64(u64::from(f.queue));
+            w.u64(f.flow);
+            w.u64(u64::from(f.size));
+            w.u64(u64::from(f.reason.code()));
+            w.u64(u64::from(f.cause.code()));
+            w.u64(f.queue_occupancy);
+            w.u64(f.shared_occupancy);
+            w.u64(f.dt_threshold);
+            w.u64(u64::from(f.burst_len));
+            w.u64(u64::from(f.competing_flows));
+            w.u64(f.self_bytes);
+            w.u64(f.other_bytes);
+            w.bool(f.ecn_on);
+            w.u64(f.recent_kinds);
         }
         let mut buf = w.finish();
         let sum = codec::fnv1a64(&buf);
@@ -148,6 +170,40 @@ impl CellRows {
         for _ in 0..n_series {
             series.push(codec::decode(&r.bytes()?)?);
         }
+        let n_forensics = r.u64()?;
+        if n_forensics as usize > data.len() {
+            return Err(LakeError::Corrupt("forensic count exceeds record"));
+        }
+        let mut forensics = Vec::with_capacity(n_forensics as usize);
+        for _ in 0..n_forensics {
+            let ns = r.u64()?;
+            // simlint: allow(cast-truncation): encoded from u32 fields
+            let queue = r.u64()? as u32;
+            let flow = r.u64()?;
+            // simlint: allow(cast-truncation): encoded from u32 fields
+            let size = r.u64()? as u32;
+            let reason = reason_from(r.u64()?)?;
+            let cause = cause_from(r.u64()?)?;
+            forensics.push(DropForensic {
+                ns,
+                queue,
+                flow,
+                size,
+                reason,
+                cause,
+                queue_occupancy: r.u64()?,
+                shared_occupancy: r.u64()?,
+                dt_threshold: r.u64()?,
+                // simlint: allow(cast-truncation): encoded from u32 fields
+                burst_len: r.u64()? as u32,
+                // simlint: allow(cast-truncation): encoded from u32 fields
+                competing_flows: r.u64()? as u32,
+                self_bytes: r.u64()?,
+                other_bytes: r.u64()?,
+                ecn_on: r.bool()?,
+                recent_kinds: r.u64()?,
+            });
+        }
         if r.remaining() != 0 {
             return Err(LakeError::Corrupt("trailing bytes in cell record"));
         }
@@ -157,8 +213,24 @@ impl CellRows {
             outcome,
             bursts,
             series,
+            forensics,
         })
     }
+}
+
+fn reason_from(code: u64) -> Result<DropReason, LakeError> {
+    DropReason::ALL
+        .iter()
+        .copied()
+        .find(|r| u64::from(r.code()) == code)
+        .ok_or(LakeError::Corrupt("bad drop reason in cell record"))
+}
+
+fn cause_from(code: u64) -> Result<DropCause, LakeError> {
+    u8::try_from(code)
+        .ok()
+        .and_then(DropCause::from_code)
+        .ok_or(LakeError::Corrupt("bad drop cause in cell record"))
 }
 
 /// Append-only writer for one worker's shard file. Records are framed
@@ -236,6 +308,23 @@ mod tests {
                 retx_bytes: 0,
             }],
             series: vec![s],
+            forensics: vec![DropForensic {
+                ns: 31_000_123,
+                queue: 3,
+                flow: 42,
+                size: 1500,
+                reason: DropReason::DynamicThresholdReject,
+                cause: DropCause::CrossContention,
+                queue_occupancy: 1_800_000,
+                shared_occupancy: 3_400_000,
+                dt_threshold: 1_790_000,
+                burst_len: 9,
+                competing_flows: 14,
+                self_bytes: 30_000,
+                other_bytes: 410_000,
+                ecn_on: true,
+                recent_kinds: 0x0101_0303_0404_0101,
+            }],
         }
     }
 
@@ -257,6 +346,7 @@ mod tests {
             outcome: None,
             bursts: Vec::new(),
             series: Vec::new(),
+            forensics: Vec::new(),
         };
         assert_eq!(CellRows::decode(&bare.encode()).unwrap(), bare);
     }

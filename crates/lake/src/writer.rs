@@ -51,7 +51,8 @@ pub struct ManifestEntry {
 /// The lake's table of contents (`MANIFEST.txt`).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LakeManifest {
-    /// Segments in fixed order: outcomes, then bursts, then series.
+    /// Segments in fixed order: outcomes, then bursts, then series,
+    /// then forensics.
     pub entries: Vec<ManifestEntry>,
 }
 
@@ -220,6 +221,7 @@ impl LakeWriter {
         let mut outcomes = TableBuilder::new(TableKind::Outcomes, &self.dir, self.cfg)?;
         let mut bursts = TableBuilder::new(TableKind::Bursts, &self.dir, self.cfg)?;
         let mut series = TableBuilder::new(TableKind::Series, &self.dir, self.cfg)?;
+        let mut forensics = TableBuilder::new(TableKind::Forensics, &self.dir, self.cfg)?;
         let mut record = Vec::new();
         for &(cell, si, offset, len) in &index {
             let file = &mut shards[si];
@@ -230,13 +232,20 @@ impl LakeWriter {
             if rows.cell != cell {
                 return Err(LakeError::Corrupt("cell id disagrees with shard index"));
             }
-            append_cell(&mut outcomes, &mut bursts, &mut series, &rows)?;
+            append_cell(
+                &mut outcomes,
+                &mut bursts,
+                &mut series,
+                &mut forensics,
+                &rows,
+            )?;
         }
 
         let mut manifest = LakeManifest::default();
         outcomes.finish(&mut manifest)?;
         bursts.finish(&mut manifest)?;
         series.finish(&mut manifest)?;
+        forensics.finish(&mut manifest)?;
         std::fs::write(self.dir.join("MANIFEST.txt"), manifest.to_csv())?;
         for path in &shard_paths {
             std::fs::remove_file(path)?;
@@ -254,11 +263,12 @@ fn peek_cell(head: &[u8]) -> Result<u64, LakeError> {
     crate::segment::read_varint(head, &mut pos)
 }
 
-/// Explodes one cell's rows into the three tables.
+/// Explodes one cell's rows into the four tables.
 fn append_cell(
     outcomes: &mut TableBuilder,
     bursts: &mut TableBuilder,
     series: &mut TableBuilder,
+    forensics: &mut TableBuilder,
     rows: &CellRows,
 ) -> Result<(), LakeError> {
     match &rows.outcome {
@@ -327,6 +337,27 @@ fn append_cell(
                 s.conns[bucket],
             ])?;
         }
+    }
+    for f in &rows.forensics {
+        forensics.roll_if_full()?;
+        forensics.writer.push_row(&[
+            rows.cell,
+            f.ns,
+            u64::from(f.queue),
+            f.flow,
+            u64::from(f.size),
+            u64::from(f.reason.code()),
+            u64::from(f.cause.code()),
+            f.queue_occupancy,
+            f.shared_occupancy,
+            f.dt_threshold,
+            u64::from(f.burst_len),
+            u64::from(f.competing_flows),
+            f.self_bytes,
+            f.other_bytes,
+            u64::from(f.ecn_on),
+            f.recent_kinds,
+        ])?;
     }
     Ok(())
 }
@@ -445,6 +476,23 @@ mod tests {
             outcome: Some(Ok(o)),
             bursts: Vec::new(),
             series: vec![s],
+            forensics: vec![ms_telemetry::DropForensic {
+                ns: cell * 1_000_000,
+                queue: 1,
+                flow: cell,
+                size: 1500,
+                reason: ms_telemetry::DropReason::DynamicThresholdReject,
+                cause: ms_telemetry::DropCause::SelfBurst,
+                queue_occupancy: cell * 100,
+                shared_occupancy: cell * 200,
+                dt_threshold: 90,
+                burst_len: 3,
+                competing_flows: 1,
+                self_bytes: 4500,
+                other_bytes: 0,
+                ecn_on: false,
+                recent_kinds: 0x0303,
+            }],
         }
     }
 
@@ -509,6 +557,7 @@ mod tests {
         let manifest = w.compact().unwrap();
         assert_eq!(manifest.rows(TableKind::Outcomes), 5);
         assert_eq!(manifest.rows(TableKind::Series), 40);
+        assert_eq!(manifest.rows(TableKind::Forensics), 5);
         // 40 series rows at 10 rows/segment = 4 segment files.
         assert_eq!(
             manifest
@@ -549,8 +598,9 @@ mod tests {
         let dir = temp_dir("empty");
         let w = LakeWriter::create(&dir, LakeConfig::default()).unwrap();
         let manifest = w.compact().unwrap();
-        assert_eq!(manifest.entries.len(), 3);
+        assert_eq!(manifest.entries.len(), 4);
         assert_eq!(manifest.rows(TableKind::Outcomes), 0);
+        assert_eq!(manifest.rows(TableKind::Forensics), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

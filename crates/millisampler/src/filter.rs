@@ -121,9 +121,10 @@ impl TcFilter {
         }
     }
 
-    /// Attaches a telemetry hub: the filter's self-termination (its
-    /// sampling window filling up) is recorded as a `SamplerWindowClose`
-    /// event attributed to `host`.
+    /// Attaches a telemetry hub: the start-time latch of the first packet
+    /// is recorded as `SamplerWindowOpen` and the filter's
+    /// self-termination (its sampling window filling up) as a
+    /// `SamplerWindowClose` event, both attributed to `host`.
     pub fn set_telemetry(&mut self, telemetry: ms_telemetry::SharedTelemetry, host: u32) {
         self.telemetry = Some((telemetry, host));
     }
@@ -206,6 +207,14 @@ impl TcFilter {
             Some(s) => s,
             None => {
                 self.started = Some(now);
+                if let Some((tr, host)) = &self.telemetry {
+                    tr.borrow_mut()
+                        .bus
+                        .record(ms_telemetry::TraceEvent::SamplerWindowOpen {
+                            ns: now.as_nanos(),
+                            host: *host,
+                        });
+                }
                 now
             }
         };
@@ -449,6 +458,37 @@ mod tests {
         let s = f.read(0).unwrap();
         assert_eq!(s.total_in_bytes(), 1);
         assert_eq!(s.start, Ns::from_millis(100));
+    }
+
+    #[test]
+    fn window_open_and_close_bracket_the_run_on_the_bus() {
+        use ms_telemetry::{Telemetry, TelemetryConfig, TraceEvent};
+        let cfg = RunConfig {
+            buckets: 10,
+            ..RunConfig::one_ms()
+        };
+        let mut f = TcFilter::new(&cfg, 1);
+        let hub = Telemetry::shared(TelemetryConfig::default());
+        f.set_telemetry(hub.clone(), 4);
+        f.attach();
+        f.enable();
+        f.record(0, Ns::from_millis(3), &meta(Direction::Ingress, 1));
+        f.record(0, Ns::from_millis(4), &meta(Direction::Ingress, 1));
+        f.record(0, Ns::from_millis(14), &meta(Direction::Ingress, 1));
+        let hub = hub.borrow();
+        let windows: Vec<(u64, &str, u32)> = hub
+            .bus
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SamplerWindowOpen { ns, host } => Some((*ns, "open", *host)),
+                TraceEvent::SamplerWindowClose { ns, host } => Some((*ns, "close", *host)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            windows,
+            vec![(3_000_000, "open", 4), (14_000_000, "close", 4)]
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! lost events is reported so exporters can say so instead of silently
 //! presenting a truncated trace as complete.
 
+use crate::forensics::DropCause;
 use ms_units::Bytes;
 
 /// Why the switch (or a fault injector) discarded a packet.
@@ -166,6 +167,87 @@ pub enum TraceEvent {
         /// Host whose run completed.
         host: u32,
     },
+    /// A Millisampler run observed its first packet (the filter latched
+    /// its window start; pairs with [`TraceEvent::SamplerWindowClose`]).
+    SamplerWindowOpen {
+        /// Host-clock time (ns).
+        ns: u64,
+        /// Host whose run started.
+        host: u32,
+    },
+    /// A flow sent its first data packet (span root: flow → burst →
+    /// recovery/HoL children share the flow id).
+    FlowSpanStart {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A flow fully acknowledged its last byte (its FCT endpoint).
+    FlowSpanEnd {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A sender's in-flight window went 0 → >0 (a burst began).
+    BurstSpanStart {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A sender's in-flight window drained back to 0 (the burst ended).
+    BurstSpanEnd {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A sender entered loss recovery.
+    RecoverySpanStart {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// `true` when triggered by a retransmission timeout; `false`
+        /// for dup-ack fast retransmit.
+        rto: bool,
+    },
+    /// A sender left loss recovery (the recovery point was acked).
+    RecoverySpanEnd {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A receiver started buffering out-of-order data (head-of-line wait).
+    HolSpanStart {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A receiver's out-of-order buffer drained (head-of-line released).
+    HolSpanEnd {
+        /// Sim time (ns).
+        ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// A drop was classified by the forensics blackbox (the full record
+    /// lives in the [`crate::ForensicStore`]; this marks it on the
+    /// timeline).
+    ForensicDrop {
+        /// Sim time (ns).
+        ns: u64,
+        /// Egress queue (or off-switch sentinel).
+        queue: u32,
+        /// The dropping flow.
+        flow: u64,
+        /// The §8 attribution class.
+        cause: DropCause,
+    },
 }
 
 impl TraceEvent {
@@ -181,7 +263,17 @@ impl TraceEvent {
             | TraceEvent::WindowFlush { ns, .. }
             | TraceEvent::CwndChange { ns, .. }
             | TraceEvent::RtoFired { ns, .. }
-            | TraceEvent::SamplerWindowClose { ns, .. } => ns,
+            | TraceEvent::SamplerWindowClose { ns, .. }
+            | TraceEvent::SamplerWindowOpen { ns, .. }
+            | TraceEvent::FlowSpanStart { ns, .. }
+            | TraceEvent::FlowSpanEnd { ns, .. }
+            | TraceEvent::BurstSpanStart { ns, .. }
+            | TraceEvent::BurstSpanEnd { ns, .. }
+            | TraceEvent::RecoverySpanStart { ns, .. }
+            | TraceEvent::RecoverySpanEnd { ns, .. }
+            | TraceEvent::HolSpanStart { ns, .. }
+            | TraceEvent::HolSpanEnd { ns, .. }
+            | TraceEvent::ForensicDrop { ns, .. } => ns,
         }
     }
 
@@ -198,6 +290,43 @@ impl TraceEvent {
             TraceEvent::CwndChange { .. } => "cwnd-change",
             TraceEvent::RtoFired { .. } => "rto-fired",
             TraceEvent::SamplerWindowClose { .. } => "sampler-window-close",
+            TraceEvent::SamplerWindowOpen { .. } => "sampler-window-open",
+            TraceEvent::FlowSpanStart { .. } => "flow-span-start",
+            TraceEvent::FlowSpanEnd { .. } => "flow-span-end",
+            TraceEvent::BurstSpanStart { .. } => "burst-span-start",
+            TraceEvent::BurstSpanEnd { .. } => "burst-span-end",
+            TraceEvent::RecoverySpanStart { .. } => "recovery-span-start",
+            TraceEvent::RecoverySpanEnd { .. } => "recovery-span-end",
+            TraceEvent::HolSpanStart { .. } => "hol-span-start",
+            TraceEvent::HolSpanEnd { .. } => "hol-span-end",
+            TraceEvent::ForensicDrop { .. } => "forensic-drop",
+        }
+    }
+
+    /// Stable one-byte kind code, used to pack the forensic flight
+    /// recorder's `recent_kinds` field. Zero is reserved for "no event".
+    pub fn kind_code(&self) -> u8 {
+        match self {
+            TraceEvent::PacketEnqueue { .. } => 1,
+            TraceEvent::PacketDrop { .. } => 2,
+            TraceEvent::EcnMark { .. } => 3,
+            TraceEvent::ThresholdCross { .. } => 4,
+            TraceEvent::Dequeue { .. } => 5,
+            TraceEvent::DequeueIdle { .. } => 6,
+            TraceEvent::WindowFlush { .. } => 7,
+            TraceEvent::CwndChange { .. } => 8,
+            TraceEvent::RtoFired { .. } => 9,
+            TraceEvent::SamplerWindowClose { .. } => 10,
+            TraceEvent::SamplerWindowOpen { .. } => 11,
+            TraceEvent::FlowSpanStart { .. } => 12,
+            TraceEvent::FlowSpanEnd { .. } => 13,
+            TraceEvent::BurstSpanStart { .. } => 14,
+            TraceEvent::BurstSpanEnd { .. } => 15,
+            TraceEvent::RecoverySpanStart { .. } => 16,
+            TraceEvent::RecoverySpanEnd { .. } => 17,
+            TraceEvent::HolSpanStart { .. } => 18,
+            TraceEvent::HolSpanEnd { .. } => 19,
+            TraceEvent::ForensicDrop { .. } => 20,
         }
     }
 }
@@ -290,6 +419,22 @@ impl TraceBus {
             (&self.ring[self.head..], &self.ring[..self.head])
         };
         older.iter().chain(newer.iter())
+    }
+
+    /// The `i`-th most recent event (0 = newest), O(1).
+    ///
+    /// Used by the drop forensics capture to pack a micro flight recorder
+    /// of the events that immediately preceded a drop; on the per-drop
+    /// path, so no allocation and no panic (bounds are checked up front).
+    #[inline]
+    pub fn recent(&self, i: usize) -> Option<&TraceEvent> {
+        if i >= self.len {
+            return None;
+        }
+        let cap = self.ring.len();
+        // Newest lives just before `head`; walk backwards modulo cap.
+        let idx = (self.head + cap - 1 - i) % cap;
+        Some(&self.ring[idx])
     }
 
     /// Forgets all held events (counters keep accumulating).
@@ -431,6 +576,25 @@ mod tests {
             },
             TraceEvent::RtoFired { ns: 9, flow: 0 },
             TraceEvent::SamplerWindowClose { ns: 10, host: 0 },
+            TraceEvent::SamplerWindowOpen { ns: 11, host: 0 },
+            TraceEvent::FlowSpanStart { ns: 12, flow: 0 },
+            TraceEvent::FlowSpanEnd { ns: 13, flow: 0 },
+            TraceEvent::BurstSpanStart { ns: 14, flow: 0 },
+            TraceEvent::BurstSpanEnd { ns: 15, flow: 0 },
+            TraceEvent::RecoverySpanStart {
+                ns: 16,
+                flow: 0,
+                rto: false,
+            },
+            TraceEvent::RecoverySpanEnd { ns: 17, flow: 0 },
+            TraceEvent::HolSpanStart { ns: 18, flow: 0 },
+            TraceEvent::HolSpanEnd { ns: 19, flow: 0 },
+            TraceEvent::ForensicDrop {
+                ns: 20,
+                queue: 0,
+                flow: 0,
+                cause: DropCause::CrossContention,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
         for (i, e) in events.iter().enumerate() {
@@ -438,5 +602,26 @@ mod tests {
         }
         kinds.dedup();
         assert_eq!(kinds.len(), events.len(), "kind labels must be distinct");
+        // Kind codes are 1-based (0 = "no event" in packed forensics) and
+        // mutually distinct.
+        let mut codes: Vec<u8> = events.iter().map(TraceEvent::kind_code).collect();
+        assert!(codes.iter().all(|&c| c > 0));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), events.len(), "kind codes must be distinct");
+    }
+
+    #[test]
+    fn recent_walks_newest_first_across_the_wrap() {
+        let mut bus = TraceBus::with_capacity(4);
+        for i in 0..6 {
+            bus.record(ev(i));
+        }
+        // Holds [2, 3, 4, 5]; recent(0) is the newest.
+        for i in 0..4 {
+            assert_eq!(bus.recent(i).map(TraceEvent::ns), Some(5 - i as u64));
+        }
+        assert_eq!(bus.recent(4), None);
+        assert_eq!(TraceBus::with_capacity(0).recent(0), None);
     }
 }

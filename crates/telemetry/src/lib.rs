@@ -42,10 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod forensics;
 pub mod metrics;
 pub mod perfetto;
 
 pub use bus::{DropReason, TraceBus, TraceEvent};
+pub use forensics::{DropCause, DropForensic, ForensicStore};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry};
 pub use perfetto::{summary, validate_json, write_perfetto, PerfettoMeta};
 
@@ -60,15 +62,34 @@ pub struct TelemetryConfig {
     /// count of overwritten events is reported by
     /// [`TraceBus::overwritten`]).
     pub ring_capacity: usize,
+    /// Capacity of the drop forensics store in records. Zero (the
+    /// default) disables per-drop capture entirely — the blackbox is
+    /// opt-in so plain traced runs stay byte-identical across versions.
+    pub forensic_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
         // 65536 events ≈ a few MB — enough for the example scenarios'
-        // full switch activity without unbounded growth.
+        // full switch activity without unbounded growth. Forensics are
+        // opt-in (see `TelemetryConfig::with_forensics`).
         TelemetryConfig {
             ring_capacity: 1 << 16,
+            forensic_capacity: 0,
         }
+    }
+}
+
+impl TelemetryConfig {
+    /// Default forensic store size when the blackbox is switched on:
+    /// enough for every drop in the example scenarios.
+    pub const DEFAULT_FORENSIC_CAPACITY: usize = 1 << 16;
+
+    /// Returns the config with the drop forensics blackbox enabled at the
+    /// default capacity.
+    pub fn with_forensics(mut self) -> Self {
+        self.forensic_capacity = Self::DEFAULT_FORENSIC_CAPACITY;
+        self
     }
 }
 
@@ -79,6 +100,8 @@ pub struct Telemetry {
     pub bus: TraceBus,
     /// Named counters, gauges, and histograms.
     pub metrics: MetricsRegistry,
+    /// The drop forensics blackbox (zero-capacity when disabled).
+    pub forensics: ForensicStore,
 }
 
 impl Telemetry {
@@ -87,6 +110,7 @@ impl Telemetry {
         Telemetry {
             bus: TraceBus::with_capacity(cfg.ring_capacity),
             metrics: MetricsRegistry::new(),
+            forensics: ForensicStore::with_capacity(cfg.forensic_capacity),
         }
     }
 
@@ -121,7 +145,10 @@ mod tests {
 
     #[test]
     fn shared_handle_is_one_hub() {
-        let t = Telemetry::shared(TelemetryConfig { ring_capacity: 8 });
+        let t = Telemetry::shared(TelemetryConfig {
+            ring_capacity: 8,
+            ..TelemetryConfig::default()
+        });
         let t2 = t.clone();
         t.borrow_mut()
             .bus

@@ -244,6 +244,7 @@ impl MetricsRegistry {
                 ("p50", h.percentile(0.50)),
                 ("p90", h.percentile(0.90)),
                 ("p99", h.percentile(0.99)),
+                ("p999", h.percentile(0.999)),
             ] {
                 let _ = writeln!(out, "histogram,{name},{field},{v}");
             }
@@ -269,7 +270,7 @@ impl MetricsRegistry {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 out,
-                "{sep}\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                "{sep}\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
                 escape_json(name),
                 h.total(),
                 h.sum(),
@@ -278,6 +279,7 @@ impl MetricsRegistry {
                 h.percentile(0.50),
                 h.percentile(0.90),
                 h.percentile(0.99),
+                h.percentile(0.999),
             );
             for (j, (lo, c)) in h.nonzero_buckets().iter().enumerate() {
                 let sep = if j == 0 { "" } else { "," };
@@ -290,8 +292,9 @@ impl MetricsRegistry {
     }
 }
 
-/// Escapes a metric name for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (shared with
+/// the Perfetto exporter's metadata strings).
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -379,6 +382,54 @@ mod tests {
         assert_eq!(h.percentile(0.5), 2);
         // p100 lands in 100's bucket, whose lower bound is 96.
         assert_eq!(h.percentile(1.0), 96);
+    }
+
+    #[test]
+    fn percentiles_at_exact_bucket_boundaries() {
+        // 1000 observations of values 1..=1000: every value ≤ 3 is exact,
+        // larger ones land at their bucket's lower bound.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 → rank 500 → value 500, bucket [448, 512) lower bound 448.
+        assert_eq!(Histogram::bucket_index(500), Histogram::bucket_index(448));
+        assert_eq!(h.percentile(0.50), 448);
+        // p99 → rank 990 → value 990, bucket [896, 1024) lower bound 896.
+        assert_eq!(h.percentile(0.99), 896);
+        // p999 → rank 999 → value 999, same bucket as 990.
+        assert_eq!(h.percentile(0.999), 896);
+        // p0 clamps to rank 1 → value 1 (exact bucket).
+        assert_eq!(h.percentile(0.0), 1);
+        // p100 → rank 1000 → value 1000, bucket lower bound 896.
+        assert_eq!(h.percentile(1.0), 896);
+    }
+
+    #[test]
+    fn percentile_rank_boundary_between_two_exact_buckets() {
+        // Two observations: rank math must not round across the boundary.
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        // p50 → rank exactly 1 → first value.
+        assert_eq!(h.percentile(0.50), 1);
+        // Anything above 0.5 crosses into the second value's bucket.
+        assert_eq!(h.percentile(0.51), 2);
+        assert_eq!(h.percentile(0.999), 2);
+    }
+
+    #[test]
+    fn csv_and_json_exports_carry_p999() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("fct");
+        for v in 1..=100u64 {
+            m.observe(h, v);
+        }
+        let csv = m.to_csv();
+        assert!(csv.contains("histogram,fct,p999,"));
+        let json = m.to_json();
+        assert!(json.contains("\"p999\":"));
+        assert!(crate::perfetto::validate_json(&json).is_ok());
     }
 
     #[test]

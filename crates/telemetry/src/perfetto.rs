@@ -15,6 +15,7 @@
 use std::io::{self, Write};
 
 use crate::bus::{TraceBus, TraceEvent};
+use crate::metrics::{escape_json, Histogram};
 
 /// Naming metadata for the exported trace.
 #[derive(Debug, Clone)]
@@ -71,6 +72,32 @@ fn write_instant<W: Write>(
     )
 }
 
+/// Writes one half of a duration event (`ph:"B"` begin / `ph:"E"` end).
+/// Spans for the same flow share a tid, so Perfetto nests them (flow ⊃
+/// burst ⊃ recovery/HoL) by interval containment.
+fn write_span<W: Write>(
+    w: &mut W,
+    first: &mut bool,
+    ns: u64,
+    tid: u64,
+    phase: char,
+    name: &str,
+    args: &str,
+) -> io::Result<()> {
+    let sep = if *first { "" } else { ",\n" };
+    *first = false;
+    write!(
+        w,
+        "{sep}{{\"ph\":\"{phase}\",\"pid\":1,\"tid\":{tid},\"name\":\"{name}\",\"ts\":{},\"args\":{{{args}}}}}",
+        ts_us(ns)
+    )
+}
+
+/// Thread id hosting a flow's span hierarchy (one track per flow).
+fn flow_tid(flow: u64) -> u64 {
+    300 + flow
+}
+
 /// Serializes the trace ring as Chrome/Perfetto trace-event JSON.
 ///
 /// Occupancy and cwnd become counter tracks; drops, marks, crossings,
@@ -83,7 +110,7 @@ pub fn write_perfetto<W: Write>(w: &mut W, bus: &TraceBus, meta: &PerfettoMeta) 
     write!(
         w,
         "{{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
-        meta.process_name
+        escape_json(&meta.process_name)
     )?;
     let mut first = false;
     for ev in bus.iter() {
@@ -164,6 +191,58 @@ pub fn write_perfetto<W: Write>(w: &mut W, bus: &TraceBus, meta: &PerfettoMeta) 
                     &args,
                 )?;
             }
+            TraceEvent::SamplerWindowOpen { ns, host } => {
+                let args = format!("\"host\":{host}");
+                write_instant(
+                    w,
+                    &mut first,
+                    ns,
+                    100 + u64::from(host),
+                    "sampler-window-open",
+                    &args,
+                )?;
+            }
+            TraceEvent::FlowSpanStart { ns, flow } => {
+                let args = format!("\"flow\":{flow}");
+                write_span(w, &mut first, ns, flow_tid(flow), 'B', "flow", &args)?;
+            }
+            TraceEvent::FlowSpanEnd { ns, flow } => {
+                write_span(w, &mut first, ns, flow_tid(flow), 'E', "flow", "")?;
+            }
+            TraceEvent::BurstSpanStart { ns, flow } => {
+                let args = format!("\"flow\":{flow}");
+                write_span(w, &mut first, ns, flow_tid(flow), 'B', "burst", &args)?;
+            }
+            TraceEvent::BurstSpanEnd { ns, flow } => {
+                write_span(w, &mut first, ns, flow_tid(flow), 'E', "burst", "")?;
+            }
+            TraceEvent::RecoverySpanStart { ns, flow, rto } => {
+                let args = format!(
+                    "\"flow\":{flow},\"trigger\":\"{}\"",
+                    if rto { "rto" } else { "fast-retx" }
+                );
+                write_span(w, &mut first, ns, flow_tid(flow), 'B', "recovery", &args)?;
+            }
+            TraceEvent::RecoverySpanEnd { ns, flow } => {
+                write_span(w, &mut first, ns, flow_tid(flow), 'E', "recovery", "")?;
+            }
+            TraceEvent::HolSpanStart { ns, flow } => {
+                let args = format!("\"flow\":{flow}");
+                write_span(w, &mut first, ns, flow_tid(flow), 'B', "hol-wait", &args)?;
+            }
+            TraceEvent::HolSpanEnd { ns, flow } => {
+                write_span(w, &mut first, ns, flow_tid(flow), 'E', "hol-wait", "")?;
+            }
+            TraceEvent::ForensicDrop {
+                ns,
+                queue,
+                flow,
+                cause,
+            } => {
+                let name = format!("forensic:{}", cause.as_str());
+                let args = format!("\"queue\":{queue},\"flow\":{flow}");
+                write_instant(w, &mut first, ns, u64::from(queue), &name, &args)?;
+            }
         }
     }
     writeln!(w, "\n]}}")?;
@@ -176,17 +255,29 @@ pub fn summary(bus: &TraceBus, top_n: usize) -> String {
     use std::fmt::Write;
     let mut kinds: Vec<(&'static str, u64)> = Vec::new();
     let mut drops_by_queue: Vec<(u32, u64)> = Vec::new();
+    let mut span_starts: Vec<(u64, u64)> = Vec::new();
+    let mut fct = Histogram::new();
     for ev in bus.iter() {
         let kind = ev.kind();
         match kinds.iter_mut().find(|(k, _)| *k == kind) {
             Some((_, c)) => *c += 1,
             None => kinds.push((kind, 1)),
         }
-        if let TraceEvent::PacketDrop { queue, .. } = *ev {
-            match drops_by_queue.iter_mut().find(|(q, _)| *q == queue) {
-                Some((_, c)) => *c += 1,
-                None => drops_by_queue.push((queue, 1)),
+        match *ev {
+            TraceEvent::PacketDrop { queue, .. } => {
+                match drops_by_queue.iter_mut().find(|(q, _)| *q == queue) {
+                    Some((_, c)) => *c += 1,
+                    None => drops_by_queue.push((queue, 1)),
+                }
             }
+            TraceEvent::FlowSpanStart { ns, flow } => span_starts.push((flow, ns)),
+            TraceEvent::FlowSpanEnd { ns, flow } => {
+                if let Some(i) = span_starts.iter().position(|(f, _)| *f == flow) {
+                    let (_, start) = span_starts.swap_remove(i);
+                    fct.record(ns.saturating_sub(start));
+                }
+            }
+            _ => {}
         }
     }
     // Descending by count, then by name/queue for a total deterministic order.
@@ -209,6 +300,16 @@ pub fn summary(bus: &TraceBus, top_n: usize) -> String {
         for (queue, count) in drops_by_queue.iter().take(top_n) {
             let _ = writeln!(out, "  queue {queue:<4} {count}");
         }
+    }
+    if fct.total() > 0 {
+        let _ = writeln!(
+            out,
+            "flow spans: {} complete, fct ns p50={} p99={} p999={}",
+            fct.total(),
+            fct.percentile(0.50),
+            fct.percentile(0.99),
+            fct.percentile(0.999)
+        );
     }
     out
 }
@@ -425,6 +526,63 @@ mod tests {
         assert!(text.contains("\"ph\":\"i\""));
         // Dequeue-idle events carry no track state and are skipped.
         assert!(!text.contains("dequeue-idle"));
+    }
+
+    #[test]
+    fn process_name_is_escaped() {
+        let bus = TraceBus::with_capacity(4);
+        let meta = PerfettoMeta {
+            process_name: String::from("rack\"sim\\v1\n"),
+        };
+        let mut out = Vec::new();
+        write_perfetto(&mut out, &bus, &meta).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        validate_json(&text).expect("metadata strings must be escaped");
+        assert!(text.contains("rack\\\"sim\\\\v1\\u000a"));
+    }
+
+    #[test]
+    fn span_and_forensic_events_export_as_durations_and_instants() {
+        use crate::forensics::DropCause;
+        let mut bus = TraceBus::with_capacity(64);
+        bus.record(TraceEvent::FlowSpanStart { ns: 1_000, flow: 7 });
+        bus.record(TraceEvent::BurstSpanStart { ns: 1_100, flow: 7 });
+        bus.record(TraceEvent::RecoverySpanStart {
+            ns: 1_200,
+            flow: 7,
+            rto: false,
+        });
+        bus.record(TraceEvent::ForensicDrop {
+            ns: 1_250,
+            queue: 2,
+            flow: 7,
+            cause: DropCause::CrossContention,
+        });
+        bus.record(TraceEvent::RecoverySpanEnd { ns: 1_300, flow: 7 });
+        bus.record(TraceEvent::BurstSpanEnd { ns: 1_400, flow: 7 });
+        bus.record(TraceEvent::HolSpanStart { ns: 1_500, flow: 7 });
+        bus.record(TraceEvent::HolSpanEnd { ns: 1_600, flow: 7 });
+        bus.record(TraceEvent::SamplerWindowOpen { ns: 1_700, host: 3 });
+        bus.record(TraceEvent::FlowSpanEnd { ns: 2_000, flow: 7 });
+
+        let mut out = Vec::new();
+        write_perfetto(&mut out, &bus, &PerfettoMeta::default()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        validate_json(&text).unwrap();
+        // Duration halves on the flow's own track (tid 300 + flow).
+        assert!(text.contains("\"ph\":\"B\",\"pid\":1,\"tid\":307,\"name\":\"flow\""));
+        assert!(text.contains("\"ph\":\"E\",\"pid\":1,\"tid\":307,\"name\":\"flow\""));
+        assert!(text.contains("\"name\":\"burst\""));
+        assert!(text.contains("\"trigger\":\"fast-retx\""));
+        assert!(text.contains("\"name\":\"hol-wait\""));
+        assert!(text.contains("forensic:cross-contention"));
+        assert!(text.contains("sampler-window-open"));
+
+        // The summary derives flow FCT percentiles from the span pairs.
+        let s = summary(&bus, 3);
+        assert!(s.contains("flow spans: 1 complete"), "{s}");
+        // 1000 ns FCT lands in the bucket whose lower bound is 896.
+        assert!(s.contains("p50=896"), "{s}");
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct Receiver {
     delack_after: Ns,
     delack_deadline: Option<Ns>,
     stats: ReceiverStats,
+    /// Trace sink for head-of-line-wait spans; `None` = tracing off.
+    telemetry: Option<ms_telemetry::SharedTelemetry>,
+    /// A `hol-wait` span is open (reordered data buffered above a hole).
+    hol_open: bool,
 }
 
 impl Receiver {
@@ -65,6 +69,21 @@ impl Receiver {
             delack_after: Ns::from_micros(500),
             delack_deadline: None,
             stats: ReceiverStats::default(),
+            telemetry: None,
+            hol_open: false,
+        }
+    }
+
+    /// Attaches a telemetry hub; the receiver then emits `hol-wait` spans
+    /// covering the time reordered data sits buffered behind a hole.
+    pub fn set_telemetry(&mut self, telemetry: ms_telemetry::SharedTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    #[inline]
+    fn note_hol(&self, ev: ms_telemetry::TraceEvent) {
+        if let Some(tr) = &self.telemetry {
+            tr.borrow_mut().bus.record(ev);
         }
     }
 
@@ -156,6 +175,13 @@ impl Receiver {
             self.stats.bytes_delivered += new_bytes;
             self.rcv_nxt = end;
             self.merge_ooo();
+            if self.hol_open && self.ooo.is_empty() {
+                self.hol_open = false;
+                self.note_hol(ms_telemetry::TraceEvent::HolSpanEnd {
+                    ns: now.as_nanos(),
+                    flow: self.flow.0,
+                });
+            }
             self.segs_since_ack += 1;
             // ACK immediately on the usual cadence, while reordered data is
             // buffered, or when this segment just filled a hole (so the
@@ -170,6 +196,13 @@ impl Receiver {
         } else {
             // Out of order: remember the interval, duplicate-ACK now.
             self.stats.ooo_packets += 1;
+            if !self.hol_open && self.telemetry.is_some() {
+                self.hol_open = true;
+                self.note_hol(ms_telemetry::TraceEvent::HolSpanStart {
+                    ns: now.as_nanos(),
+                    flow: self.flow.0,
+                });
+            }
             self.insert_ooo(start, end);
             Some(self.make_ack())
         }
@@ -278,6 +311,35 @@ mod tests {
         p.retx_bit = true;
         r.on_data(Ns(0), &p);
         assert_eq!(r.stats().retx_bit_packets, 1);
+    }
+
+    #[test]
+    fn hol_wait_span_brackets_the_reordering_episode() {
+        use ms_telemetry::{Telemetry, TelemetryConfig, TraceEvent};
+        let mut r = rx();
+        let hub = Telemetry::shared(TelemetryConfig::default());
+        r.set_telemetry(hub.clone());
+        r.on_data(Ns(0), &data(0, 1500));
+        r.on_data(Ns(10), &data(3000, 1500)); // hole opens
+        r.on_data(Ns(20), &data(4500, 1500)); // still the same episode
+        r.on_data(Ns(30), &data(1500, 1500)); // hole filled
+                                              // A second, separate episode.
+        r.on_data(Ns(40), &data(7500, 1500));
+        r.on_data(Ns(50), &data(6000, 1500));
+        let hub = hub.borrow();
+        let spans: Vec<(u64, &str)> = hub
+            .bus
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::HolSpanStart { ns, .. } => Some((*ns, "start")),
+                TraceEvent::HolSpanEnd { ns, .. } => Some((*ns, "end")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![(10, "start"), (30, "end"), (40, "start"), (50, "end")]
+        );
     }
 
     #[test]

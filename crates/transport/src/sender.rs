@@ -95,6 +95,15 @@ pub struct Sender {
     telemetry: Option<ms_telemetry::SharedTelemetry>,
     /// Last cwnd reported on the trace bus, to emit changes only.
     traced_cwnd: u64,
+    /// A `FlowSpanStart` has been traced and its end has not.
+    span_flow_open: bool,
+    /// A `BurstSpanStart` has been traced and its end has not.
+    span_burst_open: bool,
+    /// A `RecoverySpanStart` has been traced and its end has not.
+    span_recovery_open: bool,
+    /// `snd_nxt` when the open recovery span started; the span closes on
+    /// the first clean ACK at or past it.
+    span_recover: u64,
 }
 
 impl Sender {
@@ -120,6 +129,10 @@ impl Sender {
             stats: SenderStats::default(),
             telemetry: None,
             traced_cwnd: 0,
+            span_flow_open: false,
+            span_burst_open: false,
+            span_recovery_open: false,
+            span_recover: 0,
         }
     }
 
@@ -145,6 +158,37 @@ impl Sender {
                         cwnd: Bytes(cwnd),
                     });
             }
+        }
+    }
+
+    /// Records one span event on the trace bus (no-op when detached).
+    fn note_span(&self, ev: ms_telemetry::TraceEvent) {
+        if let Some(tr) = &self.telemetry {
+            tr.borrow_mut().bus.record(ev);
+        }
+    }
+
+    /// Traces span transitions after an ACK advanced `snd_una`: recovery
+    /// exit, burst drain (in-flight hit zero), and flow completion —
+    /// innermost-out so the Perfetto duration events nest. One branch
+    /// when telemetry is off.
+    fn note_ack_spans(&mut self, now: Ns) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let ns = now.as_nanos();
+        let flow = self.flow.0;
+        if self.span_recovery_open && !self.in_recovery && self.snd_una >= self.span_recover {
+            self.span_recovery_open = false;
+            self.note_span(ms_telemetry::TraceEvent::RecoverySpanEnd { ns, flow });
+        }
+        if self.span_burst_open && self.in_flight() == 0 {
+            self.span_burst_open = false;
+            self.note_span(ms_telemetry::TraceEvent::BurstSpanEnd { ns, flow });
+        }
+        if self.span_flow_open && self.is_complete() {
+            self.span_flow_open = false;
+            self.note_span(ms_telemetry::TraceEvent::FlowSpanEnd { ns, flow });
         }
     }
 
@@ -230,6 +274,7 @@ impl Sender {
 
     /// Sends as much new data as the window and the app backlog allow.
     pub fn poll_send(&mut self, now: Ns) -> Vec<Packet> {
+        let was_idle = self.in_flight() == 0;
         let mut out = Vec::new();
         while self.snd_nxt < self.app_limit {
             let window_room = self.cc.cwnd().saturating_sub(self.in_flight());
@@ -262,6 +307,18 @@ impl Sender {
         }
         if !out.is_empty() && self.rto_deadline.is_none() {
             self.arm_rto(now);
+        }
+        if !out.is_empty() && self.telemetry.is_some() {
+            let ns = now.as_nanos();
+            let flow = self.flow.0;
+            if !self.span_flow_open {
+                self.span_flow_open = true;
+                self.note_span(ms_telemetry::TraceEvent::FlowSpanStart { ns, flow });
+            }
+            if was_idle && !self.span_burst_open {
+                self.span_burst_open = true;
+                self.note_span(ms_telemetry::TraceEvent::BurstSpanStart { ns, flow });
+            }
         }
         out
     }
@@ -338,6 +395,7 @@ impl Sender {
 
             self.arm_rto(now);
             self.note_cwnd(now);
+            self.note_ack_spans(now);
         } else if ack_seq == self.snd_una && self.in_flight() > 0 {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -347,6 +405,15 @@ impl Sender {
                 self.stats.fast_retx_events += 1;
                 self.cc.on_fast_retransmit(now);
                 self.note_cwnd(now);
+                if self.telemetry.is_some() && !self.span_recovery_open {
+                    self.span_recovery_open = true;
+                    self.span_recover = self.snd_nxt;
+                    self.note_span(ms_telemetry::TraceEvent::RecoverySpanStart {
+                        ns: now.as_nanos(),
+                        flow: self.flow.0,
+                        rto: false,
+                    });
+                }
                 out.push(self.retransmit_head(now));
             }
         }
@@ -379,6 +446,21 @@ impl Sender {
                     ns: now.as_nanos(),
                     flow: self.flow.0,
                 });
+            // An RTO supersedes any open fast-retransmit recovery span:
+            // close it and open an RTO-triggered one ending at the first
+            // clean ACK past the current send point.
+            let ns = now.as_nanos();
+            let flow = self.flow.0;
+            if self.span_recovery_open {
+                self.note_span(ms_telemetry::TraceEvent::RecoverySpanEnd { ns, flow });
+            }
+            self.span_recovery_open = true;
+            self.span_recover = self.snd_nxt;
+            self.note_span(ms_telemetry::TraceEvent::RecoverySpanStart {
+                ns,
+                flow,
+                rto: true,
+            });
         }
         self.note_cwnd(now);
         vec![self.retransmit_head(now)]
@@ -570,6 +652,87 @@ mod tests {
         let fresh: Vec<_> = out.iter().filter(|p| !p.is_retransmission).collect();
         assert!(!fresh.is_empty());
         assert!(fresh.iter().all(|p| !p.retx_bit));
+    }
+
+    #[test]
+    fn spans_trace_flow_burst_and_recovery_in_nesting_order() {
+        use ms_telemetry::{Telemetry, TelemetryConfig};
+        let mut s = sender();
+        let hub = Telemetry::shared(TelemetryConfig::default());
+        s.set_telemetry(hub.clone());
+        s.push(15_000);
+        s.close();
+        s.poll_send(Ns::ZERO);
+        for t in 1..=3 {
+            s.on_ack(Ns(t), &ack_pkt(0));
+        }
+        s.on_ack(Ns(20), &ack_pkt(15_000));
+        assert!(s.is_complete());
+
+        let hub = hub.borrow();
+        let kinds: Vec<&str> = hub.bus.iter().map(|e| e.kind()).collect();
+        let pos = |k: &str| {
+            kinds
+                .iter()
+                .position(|x| *x == k)
+                .unwrap_or_else(|| panic!("missing {k} in {kinds:?}"))
+        };
+        let once = |k: &str| kinds.iter().filter(|x| **x == k).count() == 1;
+        for k in [
+            "flow-span-start",
+            "burst-span-start",
+            "recovery-span-start",
+            "recovery-span-end",
+            "burst-span-end",
+            "flow-span-end",
+        ] {
+            assert!(once(k), "{k} must appear exactly once: {kinds:?}");
+        }
+        // Proper nesting: flow ⊃ burst ⊃ recovery.
+        assert!(pos("flow-span-start") < pos("burst-span-start"));
+        assert!(pos("burst-span-start") < pos("recovery-span-start"));
+        assert!(pos("recovery-span-end") < pos("burst-span-end"));
+        assert!(pos("burst-span-end") < pos("flow-span-end"));
+    }
+
+    #[test]
+    fn rto_supersedes_fast_retransmit_recovery_span() {
+        use ms_telemetry::{Telemetry, TelemetryConfig, TraceEvent};
+        let mut s = sender();
+        let hub = Telemetry::shared(TelemetryConfig::default());
+        s.set_telemetry(hub.clone());
+        s.push(30_000);
+        s.close();
+        s.poll_send(Ns::ZERO);
+        for t in 1..=3 {
+            s.on_ack(Ns(t), &ack_pkt(0));
+        }
+        let d = s.next_timer().unwrap();
+        s.on_timer(d); // RTO while fast-retx recovery is open
+        let mut t = d;
+        for _ in 0..64 {
+            if s.is_complete() {
+                break;
+            }
+            t = t + Ns(1000);
+            let nxt = s.snd_nxt;
+            s.on_ack(t, &ack_pkt(nxt));
+            s.poll_send(t);
+        }
+        assert!(s.is_complete());
+
+        let hub = hub.borrow();
+        let mut starts = Vec::new();
+        let mut ends = 0;
+        for ev in hub.bus.iter() {
+            match *ev {
+                TraceEvent::RecoverySpanStart { rto, .. } => starts.push(rto),
+                TraceEvent::RecoverySpanEnd { .. } => ends += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(starts, vec![false, true], "fast-retx then rto trigger");
+        assert_eq!(ends, 2, "both recovery spans closed");
     }
 
     #[test]

@@ -29,10 +29,13 @@ use ms_dcsim::link::Pacer;
 use ms_dcsim::packet::{NodeId, PacketKind};
 use ms_dcsim::switch::MinuteBin;
 use ms_dcsim::{
-    Bps, Bytes, Direction, EventQueue, FlowId, Host, Link, Ns, Packet, RackConfig,
+    Bps, Bytes, Direction, EngineProfile, EventQueue, FlowId, Host, Link, Ns, Packet, RackConfig,
     SharedBufferSwitch, SimRng,
 };
-use ms_telemetry::{PerfettoMeta, SharedTelemetry, Telemetry, TelemetryConfig, TraceEvent};
+use ms_telemetry::{
+    DropCause, DropForensic, DropReason, PerfettoMeta, SharedTelemetry, Telemetry, TelemetryConfig,
+    TraceEvent,
+};
 use ms_transport::{CcAlgorithm, Receiver, Sender, SenderConfig};
 use std::collections::BTreeMap;
 
@@ -175,6 +178,51 @@ enum Ev {
     AgentCollect { server: usize },
 }
 
+/// Fixed `(component, event)` kind table of the engine profiler; indices
+/// must match [`ev_kind`].
+const EV_KINDS: &[(&str, &str)] = &[
+    ("gen", "Gen"),
+    ("gen", "StartFlow"),
+    ("switch", "TorArrive"),
+    ("switch", "TorDrain"),
+    ("host", "HostDeliver"),
+    ("transport", "SourceDeliver"),
+    ("transport", "SenderTimer"),
+    ("transport", "ReceiverTimer"),
+    ("mcast", "McastSend"),
+    ("host", "Chatter"),
+    ("host", "GroFlush"),
+    ("switch", "AlphaTune"),
+    ("fabric", "FabricArrive"),
+    ("fabric", "FabricDrain"),
+    ("sampler", "EnableSamplers"),
+    ("sampler", "AgentEnable"),
+    ("sampler", "AgentCollect"),
+];
+
+/// The profiler kind id of an event (index into [`EV_KINDS`]).
+fn ev_kind(ev: &Ev) -> usize {
+    match ev {
+        Ev::Gen { .. } => 0,
+        Ev::StartFlow { .. } => 1,
+        Ev::TorArrive { .. } => 2,
+        Ev::TorDrain { .. } => 3,
+        Ev::HostDeliver { .. } => 4,
+        Ev::SourceDeliver { .. } => 5,
+        Ev::SenderTimer { .. } => 6,
+        Ev::ReceiverTimer { .. } => 7,
+        Ev::McastSend { .. } => 8,
+        Ev::Chatter { .. } => 9,
+        Ev::GroFlush { .. } => 10,
+        Ev::AlphaTune => 11,
+        Ev::FabricArrive { .. } => 12,
+        Ev::FabricDrain => 13,
+        Ev::EnableSamplers => 14,
+        Ev::AgentEnable { .. } => 15,
+        Ev::AgentCollect { .. } => 16,
+    }
+}
+
 #[derive(Debug)]
 struct FlowState {
     sender: Sender,
@@ -229,6 +277,14 @@ pub struct RackSim {
     pcap: Option<ms_dcsim::pcap::PcapWriter<Box<dyn std::io::Write>>>,
     /// Optional telemetry hub shared with the switch, filters, and senders.
     telemetry: Option<SharedTelemetry>,
+    /// Deterministic engine profiler: per-event-kind dispatch counters
+    /// (always on — two slice stores per event) plus wall time once a
+    /// clock is injected via [`RackSim::set_profile_clock`].
+    profile: EngineProfile,
+    /// Whether the dispatch loop runs its profiler bracket. On by
+    /// default; only the hook-overhead bench turns it off (see
+    /// [`RackSim::set_profiler_enabled`]).
+    profile_enabled: bool,
 }
 
 /// The §4.1 user-space agent for one host: schedules periodic runs with
@@ -324,6 +380,8 @@ impl RackSim {
             agents: (0..s).map(|_| None).collect(),
             pcap: None,
             telemetry: None,
+            profile: EngineProfile::new(EV_KINDS),
+            profile_enabled: true,
             cfg,
         };
         if let Some(period) = sim.cfg.alpha_tune_period {
@@ -535,6 +593,7 @@ impl RackSim {
         }
         for state in self.flows.values_mut() {
             state.sender.set_telemetry(hub.clone());
+            state.receiver.set_telemetry(hub.clone());
         }
         self.telemetry = Some(hub.clone());
         hub
@@ -543,6 +602,45 @@ impl RackSim {
     /// The attached telemetry hub, if any.
     pub fn telemetry(&self) -> Option<&SharedTelemetry> {
         self.telemetry.as_ref()
+    }
+
+    /// The engine profiler. Dispatch counters are a pure function of the
+    /// event stream (byte-identical per seed); the wall columns stay zero
+    /// unless a clock was injected via [`RackSim::set_profile_clock`].
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    /// Injects a wall-clock source (monotonic nanoseconds) into the
+    /// engine profiler. The sim crates themselves never read time —
+    /// call this only from relaxed crates (bench, examples).
+    pub fn set_profile_clock(&mut self, clock: fn() -> u64) {
+        self.profile.set_clock(clock);
+    }
+
+    /// Switches the dispatch loop's profiler bracket on (the default)
+    /// or off. Off selects a monomorphized loop with no per-event
+    /// profiler work at all — the denominator the hook-overhead bench
+    /// (`incast_loss --profile`) measures against. Dynamics are
+    /// unaffected either way; off merely leaves the counters at zero.
+    pub fn set_profiler_enabled(&mut self, enabled: bool) {
+        self.profile_enabled = enabled;
+    }
+
+    /// Per-cause drop-forensic counts `[self-burst, cross-contention,
+    /// fabric-transient]`; all zeros when forensics capture is off.
+    pub fn forensic_counts(&self) -> [u64; 3] {
+        match &self.telemetry {
+            Some(hub) => {
+                let tr = hub.borrow();
+                [
+                    tr.forensics.count(DropCause::SelfBurst),
+                    tr.forensics.count(DropCause::CrossContention),
+                    tr.forensics.count(DropCause::FabricTransient),
+                ]
+            }
+            None => [0; 3],
+        }
     }
 
     /// Snapshots end-of-run aggregates into the telemetry metrics registry
@@ -554,6 +652,13 @@ impl RackSim {
             return;
         };
         let mut hub = hub.borrow_mut();
+        let events_dropped = hub.bus.overwritten();
+        let forensics = [
+            hub.forensics.count(DropCause::SelfBurst),
+            hub.forensics.count(DropCause::CrossContention),
+            hub.forensics.count(DropCause::FabricTransient),
+            hub.forensics.shed(),
+        ];
         let m = &mut hub.metrics;
         let events = self.q.events_processed();
         let now_ns = self.q.now().as_nanos();
@@ -572,6 +677,11 @@ impl RackSim {
             ("sim.flows_started", self.flows_started),
             ("sim.conns_completed", self.conns_completed),
             ("sim.fabric_drops", self.fabric_drops()),
+            ("trace.events_dropped", events_dropped),
+            ("forensics.self_burst", forensics[0]),
+            ("forensics.cross_contention", forensics[1]),
+            ("forensics.fabric_transient", forensics[2]),
+            ("forensics.shed", forensics[3]),
         ] {
             let id = m.gauge(name);
             m.set_gauge(id, value);
@@ -660,10 +770,91 @@ impl RackSim {
         }
     }
 
+    /// Sentinel queue id for drops that happen before the ToR (the fabric
+    /// hop's shared FIFO); real ToR queues are `< num_servers`.
+    const FABRIC_QUEUE: u32 = 0xFFFF;
+
+    /// Records an off-switch drop (fabric FIFO overflow, NIC fault
+    /// injection): a `PacketDrop` trace event, plus — when forensics
+    /// capture is on — a `FabricTransient`-classified forensic. These
+    /// drops happen outside any ToR buffer contention, which is exactly
+    /// the §8 "not explained by rack-local bursts" residue.
+    fn note_offswitch_drop(
+        &mut self,
+        queue: u32,
+        pkt: &Packet,
+        reason: DropReason,
+        occupancy: u64,
+        limit: u64,
+        now: Ns,
+    ) {
+        let Some(hub) = &self.telemetry else {
+            return;
+        };
+        let mut tr = hub.borrow_mut();
+        let ns = now.as_nanos();
+        if tr.forensics.capacity() > 0 {
+            // Pack the preceding bus events *before* this drop lands.
+            let mut recent = 0u64;
+            for i in 0..8 {
+                match tr.bus.recent(i) {
+                    Some(ev) => recent |= u64::from(ev.kind_code()) << (8 * i),
+                    None => break,
+                }
+            }
+            tr.bus.record(TraceEvent::PacketDrop {
+                ns,
+                queue,
+                size: pkt.size,
+                reason,
+            });
+            tr.bus.record(TraceEvent::ForensicDrop {
+                ns,
+                queue,
+                flow: pkt.flow.0,
+                cause: DropCause::FabricTransient,
+            });
+            tr.forensics.record(DropForensic {
+                ns,
+                queue,
+                flow: pkt.flow.0,
+                size: pkt.size,
+                reason,
+                cause: DropCause::FabricTransient,
+                queue_occupancy: occupancy,
+                shared_occupancy: occupancy,
+                dt_threshold: limit,
+                burst_len: 0,
+                competing_flows: 0,
+                self_bytes: 0,
+                other_bytes: 0,
+                ecn_on: false,
+                recent_kinds: recent,
+            });
+        } else {
+            tr.bus.record(TraceEvent::PacketDrop {
+                ns,
+                queue,
+                size: pkt.size,
+                reason,
+            });
+        }
+    }
+
     fn handle_fabric_arrive(&mut self, pkt: Packet, now: Ns) {
         let fabric = self.fabric.as_mut().expect("fabric event without fabric");
         if fabric.occupancy + Bytes(u64::from(pkt.size)) > fabric.cfg.buffer_bytes {
             fabric.drops += 1;
+            let occupancy = fabric.occupancy.as_u64();
+            let limit = fabric.cfg.buffer_bytes.as_u64();
+            self.note_offswitch_drop(
+                Self::FABRIC_QUEUE,
+                &pkt,
+                DropReason::SharedBufferFull,
+                occupancy,
+                limit,
+                now,
+            );
             return;
         }
         fabric.occupancy += Bytes(u64::from(pkt.size));
@@ -760,7 +951,10 @@ impl RackSim {
             }
             sender.push(per_conn);
             sender.close();
-            let receiver = Receiver::new(flow, dst_node, src_node);
+            let mut receiver = Receiver::new(flow, dst_node, src_node);
+            if let Some(hub) = &self.telemetry {
+                receiver.set_telemetry(hub.clone());
+            }
             let pacer = spec.paced_bps.or(self.default_pacing).map(|rate| {
                 Pacer::new(
                     Bps((rate.as_u64() / u64::from(conns)).max(1_000_000)),
@@ -854,15 +1048,15 @@ impl RackSim {
         // (and thus the tc filter) ever sees it.
         if let Some(inj) = self.nic_drops.get_mut(&server) {
             if inj.should_drop() {
-                if let Some(hub) = &self.telemetry {
-                    hub.borrow_mut().bus.record(TraceEvent::PacketDrop {
-                        ns: now.as_nanos(),
-                        // simlint: allow(cast-truncation): server indices are < rack size
-                        queue: server as u32,
-                        size: pkt.size,
-                        reason: ms_telemetry::DropReason::FaultInjected,
-                    });
-                }
+                self.note_offswitch_drop(
+                    // simlint: allow(cast-truncation): server indices are < rack size
+                    server as u32,
+                    &pkt,
+                    DropReason::FaultInjected,
+                    0,
+                    0,
+                    now,
+                );
                 return;
             }
         }
@@ -1102,8 +1296,36 @@ impl RackSim {
 
     /// Runs the simulation until `deadline` (events past it stay queued).
     pub fn run_until(&mut self, deadline: Ns) {
+        match (self.profile_enabled, self.profile.has_clock()) {
+            (false, _) => self.run_until_inner::<false, false>(deadline),
+            (true, false) => self.run_until_inner::<true, false>(deadline),
+            (true, true) => self.run_until_inner::<true, true>(deadline),
+        }
+    }
+
+    /// The dispatch loop, monomorphized over the profiler bracket: the
+    /// `PROFILED = false` variant compiles to the bare pre-profiler
+    /// loop, and the usual `CLOCKED = false` variant pays one counter
+    /// increment per event — no clock match, no wall column write. One
+    /// source for all three: the bench's hook-overhead measurement
+    /// (`incast_loss --profile`) times the variants against each other,
+    /// and hand-copied loops would drift.
+    fn run_until_inner<const PROFILED: bool, const CLOCKED: bool>(&mut self, deadline: Ns) {
         while let Some((now, ev)) = self.q.pop_until(deadline) {
-            self.step(now, ev);
+            if PROFILED {
+                let kind = ev_kind(&ev);
+                if CLOCKED {
+                    let t0 = self.profile.clock_now();
+                    self.step(now, ev);
+                    let wall = self.profile.clock_now().saturating_sub(t0);
+                    self.profile.record_dispatch(kind, wall);
+                } else {
+                    self.step(now, ev);
+                    self.profile.record_count(kind);
+                }
+            } else {
+                self.step(now, ev);
+            }
             if self.q.events_processed() > self.event_budget {
                 panic!(
                     "event budget exceeded at {now} ({} events) — runaway workload?",
@@ -1556,6 +1778,98 @@ mod tests {
         // per quadrant the tuned alpha differs from the default 1.0 —
         // verified indirectly by completion without excess drops.
         assert!(report.conns_completed > 0);
+    }
+
+    #[test]
+    fn forensics_capture_one_record_per_switch_drop() {
+        let mut b = quick(30);
+        b.forensics()
+            .flow_at(Ns::from_millis(30), incast_spec(1, 200, 30_000_000));
+        let mut sim = b.build();
+        let report = sim.run_sync_window(0);
+        assert!(report.switch_discard_bytes > 0, "incast must drop");
+        let hub = sim.telemetry().expect("forensics attaches a hub").borrow();
+        assert_eq!(hub.forensics.shed(), 0, "store sized for the run");
+        let total_size: u64 = hub
+            .forensics
+            .records()
+            .iter()
+            .map(|f| u64::from(f.size))
+            .sum();
+        assert_eq!(
+            total_size, report.switch_discard_bytes,
+            "every dropped byte is accounted to exactly one forensic"
+        );
+        // A many-flow incast is cross-flow contention, not self-burst.
+        let [self_burst, cross, fabric] = sim.forensic_counts();
+        assert!(cross > self_burst, "incast drops classify as contention");
+        assert_eq!(fabric, 0, "no off-switch drops in this scenario");
+    }
+
+    #[test]
+    fn nic_and_fabric_drops_classify_as_fabric_transient() {
+        let mut b = quick(31);
+        let mut spec = incast_spec(3, 2, 3_000_000);
+        spec.paced_bps = Some(Bps(2_000_000_000));
+        b.forensics()
+            .flow_at(Ns::from_millis(25), spec)
+            .nic_drops(3, 99, 0.02);
+        let mut sim = b.build();
+        let report = sim.run_sync_window(0);
+        assert_eq!(report.switch_discard_bytes, 0, "switch is innocent");
+        let [self_burst, cross, fabric] = sim.forensic_counts();
+        assert_eq!((self_burst, cross), (0, 0));
+        assert!(fabric > 0, "NIC fault drops must be captured");
+    }
+
+    #[test]
+    fn forensics_and_profile_are_deterministic_per_seed() {
+        let run = || {
+            let mut b = quick(32);
+            b.forensics()
+                .flow_at(Ns::from_millis(30), incast_spec(1, 100, 15_000_000));
+            let mut sim = b.build();
+            sim.run_sync_window(0);
+            let hub = sim.telemetry().unwrap().borrow();
+            let first = hub.forensics.records().first().copied();
+            (
+                sim.forensic_counts(),
+                hub.forensics.len(),
+                first.map(|f| (f.ns, f.queue, f.flow, f.recent_kinds)),
+                sim.profile().counts_json(),
+                sim.profile().collapsed_stacks(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn profiler_counts_cover_every_dispatched_event() {
+        let mut b = quick(33);
+        b.flow_at(Ns::from_millis(30), incast_spec(2, 10, 2_000_000));
+        let mut sim = b.build();
+        let report = sim.run_sync_window(0);
+        assert_eq!(
+            sim.profile().total_dispatches(),
+            report.events,
+            "every event dispatch is counted exactly once"
+        );
+        assert_eq!(sim.profile().total_wall_ns(), 0, "no clock injected");
+        let stacks = sim.profile().collapsed_stacks();
+        assert!(stacks.contains("engine;switch;TorArrive "));
+        assert!(stacks.contains("engine;host;HostDeliver "));
+    }
+
+    #[test]
+    fn forensics_off_leaves_the_store_empty() {
+        let mut b = quick(34);
+        b.telemetry(TelemetryConfig::default())
+            .flow_at(Ns::from_millis(30), incast_spec(1, 200, 30_000_000));
+        let mut sim = b.build();
+        let report = sim.run_sync_window(0);
+        assert!(report.switch_discard_bytes > 0);
+        let hub = sim.telemetry().unwrap().borrow();
+        assert_eq!(hub.forensics.total(), 0, "capture requires forensics()");
     }
 
     #[test]

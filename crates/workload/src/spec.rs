@@ -191,6 +191,9 @@ pub struct ScenarioSpec {
     pub probe_queues: Vec<usize>,
     /// User-space collection agents.
     pub agents: Vec<AgentSpec>,
+    /// Capture a classified [`ms_telemetry::DropForensic`] for every drop
+    /// (attaches a telemetry hub even without `telemetry_ring`).
+    pub forensics: bool,
 }
 
 const SPEC_MAGIC: &[u8; 4] = b"MSS1";
@@ -225,6 +228,7 @@ impl ScenarioSpec {
             mcast_bursts: Vec::new(),
             probe_queues: Vec::new(),
             agents: Vec::new(),
+            forensics: false,
         }
     }
 
@@ -309,9 +313,17 @@ impl ScenarioSpec {
         if let Some(rate) = self.fabric_smoothing_bps {
             sim.set_fabric_smoothing(rate);
         }
-        if let Some(ring) = self.telemetry_ring {
+        if self.telemetry_ring.is_some() || self.forensics {
+            let ring = self
+                .telemetry_ring
+                .unwrap_or(TelemetryConfig::default().ring_capacity);
             sim.attach_telemetry(TelemetryConfig {
                 ring_capacity: ring,
+                forensic_capacity: if self.forensics {
+                    TelemetryConfig::DEFAULT_FORENSIC_CAPACITY
+                } else {
+                    0
+                },
             });
         }
         for f in &self.flows {
@@ -457,6 +469,7 @@ impl ScenarioSpec {
                 w.bool(r.count_flows);
             }
         }
+        w.bool(self.forensics);
         w.finish()
     }
 
@@ -600,6 +613,7 @@ impl ScenarioSpec {
                 config: SchedulerConfig { period, rotation },
             });
         }
+        let forensics = r.bool()?;
         Ok(ScenarioSpec {
             num_servers,
             seed,
@@ -624,6 +638,7 @@ impl ScenarioSpec {
             mcast_bursts,
             probe_queues,
             agents,
+            forensics,
         })
     }
 }
@@ -816,6 +831,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Captures a classified drop forensic for every switch/fabric/NIC
+    /// drop (see [`ms_telemetry::ForensicStore`]).
+    pub fn forensics(&mut self) -> &mut Self {
+        self.spec.forensics = true;
+        self
+    }
+
     /// Schedules a flow group at `at`.
     pub fn flow_at(&mut self, at: Ns, flow: FlowSpec) -> &mut Self {
         self.spec.flows.push(ScheduledFlow { at, flow });
@@ -925,6 +947,7 @@ mod tests {
             .alpha_tune_period(Ns::from_millis(5))
             .fabric_smoothing(Bps(11_000_000_000))
             .telemetry(TelemetryConfig::default())
+            .forensics()
             .flow_at(
                 Ns::from_millis(30),
                 FlowSpec {

@@ -11,6 +11,9 @@
 //! attached for the whole window and a Chrome/Perfetto trace of every
 //! queue's occupancy, drop, and ECN activity is written to `PATH` (open it
 //! at `ui.perfetto.dev`), along with a top-N text summary on stdout.
+//! With `--forensics`, the drop-forensics blackbox rides along and the
+//! §8 loss attribution (self-burst vs cross-flow contention vs fabric
+//! transients) is printed after the run.
 
 use ms_analysis::contention::queue_share;
 use ms_workload::placement::{build_region, RackClass, RegionKind};
@@ -39,12 +42,30 @@ fn main() {
     );
 
     let cfg = ScenarioConfig::default(); // 500 x 1ms window
+    let want_forensics = args.iter().any(|a| a == "--forensics");
     let mut scenario = rack_spec_for(spec, &region.diurnal, /* busy hour */ 7, 0, &cfg);
     if trace_path.is_some() {
         scenario.telemetry_ring = Some(ms_telemetry::TelemetryConfig::default().ring_capacity);
     }
+    if want_forensics {
+        scenario.forensics = true;
+    }
     let mut sim = scenario.build();
     let report = sim.run_sync_window(spec.rack_id);
+    if want_forensics {
+        let [self_burst, cross, fabric] = sim.forensic_counts();
+        let total = self_burst + cross + fabric;
+        println!("\nloss attribution (S8): {total} classified drops");
+        if total > 0 {
+            let pct = |n: u64| 100.0 * n as f64 / total as f64;
+            println!(
+                "  self-burst       : {self_burst:>6} ({:.1}%)",
+                pct(self_burst)
+            );
+            println!("  cross-contention : {cross:>6} ({:.1}%)", pct(cross));
+            println!("  fabric-transient : {fabric:>6} ({:.1}%)", pct(fabric));
+        }
+    }
     if let Some(path) = &trace_path {
         let file = std::fs::File::create(path).expect("create trace file");
         let mut w = std::io::BufWriter::new(file);

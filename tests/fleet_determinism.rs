@@ -23,6 +23,7 @@ fn small_grid() -> FleetGrid {
         ccs: vec![CcAlgorithm::Dctcp],
         connections: 12,
         total_bytes: 600_000,
+        forensics: true,
     }
 }
 

@@ -72,6 +72,23 @@ fn sample_cell_record() -> Vec<u8> {
             retx_bytes: 2920,
         }],
         series: vec![sample_series(5)],
+        forensics: vec![ms_telemetry::DropForensic {
+            ns: 17_500_000,
+            queue: 2,
+            flow: 9,
+            size: 1500,
+            reason: ms_telemetry::DropReason::DynamicThresholdReject,
+            cause: ms_telemetry::DropCause::CrossContention,
+            queue_occupancy: 90_000,
+            shared_occupancy: 240_000,
+            dt_threshold: 88_000,
+            burst_len: 6,
+            competing_flows: 3,
+            self_bytes: 9_000,
+            other_bytes: 27_000,
+            ecn_on: true,
+            recent_kinds: 0x0101_0404_0303_0101,
+        }],
     }
     .encode()
 }

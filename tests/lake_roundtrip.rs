@@ -34,6 +34,7 @@ fn small_grid() -> FleetGrid {
         ccs: vec![CcAlgorithm::Dctcp],
         connections: 12,
         total_bytes: 600_000,
+        forensics: true,
     }
 }
 
@@ -99,6 +100,72 @@ fn jobs_1_and_jobs_4_lakes_are_byte_identical() {
     );
     let _ = std::fs::remove_dir_all(&dir1);
     let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn forensics_table_attributes_every_dropped_byte() {
+    let dir = temp_dir("forensics");
+    // A harder incast than small_grid(): enough synchronized senders at
+    // a tight DT α that the shared buffer must discard.
+    let grid = FleetGrid {
+        alphas: vec![0.25, 0.5],
+        connections: 160,
+        total_bytes: 20_000_000,
+        ..small_grid()
+    };
+    let cells = grid.cells();
+    let writer = LakeWriter::create(&dir, small_lake_cfg()).unwrap();
+    run_fleet_to_lake(&cells, &cfg(2), &writer).unwrap();
+    let lake = Lake::open(&dir).unwrap();
+
+    // Per-cell dropped bytes according to the forensics blackbox.
+    let cell_col = TableKind::Forensics.column("cell").unwrap();
+    let size_col = TableKind::Forensics.column("size").unwrap();
+    let mut scan = TableScan::new(
+        &lake,
+        TableKind::Forensics,
+        &[cell_col, size_col],
+        Vec::new(),
+    )
+    .unwrap();
+    let mut batch = Batch::new();
+    let mut forensic_bytes = [0u64; 8];
+    let mut forensic_rows = 0u64;
+    while scan.next_batch(&mut batch).unwrap() {
+        for r in 0..batch.rows {
+            forensic_bytes[batch.value(0, r) as usize] += batch.value(1, r);
+            forensic_rows += 1;
+        }
+    }
+    assert!(forensic_rows > 0, "the incast grid must drop packets");
+
+    // Ground truth: the outcomes table's switch discard counter. The
+    // grid has no fabric tier and no NIC faults, so every drop is an
+    // on-switch drop and the blackbox must account for every byte.
+    let oc_cell = TableKind::Outcomes.column("cell").unwrap();
+    let oc_discard = TableKind::Outcomes.column("switch_discard_bytes").unwrap();
+    let mut scan = TableScan::new(
+        &lake,
+        TableKind::Outcomes,
+        &[oc_cell, oc_discard],
+        Vec::new(),
+    )
+    .unwrap();
+    let mut discard_bytes = [0u64; 8];
+    while scan.next_batch(&mut batch).unwrap() {
+        for r in 0..batch.rows {
+            discard_bytes[batch.value(0, r) as usize] = batch.value(1, r);
+        }
+    }
+    assert_eq!(forensic_bytes, discard_bytes);
+
+    // The §8 attribution histogram folds the same rows: totals match,
+    // and nothing classifies as fabric-transient in a rack-only grid.
+    let attr = ms_lake::lake_loss_attribution(&lake).unwrap();
+    let attr_total: u64 = attr.iter().map(ms_lake::CellAttribution::total).sum();
+    assert_eq!(attr_total, forensic_rows);
+    assert!(attr.iter().all(|a| a.fabric_transient == 0));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -99,10 +99,18 @@ fn trace_events_observe_the_contended_incast() {
     let mut sampler_closes = 0u64;
     let mut last_ns = 0u64;
     for ev in hub.bus.iter() {
-        if !matches!(ev, TraceEvent::SamplerWindowClose { .. }) {
-            // Sim-time-stamped events are recorded in order. (Sampler
-            // events carry the host's *local* clock — NTP skew and all —
-            // so they may legitimately sit a few µs off the global order.)
+        if !matches!(
+            ev,
+            TraceEvent::SamplerWindowClose { .. }
+                | TraceEvent::SamplerWindowOpen { .. }
+                | TraceEvent::FlowSpanStart { .. }
+                | TraceEvent::BurstSpanStart { .. }
+        ) {
+            // Sim-time-stamped events are recorded in order, with two
+            // exceptions that carry a *local* clock: sampler window
+            // edges (NTP skew, start latched at the first post-start
+            // sample) and the first span of each connection (incast
+            // peers get a per-machine nanosecond stagger at creation).
             assert!(ev.ns() >= last_ns, "trace must be time-ordered");
             last_ns = ev.ns();
         }
@@ -128,6 +136,116 @@ fn trace_events_observe_the_contended_incast() {
     let _ = sampler_closes; // presence depends on post-window traffic
                             // Metrics were finalized by run_sync_window.
     assert!(!hub.metrics.is_empty(), "finalize_metrics did not run");
+}
+
+#[test]
+fn span_and_forensic_traces_are_byte_identical_per_seed() {
+    // Same contract as the plain trace test, but with the forensics
+    // blackbox on so the export carries flow/burst/recovery span events
+    // and forensic instants too.
+    let run = |seed: u64| {
+        let mut scenario = ScenarioBuilder::new(2, seed);
+        scenario
+            .buckets(150)
+            .warmup(Ns::from_millis(10))
+            .telemetry(TelemetryConfig::default())
+            .forensics()
+            .flow_at(Ns::from_millis(20), incast(0, 300, 30_000_000));
+        let mut sim = scenario.build();
+        sim.run_sync_window(0);
+        let mut trace = Vec::new();
+        sim.write_perfetto_trace(&mut trace).expect("write trace");
+        (trace, sim.trace_summary(5), sim.forensic_counts())
+    };
+    let (trace_a, summary_a, counts_a) = run(7);
+    let (trace_b, summary_b, counts_b) = run(7);
+    assert_eq!(trace_a, trace_b, "span trace must be byte-identical");
+    assert_eq!(summary_a, summary_b);
+    assert_eq!(counts_a, counts_b);
+
+    let text = String::from_utf8(trace_a).expect("utf-8");
+    validate_json(&text).expect("span trace must be valid JSON");
+    assert!(text.contains("\"name\":\"flow\""), "no flow spans exported");
+    assert!(
+        text.contains("\"name\":\"burst\""),
+        "no burst spans exported"
+    );
+    assert!(text.contains("\"ph\":\"B\""), "no duration-begin events");
+    assert!(text.contains("\"ph\":\"E\""), "no duration-end events");
+    assert!(
+        text.contains("forensic:cross-contention") || text.contains("forensic:self-burst"),
+        "no forensic instants exported"
+    );
+    assert!(
+        summary_a.contains("flow spans:"),
+        "summary lacks the FCT breakdown line: {summary_a}"
+    );
+
+    let (trace_c, ..) = run(8);
+    assert_ne!(String::from_utf8(trace_c).unwrap(), text);
+}
+
+#[test]
+fn every_drop_yields_exactly_one_classified_forensic() {
+    let mut scenario = ScenarioBuilder::new(2, 7);
+    scenario
+        .buckets(150)
+        .warmup(Ns::from_millis(10))
+        .forensics()
+        .flow_at(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    let mut sim = scenario.build();
+    let report = sim.run_sync_window(0);
+    assert!(report.switch_discard_bytes > 0, "incast must drop");
+
+    let hub = sim.telemetry().expect("forensics attaches a hub").borrow();
+    assert_eq!(hub.forensics.shed(), 0, "store must hold the whole run");
+    let attributed: u64 = hub
+        .forensics
+        .records()
+        .iter()
+        .map(|f| u64::from(f.size))
+        .sum();
+    assert_eq!(
+        attributed, report.switch_discard_bytes,
+        "every dropped byte must land in exactly one forensic"
+    );
+    // Every record got a definite cause and a populated context.
+    for f in hub.forensics.records() {
+        assert!(f.dt_threshold > 0, "DT threshold not captured");
+        assert!(f.queue_occupancy > 0, "occupancy not captured");
+        assert!(f.recent_kinds != 0, "event ring not captured");
+    }
+}
+
+#[test]
+fn trace_bus_overflow_is_counted_in_metrics_exports() {
+    // A ring far smaller than the event volume: overwrites must show up
+    // as the trace.events_dropped gauge, and recorded == len + dropped.
+    let mut scenario = ScenarioBuilder::new(2, 7);
+    scenario
+        .buckets(150)
+        .warmup(Ns::from_millis(10))
+        .telemetry(TelemetryConfig {
+            ring_capacity: 64,
+            ..TelemetryConfig::default()
+        })
+        .flow_at(Ns::from_millis(20), incast(0, 300, 30_000_000));
+    let mut sim = scenario.build();
+    sim.run_sync_window(0);
+    let hub = sim.telemetry().expect("telemetry attached").borrow();
+    let dropped = hub.bus.overwritten();
+    assert!(dropped > 0, "a 64-slot ring must overflow this run");
+    assert_eq!(hub.bus.recorded(), hub.bus.len() as u64 + dropped);
+    let csv = hub.metrics.to_csv();
+    let line = csv
+        .lines()
+        .find(|l| l.starts_with("gauge,trace.events_dropped,"))
+        .expect("gauge missing from CSV export");
+    assert_eq!(line, format!("gauge,trace.events_dropped,value,{dropped}"));
+    assert!(
+        hub.metrics.to_json().contains("\"trace.events_dropped\""),
+        "gauge missing from JSON export"
+    );
 }
 
 #[test]
