@@ -87,7 +87,7 @@ cargo run -q --release -p ms-lake --bin lake -- query \
 cargo run -q --release -p ms-lake --bin lake -- query \
     --dir "$LAKE_TMP/j2" --report attribution --out "$LAKE_TMP/attr_j2.csv"
 diff "$LAKE_TMP/attr_j1.csv" "$LAKE_TMP/attr_j2.csv"
-grep -q '^cell,self_burst,cross_contention,fabric_transient,total$' "$LAKE_TMP/attr_j1.csv"
+grep -q '^cell,policy,self_burst,cross_contention,fabric_transient,total$' "$LAKE_TMP/attr_j1.csv"
 # The grid is sized to actually drop: the histogram must have rows.
 test "$(wc -l < "$LAKE_TMP/attr_j1.csv")" -gt 1
 # The lake's out-of-core outcomes report must equal the in-memory
@@ -100,6 +100,29 @@ cargo run -q --release -p ms-lake --bin lake -- query \
 diff "$LAKE_TMP/report.csv" "$LAKE_TMP/lake_outcomes.csv"
 # Full verification pass over every segment checksum.
 cargo run -q --release -p ms-lake --bin lake -- stat --dir "$LAKE_TMP/j1" > /dev/null
+echo "==> buffer-policy sweep smoke (--policies dt,fb, jobs-count byte-identity)"
+# A two-policy sweep of one lossy base cell: the per-policy attribution
+# report must come back byte-identical for --jobs 1 and --jobs 2, and
+# the policy-compare rollup must key one row per swept policy.
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 1 --buckets 80 --conns 160 --bytes 20000000 --quiet \
+    --seeds 1 --alphas 0.25 --placements single --policies dt,fb \
+    --forensics --out-lake "$LAKE_TMP/p1" > /dev/null
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 2 --buckets 80 --conns 160 --bytes 20000000 --quiet \
+    --seeds 1 --alphas 0.25 --placements single --policies dt,fb \
+    --forensics --out-lake "$LAKE_TMP/p2" > /dev/null
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/p1" --report attribution --out "$LAKE_TMP/pattr_j1.csv"
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/p2" --report attribution --out "$LAKE_TMP/pattr_j2.csv"
+diff "$LAKE_TMP/pattr_j1.csv" "$LAKE_TMP/pattr_j2.csv"
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/p1" --report policy-compare --out "$LAKE_TMP/pcmp.csv"
+grep -q '^policy,cells,' "$LAKE_TMP/pcmp.csv"
+grep -q '^dt,1,' "$LAKE_TMP/pcmp.csv"
+grep -q '^fb,1,' "$LAKE_TMP/pcmp.csv"
+
 # 24-hour diurnal corpus: the columnar encoding must beat raw column
 # bytes by >= 4x; BENCH_lake.json records the ratio and scan rate.
 cargo run -q --release -p ms-lake --bin lake -- bench \

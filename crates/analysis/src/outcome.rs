@@ -14,6 +14,7 @@
 
 use crate::classify::RunAnalysis;
 use millisampler::codec::{DecodeError, WireReader, WireWriter};
+use ms_dcsim::PolicyKind;
 
 /// Everything one sweep cell reports, flattened to scalars.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,9 @@ pub struct RunOutcome {
     pub active_servers: u32,
     /// Servers with at least one bursty sample.
     pub bursty_servers: u32,
+    /// The buffer-sharing policy the cell's ToR ran (defaults to DT —
+    /// stamp from the scenario spec when sweeping other policies).
+    pub policy: PolicyKind,
 }
 
 const OUTCOME_MAGIC: &[u8; 4] = b"MSO1";
@@ -81,6 +85,7 @@ impl RunOutcome {
             active_servers: analysis.active_servers as u32,
             // simlint: allow(cast-truncation): server counts are rack-sized
             bursty_servers: analysis.bursty_servers as u32,
+            policy: PolicyKind::DtAlpha,
         }
     }
 
@@ -102,6 +107,7 @@ impl RunOutcome {
             contention_max: 0,
             active_servers: 0,
             bursty_servers: 0,
+            policy: PolicyKind::DtAlpha,
         }
     }
 
@@ -125,6 +131,7 @@ impl RunOutcome {
         w.u64(u64::from(self.contention_max));
         w.u64(u64::from(self.active_servers));
         w.u64(u64::from(self.bursty_servers));
+        w.u64(self.policy.code());
         w.finish()
     }
 
@@ -152,6 +159,7 @@ impl RunOutcome {
             active_servers: r.u64()? as u32,
             // simlint: allow(cast-truncation): encoded from u32 fields
             bursty_servers: r.u64()? as u32,
+            policy: PolicyKind::from_code(r.u64()?).ok_or(DecodeError::Overlong)?,
         })
     }
 
@@ -159,13 +167,13 @@ impl RunOutcome {
     pub const CSV_HEADER: &'static str = "switch_ingress_bytes,switch_discard_bytes,\
 flows_started,conns_completed,events,total_in_bytes,total_retx_bytes,bursts,\
 contended_bursts,lossy_bursts,contention_avg,contention_p90,contention_max,\
-active_servers,bursty_servers";
+active_servers,bursty_servers,policy";
 
     /// One deterministic CSV row (floats at fixed precision, so the same
     /// outcome always prints the same bytes).
     pub fn csv_cells(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{}",
             self.switch_ingress_bytes,
             self.switch_discard_bytes,
             self.flows_started,
@@ -180,7 +188,8 @@ active_servers,bursty_servers";
             self.contention_p90,
             self.contention_max,
             self.active_servers,
-            self.bursty_servers
+            self.bursty_servers,
+            self.policy.label()
         )
     }
 
@@ -215,6 +224,7 @@ mod tests {
             contention_max: 5,
             active_servers: 8,
             bursty_servers: 6,
+            policy: PolicyKind::FlexibleBounds,
         }
     }
 
@@ -239,7 +249,18 @@ mod tests {
         let header_cols = RunOutcome::CSV_HEADER.split(',').count();
         let row_cols = sample().csv_cells().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 15);
+        assert_eq!(header_cols, 16);
+    }
+
+    #[test]
+    fn every_policy_kind_survives_the_codec() {
+        for kind in PolicyKind::ALL {
+            let mut o = sample();
+            o.policy = kind;
+            let back = RunOutcome::decode(&o.encode()).unwrap();
+            assert_eq!(back.policy, kind);
+            assert!(o.csv_cells().ends_with(kind.label()));
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! 5. **Sketch width** — estimate error vs. true flow counts for 64/128/
 //!    256-bit direct bitmaps and the multiresolution variant.
 
-use ms_dcsim::{Bps, Bytes, Ns, SharingPolicy};
+use ms_dcsim::{Bps, BufferPolicySpec, Bytes, Ns};
 use ms_sketch::{mix64, FlowSketch, MultiresBitmap};
 use ms_transport::CcAlgorithm;
 use ms_workload::{FlowSpec, ScenarioBuilder};
@@ -73,12 +73,23 @@ fn policy_comparison() {
         "policy", "discard_bytes", "completed"
     );
     for (name, policy) in [
-        ("dynamic_threshold", SharingPolicy::DynamicThreshold),
-        ("complete_sharing", SharingPolicy::CompleteSharing),
-        ("static_partition", SharingPolicy::StaticPartition),
+        (
+            "dynamic_threshold",
+            BufferPolicySpec::DtAlpha { alpha: 1.0 },
+        ),
+        ("complete_sharing", BufferPolicySpec::CompleteSharing),
+        ("static_partition", BufferPolicySpec::StaticPartition),
+        ("flexible_bounds", BufferPolicySpec::FlexibleBounds),
+        (
+            "delay_driven",
+            BufferPolicySpec::DelayDriven {
+                target: Ns::from_micros(500),
+                drain: Bps(12_500_000_000),
+            },
+        ),
     ] {
         let mut b = ScenarioBuilder::new(8, 7);
-        b.sharing_policy(policy);
+        b.buffer_policy(policy);
         contended(&mut b);
         let report = b.build().run_sync_window(0);
         println!(

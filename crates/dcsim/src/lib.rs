@@ -13,9 +13,11 @@
 //! * [`packet::Packet`] — segment metadata (no payload bytes are simulated),
 //! * [`link::Link`] — rate + propagation-delay links with serialization,
 //! * [`switch::SharedBufferSwitch`] — a shared-memory ToR switch with
-//!   **Dynamic Threshold** buffer sharing (Choudhury–Hahne), buffer
-//!   quadrants, per-queue dedicated reserves, a static ECN marking
-//!   threshold, and per-queue/1-minute discard counters,
+//!   pluggable buffer sharing ([`policy::BufferPolicy`]: Choudhury–Hahne
+//!   **Dynamic Threshold** by default, plus FB-style flexible bounds and
+//!   BShare-style delay-driven admission), buffer quadrants, per-queue
+//!   dedicated reserves, a static ECN marking threshold, and
+//!   per-queue/1-minute discard counters,
 //! * [`host::Host`] — server model with a multi-queue NIC, RSS-style flow
 //!   steering across simulated CPUs, and a host clock with injectable skew,
 //! * [`fault`] — fault injection (random drop, NIC stalls) in the style of
@@ -39,6 +41,7 @@ pub mod host;
 pub mod link;
 pub mod packet;
 pub mod pcap;
+pub mod policy;
 pub mod profile;
 pub mod rng;
 pub mod switch;
@@ -53,8 +56,12 @@ pub use link::Link;
 pub use ms_telemetry::{DropReason, SharedTelemetry, TraceEvent};
 pub use ms_units::{Bps, Bytes};
 pub use packet::{Direction, EcnCodepoint, FlowId, Packet, PacketKind};
+pub use policy::{
+    ActivePolicy, AdmitDecision, BufferPolicy, BufferPolicySpec, CompleteSharing, DelayDriven,
+    DtAlpha, FlexibleBounds, PolicyKind, QueueCtx, SharedCtx, StaticPartition,
+};
 pub use profile::EngineProfile;
 pub use rng::SimRng;
-pub use switch::{EnqueueOutcome, SharedBufferSwitch, SharingPolicy, SwitchConfig};
+pub use switch::{EnqueueOutcome, SharedBufferSwitch, SwitchConfig};
 pub use time::Ns;
 pub use topology::RackConfig;

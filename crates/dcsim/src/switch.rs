@@ -8,8 +8,9 @@
 //!   port in hardware; here, a configurable map defaulting to
 //!   `queue % quadrants`);
 //! * per queue, a small **dedicated reserve** is always admissible; the rest
-//!   of the quadrant (~3.6 MB) is a **shared pool** governed by the
-//!   Dynamic Threshold (DT) algorithm of Choudhury & Hahne:
+//!   of the quadrant (~3.6 MB) is a **shared pool** governed by a pluggable
+//!   [`crate::policy::BufferPolicy`], defaulting to the Dynamic Threshold
+//!   (DT) algorithm of Choudhury & Hahne the studied fleet runs:
 //!
 //!   > a packet is admitted to queue *q* iff *q*'s shared-pool occupancy is
 //!   > below `T(t) = α · (B_shared − Q_shared(t))`,
@@ -31,6 +32,7 @@
 //! via [`SharedBufferSwitch::dequeue`] when the link goes idle).
 
 use crate::packet::{EcnCodepoint, Packet};
+use crate::policy::{ActivePolicy, BufferPolicySpec, QueueCtx, SharedCtx};
 use crate::time::Ns;
 use ms_telemetry::{DropCause, DropForensic, DropReason, SharedTelemetry, TraceEvent};
 use ms_units::Bytes;
@@ -45,23 +47,6 @@ const ARRIVAL_WINDOW: usize = 32;
 /// `recent_kinds` flight recorder (one kind code per byte of a `u64`).
 const RECENT_KINDS: usize = 8;
 
-/// How the shared pool is apportioned among queues.
-///
-/// The studied fleet runs Dynamic Threshold; the alternatives exist for
-/// the ablation benches motivated by §9/§10 (buffer-sharing algorithm
-/// design is exactly what the paper's measurements are meant to inform).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum SharingPolicy {
-    /// Choudhury–Hahne DT: admit while queue shared usage < α·(free pool).
-    DynamicThreshold,
-    /// No per-queue limit: admit while the pool physically fits the packet
-    /// (one queue can starve all others).
-    CompleteSharing,
-    /// Fixed per-queue cap: shared capacity divided evenly over the
-    /// queues of the quadrant (no statistical multiplexing).
-    StaticPartition,
-}
-
 /// Static configuration of the shared-memory switch.
 #[derive(Debug, Clone)]
 pub struct SwitchConfig {
@@ -73,12 +58,11 @@ pub struct SwitchConfig {
     pub quadrant_bytes: Bytes,
     /// Dedicated reserve per queue, always admissible.
     pub dedicated_per_queue: Bytes,
-    /// The DT α parameter.
-    pub alpha: f64,
     /// Static ECN marking threshold on per-queue occupancy.
     pub ecn_threshold: Bytes,
-    /// Shared-pool apportioning policy.
-    pub policy: SharingPolicy,
+    /// Shared-pool apportioning policy (parameters ride in the variant;
+    /// see [`crate::policy`] for the zoo).
+    pub policy: BufferPolicySpec,
 }
 
 impl SwitchConfig {
@@ -96,9 +80,8 @@ impl SwitchConfig {
             num_quadrants,
             quadrant_bytes: Bytes::from_mib(4),
             dedicated_per_queue: Bytes::from_kib(400) / queues_per_quadrant as u64,
-            alpha: 1.0,
             ecn_threshold: Bytes::from_kib(120),
-            policy: SharingPolicy::DynamicThreshold,
+            policy: BufferPolicySpec::DtAlpha { alpha: 1.0 },
         }
     }
 
@@ -233,6 +216,9 @@ pub struct SharedBufferSwitch {
     groups: Vec<(u32, Vec<usize>)>,
     /// Optional depth probe: (queue, samples).
     depth_probe: Option<(usize, Vec<(Ns, Bytes)>)>,
+    /// Runtime buffer-sharing policy instantiated from `cfg.policy`
+    /// (enum dispatch — see [`crate::policy::ActivePolicy`]).
+    policy: ActivePolicy,
     /// Optional telemetry hub; `None` keeps the hot path to one branch.
     telemetry: Option<SharedTelemetry>,
     /// Cached "the hub wants drop forensics" flag so the enqueue hot path
@@ -253,13 +239,15 @@ impl SharedBufferSwitch {
     pub fn new(cfg: SwitchConfig) -> Self {
         assert!(cfg.num_queues > 0, "switch needs at least one queue");
         assert!(cfg.num_quadrants > 0, "switch needs at least one quadrant");
-        assert!(cfg.alpha > 0.0, "DT alpha must be positive");
+        cfg.policy.assert_valid();
+        let policy = ActivePolicy::from_spec(&cfg.policy, cfg.ecn_threshold);
         let queues = (0..cfg.num_queues).map(|_| QueueState::new()).collect();
         let shared_occupancy = vec![Bytes::ZERO; cfg.num_quadrants];
         SharedBufferSwitch {
             cfg,
             queues,
             shared_occupancy,
+            policy,
             minutes: Vec::new(),
             groups: Vec::new(),
             depth_probe: None,
@@ -291,12 +279,24 @@ impl SharedBufferSwitch {
         &self.cfg
     }
 
-    /// Retunes the DT α parameter at runtime. §9 of the paper discusses
-    /// adapting buffer sharing to measured contention; the ablation
-    /// benches use this to evaluate a simple contention-driven tuner.
+    /// Swaps the buffer-sharing policy at runtime. §9 of the paper
+    /// discusses adapting buffer sharing to measured contention; the
+    /// α-tuner and the ablation benches retune through here. Buffered
+    /// packets and pool accounting are untouched — only future
+    /// admissions see the new policy.
+    pub fn set_policy(&mut self, spec: BufferPolicySpec) {
+        spec.assert_valid();
+        self.policy = ActivePolicy::from_spec(&spec, self.cfg.ecn_threshold);
+        self.cfg.policy = spec;
+    }
+
+    /// Deprecated shim for the pre-`BufferPolicy` α mutator: α now rides
+    /// in [`BufferPolicySpec::DtAlpha`], so retuning it is a policy swap.
+    /// Calling this on a non-DT switch silently converts it to DT, which
+    /// is why new code should say `set_policy` explicitly.
+    #[deprecated(note = "route α through BufferPolicySpec::DtAlpha via set_policy")]
     pub fn set_alpha(&mut self, alpha: f64) {
-        assert!(alpha > 0.0, "DT alpha must be positive");
-        self.cfg.alpha = alpha;
+        self.set_policy(BufferPolicySpec::DtAlpha { alpha });
     }
 
     /// Attaches a depth probe to `queue`: occupancy is recorded after
@@ -435,19 +435,38 @@ impl SharedBufferSwitch {
             .unwrap_or(&[])
     }
 
-    /// The dynamic threshold `α·(B_shared − Q_shared)` currently governing
-    /// admission in `quadrant`.
-    ///
-    /// α is fractional configuration (not sim-time arithmetic); the single
-    /// f64 multiply is off every scheduling path and deterministic per
-    /// IEEE 754 — simlint's float-determinism roots deliberately exclude
-    /// admission math.
+    /// The policy contexts for an admission or probe in `quadrant`.
+    /// `arriving_queue` is the queue about to receive a packet: it counts
+    /// as active even while still empty, and the active-queue scan runs
+    /// only for policies that ask for it, so the DT hot path stays O(1).
+    fn shared_ctx(&self, quadrant: usize, arriving_queue: Option<usize>) -> SharedCtx {
+        let active_queues = if self.policy.needs_active_queues() {
+            let mut active = self.active_queues(quadrant) as u64;
+            if let Some(q) = arriving_queue {
+                if self.queues[q].fifo.is_empty() {
+                    active += 1;
+                }
+            }
+            active
+        } else {
+            0
+        };
+        SharedCtx {
+            occupancy: self.shared_occupancy[quadrant],
+            capacity: self.cfg.shared_capacity(),
+            active_queues,
+            queues_per_quadrant: self.cfg.num_queues.div_ceil(self.cfg.num_quadrants).max(1) as u64,
+        }
+    }
+
+    /// The per-queue shared-pool threshold currently governing admission
+    /// in `quadrant` — for DT, `α·(B_shared − Q_shared)`, computed in
+    /// exact integer emulation of the historical f64 multiply (see
+    /// [`crate::policy::DtAlpha`]); for the other policies, their own
+    /// governing limit. This is the value every drop forensic records.
     pub fn dynamic_threshold(&self, quadrant: usize) -> Bytes {
-        let free = self
-            .cfg
-            .shared_capacity()
-            .saturating_sub(self.shared_occupancy[quadrant]);
-        Bytes((self.cfg.alpha * free.as_u64() as f64) as u64)
+        self.policy
+            .shared_threshold(&self.shared_ctx(quadrant, None))
     }
 
     /// Current occupancy of a queue, both pools.
@@ -468,9 +487,15 @@ impl SharedBufferSwitch {
     /// Number of queues in `quadrant` currently holding packets — the `S`
     /// of the §2.1 analysis.
     pub fn active_queues(&self, quadrant: usize) -> usize {
-        (0..self.cfg.num_queues)
-            .filter(|&q| self.cfg.quadrant_of(q) == quadrant && !self.queues[q].fifo.is_empty())
-            .count()
+        // An explicit loop, not iterator adapters: this runs on the
+        // enqueue hot path when the policy needs the active-queue count.
+        let mut active = 0;
+        for q in 0..self.cfg.num_queues {
+            if self.cfg.quadrant_of(q) == quadrant && !self.queues[q].fifo.is_empty() {
+                active += 1;
+            }
+        }
+        active
     }
 
     /// Per-queue counters.
@@ -493,13 +518,15 @@ impl SharedBufferSwitch {
 
     /// Offers `pkt` to egress `queue` at time `now`.
     ///
-    /// Admission follows DT: the packet takes dedicated-reserve space if any
-    /// remains for this queue; otherwise it needs shared-pool space, granted
-    /// only if the queue's shared usage is strictly below the dynamic
-    /// threshold *and* the pool physically fits the packet.
+    /// Admission: the packet takes dedicated-reserve space if any remains
+    /// for this queue (reserves are honored under every policy); otherwise
+    /// it needs shared-pool space, granted only if the active
+    /// [`crate::policy::BufferPolicy`] admits it *and* the pool physically
+    /// fits the packet.
     ///
-    /// On admission, the stored packet is CE-marked if it is ECN-capable and
-    /// the queue's occupancy (after enqueue) exceeds the ECN threshold.
+    /// On admission, the stored packet is CE-marked if it is ECN-capable
+    /// and the policy's `mark` hook fires (every shipped policy: queue
+    /// occupancy after enqueue exceeds the static ECN threshold).
     pub fn try_enqueue(&mut self, queue: usize, mut pkt: Packet, now: Ns) -> EnqueueOutcome {
         assert!(queue < self.cfg.num_queues, "queue {queue} out of range");
         let quadrant = self.cfg.quadrant_of(queue);
@@ -513,34 +540,25 @@ impl SharedBufferSwitch {
             Pool::Dedicated
         } else {
             let fits_pool = self.shared_occupancy[quadrant] + size <= self.cfg.shared_capacity();
-            let under_limit = match self.cfg.policy {
-                SharingPolicy::DynamicThreshold => {
-                    self.queues[queue].shared_used < self.dynamic_threshold(quadrant)
-                }
-                SharingPolicy::CompleteSharing => true,
-                SharingPolicy::StaticPartition => {
-                    let queues_per_quadrant =
-                        self.cfg.num_queues.div_ceil(self.cfg.num_quadrants).max(1);
-                    let cap = self.cfg.shared_capacity() / queues_per_quadrant as u64;
-                    self.queues[queue].shared_used + size <= cap
-                }
+            let queue_ctx = QueueCtx {
+                shared_used: self.queues[queue].shared_used,
+                occupancy: occ_before,
             };
-            if under_limit && fits_pool {
+            let shared_ctx = self.shared_ctx(quadrant, Some(queue));
+            let decision = self.policy.admit(&queue_ctx, &shared_ctx, size);
+            if decision.admitted() && fits_pool {
                 Pool::Shared
             } else {
                 // Which rule said no: physical pool exhaustion trumps the
                 // per-queue limit; otherwise the policy names the limit.
-                // (CompleteSharing only ever rejects on pool exhaustion,
-                // so its fallback arm maps to the same reason.)
-                let reason = if !fits_pool {
-                    DropReason::SharedBufferFull
+                // (A policy that admits everything, like CompleteSharing,
+                // only ever rejects on pool exhaustion.)
+                let reason = if fits_pool {
+                    decision.reason_or(DropReason::SharedBufferFull)
                 } else {
-                    match self.cfg.policy {
-                        SharingPolicy::DynamicThreshold => DropReason::DynamicThresholdReject,
-                        SharingPolicy::StaticPartition => DropReason::PerQueueCap,
-                        SharingPolicy::CompleteSharing => DropReason::SharedBufferFull,
-                    }
+                    DropReason::SharedBufferFull
                 };
+                let dt_threshold = decision.threshold().as_u64();
                 let q = &mut self.queues[queue];
                 q.stats.drop_packets += 1;
                 q.stats.drop_bytes += size.as_u64();
@@ -594,7 +612,7 @@ impl SharedBufferSwitch {
                             cause,
                             queue_occupancy: occ_before.as_u64(),
                             shared_occupancy: self.shared_occupancy[quadrant].as_u64(),
-                            dt_threshold: self.dynamic_threshold(quadrant).as_u64(),
+                            dt_threshold,
                             burst_len: self.queues[queue].burst_len,
                             competing_flows: competing,
                             self_bytes,
@@ -630,7 +648,7 @@ impl SharedBufferSwitch {
         q.stats.max_occupancy = q.stats.max_occupancy.max(occupancy);
 
         let mut marked = false;
-        if pkt.ecn == EcnCodepoint::Ect && occupancy > self.cfg.ecn_threshold {
+        if pkt.ecn == EcnCodepoint::Ect && self.policy.mark(occ_before, occupancy) {
             pkt.ecn = EcnCodepoint::Ce;
             marked = true;
             q.stats.marked_packets += 1;
@@ -674,6 +692,12 @@ impl SharedBufferSwitch {
                 self.shared_occupancy[quadrant] -= size;
             }
         }
+        let queue_ctx = QueueCtx {
+            shared_used: self.queues[queue].shared_used,
+            occupancy: self.queues[queue].occupancy(),
+        };
+        let shared_ctx = self.shared_ctx(quadrant, None);
+        self.policy.on_dequeue(&queue_ctx, &shared_ctx, size);
         if let Some(tr) = &self.telemetry {
             let mut tr = tr.borrow_mut();
             let ns = now.as_nanos();
@@ -748,9 +772,8 @@ mod tests {
             num_quadrants: 1,
             quadrant_bytes: Bytes(100_000),
             dedicated_per_queue: Bytes(2_000),
-            alpha: 1.0,
             ecn_threshold: Bytes(20_000),
-            policy: SharingPolicy::DynamicThreshold,
+            policy: BufferPolicySpec::DtAlpha { alpha: 1.0 },
         }
     }
 
@@ -955,15 +978,30 @@ mod tests {
             sw.depth_samples(),
             &[(Ns(10), Bytes(1000)), (Ns(30), Bytes(2000))]
         );
-        // Runtime alpha retuning is visible in admission behaviour.
-        sw.set_alpha(0.25);
+        // Runtime policy retuning is visible in admission behaviour.
+        sw.set_policy(BufferPolicySpec::DtAlpha { alpha: 0.25 });
         assert!(sw.dynamic_threshold(0) < sw.config().shared_capacity() / 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn set_alpha_shim_still_retunes_dt() {
+        // The deprecated mutator must keep its historical meaning for
+        // callers that have not migrated to `set_policy` yet.
+        let mut sw = SharedBufferSwitch::new(small_cfg());
+        let before = sw.dynamic_threshold(0);
+        sw.set_alpha(0.25);
+        assert_eq!(sw.dynamic_threshold(0), before / 4);
+        assert_eq!(
+            sw.config().policy,
+            BufferPolicySpec::DtAlpha { alpha: 0.25 }
+        );
     }
 
     #[test]
     fn complete_sharing_lets_one_queue_take_the_pool() {
         let mut sw = SharedBufferSwitch::new(SwitchConfig {
-            policy: SharingPolicy::CompleteSharing,
+            policy: BufferPolicySpec::CompleteSharing,
             ..small_cfg()
         });
         let mut i = 0;
@@ -986,7 +1024,7 @@ mod tests {
     #[test]
     fn static_partition_caps_each_queue_at_its_slice() {
         let cfg = SwitchConfig {
-            policy: SharingPolicy::StaticPartition,
+            policy: BufferPolicySpec::StaticPartition,
             ..small_cfg()
         };
         let slice = cfg.shared_capacity() / 4; // 4 queues, 1 quadrant
@@ -1006,6 +1044,75 @@ mod tests {
     }
 
     #[test]
+    fn flexible_bounds_two_active_queues_split_the_pool_evenly() {
+        let cfg = SwitchConfig {
+            policy: BufferPolicySpec::FlexibleBounds,
+            ..small_cfg()
+        };
+        let half = cfg.shared_capacity() / 2;
+        let mut sw = SharedBufferSwitch::new(cfg);
+        let mut i = 0;
+        let mut blocked = [false; 2];
+        while !(blocked[0] && blocked[1]) {
+            for q in 0..2 {
+                i += 1;
+                if !sw.try_enqueue(q, pkt(i, 500), Ns::ZERO).accepted() {
+                    blocked[q] = true;
+                }
+            }
+        }
+        // Two active queues: each ceiling is the even split of the pool —
+        // unlike DT/α=1, which would stop them at a third each.
+        for q in 0..2 {
+            let used = sw.queues[q].shared_used;
+            assert!(used <= half, "queue {q} used {used} over {half}");
+            assert!(used + Bytes(500) > half, "queue {q} used {used}");
+        }
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn flexible_bounds_lone_queue_may_take_the_whole_pool() {
+        let mut sw = SharedBufferSwitch::new(SwitchConfig {
+            policy: BufferPolicySpec::FlexibleBounds,
+            ..small_cfg()
+        });
+        let mut i = 0;
+        loop {
+            i += 1;
+            if !sw.try_enqueue(0, pkt(i, 1000), Ns::ZERO).accepted() {
+                break;
+            }
+        }
+        // One active queue: ceiling = whole pool (DT/α=1 stops at half).
+        let cap = sw.config().shared_capacity();
+        assert!(sw.shared_occupancy(0) + Bytes(1000) > cap);
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn delay_driven_caps_occupancy_at_the_delay_target() {
+        // 10 µs at 12.5 Gb/s = 15 625 bytes of tolerated standing queue.
+        let mut sw = SharedBufferSwitch::new(SwitchConfig {
+            policy: BufferPolicySpec::DelayDriven {
+                target: Ns::from_micros(10),
+                drain: ms_units::Bps(12_500_000_000),
+            },
+            ..small_cfg()
+        });
+        let reason = loop {
+            if let EnqueueOutcome::Dropped { reason } = sw.try_enqueue(0, pkt(1, 1000), Ns::ZERO) {
+                break reason;
+            }
+        };
+        assert_eq!(reason, DropReason::DelayTargetExceeded);
+        let occ = sw.queue_occupancy(0);
+        assert!(occ <= Bytes(15_625), "occupancy {occ}");
+        assert!(occ + Bytes(1000) > Bytes(15_625), "occupancy {occ}");
+        sw.check_invariants();
+    }
+
+    #[test]
     fn drop_reasons_name_the_rejecting_rule() {
         // Dynamic Threshold: the per-queue DT limit rejects first.
         let mut dt = SharedBufferSwitch::new(small_cfg());
@@ -1020,7 +1127,7 @@ mod tests {
 
         // Static partition: the fixed slice cap rejects.
         let mut sp = SharedBufferSwitch::new(SwitchConfig {
-            policy: SharingPolicy::StaticPartition,
+            policy: BufferPolicySpec::StaticPartition,
             ..small_cfg()
         });
         let mut i = 0;
@@ -1034,7 +1141,7 @@ mod tests {
 
         // Complete sharing: only physical pool exhaustion can reject.
         let mut cs = SharedBufferSwitch::new(SwitchConfig {
-            policy: SharingPolicy::CompleteSharing,
+            policy: BufferPolicySpec::CompleteSharing,
             ..small_cfg()
         });
         let mut i = 0;
@@ -1176,11 +1283,11 @@ mod tests {
     #[test]
     fn higher_alpha_grants_bigger_share() {
         let mut lo = SharedBufferSwitch::new(SwitchConfig {
-            alpha: 0.5,
+            policy: BufferPolicySpec::DtAlpha { alpha: 0.5 },
             ..small_cfg()
         });
         let mut hi = SharedBufferSwitch::new(SwitchConfig {
-            alpha: 4.0,
+            policy: BufferPolicySpec::DtAlpha { alpha: 4.0 },
             ..small_cfg()
         });
         for sw in [&mut lo, &mut hi] {

@@ -81,7 +81,10 @@ mod tests {
     fn meta_defaults_match_paper() {
         let cfg = RackConfig::meta_defaults(32);
         assert_eq!(cfg.server_link_bps, Bps(12_500_000_000));
-        assert_eq!(cfg.switch.alpha, 1.0);
+        assert_eq!(
+            cfg.switch.policy,
+            crate::policy::BufferPolicySpec::DtAlpha { alpha: 1.0 }
+        );
         assert_eq!(cfg.switch.ecn_threshold, Bytes::from_kib(120));
         assert_eq!(cfg.switch.quadrant_bytes, Bytes::from_mib(4));
     }

@@ -7,7 +7,9 @@
 //! reproducible from its printed seed.
 
 use ms_dcsim::packet::FlowId;
-use ms_dcsim::{Bytes, Ns, Packet, SharedBufferSwitch, SharingPolicy, SimRng, SwitchConfig};
+use ms_dcsim::{
+    Bps, BufferPolicySpec, Bytes, Ns, Packet, SharedBufferSwitch, SimRng, SwitchConfig,
+};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -32,13 +34,12 @@ fn random_ops(rng: &mut SimRng, queues: usize, max_len: u64) -> Vec<Op> {
         .collect()
 }
 
-fn config(policy: SharingPolicy, alpha: f64) -> SwitchConfig {
+fn config(policy: BufferPolicySpec) -> SwitchConfig {
     SwitchConfig {
         num_queues: 6,
         num_quadrants: 2,
         quadrant_bytes: Bytes(200_000),
         dedicated_per_queue: Bytes(4_000),
-        alpha,
         ecn_threshold: Bytes(30_000),
         policy,
     }
@@ -86,7 +87,7 @@ fn dt_switch_invariants_hold() {
     let mut rng = SimRng::new(0x5157_0001);
     for case in 0..64 {
         let ops = random_ops(&mut rng, 6, 399);
-        run_ops(config(SharingPolicy::DynamicThreshold, 1.0), &ops);
+        run_ops(config(BufferPolicySpec::DtAlpha { alpha: 1.0 }), &ops);
         let _ = case;
     }
 }
@@ -96,7 +97,7 @@ fn dt_low_alpha_invariants_hold() {
     let mut rng = SimRng::new(0x5157_0002);
     for _ in 0..64 {
         let ops = random_ops(&mut rng, 6, 399);
-        run_ops(config(SharingPolicy::DynamicThreshold, 0.25), &ops);
+        run_ops(config(BufferPolicySpec::DtAlpha { alpha: 0.25 }), &ops);
     }
 }
 
@@ -105,7 +106,7 @@ fn complete_sharing_invariants_hold() {
     let mut rng = SimRng::new(0x5157_0003);
     for _ in 0..64 {
         let ops = random_ops(&mut rng, 6, 399);
-        run_ops(config(SharingPolicy::CompleteSharing, 1.0), &ops);
+        run_ops(config(BufferPolicySpec::CompleteSharing), &ops);
     }
 }
 
@@ -114,7 +115,31 @@ fn static_partition_invariants_hold() {
     let mut rng = SimRng::new(0x5157_0004);
     for _ in 0..64 {
         let ops = random_ops(&mut rng, 6, 399);
-        run_ops(config(SharingPolicy::StaticPartition, 1.0), &ops);
+        run_ops(config(BufferPolicySpec::StaticPartition), &ops);
+    }
+}
+
+#[test]
+fn flexible_bounds_invariants_hold() {
+    let mut rng = SimRng::new(0x5157_0007);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 6, 399);
+        run_ops(config(BufferPolicySpec::FlexibleBounds), &ops);
+    }
+}
+
+#[test]
+fn delay_driven_invariants_hold() {
+    let mut rng = SimRng::new(0x5157_0008);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 6, 399);
+        run_ops(
+            config(BufferPolicySpec::DelayDriven {
+                target: Ns::from_micros(30),
+                drain: Bps(12_500_000_000),
+            }),
+            &ops,
+        );
     }
 }
 
@@ -124,7 +149,7 @@ fn admitted_bytes_conserved() {
     let mut rng = SimRng::new(0x5157_0005);
     for _ in 0..64 {
         let ops = random_ops(&mut rng, 4, 299);
-        let cfg = config(SharingPolicy::DynamicThreshold, 2.0);
+        let cfg = config(BufferPolicySpec::DtAlpha { alpha: 2.0 });
         let mut sw = SharedBufferSwitch::new(cfg);
         let mut admitted = [0u64; 4];
         let mut dequeued = [0u64; 4];
@@ -157,7 +182,7 @@ fn admitted_bytes_conserved() {
 fn ecn_marks_only_above_threshold() {
     let mut rng = SimRng::new(0x5157_0006);
     for _ in 0..64 {
-        let cfg = config(SharingPolicy::DynamicThreshold, 1.0);
+        let cfg = config(BufferPolicySpec::DtAlpha { alpha: 1.0 });
         let threshold = cfg.ecn_threshold;
         let mut sw = SharedBufferSwitch::new(cfg);
         let n = 1 + rng.gen_range(119) as usize;

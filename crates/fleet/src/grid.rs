@@ -1,12 +1,12 @@
-//! Sweep grid definition: seed × α × placement × CC-algorithm.
+//! Sweep grid definition: seed × α × placement × CC-algorithm × policy.
 //!
 //! [`FleetGrid`] enumerates its cartesian product in a fixed nesting
-//! order (seed outermost, CC innermost) into labeled [`FleetCell`]s. The
+//! order (seed outermost, policy innermost) into labeled [`FleetCell`]s. The
 //! cell order — not completion order — defines the order of every
 //! aggregate output, which is what makes `--jobs 1` and `--jobs N` runs
 //! byte-identical.
 
-use ms_dcsim::Ns;
+use ms_dcsim::{Ns, PolicyKind};
 use ms_transport::CcAlgorithm;
 use ms_workload::{FlowSpec, ScenarioBuilder, ScenarioSpec};
 
@@ -67,14 +67,15 @@ pub fn cc_parse(s: &str) -> Option<CcAlgorithm> {
 /// scenario to run.
 #[derive(Debug, Clone)]
 pub struct FleetCell {
-    /// `s<seed>-a<alpha>-<placement>-<cc>` for grid cells; free-form for
-    /// hand-built cells.
+    /// `s<seed>-a<alpha>-<placement>-<cc>-<policy>` for grid cells;
+    /// free-form for hand-built cells.
     pub label: String,
     /// The scenario this cell simulates.
     pub spec: ScenarioSpec,
 }
 
-/// A seed × α × placement × CC sweep over one rack shape.
+/// A seed × α × placement × CC × buffer-policy sweep over one rack
+/// shape.
 #[derive(Debug, Clone)]
 pub struct FleetGrid {
     /// Servers per rack.
@@ -91,6 +92,10 @@ pub struct FleetGrid {
     pub placements: Vec<PlacementKind>,
     /// Congestion-control algorithms.
     pub ccs: Vec<CcAlgorithm>,
+    /// ToR buffer-sharing policies (the §9/§10 what-if axis). The DT
+    /// cells take the grid's α; other kinds use their
+    /// [`PolicyKind::spec_with_alpha`] defaults.
+    pub policies: Vec<PolicyKind>,
     /// Total connections per cell (split according to placement).
     pub connections: u32,
     /// Bytes delivered per connection group.
@@ -112,6 +117,7 @@ impl Default for FleetGrid {
             alphas: vec![0.5, 2.0],
             placements: vec![PlacementKind::SingleVictim, PlacementKind::PairedVictims],
             ccs: vec![CcAlgorithm::Dctcp],
+            policies: vec![PolicyKind::DtAlpha],
             connections: 80,
             total_bytes: 12_000_000,
             forensics: false,
@@ -122,7 +128,11 @@ impl Default for FleetGrid {
 impl FleetGrid {
     /// Number of grid points.
     pub fn len(&self) -> usize {
-        self.seeds.len() * self.alphas.len() * self.placements.len() * self.ccs.len()
+        self.seeds.len()
+            * self.alphas.len()
+            * self.placements.len()
+            * self.ccs.len()
+            * self.policies.len()
     }
 
     /// Whether the grid is empty.
@@ -130,21 +140,25 @@ impl FleetGrid {
         self.len() == 0
     }
 
-    /// Enumerates all cells in grid order (seed → α → placement → CC).
+    /// Enumerates all cells in grid order
+    /// (seed → α → placement → CC → policy).
     pub fn cells(&self) -> Vec<FleetCell> {
         let mut out = Vec::with_capacity(self.len());
         for &seed in &self.seeds {
             for &alpha in &self.alphas {
                 for &placement in &self.placements {
                     for &cc in &self.ccs {
-                        out.push(FleetCell {
-                            label: format!(
-                                "s{seed}-a{alpha:.2}-{}-{}",
-                                placement.label(),
-                                cc_label(cc)
-                            ),
-                            spec: self.cell_spec(seed, alpha, placement, cc),
-                        });
+                        for &policy in &self.policies {
+                            out.push(FleetCell {
+                                label: format!(
+                                    "s{seed}-a{alpha:.2}-{}-{}-{}",
+                                    placement.label(),
+                                    cc_label(cc),
+                                    policy.label()
+                                ),
+                                spec: self.cell_spec(seed, alpha, placement, cc, policy),
+                            });
+                        }
                     }
                 }
             }
@@ -158,9 +172,12 @@ impl FleetGrid {
         alpha: f64,
         placement: PlacementKind,
         cc: CcAlgorithm,
+        policy: PolicyKind,
     ) -> ScenarioSpec {
         let mut b = ScenarioBuilder::new(self.servers, seed);
-        b.buckets(self.buckets).warmup(self.warmup).alpha(alpha);
+        b.buckets(self.buckets)
+            .warmup(self.warmup)
+            .buffer_policy(policy.spec_with_alpha(alpha));
         if self.forensics {
             b.forensics();
         }
@@ -212,14 +229,14 @@ mod tests {
         assert_eq!(
             labels,
             vec![
-                "s1-a0.50-single-dctcp",
-                "s1-a0.50-paired-dctcp",
-                "s1-a2.00-single-dctcp",
-                "s1-a2.00-paired-dctcp",
-                "s2-a0.50-single-dctcp",
-                "s2-a0.50-paired-dctcp",
-                "s2-a2.00-single-dctcp",
-                "s2-a2.00-paired-dctcp",
+                "s1-a0.50-single-dctcp-dt",
+                "s1-a0.50-paired-dctcp-dt",
+                "s1-a2.00-single-dctcp-dt",
+                "s1-a2.00-paired-dctcp-dt",
+                "s2-a0.50-single-dctcp-dt",
+                "s2-a0.50-paired-dctcp-dt",
+                "s2-a2.00-single-dctcp-dt",
+                "s2-a2.00-paired-dctcp-dt",
             ]
         );
     }
@@ -238,12 +255,57 @@ mod tests {
     #[test]
     fn placement_shapes_flows() {
         let grid = FleetGrid::default();
-        let single = grid.cell_spec(1, 1.0, PlacementKind::SingleVictim, CcAlgorithm::Dctcp);
+        let single = grid.cell_spec(
+            1,
+            1.0,
+            PlacementKind::SingleVictim,
+            CcAlgorithm::Dctcp,
+            PolicyKind::DtAlpha,
+        );
         assert_eq!(single.flows.len(), 1);
-        let paired = grid.cell_spec(1, 1.0, PlacementKind::PairedVictims, CcAlgorithm::Dctcp);
+        let paired = grid.cell_spec(
+            1,
+            1.0,
+            PlacementKind::PairedVictims,
+            CcAlgorithm::Dctcp,
+            PolicyKind::DtAlpha,
+        );
         assert_eq!(paired.flows.len(), 2);
-        let spread = grid.cell_spec(1, 1.0, PlacementKind::Spread, CcAlgorithm::Dctcp);
+        let spread = grid.cell_spec(
+            1,
+            1.0,
+            PlacementKind::Spread,
+            CcAlgorithm::Dctcp,
+            PolicyKind::DtAlpha,
+        );
         assert_eq!(spread.flows.len(), grid.servers);
+    }
+
+    #[test]
+    fn policy_axis_multiplies_the_grid_and_shapes_specs() {
+        let grid = FleetGrid {
+            policies: vec![
+                PolicyKind::DtAlpha,
+                PolicyKind::FlexibleBounds,
+                PolicyKind::DelayDriven,
+            ],
+            ..FleetGrid::default()
+        };
+        assert_eq!(grid.len(), 24);
+        let cells = grid.cells();
+        assert_eq!(cells[0].label, "s1-a0.50-single-dctcp-dt");
+        assert_eq!(cells[1].label, "s1-a0.50-single-dctcp-fb");
+        assert_eq!(cells[2].label, "s1-a0.50-single-dctcp-delay");
+        assert_eq!(
+            cells[1].spec.policy,
+            ms_dcsim::BufferPolicySpec::FlexibleBounds
+        );
+        assert_eq!(cells[2].spec.policy.kind(), PolicyKind::DelayDriven);
+        // DT cells carry the grid alpha.
+        assert_eq!(
+            cells[0].spec.policy,
+            ms_dcsim::BufferPolicySpec::DtAlpha { alpha: 0.5 }
+        );
     }
 
     #[test]

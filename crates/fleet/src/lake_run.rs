@@ -39,7 +39,7 @@ fn run_cell_rows(idx: u64, cell: &FleetCell, cfg: &FleetConfig) -> CellRows {
     match report.rack_run {
         Some(run) => {
             let analysis = analyze_run(&run, cfg.link_bps, cfg.loss_slack);
-            let outcome = RunOutcome::from_analysis(
+            let mut outcome = RunOutcome::from_analysis(
                 &analysis,
                 report.switch_ingress_bytes,
                 report.switch_discard_bytes,
@@ -47,6 +47,7 @@ fn run_cell_rows(idx: u64, cell: &FleetCell, cfg: &FleetConfig) -> CellRows {
                 report.conns_completed,
                 report.events,
             );
+            outcome.policy = cell.spec.policy.kind();
             let bursts = analysis
                 .bursts
                 .iter()
@@ -70,6 +71,7 @@ fn run_cell_rows(idx: u64, cell: &FleetCell, cfg: &FleetConfig) -> CellRows {
             o.flows_started = report.flows_started;
             o.conns_completed = report.conns_completed;
             o.events = report.events;
+            o.policy = cell.spec.policy.kind();
             CellRows {
                 cell: idx,
                 label: cell.label.clone(),

@@ -3,6 +3,7 @@
 //! ```text
 //! fleet [--jobs N] [--seeds 1,2] [--alphas 0.5,2.0]
 //!       [--placements single,paired,spread] [--ccs dctcp,cubic,reno]
+//!       [--policies dt,cs,sp,fb,delay]
 //!       [--servers 8] [--buckets 200] [--conns 80] [--bytes 12000000]
 //!       [--csv PATH] [--json PATH] [--bench PATH] [--out-lake DIR]
 //!       [--forensics] [--quiet]
@@ -20,6 +21,7 @@
 //! binary; the library stays deterministic and env-free (simlint
 //! enforces this split via `simlint.toml` allows scoped to this file).
 
+use ms_dcsim::PolicyKind;
 use ms_fleet::{cc_parse, run_fleet, run_fleet_to_lake, FleetConfig, FleetGrid, PlacementKind};
 use ms_lake::{LakeConfig, LakeWriter};
 use std::time::Instant;
@@ -41,18 +43,21 @@ fn main() {
 
     let cells = grid.cells();
     if cells.is_empty() {
-        eprintln!("fleet: the grid is empty (check --seeds/--alphas/--placements/--ccs)");
+        eprintln!(
+            "fleet: the grid is empty (check --seeds/--alphas/--placements/--ccs/--policies)"
+        );
         std::process::exit(2);
     }
     let jobs = cfg.effective_jobs().min(cells.len()).max(1);
     if !out.quiet {
         eprintln!(
-            "[fleet] {} cells ({} seeds x {} alphas x {} placements x {} ccs), {jobs} worker(s)",
+            "[fleet] {} cells ({} seeds x {} alphas x {} placements x {} ccs x {} policies), {jobs} worker(s)",
             cells.len(),
             grid.seeds.len(),
             grid.alphas.len(),
             grid.placements.len(),
             grid.ccs.len(),
+            grid.policies.len(),
         );
     }
 
@@ -213,6 +218,14 @@ fn parse_args(args: &[String]) -> Result<(FleetGrid, FleetConfig, OutputSpec), S
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--policies" => {
+                grid.policies = split_list(value("--policies")?)
+                    .map(|s| {
+                        PolicyKind::parse(s)
+                            .ok_or_else(|| format!("--policies: {s:?} is not dt/cs/sp/fb/delay"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--forensics" => grid.forensics = true,
             "--csv" => out.csv_path = Some(value("--csv")?.clone()),
             "--json" => out.json_path = Some(value("--json")?.clone()),
@@ -257,11 +270,15 @@ fn print_help() {
          \n\
          USAGE: fleet [OPTIONS]\n\
          \n\
-         Grid (cartesian product, run in seed > alpha > placement > cc order):\n\
+         Grid (cartesian product, run in seed > alpha > placement > cc > policy order):\n\
          \x20 --seeds N,N,..        experiment seeds           [default 1,2]\n\
          \x20 --alphas F,F,..       DT alpha values            [default 0.5,2.0]\n\
          \x20 --placements L,L,..   single|paired|spread       [default single,paired]\n\
          \x20 --ccs L,L,..          dctcp|cubic|reno           [default dctcp]\n\
+         \x20 --policies L,L,..     dt|cs|sp|fb|delay          [default dt]\n\
+         \x20                       ToR buffer sharing: dynamic-threshold,\n\
+         \x20                       complete sharing, static partition,\n\
+         \x20                       flexible bounds, delay-driven\n\
          \x20 --servers N           servers per rack           [default 8]\n\
          \x20 --buckets N           sampler buckets (1 ms)     [default 200]\n\
          \x20 --conns N             connections per cell       [default 80]\n\

@@ -123,7 +123,7 @@ fn push_json_metrics(out: &mut String, o: &RunOutcome) {
              \"bursts\": {}, \"contended_bursts\": {}, \"lossy_bursts\": {}, \
              \"contention_avg\": {:.6}, \"contention_p90\": {}, \
              \"contention_max\": {}, \"active_servers\": {}, \
-             \"bursty_servers\": {}, \"loss_rate\": {:.6}",
+             \"bursty_servers\": {}, \"policy\": \"{}\", \"loss_rate\": {:.6}",
             o.switch_ingress_bytes,
             o.switch_discard_bytes,
             o.flows_started,
@@ -139,6 +139,7 @@ fn push_json_metrics(out: &mut String, o: &RunOutcome) {
             o.contention_max,
             o.active_servers,
             o.bursty_servers,
+            o.policy.label(),
             o.loss_rate(),
         ),
     );

@@ -133,7 +133,7 @@ fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// (the schema asserted byte-identical across thread counts).
 fn run_cell(cell: &FleetCell, cfg: &FleetConfig) -> Vec<u8> {
     let report = cell.spec.build().run_sync_window(0);
-    let outcome = match &report.rack_run {
+    let mut outcome = match &report.rack_run {
         Some(run) => {
             let analysis = analyze_run(run, cfg.link_bps, cfg.loss_slack);
             RunOutcome::from_analysis(
@@ -156,6 +156,7 @@ fn run_cell(cell: &FleetCell, cfg: &FleetConfig) -> Vec<u8> {
             o
         }
     };
+    outcome.policy = cell.spec.policy.kind();
     outcome.encode()
 }
 

@@ -12,7 +12,7 @@ use crate::writer::Lake;
 use crate::LakeError;
 use millisampler::HostSeries;
 use ms_analysis::{BurstRow, RunOutcome, SweepAggregate};
-use ms_dcsim::{Ns, SimRng};
+use ms_dcsim::{Ns, PolicyKind, SimRng};
 
 // Column indices of the `outcomes` table (on-disk order; see
 // `segment::OUTCOME_COLS`).
@@ -71,7 +71,46 @@ fn outcome_from_row(batch: &Batch, row: usize) -> RunOutcome {
         active_servers: m(13) as u32,
         // simlint: allow(cast-truncation): stored from u32 fields
         bursty_servers: m(14) as u32,
+        // An unknown code means a lake written by a newer schema; fall
+        // back to DT rather than refusing the whole scan.
+        policy: PolicyKind::from_code(m(15)).unwrap_or(PolicyKind::DtAlpha),
     }
+}
+
+/// Scans the outcomes table into a `(cell, policy)` list, in cell
+/// order — the join key that lets forensics rows (which carry no
+/// policy column) be attributed per policy.
+fn cell_policies(lake: &Lake) -> Result<Vec<(u64, PolicyKind)>, LakeError> {
+    let cell_col = TableKind::Outcomes
+        .column("cell")
+        .ok_or(LakeError::Corrupt("outcomes table has no cell column"))?;
+    let policy_col = TableKind::Outcomes
+        .column("policy")
+        .ok_or(LakeError::Corrupt("outcomes table has no policy column"))?;
+    let mut out = Vec::new();
+    let mut scan = TableScan::new(
+        lake,
+        TableKind::Outcomes,
+        &[cell_col, policy_col],
+        Vec::new(),
+    )?;
+    let mut batch = Batch::new();
+    while scan.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            let policy = PolicyKind::from_code(batch.value(1, row)).unwrap_or(PolicyKind::DtAlpha);
+            out.push((batch.value(0, row), policy));
+        }
+    }
+    Ok(out)
+}
+
+/// Policy of `cell` in a [`cell_policies`] list (cells are compacted in
+/// ascending order, so this is a binary search); DT when absent.
+fn policy_of(cells: &[(u64, PolicyKind)], cell: u64) -> PolicyKind {
+    cells
+        .binary_search_by_key(&cell, |&(c, _)| c)
+        .map(|i| cells[i].1)
+        .unwrap_or(PolicyKind::DtAlpha)
 }
 
 /// Reconstructs a [`BurstRow`] from a full-projection bursts row.
@@ -189,19 +228,154 @@ pub fn lake_loss_attribution(lake: &Lake) -> Result<Vec<CellAttribution>, LakeEr
     Ok(out)
 }
 
-/// Renders [`lake_loss_attribution`] as deterministic CSV.
+/// Renders [`lake_loss_attribution`] as deterministic CSV, each cell
+/// joined with the buffer policy its outcome row recorded.
 pub fn attribution_csv(lake: &Lake) -> Result<String, LakeError> {
     use std::fmt::Write;
-    let mut out = String::from("cell,self_burst,cross_contention,fabric_transient,total\n");
+    let policies = cell_policies(lake)?;
+    let mut out = String::from("cell,policy,self_burst,cross_contention,fabric_transient,total\n");
     for a in lake_loss_attribution(lake)? {
         let _ = writeln!(
             out,
-            "{},{},{},{},{}",
+            "{},{},{},{},{},{}",
             a.cell,
+            policy_of(&policies, a.cell).label(),
             a.self_burst,
             a.cross_contention,
             a.fabric_transient,
             a.total()
+        );
+    }
+    Ok(out)
+}
+
+/// Per-policy rollup of one sweep: loss, bursts, and the §8 drop
+/// attribution, folded across every cell that ran the policy. One CSV
+/// row per policy present in the lake, in policy-code order — the
+/// "does buffer sharing move cross-contention loss?" table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyCompare {
+    /// The buffer policy this row aggregates.
+    pub policy: PolicyKind,
+    /// Completed cells that ran this policy.
+    pub cells: u64,
+    /// Switch-admitted bytes summed over those cells.
+    pub ingress_bytes: u64,
+    /// Switch-discarded bytes summed over those cells.
+    pub discard_bytes: u64,
+    /// Bursts detected, summed.
+    pub bursts: u64,
+    /// Bursts classified contended, summed.
+    pub contended_bursts: u64,
+    /// Bursts classified lossy, summed.
+    pub lossy_bursts: u64,
+    /// Drops §8 attributes to the victim's own burst.
+    pub self_burst: u64,
+    /// Drops §8 attributes to competing flows.
+    pub cross_contention: u64,
+    /// Drops away from the shared-buffer switch.
+    pub fabric_transient: u64,
+}
+
+impl PolicyCompare {
+    /// Discarded bytes over admitted bytes (NaN when nothing arrived).
+    pub fn loss_rate(&self) -> f64 {
+        if self.ingress_bytes == 0 {
+            return f64::NAN;
+        }
+        self.discard_bytes as f64 / self.ingress_bytes as f64
+    }
+
+    /// Cross-contention share of all attributed drops (NaN when none).
+    pub fn cross_share(&self) -> f64 {
+        let total = self.self_burst + self.cross_contention + self.fabric_transient;
+        if total == 0 {
+            return f64::NAN;
+        }
+        self.cross_contention as f64 / total as f64
+    }
+}
+
+/// Folds the outcomes and forensics tables into one [`PolicyCompare`]
+/// per policy present in the lake, in policy-code order. Failed cells
+/// are excluded (their rows carry no real outcome).
+pub fn lake_policy_compare(lake: &Lake) -> Result<Vec<PolicyCompare>, LakeError> {
+    let mut per: [Option<PolicyCompare>; PolicyKind::ALL.len()] = [None; PolicyKind::ALL.len()];
+    let slot =
+        |per: &mut [Option<PolicyCompare>; PolicyKind::ALL.len()], policy: PolicyKind| -> usize {
+            let i = policy.code() as usize;
+            if per[i].is_none() {
+                per[i] = Some(PolicyCompare {
+                    policy,
+                    cells: 0,
+                    ingress_bytes: 0,
+                    discard_bytes: 0,
+                    bursts: 0,
+                    contended_bursts: 0,
+                    lossy_bursts: 0,
+                    self_burst: 0,
+                    cross_contention: 0,
+                    fabric_transient: 0,
+                });
+            }
+            i
+        };
+
+    let mut outcomes = TableScan::full(lake, TableKind::Outcomes)?;
+    let mut batch = Batch::new();
+    while outcomes.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            if batch.value(OC_STATUS, row) != 0 {
+                continue;
+            }
+            let o = outcome_from_row(&batch, row);
+            let i = slot(&mut per, o.policy);
+            let p = per[i].as_mut().expect("slot initialised above");
+            p.cells += 1;
+            p.ingress_bytes += o.switch_ingress_bytes;
+            p.discard_bytes += o.switch_discard_bytes;
+            p.bursts += o.bursts;
+            p.contended_bursts += o.contended_bursts;
+            p.lossy_bursts += o.lossy_bursts;
+        }
+    }
+
+    let policies = cell_policies(lake)?;
+    for a in lake_loss_attribution(lake)? {
+        let i = slot(&mut per, policy_of(&policies, a.cell));
+        let p = per[i].as_mut().expect("slot initialised above");
+        p.self_burst += a.self_burst;
+        p.cross_contention += a.cross_contention;
+        p.fabric_transient += a.fabric_transient;
+    }
+
+    Ok(per.into_iter().flatten().collect())
+}
+
+/// Renders [`lake_policy_compare`] as deterministic CSV (fixed float
+/// precision, policy-code row order).
+pub fn policy_compare_csv(lake: &Lake) -> Result<String, LakeError> {
+    use std::fmt::Write;
+    let mut out = String::from(
+        "policy,cells,ingress_bytes,discard_bytes,loss_rate,bursts,contended_bursts,\
+         lossy_bursts,self_burst,cross_contention,fabric_transient,cross_share\n",
+    );
+    for p in lake_policy_compare(lake)? {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{},{},{},{},{},{},{:.6}",
+            p.policy.label(),
+            p.cells,
+            p.ingress_bytes,
+            p.discard_bytes,
+            p.loss_rate(),
+            p.bursts,
+            p.contended_bursts,
+            p.lossy_bursts,
+            p.self_burst,
+            p.cross_contention,
+            p.fabric_transient,
+            p.cross_share()
         );
     }
     Ok(out)
@@ -441,8 +615,78 @@ mod tests {
             assert_eq!(a.total(), a.cell % 3);
         }
         let csv = attribution_csv(&lake).unwrap();
-        assert!(csv.starts_with("cell,self_burst,cross_contention,fabric_transient,total\n"));
-        assert!(csv.contains("\n2,1,1,0,2\n"), "{csv}");
+        assert!(csv.starts_with("cell,policy,self_burst,cross_contention,fabric_transient,total\n"));
+        // build() writes default-policy outcomes, so the join column is dt.
+        assert!(csv.contains("\n2,dt,1,1,0,2\n"), "{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_compare_folds_outcomes_and_attribution_per_policy() {
+        use ms_dcsim::PolicyKind;
+        let dir = temp_dir("pcmp");
+        let w = LakeWriter::create(
+            &dir,
+            LakeConfig {
+                chunk_rows: 8,
+                segment_rows: 16,
+            },
+        )
+        .unwrap();
+        // Six cells alternating dt / fb (cell % 2), each with (c % 3)
+        // forensics cycling causes 0,1,2 — plus one failed cell that
+        // must not count toward either policy.
+        let mut shard = w.shard_writer(0).unwrap();
+        for c in 0..6u64 {
+            let mut o = outcome(c + 1);
+            o.policy = if c % 2 == 0 {
+                PolicyKind::DtAlpha
+            } else {
+                PolicyKind::FlexibleBounds
+            };
+            shard
+                .append(&CellRows {
+                    cell: c,
+                    label: format!("cell-{c}"),
+                    outcome: Some(Ok(o)),
+                    bursts: Vec::new(),
+                    series: Vec::new(),
+                    forensics: (0..(c % 3)).map(|i| forensic(c, i)).collect(),
+                })
+                .unwrap();
+        }
+        shard
+            .append(&CellRows::failed(6, "cell-6", String::from("boom")))
+            .unwrap();
+        shard.finish().unwrap();
+        w.compact().unwrap();
+        let lake = Lake::open(&dir).unwrap();
+
+        let rows = lake_policy_compare(&lake).unwrap();
+        assert_eq!(rows.len(), 2);
+        let dt = &rows[0];
+        let fb = &rows[1];
+        assert_eq!(dt.policy, PolicyKind::DtAlpha);
+        assert_eq!(fb.policy, PolicyKind::FlexibleBounds);
+        // Cells 0,2,4 are dt (outcome indices 1,3,5); 1,3,5 are fb
+        // (outcome indices 2,4,6). outcome(i) has ingress 1000*i.
+        assert_eq!(dt.cells, 3);
+        assert_eq!(fb.cells, 3);
+        assert_eq!(dt.ingress_bytes, 1000 * (1 + 3 + 5));
+        assert_eq!(fb.ingress_bytes, 1000 * (2 + 4 + 6));
+        // Forensics: cell c carries c % 3 rows → dt cells 0,2,4 give
+        // 0+2+1 = 3 drops (2 self, 1 cross), fb cells 1,3,5 give
+        // 1+0+2 = 3 drops (2 self, 1 cross).
+        assert_eq!((dt.self_burst, dt.cross_contention), (2, 1));
+        assert_eq!((fb.self_burst, fb.cross_contention), (2, 1));
+        assert_eq!(dt.fabric_transient + fb.fabric_transient, 0);
+
+        let csv = policy_compare_csv(&lake).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("policy,cells,ingress_bytes"));
+        assert!(lines[1].starts_with("dt,3,9000,"), "{csv}");
+        assert!(lines[2].starts_with("fb,3,12000,"), "{csv}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

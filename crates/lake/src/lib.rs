@@ -36,8 +36,9 @@ pub mod shard;
 pub mod writer;
 
 pub use analyses::{
-    attribution_csv, forensics_csv, lake_loss_attribution, lake_sweep_aggregate, outcomes_csv,
-    synth_diurnal_series, CellAttribution,
+    attribution_csv, forensics_csv, lake_loss_attribution, lake_policy_compare,
+    lake_sweep_aggregate, outcomes_csv, policy_compare_csv, synth_diurnal_series, CellAttribution,
+    PolicyCompare,
 };
 pub use host_ext::HostStoreExt;
 pub use query::{for_each_row, Batch, ColumnRange, Operator, RowFilter, ScanStats, TableScan};

@@ -77,6 +77,7 @@ pub const OUTCOME_COLS: &[&str] = &[
     "contention_max",
     "active_servers",
     "bursty_servers",
+    "policy",
 ];
 
 /// Column names of the `bursts` table.

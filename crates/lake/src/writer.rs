@@ -301,6 +301,7 @@ fn append_cell(
                 u64::from(o.contention_max),
                 u64::from(o.active_servers),
                 u64::from(o.bursty_servers),
+                o.policy.code(),
             ])?;
         }
     }

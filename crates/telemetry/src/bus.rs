@@ -23,7 +23,7 @@ pub enum DropReason {
     /// The quadrant's shared pool physically cannot fit the packet.
     SharedBufferFull,
     /// A static per-queue partition cap rejected the packet
-    /// (`SharingPolicy::StaticPartition`).
+    /// (the `StaticPartition` buffer policy).
     PerQueueCap,
     /// The Choudhury–Hahne dynamic threshold rejected the packet: the
     /// queue's shared usage was at or above `α·(B_shared − Q_shared)`.
@@ -31,6 +31,14 @@ pub enum DropReason {
     /// Fault injection discarded the packet (the §4.2 NIC firmware-bug
     /// model: loss without switch congestion).
     FaultInjected,
+    /// The FB-style flexible-bounds ceiling rejected the packet: the
+    /// queue's shared usage was over the even split of the pool across
+    /// the quadrant's active queues (`FlexibleBounds` buffer policy).
+    FlexibleBoundsReject,
+    /// The BShare-style delay target rejected the packet: admitting it
+    /// would push the queue's estimated queueing delay past the target
+    /// (`DelayDriven` buffer policy).
+    DelayTargetExceeded,
 }
 
 impl DropReason {
@@ -41,6 +49,8 @@ impl DropReason {
             DropReason::PerQueueCap => "per-queue-cap",
             DropReason::DynamicThresholdReject => "dynamic-threshold-reject",
             DropReason::FaultInjected => "fault-injected",
+            DropReason::FlexibleBoundsReject => "flexible-bounds-reject",
+            DropReason::DelayTargetExceeded => "delay-target-exceeded",
         }
     }
 
@@ -51,15 +61,19 @@ impl DropReason {
             DropReason::PerQueueCap => 1,
             DropReason::DynamicThresholdReject => 2,
             DropReason::FaultInjected => 3,
+            DropReason::FlexibleBoundsReject => 4,
+            DropReason::DelayTargetExceeded => 5,
         }
     }
 
     /// All variants, in `code()` order (for summary tables).
-    pub const ALL: [DropReason; 4] = [
+    pub const ALL: [DropReason; 6] = [
         DropReason::SharedBufferFull,
         DropReason::PerQueueCap,
         DropReason::DynamicThresholdReject,
         DropReason::FaultInjected,
+        DropReason::FlexibleBoundsReject,
+        DropReason::DelayTargetExceeded,
     ];
 }
 
@@ -523,10 +537,10 @@ mod tests {
     #[test]
     fn drop_reason_codes_are_stable_and_distinct() {
         let codes: Vec<u8> = DropReason::ALL.iter().map(|r| r.code()).collect();
-        assert_eq!(codes, vec![0, 1, 2, 3]);
+        assert_eq!(codes, vec![0, 1, 2, 3, 4, 5]);
         let mut labels: Vec<&str> = DropReason::ALL.iter().map(|r| r.as_str()).collect();
         labels.dedup();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), DropReason::ALL.len());
     }
 
     #[test]

@@ -894,7 +894,16 @@ impl RackSim {
             .max()
             .unwrap_or(0);
         let alpha = (4.0 / (1.0 + s_max as f64)).clamp(0.25, 4.0);
-        self.switch.set_alpha(alpha);
+        // The tuner is a DT-α controller: it only applies when the switch
+        // is actually running Dynamic Thresholds (retuning α under FB or
+        // delay-driven sharing would silently convert the policy).
+        if matches!(
+            self.switch.config().policy,
+            ms_dcsim::BufferPolicySpec::DtAlpha { .. }
+        ) {
+            self.switch
+                .set_policy(ms_dcsim::BufferPolicySpec::DtAlpha { alpha });
+        }
         self.q.schedule(now + period, Ev::AlphaTune);
     }
 

@@ -43,7 +43,7 @@ use crate::sim::{FabricHopConfig, GroConfig, RackSim, RackSimConfig};
 use crate::tasks::{FlowSpec, MlPhase, TaskGen, TaskKind};
 use millisampler::codec::{DecodeError, WireReader, WireWriter};
 use millisampler::{RunConfig, SchedulerConfig};
-use ms_dcsim::{Bps, Bytes, Ns, RackConfig, SharingPolicy, SimRng};
+use ms_dcsim::{Bps, BufferPolicySpec, Bytes, Ns, PolicyKind, RackConfig, SimRng};
 use ms_telemetry::TelemetryConfig;
 use ms_transport::CcAlgorithm;
 
@@ -156,10 +156,9 @@ pub struct ScenarioSpec {
     pub warmup: Ns,
     /// Maximum absolute host clock offset (uniform in ±this).
     pub max_clock_skew: Ns,
-    /// DT α of the ToR shared buffer.
-    pub alpha: f64,
-    /// Buffer sharing policy of the ToR.
-    pub policy: SharingPolicy,
+    /// Buffer sharing policy of the ToR (parameters, like the DT α,
+    /// ride in the variant).
+    pub policy: BufferPolicySpec,
     /// ECN marking threshold override (None = the deployed 120 KB
     /// default).
     pub ecn_threshold: Option<Bytes>,
@@ -211,7 +210,6 @@ impl ScenarioSpec {
             mss: defaults.rack.mss,
             warmup: defaults.warmup,
             max_clock_skew: defaults.max_clock_skew,
-            alpha: defaults.rack.switch.alpha,
             policy: defaults.rack.switch.policy,
             ecn_threshold: None,
             gro: None,
@@ -294,7 +292,6 @@ impl ScenarioSpec {
         self.validate();
         let mut rack = RackConfig::meta_defaults(self.num_servers);
         rack.mss = self.mss;
-        rack.switch.alpha = self.alpha;
         rack.switch.policy = self.policy;
         if let Some(threshold) = self.ecn_threshold {
             rack.switch.ecn_threshold = threshold;
@@ -375,8 +372,7 @@ impl ScenarioSpec {
         w.u64(u64::from(self.mss));
         w.u64(self.warmup.as_nanos());
         w.u64(self.max_clock_skew.as_nanos());
-        w.f64(self.alpha);
-        w.u64(policy_tag(self.policy));
+        encode_policy(&mut w, self.policy);
         opt_u64(&mut w, self.ecn_threshold.map(Bytes::as_u64));
         match self.gro {
             Some(g) => {
@@ -488,8 +484,7 @@ impl ScenarioSpec {
         let mss = r.u64()? as u32;
         let warmup = Ns(r.u64()?);
         let max_clock_skew = Ns(r.u64()?);
-        let alpha = r.f64()?;
-        let policy = policy_from(r.u64()?)?;
+        let policy = decode_policy(&mut r)?;
         let ecn_threshold = opt_u64_from(&mut r)?.map(Bytes);
         let gro = if r.bool()? {
             Some(GroConfig {
@@ -621,7 +616,6 @@ impl ScenarioSpec {
             mss,
             warmup,
             max_clock_skew,
-            alpha,
             policy,
             ecn_threshold,
             gro,
@@ -667,21 +661,35 @@ fn bounded_len(r: &mut WireReader<'_>) -> Result<u64, DecodeError> {
     Ok(len)
 }
 
-fn policy_tag(p: SharingPolicy) -> u64 {
+/// Policy wire layout: the [`PolicyKind`] code, then the variant's own
+/// parameters (DT: α as f64; delay-driven: target ns and drain Bps as
+/// u64s; the parameter-free kinds carry nothing).
+fn encode_policy(w: &mut WireWriter, p: BufferPolicySpec) {
+    w.u64(p.kind().code());
     match p {
-        SharingPolicy::DynamicThreshold => 0,
-        SharingPolicy::CompleteSharing => 1,
-        SharingPolicy::StaticPartition => 2,
+        BufferPolicySpec::DtAlpha { alpha } => w.f64(alpha),
+        BufferPolicySpec::DelayDriven { target, drain } => {
+            w.u64(target.as_nanos());
+            w.u64(drain.as_u64());
+        }
+        BufferPolicySpec::CompleteSharing
+        | BufferPolicySpec::StaticPartition
+        | BufferPolicySpec::FlexibleBounds => {}
     }
 }
 
-fn policy_from(tag: u64) -> Result<SharingPolicy, DecodeError> {
-    match tag {
-        0 => Ok(SharingPolicy::DynamicThreshold),
-        1 => Ok(SharingPolicy::CompleteSharing),
-        2 => Ok(SharingPolicy::StaticPartition),
-        _ => Err(DecodeError::Overlong),
-    }
+fn decode_policy(r: &mut WireReader<'_>) -> Result<BufferPolicySpec, DecodeError> {
+    let kind = PolicyKind::from_code(r.u64()?).ok_or(DecodeError::Overlong)?;
+    Ok(match kind {
+        PolicyKind::DtAlpha => BufferPolicySpec::DtAlpha { alpha: r.f64()? },
+        PolicyKind::CompleteSharing => BufferPolicySpec::CompleteSharing,
+        PolicyKind::StaticPartition => BufferPolicySpec::StaticPartition,
+        PolicyKind::FlexibleBounds => BufferPolicySpec::FlexibleBounds,
+        PolicyKind::DelayDriven => BufferPolicySpec::DelayDriven {
+            target: Ns(r.u64()?),
+            drain: Bps(r.u64()?),
+        },
+    })
 }
 
 fn cc_tag(a: CcAlgorithm) -> u64 {
@@ -782,14 +790,17 @@ impl ScenarioBuilder {
         self
     }
 
-    /// DT α of the ToR.
+    /// DT α of the ToR: shorthand for selecting Dynamic Thresholds with
+    /// the given α (replaces any previously chosen buffer policy).
     pub fn alpha(&mut self, alpha: f64) -> &mut Self {
-        self.spec.alpha = alpha;
+        self.spec.policy = BufferPolicySpec::DtAlpha { alpha };
         self
     }
 
-    /// Buffer sharing policy of the ToR.
-    pub fn sharing_policy(&mut self, policy: SharingPolicy) -> &mut Self {
+    /// Buffer sharing policy of the ToR (DT, complete sharing, static
+    /// partitioning, flexible bounds, or delay-driven — see
+    /// [`BufferPolicySpec`]).
+    pub fn buffer_policy(&mut self, policy: BufferPolicySpec) -> &mut Self {
         self.spec.policy = policy;
         self
     }
@@ -937,7 +948,6 @@ mod tests {
             .warmup(Ns::from_millis(20))
             .max_clock_skew(Ns::from_micros(200))
             .alpha(2.0)
-            .sharing_policy(SharingPolicy::DynamicThreshold)
             .ecn_threshold(Bytes::from_kib(60))
             .gro(GroConfig::default())
             .fabric_hop(FabricHopConfig {
@@ -1013,6 +1023,37 @@ mod tests {
         let mut enc = rich_spec().encode();
         enc.truncate(enc.len() / 3);
         assert!(ScenarioSpec::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn every_policy_round_trips_and_unknown_tags_are_rejected() {
+        for policy in [
+            BufferPolicySpec::DtAlpha { alpha: 0.75 },
+            BufferPolicySpec::CompleteSharing,
+            BufferPolicySpec::StaticPartition,
+            BufferPolicySpec::FlexibleBounds,
+            BufferPolicySpec::DelayDriven {
+                target: Ns::from_micros(500),
+                drain: Bps(12_500_000_000),
+            },
+        ] {
+            let mut b = ScenarioBuilder::new(4, 1);
+            b.buffer_policy(policy);
+            let spec = b.spec();
+            let dec = ScenarioSpec::decode(&spec.encode()).expect("decodable");
+            assert_eq!(dec.policy, policy);
+            assert_eq!(dec, spec);
+        }
+        // An unknown policy tag must fail decoding, not silently default.
+        let mut w = WireWriter::with_magic(SPEC_MAGIC);
+        w.u64(99); // no such policy kind
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        r.expect_magic(SPEC_MAGIC).unwrap();
+        assert!(
+            decode_policy(&mut r).is_err(),
+            "unknown policy tag must be a decode error"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! cargo run --release -p ms-lake --bin lake -- query --dir /tmp/alpha-lake
 //! ```
 
-use ms_dcsim::{Ns, SharingPolicy};
+use ms_dcsim::{Bps, BufferPolicySpec, Ns};
 use ms_fleet::{run_fleet, run_fleet_to_lake, FleetCell, FleetConfig, FleetGrid, PlacementKind};
 use ms_lake::{LakeConfig, LakeWriter, TableKind};
 use ms_workload::ScenarioBuilder;
@@ -74,9 +74,20 @@ fn main() {
 
     // Policy comparison at α = 1: three hand-built cells on the same rack.
     let policy_cells: Vec<FleetCell> = [
-        ("dynamic_threshold", SharingPolicy::DynamicThreshold),
-        ("complete_sharing", SharingPolicy::CompleteSharing),
-        ("static_partition", SharingPolicy::StaticPartition),
+        (
+            "dynamic_threshold",
+            BufferPolicySpec::DtAlpha { alpha: 1.0 },
+        ),
+        ("complete_sharing", BufferPolicySpec::CompleteSharing),
+        ("static_partition", BufferPolicySpec::StaticPartition),
+        ("flexible_bounds", BufferPolicySpec::FlexibleBounds),
+        (
+            "delay_driven",
+            BufferPolicySpec::DelayDriven {
+                target: Ns::from_micros(500),
+                drain: Bps(12_500_000_000),
+            },
+        ),
     ]
     .into_iter()
     .map(|(name, policy)| {
@@ -92,7 +103,7 @@ fn main() {
         grid.warmup = Ns::from_millis(10);
         let mut cell = grid.cells().remove(0);
         let mut b = ScenarioBuilder::from_spec(cell.spec);
-        b.sharing_policy(policy);
+        b.buffer_policy(policy);
         cell.spec = b.spec();
         cell.label = String::from(name);
         cell

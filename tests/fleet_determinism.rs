@@ -5,7 +5,7 @@
 //! 2. **Panic capture** — a cell whose spec fails validation becomes a
 //!    failure row; the rest of the sweep completes untouched.
 
-use ms_dcsim::Ns;
+use ms_dcsim::{Ns, PolicyKind};
 use ms_fleet::{run_fleet, FleetCell, FleetConfig, FleetGrid, PlacementKind};
 use ms_transport::CcAlgorithm;
 use ms_workload::{FlowSpec, ScenarioBuilder};
@@ -21,9 +21,23 @@ fn small_grid() -> FleetGrid {
         alphas: vec![0.5, 2.0],
         placements: vec![PlacementKind::SingleVictim, PlacementKind::Spread],
         ccs: vec![CcAlgorithm::Dctcp],
+        policies: vec![PolicyKind::DtAlpha],
         connections: 12,
         total_bytes: 600_000,
         forensics: true,
+    }
+}
+
+/// The policy axis crossed with everything else: DT, FB, and
+/// delay-driven cells in one grid.
+fn policy_grid() -> FleetGrid {
+    FleetGrid {
+        policies: vec![
+            PolicyKind::DtAlpha,
+            PolicyKind::FlexibleBounds,
+            PolicyKind::DelayDriven,
+        ],
+        ..small_grid()
     }
 }
 
@@ -56,6 +70,36 @@ fn jobs_1_and_jobs_4_merge_byte_identical() {
     );
     // The merge itself is also structurally equal, not just its rendering.
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn policy_sweep_is_thread_count_independent_and_stamps_rows() {
+    let cells = policy_grid().cells();
+    assert_eq!(cells.len(), 24);
+
+    let serial = run_fleet(&cells, &cfg(1));
+    let parallel = run_fleet(&cells, &cfg(4));
+    assert_eq!(serial.ok_count(), 24, "{:?}", serial.failures());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+
+    // Every outcome row carries the policy its cell ran, and the CSV
+    // column agrees with the label suffix.
+    for r in &serial.results {
+        let o = r.outcome.as_ref().expect("cell completed");
+        let suffix = r.label.rsplit('-').next().unwrap();
+        assert_eq!(o.policy.label(), suffix, "row/label disagree: {}", r.label);
+    }
+    let by_policy = |k: PolicyKind| {
+        serial
+            .results
+            .iter()
+            .filter(|r| r.outcome.as_ref().is_ok_and(|o| o.policy == k))
+            .count()
+    };
+    assert_eq!(by_policy(PolicyKind::DtAlpha), 8);
+    assert_eq!(by_policy(PolicyKind::FlexibleBounds), 8);
+    assert_eq!(by_policy(PolicyKind::DelayDriven), 8);
 }
 
 #[test]

@@ -32,6 +32,7 @@ fn small_grid() -> FleetGrid {
         alphas: vec![0.5, 2.0],
         placements: vec![PlacementKind::SingleVictim, PlacementKind::Spread],
         ccs: vec![CcAlgorithm::Dctcp],
+        policies: vec![ms_dcsim::PolicyKind::DtAlpha],
         connections: 12,
         total_bytes: 600_000,
         forensics: true,
@@ -165,6 +166,70 @@ fn forensics_table_attributes_every_dropped_byte() {
     let attr_total: u64 = attr.iter().map(ms_lake::CellAttribution::total).sum();
     assert_eq!(attr_total, forensic_rows);
     assert!(attr.iter().all(|a| a.fabric_transient == 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn policy_compare_report_folds_a_lossy_grid_per_policy() {
+    use ms_dcsim::PolicyKind;
+    let dir = temp_dir("pcmp");
+    // One lossy base cell (tight α, hard incast) swept across three
+    // buffer policies — the ISSUE's "does sharing move the loss split?"
+    // fixture, kept to 3 cells so the suite stays fast.
+    let grid = FleetGrid {
+        seeds: vec![1],
+        alphas: vec![0.25],
+        placements: vec![PlacementKind::SingleVictim],
+        policies: vec![
+            PolicyKind::DtAlpha,
+            PolicyKind::FlexibleBounds,
+            PolicyKind::DelayDriven,
+        ],
+        connections: 160,
+        total_bytes: 20_000_000,
+        ..small_grid()
+    };
+    let cells = grid.cells();
+    assert_eq!(cells.len(), 3);
+    let writer = LakeWriter::create(&dir, small_lake_cfg()).unwrap();
+    run_fleet_to_lake(&cells, &cfg(2), &writer).unwrap();
+    let lake = Lake::open(&dir).unwrap();
+
+    let rows = ms_lake::lake_policy_compare(&lake).unwrap();
+    assert_eq!(rows.len(), 3, "one row per swept policy");
+    let labels: Vec<&str> = rows.iter().map(|r| r.policy.label()).collect();
+    assert_eq!(labels, vec!["dt", "fb", "delay"]);
+    for r in &rows {
+        assert_eq!(r.cells, 1);
+        assert!(r.ingress_bytes > 0);
+        // Every attributed drop is on-switch in a rack-only grid, and a
+        // policy's attribution rows exist exactly when it discarded
+        // (FB's laxer bounds can absorb an incast DT rejects).
+        assert_eq!(r.fabric_transient, 0);
+        assert_eq!(
+            r.self_burst + r.cross_contention > 0,
+            r.discard_bytes > 0,
+            "{}: attribution must mirror discards",
+            r.policy.label()
+        );
+    }
+    let dt = &rows[0];
+    assert!(dt.discard_bytes > 0, "DT at α=0.25 must drop here");
+
+    // The rendered CSV keys rows by policy label and the attribution
+    // CSV carries the per-cell policy join column.
+    let csv = ms_lake::policy_compare_csv(&lake).unwrap();
+    assert!(csv.starts_with("policy,cells,"));
+    for label in ["\ndt,", "\nfb,", "\ndelay,"] {
+        assert!(csv.contains(label), "{csv}");
+    }
+    let attr = ms_lake::attribution_csv(&lake).unwrap();
+    assert!(attr.starts_with("cell,policy,"));
+    // Each policy that dropped shows up in the per-cell join column.
+    for r in rows.iter().filter(|r| r.discard_bytes > 0) {
+        let key = format!(",{},", r.policy.label());
+        assert!(attr.contains(&key), "{attr}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
