@@ -123,6 +123,38 @@ grep -q '^policy,cells,' "$LAKE_TMP/pcmp.csv"
 grep -q '^dt,1,' "$LAKE_TMP/pcmp.csv"
 grep -q '^fb,1,' "$LAKE_TMP/pcmp.csv"
 
+echo "==> multi-rack smoke (k=4 fat-tree incast, jobs-count byte-identity)"
+# A cross-pod incast on the k=4 fat-tree: lake segments, the forensic
+# attribution histogram, and the per-tier drop split must all come back
+# byte-identical for --jobs 1 and --jobs 2, and the drops must land
+# above the ToR tier (agg/spine columns nonzero) — the whole point of
+# the region topology.
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 1 --buckets 80 --conns 160 --bytes 20000000 --quiet \
+    --seeds 1 --alphas 1.0 --placements single --topo k4d100 \
+    --forensics --out-lake "$LAKE_TMP/t1" > /dev/null
+cargo run -q --release -p ms-fleet --bin fleet -- \
+    --jobs 2 --buckets 80 --conns 160 --bytes 20000000 --quiet \
+    --seeds 1 --alphas 1.0 --placements single --topo k4d100 \
+    --forensics --out-lake "$LAKE_TMP/t2" > /dev/null
+for seg in "$LAKE_TMP"/t1/*.msl; do
+    cmp "$seg" "$LAKE_TMP/t2/$(basename "$seg")"
+done
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/t1" --report attribution --out "$LAKE_TMP/tattr_j1.csv"
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/t2" --report attribution --out "$LAKE_TMP/tattr_j2.csv"
+diff "$LAKE_TMP/tattr_j1.csv" "$LAKE_TMP/tattr_j2.csv"
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/t1" --report tiers --out "$LAKE_TMP/tiers_j1.csv"
+cargo run -q --release -p ms-lake --bin lake -- query \
+    --dir "$LAKE_TMP/t2" --report tiers --out "$LAKE_TMP/tiers_j2.csv"
+diff "$LAKE_TMP/tiers_j1.csv" "$LAKE_TMP/tiers_j2.csv"
+grep -q '^cell,tor,agg,spine,offswitch,total$' "$LAKE_TMP/tiers_j1.csv"
+# Fully cross-pod placement must push loss above the ToR: at least one
+# cell row carries nonzero agg or spine drops.
+awk -F, 'NR > 1 && ($3 + $4) > 0 { found = 1 } END { exit !found }' "$LAKE_TMP/tiers_j1.csv"
+
 # 24-hour diurnal corpus: the columnar encoding must beat raw column
 # bytes by >= 4x; BENCH_lake.json records the ratio and scan rate.
 cargo run -q --release -p ms-lake --bin lake -- bench \

@@ -232,6 +232,10 @@ pub struct SharedBufferSwitch {
     arrival_cursor: Vec<usize>,
     /// Valid entries per quadrant (saturates at [`ARRIVAL_WINDOW`]).
     arrival_len: Vec<usize>,
+    /// Added to queue indices in telemetry records so multi-switch
+    /// planes can attribute records per switch (see
+    /// [`SharedBufferSwitch::set_queue_id_base`]).
+    queue_id_base: u32,
 }
 
 impl SharedBufferSwitch {
@@ -256,6 +260,7 @@ impl SharedBufferSwitch {
             arrivals: Vec::new(),
             arrival_cursor: Vec::new(),
             arrival_len: Vec::new(),
+            queue_id_base: 0,
         }
     }
 
@@ -290,13 +295,14 @@ impl SharedBufferSwitch {
         self.cfg.policy = spec;
     }
 
-    /// Deprecated shim for the pre-`BufferPolicy` α mutator: α now rides
-    /// in [`BufferPolicySpec::DtAlpha`], so retuning it is a policy swap.
-    /// Calling this on a non-DT switch silently converts it to DT, which
-    /// is why new code should say `set_policy` explicitly.
-    #[deprecated(note = "route α through BufferPolicySpec::DtAlpha via set_policy")]
-    pub fn set_alpha(&mut self, alpha: f64) {
-        self.set_policy(BufferPolicySpec::DtAlpha { alpha });
+    /// Sets the base added to every queue index in telemetry records
+    /// (trace events and drop forensics). A single-rack switch keeps
+    /// the default `0`, so its records carry bare port numbers as
+    /// always; a fat-tree plane gives each switch a distinct
+    /// `ms_telemetry::qid::qid_base(tier, index)` so every record is
+    /// attributable to one switch in one tier.
+    pub fn set_queue_id_base(&mut self, base: u32) {
+        self.queue_id_base = base;
     }
 
     /// Attaches a depth probe to `queue`: occupancy is recorded after
@@ -339,7 +345,8 @@ impl SharedBufferSwitch {
         if let Some(tr) = &self.telemetry {
             let mut tr = tr.borrow_mut();
             let ns = now.as_nanos();
-            let q = queue as u32; // simlint: allow(cast-truncation): queue index < num_queues
+            // simlint: allow(cast-truncation): queue index < num_queues
+            let q = self.queue_id_base + queue as u32;
             tr.bus.record(TraceEvent::PacketEnqueue {
                 ns,
                 queue: q,
@@ -568,7 +575,8 @@ impl SharedBufferSwitch {
                 if let Some(tr) = &self.telemetry {
                     let mut tr = tr.borrow_mut();
                     let ns = now.as_nanos();
-                    let q32 = queue as u32; // simlint: allow(cast-truncation): queue index < num_queues
+                    // simlint: allow(cast-truncation): queue index < num_queues
+                    let q32 = self.queue_id_base + queue as u32;
                     if self.forensics_on {
                         // Pack the flight recorder *before* the drop event
                         // lands on the bus: "the preceding N events".
@@ -671,7 +679,8 @@ impl SharedBufferSwitch {
             if let Some(tr) = &self.telemetry {
                 tr.borrow_mut().bus.record(TraceEvent::DequeueIdle {
                     ns: now.as_nanos(),
-                    queue: queue as u32, // simlint: allow(cast-truncation): queue index < num_queues
+                    // simlint: allow(cast-truncation): queue index < num_queues
+                    queue: self.queue_id_base + queue as u32,
                 });
             }
             return None;
@@ -701,7 +710,8 @@ impl SharedBufferSwitch {
         if let Some(tr) = &self.telemetry {
             let mut tr = tr.borrow_mut();
             let ns = now.as_nanos();
-            let qid = queue as u32; // simlint: allow(cast-truncation): queue index < num_queues
+            // simlint: allow(cast-truncation): queue index < num_queues
+            let qid = self.queue_id_base + queue as u32;
             let occ_after = occ_before - size;
             tr.bus.record(TraceEvent::Dequeue {
                 ns,
@@ -984,18 +994,31 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn set_alpha_shim_still_retunes_dt() {
-        // The deprecated mutator must keep its historical meaning for
-        // callers that have not migrated to `set_policy` yet.
+    fn queue_id_base_offsets_every_telemetry_record() {
+        // A plane switch stamps its records with its packed qid base;
+        // the default base of 0 keeps single-rack records bare.
+        use ms_telemetry::{Telemetry, TelemetryConfig};
+        let telemetry = Telemetry::shared(TelemetryConfig::default());
         let mut sw = SharedBufferSwitch::new(small_cfg());
-        let before = sw.dynamic_threshold(0);
-        sw.set_alpha(0.25);
-        assert_eq!(sw.dynamic_threshold(0), before / 4);
-        assert_eq!(
-            sw.config().policy,
-            BufferPolicySpec::DtAlpha { alpha: 0.25 }
-        );
+        sw.set_queue_id_base(0x0010_0500); // agg 5 in qid packing
+        sw.set_telemetry(telemetry.clone());
+        assert!(matches!(
+            sw.try_enqueue(2, pkt(1, 1000), Ns(10)),
+            EnqueueOutcome::Enqueued { .. }
+        ));
+        sw.dequeue(2, Ns(20));
+        let tr = telemetry.borrow();
+        let queues: Vec<u32> = tr
+            .bus
+            .iter()
+            .map(|ev| match *ev {
+                TraceEvent::PacketEnqueue { queue, .. } | TraceEvent::Dequeue { queue, .. } => {
+                    queue
+                }
+                _ => panic!("unexpected event kind"),
+            })
+            .collect();
+        assert_eq!(queues, vec![0x0010_0502, 0x0010_0502]);
     }
 
     #[test]

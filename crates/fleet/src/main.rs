@@ -22,7 +22,9 @@
 //! enforces this split via `simlint.toml` allows scoped to this file).
 
 use ms_dcsim::PolicyKind;
-use ms_fleet::{cc_parse, run_fleet, run_fleet_to_lake, FleetConfig, FleetGrid, PlacementKind};
+use ms_fleet::{
+    cc_parse, run_fleet, run_fleet_to_lake, FleetConfig, FleetGrid, PlacementKind, TopoPoint,
+};
 use ms_lake::{LakeConfig, LakeWriter};
 use std::time::Instant;
 
@@ -51,13 +53,14 @@ fn main() {
     let jobs = cfg.effective_jobs().min(cells.len()).max(1);
     if !out.quiet {
         eprintln!(
-            "[fleet] {} cells ({} seeds x {} alphas x {} placements x {} ccs x {} policies), {jobs} worker(s)",
+            "[fleet] {} cells ({} seeds x {} alphas x {} placements x {} ccs x {} policies x {} topos), {jobs} worker(s)",
             cells.len(),
             grid.seeds.len(),
             grid.alphas.len(),
             grid.placements.len(),
             grid.ccs.len(),
             grid.policies.len(),
+            grid.topos.len(),
         );
     }
 
@@ -226,6 +229,15 @@ fn parse_args(args: &[String]) -> Result<(FleetGrid, FleetConfig, OutputSpec), S
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--topo" => {
+                grid.topos = split_list(value("--topo")?)
+                    .map(|s| {
+                        TopoPoint::parse(s).ok_or_else(|| {
+                            format!("--topo: {s:?} is not none or k<radix>d<density> (e.g. k4d75)")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--forensics" => grid.forensics = true,
             "--csv" => out.csv_path = Some(value("--csv")?.clone()),
             "--json" => out.json_path = Some(value("--json")?.clone()),
@@ -270,7 +282,7 @@ fn print_help() {
          \n\
          USAGE: fleet [OPTIONS]\n\
          \n\
-         Grid (cartesian product, run in seed > alpha > placement > cc > policy order):\n\
+         Grid (cartesian product, run in seed > alpha > placement > cc > policy > topo order):\n\
          \x20 --seeds N,N,..        experiment seeds           [default 1,2]\n\
          \x20 --alphas F,F,..       DT alpha values            [default 0.5,2.0]\n\
          \x20 --placements L,L,..   single|paired|spread       [default single,paired]\n\
@@ -279,6 +291,10 @@ fn print_help() {
          \x20                       ToR buffer sharing: dynamic-threshold,\n\
          \x20                       complete sharing, static partition,\n\
          \x20                       flexible bounds, delay-driven\n\
+         \x20 --topo L,L,..         none|k<radix>d<density>    [default none]\n\
+         \x20                       fat-tree cells (e.g. k4d75) span k^3/4 hosts;\n\
+         \x20                       density = % of incast connections sourced\n\
+         \x20                       outside the victim's pod (cross-rack placement)\n\
          \x20 --servers N           servers per rack           [default 8]\n\
          \x20 --buckets N           sampler buckets (1 ms)     [default 200]\n\
          \x20 --conns N             connections per cell       [default 80]\n\

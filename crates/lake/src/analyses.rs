@@ -173,6 +173,7 @@ pub fn outcomes_csv(lake: &Lake) -> Result<String, LakeError> {
 // Column indices of the `forensics` table (on-disk order; see
 // `segment::FORENSIC_COLS`).
 const FO_CELL: usize = 0;
+const FO_QUEUE: usize = 2;
 const FO_REASON: usize = 5;
 const FO_CAUSE: usize = 6;
 
@@ -243,6 +244,93 @@ pub fn attribution_csv(lake: &Lake) -> Result<String, LakeError> {
             a.self_burst,
             a.cross_contention,
             a.fabric_transient,
+            a.total()
+        );
+    }
+    Ok(out)
+}
+
+/// One cell's drop counts split by the switch tier that discarded — ToR,
+/// agg, or spine per the tier code packed into each forensic's queue id
+/// (see `ms_telemetry::qid`), plus off-switch drops (fabric FIFO, NIC
+/// fault), which are routed by their `FabricTransient` cause rather than
+/// by queue id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellTierDrops {
+    /// Sweep-global cell index.
+    pub cell: u64,
+    /// Drops at top-of-rack switches (and the legacy single-rack ToR).
+    pub tor: u64,
+    /// Drops at pod aggregation switches.
+    pub agg: u64,
+    /// Drops at spine switches.
+    pub spine: u64,
+    /// Drops away from any shared-buffer switch.
+    pub offswitch: u64,
+}
+
+impl CellTierDrops {
+    /// All classified drops in the cell.
+    pub fn total(&self) -> u64 {
+        self.tor + self.agg + self.spine + self.offswitch
+    }
+}
+
+/// Streams the forensics table into per-cell tier histograms — where in
+/// the fat tree each cell's loss happened. Rows come back in cell order;
+/// cells with no forensics are absent.
+pub fn lake_tier_drops(lake: &Lake) -> Result<Vec<CellTierDrops>, LakeError> {
+    let mut out: Vec<CellTierDrops> = Vec::new();
+    let mut scan = TableScan::new(
+        lake,
+        TableKind::Forensics,
+        &[FO_CELL, FO_QUEUE, FO_CAUSE],
+        Vec::new(),
+    )?;
+    let mut batch = Batch::new();
+    while scan.next_batch(&mut batch)? {
+        for row in 0..batch.rows {
+            let cell = batch.value(0, row);
+            if out.last().map_or(true, |a| a.cell != cell) {
+                out.push(CellTierDrops {
+                    cell,
+                    ..CellTierDrops::default()
+                });
+            }
+            let a = out.last_mut().ok_or(LakeError::Corrupt("empty tiers"))?;
+            let offswitch =
+                batch.value(2, row) == u64::from(ms_telemetry::DropCause::FabricTransient.code());
+            if offswitch {
+                a.offswitch += 1;
+                continue;
+            }
+            let qid = u32::try_from(batch.value(1, row))
+                .map_err(|_| LakeError::Corrupt("bad queue id in forensics table"))?;
+            match ms_telemetry::qid::qid_tier(qid) {
+                ms_telemetry::qid::TIER_TOR => a.tor += 1,
+                ms_telemetry::qid::TIER_AGG => a.agg += 1,
+                ms_telemetry::qid::TIER_SPINE => a.spine += 1,
+                _ => return Err(LakeError::Corrupt("bad tier code in forensics table")),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders [`lake_tier_drops`] as deterministic CSV, one row per cell
+/// with any classified drops.
+pub fn tiers_csv(lake: &Lake) -> Result<String, LakeError> {
+    use std::fmt::Write;
+    let mut out = String::from("cell,tor,agg,spine,offswitch,total\n");
+    for a in lake_tier_drops(lake)? {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            a.cell,
+            a.tor,
+            a.agg,
+            a.spine,
+            a.offswitch,
             a.total()
         );
     }
@@ -618,6 +706,65 @@ mod tests {
         assert!(csv.starts_with("cell,policy,self_burst,cross_contention,fabric_transient,total\n"));
         // build() writes default-policy outcomes, so the join column is dt.
         assert!(csv.contains("\n2,dt,1,1,0,2\n"), "{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tier_drops_split_by_packed_queue_id() {
+        use ms_telemetry::qid::{pack_qid, OFFSWITCH_QID, TIER_AGG, TIER_SPINE, TIER_TOR};
+        let dir = temp_dir("tiers");
+        let w = LakeWriter::create(
+            &dir,
+            LakeConfig {
+                chunk_rows: 8,
+                segment_rows: 16,
+            },
+        )
+        .unwrap();
+        let mk = |queue: u32, cause_code: u8| {
+            let mut f = forensic(0, 0);
+            f.queue = queue;
+            f.cause = ms_telemetry::DropCause::from_code(cause_code).unwrap();
+            f
+        };
+        let mut shard = w.shard_writer(0).unwrap();
+        shard
+            .append(&CellRows {
+                cell: 0,
+                label: String::from("cell-0"),
+                outcome: Some(Ok(outcome(1))),
+                bursts: Vec::new(),
+                series: Vec::new(),
+                forensics: vec![
+                    mk(pack_qid(TIER_TOR, 0, 1), 1),
+                    mk(pack_qid(TIER_AGG, 5, 2), 1),
+                    mk(pack_qid(TIER_AGG, 5, 2), 0),
+                    mk(pack_qid(TIER_SPINE, 3, 0), 1),
+                    // Off-switch drops route by cause, not queue id.
+                    mk(OFFSWITCH_QID, 2),
+                    // Legacy single-rack forensics carry a bare port id.
+                    mk(7, 1),
+                ],
+            })
+            .unwrap();
+        shard.finish().unwrap();
+        w.compact().unwrap();
+        let lake = Lake::open(&dir).unwrap();
+        let rows = lake_tier_drops(&lake).unwrap();
+        assert_eq!(
+            rows,
+            vec![CellTierDrops {
+                cell: 0,
+                tor: 2,
+                agg: 2,
+                spine: 1,
+                offswitch: 1,
+            }]
+        );
+        assert_eq!(
+            tiers_csv(&lake).unwrap(),
+            "cell,tor,agg,spine,offswitch,total\n0,2,2,1,1,6\n"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

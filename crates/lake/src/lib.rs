@@ -37,8 +37,8 @@ pub mod writer;
 
 pub use analyses::{
     attribution_csv, forensics_csv, lake_loss_attribution, lake_policy_compare,
-    lake_sweep_aggregate, outcomes_csv, policy_compare_csv, synth_diurnal_series, CellAttribution,
-    PolicyCompare,
+    lake_sweep_aggregate, lake_tier_drops, outcomes_csv, policy_compare_csv, synth_diurnal_series,
+    tiers_csv, CellAttribution, CellTierDrops, PolicyCompare,
 };
 pub use host_ext::HostStoreExt;
 pub use query::{for_each_row, Batch, ColumnRange, Operator, RowFilter, ScanStats, TableScan};

@@ -4,7 +4,7 @@
 //! lake synth   --dir DIR [--seed N] [--hosts N] [--buckets N]
 //!              [--interval-ms N] [--chunk-rows N] [--segment-rows N]
 //! lake compact --dir DIR [--chunk-rows N] [--segment-rows N]
-//! lake query   --dir DIR [--report aggregate|outcomes|forensics|attribution|policy-compare]
+//! lake query   --dir DIR [--report aggregate|outcomes|forensics|attribution|tiers|policy-compare]
 //!              [--out PATH]
 //! lake stat    --dir DIR
 //! lake bench   --dir DIR [--seed N] [--hosts N] [--json PATH]
@@ -158,10 +158,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         "outcomes" => outcomes_csv(&lake).map_err(|e| e.to_string())?,
         "forensics" => ms_lake::forensics_csv(&lake).map_err(|e| e.to_string())?,
         "attribution" => ms_lake::attribution_csv(&lake).map_err(|e| e.to_string())?,
+        "tiers" => ms_lake::tiers_csv(&lake).map_err(|e| e.to_string())?,
         "policy-compare" => ms_lake::policy_compare_csv(&lake).map_err(|e| e.to_string())?,
         other => {
             return Err(format!(
-                "--report: {other:?} is not aggregate/outcomes/forensics/attribution/policy-compare"
+                "--report: {other:?} is not aggregate/outcomes/forensics/attribution/tiers/policy-compare"
             ))
         }
     };
@@ -287,7 +288,7 @@ fn print_help() {
          \x20 synth    write a deterministic diurnal corpus and compact it\n\
          \x20 compact  fold leftover shard files into final segments\n\
          \x20 query    stream an analysis out-of-core\n\
-         \x20          (--report aggregate|outcomes|forensics|attribution|policy-compare)\n\
+         \x20          (--report aggregate|outcomes|forensics|attribution|tiers|policy-compare)\n\
          \x20 stat     print the manifest and verify every segment checksum\n\
          \x20 bench    build the diurnal corpus, measure compression + scan rate\n\
          \n\
@@ -300,7 +301,7 @@ fn print_help() {
          \x20 --chunk-rows N      rows per chunk                    [default 4096]\n\
          \x20 --segment-rows N    rows per segment file             [default 262144]\n\
          \x20 --report KIND       query report: aggregate|outcomes|forensics|\n\
-         \x20                     attribution|policy-compare    [default aggregate]\n\
+         \x20                     attribution|tiers|policy-compare [default aggregate]\n\
          \x20 --out PATH          write query output to PATH (default: stdout)\n\
          \x20 --json PATH         write BENCH_lake.json to PATH (bench only)"
     );

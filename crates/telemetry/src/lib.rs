@@ -45,6 +45,7 @@ pub mod bus;
 pub mod forensics;
 pub mod metrics;
 pub mod perfetto;
+pub mod qid;
 
 pub use bus::{DropReason, TraceBus, TraceEvent};
 pub use forensics::{DropCause, DropForensic, ForensicStore};

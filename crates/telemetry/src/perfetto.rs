@@ -98,6 +98,17 @@ fn flow_tid(flow: u64) -> u64 {
     300 + flow
 }
 
+/// Track label for a queue id: legacy single-rack ids keep the
+/// historical `queue<N>` name; packed region ids render per switch
+/// (`agg5.q2`, `spine0.q3` — see [`crate::qid`]).
+fn queue_track(queue: u32) -> String {
+    if queue <= crate::qid::QID_PORT_MASK {
+        format!("queue{queue}")
+    } else {
+        crate::qid::qid_name(queue)
+    }
+}
+
 /// Serializes the trace ring as Chrome/Perfetto trace-event JSON.
 ///
 /// Occupancy and cwnd become counter tracks; drops, marks, crossings,
@@ -127,7 +138,7 @@ pub fn write_perfetto<W: Write>(w: &mut W, bus: &TraceBus, meta: &PerfettoMeta) 
                 occupancy,
                 ..
             } => {
-                let name = format!("queue{queue}.occupancy");
+                let name = format!("{}.occupancy", queue_track(queue));
                 write_counter(w, &mut first, ns, &name, "bytes", occupancy.as_u64())?;
             }
             TraceEvent::PacketDrop {
@@ -298,7 +309,12 @@ pub fn summary(bus: &TraceBus, top_n: usize) -> String {
     if !drops_by_queue.is_empty() {
         let _ = writeln!(out, "top queues by drops:");
         for (queue, count) in drops_by_queue.iter().take(top_n) {
-            let _ = writeln!(out, "  queue {queue:<4} {count}");
+            let name = if *queue <= crate::qid::QID_PORT_MASK {
+                queue.to_string()
+            } else {
+                crate::qid::qid_name(*queue)
+            };
+            let _ = writeln!(out, "  queue {name:<4} {count}");
         }
     }
     if fct.total() > 0 {

@@ -1,0 +1,156 @@
+//! Region-scale queue-id packing: `(tier, switch, port)` in a `u32`.
+//!
+//! Every telemetry record ([`crate::TraceEvent`], [`crate::DropForensic`])
+//! carries a `u32` queue id. With one switch per rack that id was
+//! simply the port number. A fat-tree region has many switches across
+//! three tiers, and forensics/Perfetto must attribute each record to a
+//! *specific* switch — so the id is packed:
+//!
+//! ```text
+//!   bits 31..20  tier        (0 = ToR, 1 = agg, 2 = spine)
+//!   bits 19..8   switch idx  (index within the tier)
+//!   bits  7..0   port        (drain queue on that switch)
+//! ```
+//!
+//! Legacy single-rack ids (small port numbers, switch 0) decode as
+//! `(ToR, 0, port)` unchanged, so pre-topology lakes and traces keep
+//! their meaning. The off-switch sentinel `0xFFFF` (fabric FIFO and
+//! NIC-fault drops, which happen on no switch at all) is deliberately
+//! *not* a packed id — consumers route those records by their
+//! [`crate::DropCause::FabricTransient`] cause, never by qid.
+
+/// Bit position of the tier field.
+pub const QID_TIER_SHIFT: u32 = 20;
+/// Bit position of the switch-index field.
+pub const QID_SWITCH_SHIFT: u32 = 8;
+/// Mask of the switch-index field (12 bits: up to 4096 switches/tier).
+pub const QID_SWITCH_MASK: u32 = 0xFFF;
+/// Mask of the port field (8 bits: up to 256 ports/switch).
+pub const QID_PORT_MASK: u32 = 0xFF;
+
+/// Sentinel queue id for drops that happen on no switch at all (the
+/// abstract fabric trunk FIFO, NIC faults). Kept identical to the
+/// pre-topology value so old lakes decode unchanged.
+pub const OFFSWITCH_QID: u32 = 0xFFFF;
+
+/// Tier code for top-of-rack switches.
+pub const TIER_TOR: u8 = 0;
+/// Tier code for pod aggregation switches.
+pub const TIER_AGG: u8 = 1;
+/// Tier code for region spine switches.
+pub const TIER_SPINE: u8 = 2;
+
+/// Packs `(tier, switch index, port)` into a telemetry queue id.
+///
+/// Hot-path friendly: pure shifts/ors, saturating via masks rather
+/// than panicking on out-of-range inputs.
+#[inline]
+pub fn pack_qid(tier: u8, switch_idx: u32, port: u32) -> u32 {
+    (u32::from(tier) << QID_TIER_SHIFT)
+        | ((switch_idx & QID_SWITCH_MASK) << QID_SWITCH_SHIFT)
+        | (port & QID_PORT_MASK)
+}
+
+/// The switch half of a qid: everything but the port. Adding a raw
+/// port number to this base yields the packed qid, which is how
+/// `SharedBufferSwitch` stamps its records without knowing the tree.
+#[inline]
+pub fn qid_base(tier: u8, switch_idx: u32) -> u32 {
+    pack_qid(tier, switch_idx, 0)
+}
+
+/// Tier field of a packed qid.
+#[inline]
+pub fn qid_tier(qid: u32) -> u8 {
+    // simlint: allow(cast-truncation): tier field is 2 bits wide
+    (qid >> QID_TIER_SHIFT) as u8
+}
+
+/// Switch-index field of a packed qid.
+#[inline]
+pub fn qid_switch(qid: u32) -> u32 {
+    (qid >> QID_SWITCH_SHIFT) & QID_SWITCH_MASK
+}
+
+/// Port field of a packed qid.
+#[inline]
+pub fn qid_port(qid: u32) -> u32 {
+    qid & QID_PORT_MASK
+}
+
+/// Stable lowercase label of a tier code ("tor"/"agg"/"spine";
+/// unknown codes render as "tier?").
+pub fn tier_label(tier: u8) -> &'static str {
+    match tier {
+        TIER_TOR => "tor",
+        TIER_AGG => "agg",
+        TIER_SPINE => "spine",
+        _ => "tier?",
+    }
+}
+
+/// Human name of a packed qid: `tor0.q3`, `agg5.q2`, `spine1.q0`.
+/// Legacy ids (tier 0, switch 0) keep the historical bare `q<port>`
+/// so single-rack Perfetto tracks and summaries are unchanged.
+pub fn qid_name(qid: u32) -> String {
+    if qid == OFFSWITCH_QID {
+        return String::from("offswitch");
+    }
+    let (tier, sw, port) = (qid_tier(qid), qid_switch(qid), qid_port(qid));
+    if tier == TIER_TOR && sw == 0 {
+        format!("q{port}")
+    } else {
+        format!("{}{sw}.q{port}", tier_label(tier))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for tier in [TIER_TOR, TIER_AGG, TIER_SPINE] {
+            for sw in [0u32, 1, 7, 4095] {
+                for port in [0u32, 3, 255] {
+                    let qid = pack_qid(tier, sw, port);
+                    assert_eq!(qid_tier(qid), tier);
+                    assert_eq!(qid_switch(qid), sw);
+                    assert_eq!(qid_port(qid), port);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_port_numbers_decode_as_tor_zero() {
+        for port in 0..8u32 {
+            assert_eq!(qid_tier(port), TIER_TOR);
+            assert_eq!(qid_switch(port), 0);
+            assert_eq!(qid_port(port), port);
+            assert_eq!(qid_name(port), format!("q{port}"));
+        }
+    }
+
+    #[test]
+    fn base_plus_port_equals_pack() {
+        assert_eq!(qid_base(TIER_AGG, 5) + 2, pack_qid(TIER_AGG, 5, 2));
+        assert_eq!(qid_base(TIER_SPINE, 3) + 1, pack_qid(TIER_SPINE, 3, 1));
+        assert_eq!(qid_base(TIER_TOR, 0), 0);
+    }
+
+    #[test]
+    fn names_are_tier_scoped() {
+        assert_eq!(qid_name(pack_qid(TIER_AGG, 5, 2)), "agg5.q2");
+        assert_eq!(qid_name(pack_qid(TIER_SPINE, 0, 3)), "spine0.q3");
+        assert_eq!(qid_name(pack_qid(TIER_TOR, 2, 1)), "tor2.q1");
+    }
+
+    #[test]
+    fn out_of_range_inputs_saturate_instead_of_panicking() {
+        let qid = pack_qid(TIER_AGG, 0x1_0000, 0x300);
+        assert_eq!(qid_switch(qid), 0);
+        assert_eq!(qid_port(qid), 0);
+        assert_eq!(qid_tier(qid), TIER_AGG);
+    }
+}

@@ -1,0 +1,40 @@
+//! `ms-topo` — region-scale k-ary fat-tree topology.
+//!
+//! The paper's placement-driven contention bimodality (§6) and the
+//! contention↛loss split (§8) are *region*-level effects: whether an
+//! incast melts a ToR, an agg uplink, or diffuses across spines is
+//! decided by where the sources sit in the tree, not by any per-switch
+//! parameter. This crate supplies the structural half of that story:
+//!
+//! * [`FatTree`] instantiates the classic k-ary fat-tree — `k` pods of
+//!   `k/2` ToRs × `k/2` hosts, `k/2` aggs per pod, `(k/2)²` spines —
+//!   from a [`FatTreeOpts`], with closed-form count accessors and a
+//!   flat `(pod, tor, host)` ⇄ host-id addressing scheme
+//!   ([`HostAddr`]).
+//! * [`FatTree::route`] answers "which output port(s)" per switch per
+//!   destination as a contiguous [`NextHops`] port range (a single
+//!   down-port, or the equal-cost up-port set).
+//! * [`EcmpHash`] picks one port from an equal-cost set with a
+//!   seedable FNV-1a rendezvous hash: a pure function of
+//!   `(seed, flow, src, dst, salt)`, so path choice is byte-identical
+//!   across runs and across `--jobs`, and shrinking an equal-cost set
+//!   only remaps the flows that were on the removed member.
+//!
+//! The crate is deliberately inert: it owns *shape* (who connects to
+//! whom, at what rate, behind how much buffer) and *path choice*, but
+//! no queues, clocks, or events. `ms-workload` instantiates one
+//! `SharedBufferSwitch` per node and drives packets hop-by-hop on its
+//! own `EventQueue`, so every existing invariant (deterministic
+//! replay, drop forensics, per-switch telemetry) applies per tier.
+//!
+//! `k = 1` is accepted as the *degenerate* topology: no tree at all,
+//! just the single abstract "fabric trunk" hop above one rack that the
+//! simulator has always had. This gives the old smoothing-FIFO path a
+//! single owner (`TopologySpec` with `k == 1`) instead of a parallel
+//! config struct.
+
+pub mod ecmp;
+pub mod tree;
+
+pub use ecmp::EcmpHash;
+pub use tree::{FatTree, FatTreeOpts, HopTarget, HostAddr, NextHops, SwitchId, Tier};

@@ -37,11 +37,14 @@ pub use diurnal::Diurnal;
 /// Re-exported from `ms-units` via `ms-dcsim`: the rate and volume
 /// newtypes used throughout scenario specs.
 pub use ms_dcsim::{Bps, Bytes};
+/// Re-exported from `ms-topo`: fat-tree construction options consumed by
+/// [`TopologySpec::fat_tree`] and region-host addressing helpers.
+pub use ms_topo::{FatTree, FatTreeOpts, HostAddr};
 pub use placement::{RackClass, RackSpec, RegionKind, RegionSpec, TaskInstance};
 pub use scenario::{rack_sim_for, rack_spec_for, ScenarioConfig};
-pub use sim::{RackSim, RackSimConfig, RackSimReport};
+pub use sim::{RackSim, RackSimConfig, RackSimReport, TopologySpec};
 pub use spec::{
     AgentSpec, ChatterSpec, GenSpec, McastBurstSpec, NicDropSpec, ScenarioBuilder, ScenarioSpec,
-    ScheduledFlow, StallSpec,
+    ScheduledFlow, ScheduledTopoFlow, StallSpec,
 };
-pub use tasks::{FlowSpec, TaskGen, TaskKind, WorkItem};
+pub use tasks::{FlowSpec, TaskGen, TaskKind, TopoFlowSpec, WorkItem};

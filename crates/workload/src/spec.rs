@@ -39,12 +39,13 @@
 //! grid of specs across worker threads and rebuild each simulation
 //! inside the worker, keeping every run bit-deterministic.
 
-use crate::sim::{FabricHopConfig, GroConfig, RackSim, RackSimConfig};
-use crate::tasks::{FlowSpec, MlPhase, TaskGen, TaskKind};
+use crate::sim::{FabricHopConfig, GroConfig, RackSim, RackSimConfig, TopologySpec};
+use crate::tasks::{FlowSpec, MlPhase, TaskGen, TaskKind, TopoFlowSpec};
 use millisampler::codec::{DecodeError, WireReader, WireWriter};
 use millisampler::{RunConfig, SchedulerConfig};
 use ms_dcsim::{Bps, BufferPolicySpec, Bytes, Ns, PolicyKind, RackConfig, SimRng};
 use ms_telemetry::TelemetryConfig;
+use ms_topo::{FatTree, FatTreeOpts};
 use ms_transport::CcAlgorithm;
 
 /// A flow group scheduled at an absolute simulation time.
@@ -54,6 +55,15 @@ pub struct ScheduledFlow {
     pub at: Ns,
     /// What they deliver.
     pub flow: FlowSpec,
+}
+
+/// A host-to-host fat-tree flow group scheduled at an absolute time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledTopoFlow {
+    /// When the connections start.
+    pub at: Ns,
+    /// What they deliver, between which region hosts.
+    pub flow: TopoFlowSpec,
 }
 
 /// A generative traffic program bound to one server (declarative form of
@@ -164,8 +174,9 @@ pub struct ScenarioSpec {
     pub ecn_threshold: Option<Bytes>,
     /// Receive-side coalescing (§4.6 artifact study).
     pub gro: Option<GroConfig>,
-    /// Explicit fabric hop before the ToR (§8.1 ablation).
-    pub fabric_hop: Option<FabricHopConfig>,
+    /// Network plane in front of the hosts: a single abstract trunk
+    /// (§8.1 ablation) or a full k-ary fat tree ([`TopologySpec`]).
+    pub topology: Option<TopologySpec>,
     /// Contention-driven DT α retuning period (§9 probe).
     pub alpha_tune_period: Option<Ns>,
     /// Pacing applied to flows without their own (§8.1 fabric smoothing).
@@ -174,6 +185,8 @@ pub struct ScenarioSpec {
     pub telemetry_ring: Option<usize>,
     /// Flow groups scheduled at absolute times.
     pub flows: Vec<ScheduledFlow>,
+    /// Host-to-host flow groups routed through a fat-tree topology.
+    pub topo_flows: Vec<ScheduledTopoFlow>,
     /// Generative traffic programs.
     pub generators: Vec<GenSpec>,
     /// NIC-level drop injectors.
@@ -197,6 +210,13 @@ pub struct ScenarioSpec {
 
 const SPEC_MAGIC: &[u8; 4] = b"MSS1";
 
+/// Terminates the trailing tagged-section list.
+const SECTION_END: u64 = 0;
+/// Tagged section carrying the [`TopologySpec`].
+const SECTION_TOPOLOGY: u64 = 1;
+/// Tagged section carrying the scheduled topo flows.
+const SECTION_TOPO_FLOWS: u64 = 2;
+
 impl ScenarioSpec {
     /// Paper-like defaults on a rack of `num_servers`: 12.5 Gbps links,
     /// the 16 MB / α=1 / 120 KB-ECN ToR, 1 ms × 2000 sampler buckets,
@@ -213,11 +233,12 @@ impl ScenarioSpec {
             policy: defaults.rack.switch.policy,
             ecn_threshold: None,
             gro: None,
-            fabric_hop: None,
+            topology: None,
             alpha_tune_period: None,
             fabric_smoothing_bps: None,
             telemetry_ring: None,
             flows: Vec::new(),
+            topo_flows: Vec::new(),
             generators: Vec::new(),
             nic_drops: Vec::new(),
             stalls: Vec::new(),
@@ -283,6 +304,53 @@ impl ScenarioSpec {
         for a in &self.agents {
             check("agent", a.server);
         }
+        if let Some(TopologySpec::FatTree { opts, .. }) = self.topology {
+            opts.validate();
+            let hosts = FatTree::new(opts).num_hosts() as usize;
+            assert!(
+                self.num_servers == hosts,
+                "scenario: a k={} fat tree has {hosts} hosts but the rack \
+                 declares {} servers",
+                opts.k,
+                self.num_servers
+            );
+            // Single-rack machinery addresses abstract senders and ToR
+            // queues that do not exist in a fat tree; rather than let
+            // them half-work, the combinations are rejected outright.
+            let forbid = |what: &str, present: bool| {
+                assert!(
+                    !present,
+                    "scenario: {what} is single-rack machinery and cannot \
+                     be combined with a fat-tree topology (use topo_flow_at)"
+                );
+            };
+            forbid("flow_at", !self.flows.is_empty());
+            forbid("generator", !self.generators.is_empty());
+            forbid("chatter", !self.chatter.is_empty());
+            forbid("multicast membership", !self.mcast_members.is_empty());
+            forbid("multicast burst", !self.mcast_bursts.is_empty());
+            forbid("queue probe", !self.probe_queues.is_empty());
+            forbid("alpha_tune_period", self.alpha_tune_period.is_some());
+        }
+        if !self.topo_flows.is_empty() {
+            let hosts = match self.topology {
+                Some(TopologySpec::FatTree { opts, .. }) => FatTree::new(opts).num_hosts(),
+                _ => panic!("scenario: topo flows require a fat-tree topology"),
+            };
+            for f in &self.topo_flows {
+                assert!(
+                    f.flow.src_host < hosts && f.flow.dst_host < hosts,
+                    "scenario: topo flow {} -> {} outside the {hosts}-host tree",
+                    f.flow.src_host,
+                    f.flow.dst_host
+                );
+                assert!(
+                    f.flow.src_host != f.flow.dst_host,
+                    "scenario: topo flow from host {} to itself",
+                    f.flow.src_host
+                );
+            }
+        }
     }
 
     /// Materializes the simulation this spec describes. Replaces the old
@@ -303,7 +371,7 @@ impl ScenarioSpec {
             max_clock_skew: self.max_clock_skew,
             warmup: self.warmup,
             gro: self.gro,
-            fabric_hop: self.fabric_hop,
+            topology: self.topology,
             alpha_tune_period: self.alpha_tune_period,
         };
         let mut sim = RackSim::new(cfg);
@@ -325,6 +393,9 @@ impl ScenarioSpec {
         }
         for f in &self.flows {
             sim.schedule_flow(f.at, f.flow);
+        }
+        for f in &self.topo_flows {
+            sim.schedule_topo_flow(f.at, f.flow);
         }
         for g in &self.generators {
             sim.add_generator(TaskGen::new(
@@ -379,14 +450,6 @@ impl ScenarioSpec {
                 w.bool(true);
                 w.u64(u64::from(g.max_bytes));
                 w.u64(g.timeout.as_nanos());
-            }
-            None => w.bool(false),
-        }
-        match self.fabric_hop {
-            Some(f) => {
-                w.bool(true);
-                w.u64(f.rate_bps.as_u64());
-                w.u64(f.buffer_bytes.as_u64());
             }
             None => w.bool(false),
         }
@@ -466,6 +529,28 @@ impl ScenarioSpec {
             }
         }
         w.bool(self.forensics);
+        // Optional trailing sections, each introduced by a tag so new
+        // spec features extend the wire format without renumbering the
+        // fixed prefix; SECTION_END terminates the list.
+        if let Some(t) = self.topology {
+            w.u64(SECTION_TOPOLOGY);
+            encode_topology(&mut w, t);
+        }
+        if !self.topo_flows.is_empty() {
+            w.u64(SECTION_TOPO_FLOWS);
+            w.u64(self.topo_flows.len() as u64);
+            for f in &self.topo_flows {
+                w.u64(f.at.as_nanos());
+                w.u64(u64::from(f.flow.src_host));
+                w.u64(u64::from(f.flow.dst_host));
+                w.u64(u64::from(f.flow.connections));
+                w.u64(f.flow.total_bytes);
+                w.u64(cc_tag(f.flow.algorithm));
+                opt_u64(&mut w, f.flow.paced_bps.map(Bps::as_u64));
+                w.u64(f.flow.task);
+            }
+        }
+        w.u64(SECTION_END);
         w.finish()
     }
 
@@ -491,14 +576,6 @@ impl ScenarioSpec {
                 // simlint: allow(cast-truncation): GRO cap is u32 by construction
                 max_bytes: r.u64()? as u32,
                 timeout: Ns(r.u64()?),
-            })
-        } else {
-            None
-        };
-        let fabric_hop = if r.bool()? {
-            Some(FabricHopConfig {
-                rate_bps: Bps(r.u64()?),
-                buffer_bytes: Bytes(r.u64()?),
             })
         } else {
             None
@@ -609,6 +686,34 @@ impl ScenarioSpec {
             });
         }
         let forensics = r.bool()?;
+        let mut topology = None;
+        let mut topo_flows = Vec::new();
+        loop {
+            match r.u64()? {
+                SECTION_END => break,
+                SECTION_TOPOLOGY => topology = Some(decode_topology(&mut r)?),
+                SECTION_TOPO_FLOWS => {
+                    for _ in 0..bounded_len(&mut r)? {
+                        topo_flows.push(ScheduledTopoFlow {
+                            at: Ns(r.u64()?),
+                            flow: TopoFlowSpec {
+                                // simlint: allow(cast-truncation): host ids are u32 by construction
+                                src_host: r.u64()? as u32,
+                                // simlint: allow(cast-truncation): host ids are u32 by construction
+                                dst_host: r.u64()? as u32,
+                                // simlint: allow(cast-truncation): connection counts are u32 by construction
+                                connections: r.u64()? as u32,
+                                total_bytes: r.u64()?,
+                                algorithm: cc_from(r.u64()?)?,
+                                paced_bps: opt_u64_from(&mut r)?.map(Bps),
+                                task: r.u64()?,
+                            },
+                        });
+                    }
+                }
+                _ => return Err(DecodeError::Overlong),
+            }
+        }
         Ok(ScenarioSpec {
             num_servers,
             seed,
@@ -619,11 +724,12 @@ impl ScenarioSpec {
             policy,
             ecn_threshold,
             gro,
-            fabric_hop,
+            topology,
             alpha_tune_period,
             fabric_smoothing_bps,
             telemetry_ring,
             flows,
+            topo_flows,
             generators,
             nic_drops,
             stalls,
@@ -690,6 +796,49 @@ fn decode_policy(r: &mut WireReader<'_>) -> Result<BufferPolicySpec, DecodeError
             drain: Bps(r.u64()?),
         },
     })
+}
+
+/// Topology wire layout: a variant tag (0 = trunk, 1 = fat tree), then
+/// the variant's parameters; unknown variants are a decode error.
+fn encode_topology(w: &mut WireWriter, t: TopologySpec) {
+    match t {
+        TopologySpec::Trunk(f) => {
+            w.u64(0);
+            w.u64(f.rate_bps.as_u64());
+            w.u64(f.buffer_bytes.as_u64());
+        }
+        TopologySpec::FatTree { opts, ecmp_seed } => {
+            w.u64(1);
+            w.u64(u64::from(opts.k));
+            w.u64(opts.link_gbps);
+            w.u64(opts.link_latency_ns);
+            w.u64(opts.buffer_bytes.as_u64());
+            encode_policy(w, opts.policy);
+            w.u64(ecmp_seed);
+        }
+    }
+}
+
+fn decode_topology(r: &mut WireReader<'_>) -> Result<TopologySpec, DecodeError> {
+    match r.u64()? {
+        0 => Ok(TopologySpec::Trunk(FabricHopConfig {
+            rate_bps: Bps(r.u64()?),
+            buffer_bytes: Bytes(r.u64()?),
+        })),
+        1 => {
+            let opts = FatTreeOpts {
+                // simlint: allow(cast-truncation): radix is u32 by construction
+                k: r.u64()? as u32,
+                link_gbps: r.u64()?,
+                link_latency_ns: r.u64()?,
+                buffer_bytes: Bytes(r.u64()?),
+                policy: decode_policy(r)?,
+            };
+            let ecmp_seed = r.u64()?;
+            Ok(TopologySpec::FatTree { opts, ecmp_seed })
+        }
+        _ => Err(DecodeError::Overlong),
+    }
 }
 
 fn cc_tag(a: CcAlgorithm) -> u64 {
@@ -817,9 +966,23 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Inserts an explicit fabric hop before the ToR (§8.1).
+    /// Inserts an explicit fabric hop before the ToR (§8.1): shorthand
+    /// for a [`TopologySpec::Trunk`] topology.
     pub fn fabric_hop(&mut self, hop: FabricHopConfig) -> &mut Self {
-        self.spec.fabric_hop = Some(hop);
+        self.spec.topology = Some(TopologySpec::Trunk(hop));
+        self
+    }
+
+    /// Sets the network plane in front of the hosts (abstract trunk or
+    /// k-ary fat tree; see [`TopologySpec`]).
+    pub fn topology(&mut self, topology: TopologySpec) -> &mut Self {
+        self.spec.topology = Some(topology);
+        self
+    }
+
+    /// Schedules a host-to-host flow group routed through the fat tree.
+    pub fn topo_flow_at(&mut self, at: Ns, flow: TopoFlowSpec) -> &mut Self {
+        self.spec.topo_flows.push(ScheduledTopoFlow { at, flow });
         self
     }
 
@@ -1126,5 +1289,122 @@ mod tests {
         b.buckets(50).telemetry(TelemetryConfig::default());
         let sim = b.build();
         assert!(sim.telemetry().is_some());
+    }
+
+    fn tree_spec() -> ScenarioSpec {
+        let opts = FatTreeOpts {
+            k: 4,
+            ..FatTreeOpts::default()
+        };
+        let mut b = ScenarioBuilder::new(16, 11);
+        b.buckets(100)
+            .topology(TopologySpec::fat_tree(opts, 7))
+            .topo_flow_at(
+                Ns::from_millis(5),
+                TopoFlowSpec {
+                    src_host: 12,
+                    dst_host: 0,
+                    connections: 8,
+                    total_bytes: 2_000_000,
+                    algorithm: CcAlgorithm::Dctcp,
+                    paced_bps: Some(Bps(4_000_000_000)),
+                    task: 3,
+                },
+            );
+        b.spec()
+    }
+
+    #[test]
+    fn fat_tree_spec_round_trips_exactly() {
+        let spec = tree_spec();
+        let enc = spec.encode();
+        let dec = ScenarioSpec::decode(&enc).expect("decodable");
+        assert_eq!(dec, spec);
+        assert_eq!(enc, dec.encode());
+    }
+
+    #[test]
+    fn unknown_section_tags_are_rejected() {
+        // Splice an unknown tag where SECTION_END lives: a minimal spec's
+        // section list is exactly the terminator, a single varint byte.
+        let mut enc = ScenarioSpec::new(4, 1).encode();
+        *enc.last_mut().expect("non-empty encoding") = 99;
+        assert!(
+            ScenarioSpec::decode(&enc).is_err(),
+            "unknown section tag must be a decode error"
+        );
+    }
+
+    #[test]
+    fn fabric_hop_is_trunk_topology_sugar() {
+        let mut b = ScenarioBuilder::new(4, 1);
+        b.fabric_hop(FabricHopConfig {
+            rate_bps: Bps(25_000_000_000),
+            buffer_bytes: Bytes(1 << 24),
+        });
+        match b.spec().topology {
+            Some(TopologySpec::Trunk(hop)) => {
+                assert_eq!(hop.rate_bps, Bps(25_000_000_000));
+            }
+            other => panic!("expected trunk topology, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "topo flows require a fat-tree topology")]
+    fn validate_rejects_topo_flows_without_tree() {
+        let mut b = ScenarioBuilder::new(4, 1);
+        b.topo_flow_at(
+            Ns::from_millis(1),
+            TopoFlowSpec {
+                src_host: 0,
+                dst_host: 1,
+                connections: 1,
+                total_bytes: 1000,
+                algorithm: CcAlgorithm::Dctcp,
+                paced_bps: None,
+                task: 1,
+            },
+        );
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "16 hosts")]
+    fn validate_rejects_host_count_mismatch() {
+        let mut b = ScenarioBuilder::new(8, 1);
+        b.topology(TopologySpec::fat_tree(
+            FatTreeOpts {
+                k: 4,
+                ..FatTreeOpts::default()
+            },
+            1,
+        ));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "single-rack machinery")]
+    fn validate_rejects_legacy_flows_under_fat_tree() {
+        let mut b = ScenarioBuilder::new(16, 1);
+        b.topology(TopologySpec::fat_tree(
+            FatTreeOpts {
+                k: 4,
+                ..FatTreeOpts::default()
+            },
+            1,
+        ))
+        .flow_at(
+            Ns::from_millis(1),
+            FlowSpec {
+                dst_server: 1,
+                connections: 1,
+                total_bytes: 1000,
+                algorithm: CcAlgorithm::Dctcp,
+                paced_bps: None,
+                task: 1,
+            },
+        );
+        b.build();
     }
 }

@@ -56,6 +56,28 @@ pub struct FlowSpec {
     pub task: u64,
 }
 
+/// A group of connections between two *hosts of a fat-tree region*
+/// (see `ms_topo`): unlike [`FlowSpec`], whose senders are abstract
+/// off-rack machines, both endpoints here are addressable servers and
+/// the packets cross real ToR/agg/spine queues hop by hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoFlowSpec {
+    /// Source host (flat fat-tree host id).
+    pub src_host: u32,
+    /// Destination host (flat fat-tree host id).
+    pub dst_host: u32,
+    /// Number of simultaneous connections carrying the transfer.
+    pub connections: u32,
+    /// Total bytes across all connections.
+    pub total_bytes: u64,
+    /// Congestion control for these connections.
+    pub algorithm: CcAlgorithm,
+    /// Aggregate source pacing across the group, if smoothed upstream.
+    pub paced_bps: Option<Bps>,
+    /// Task identity (for placement diagnostics).
+    pub task: u64,
+}
+
 /// One unit of work emitted by a generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkItem {

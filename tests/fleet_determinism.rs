@@ -6,7 +6,7 @@
 //!    failure row; the rest of the sweep completes untouched.
 
 use ms_dcsim::{Ns, PolicyKind};
-use ms_fleet::{run_fleet, FleetCell, FleetConfig, FleetGrid, PlacementKind};
+use ms_fleet::{run_fleet, FleetCell, FleetConfig, FleetGrid, PlacementKind, TopoPoint};
 use ms_transport::CcAlgorithm;
 use ms_workload::{FlowSpec, ScenarioBuilder};
 
@@ -25,6 +25,27 @@ fn small_grid() -> FleetGrid {
         connections: 12,
         total_bytes: 600_000,
         forensics: true,
+        topos: vec![TopoPoint::SingleRack],
+    }
+}
+
+/// The topo axis crossed with the small grid: single-rack cells next to
+/// k=4 fat-tree cells at two cross-pod placement densities.
+fn topo_grid() -> FleetGrid {
+    FleetGrid {
+        placements: vec![PlacementKind::SingleVictim],
+        topos: vec![
+            TopoPoint::SingleRack,
+            TopoPoint::FatTree {
+                k: 4,
+                density_pct: 0,
+            },
+            TopoPoint::FatTree {
+                k: 4,
+                density_pct: 100,
+            },
+        ],
+        ..small_grid()
     }
 }
 
@@ -100,6 +121,27 @@ fn policy_sweep_is_thread_count_independent_and_stamps_rows() {
     assert_eq!(by_policy(PolicyKind::DtAlpha), 8);
     assert_eq!(by_policy(PolicyKind::FlexibleBounds), 8);
     assert_eq!(by_policy(PolicyKind::DelayDriven), 8);
+}
+
+#[test]
+fn topo_sweep_is_thread_count_independent_and_moves_bytes() {
+    let cells = topo_grid().cells();
+    assert_eq!(cells.len(), 12);
+
+    let serial = run_fleet(&cells, &cfg(1));
+    let parallel = run_fleet(&cells, &cfg(4));
+    assert_eq!(serial.ok_count(), 12, "{:?}", serial.failures());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+
+    for r in &serial.results {
+        let o = r.outcome.as_ref().expect("cell completed");
+        assert!(
+            o.switch_ingress_bytes > 0,
+            "{}: the incast must move bytes",
+            r.label
+        );
+    }
 }
 
 #[test]

@@ -36,6 +36,7 @@ fn small_grid() -> FleetGrid {
         connections: 12,
         total_bytes: 600_000,
         forensics: true,
+        topos: vec![ms_fleet::TopoPoint::SingleRack],
     }
 }
 
