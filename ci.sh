@@ -18,6 +18,21 @@ grep -q '"files_scanned"' BENCH_simlint.json
 # were silently disabled.
 grep -q '"float_tainted_fns"' BENCH_simlint.json
 grep -q '"dimension_facts"' BENCH_simlint.json
+# The PDES-readiness tier (monotonicity/channel/LP passes) must have
+# covered real code: zero timestamp sites, channel endpoints, or
+# partitioned fields would mean the [monotonic]/[channels]/[lp] config
+# rotted out from under the passes.
+for counter in monotonic_sites channel_endpoints lp_fields_checked; do
+    awk -F'[:,]' -v key="\"$counter\"" '
+        $0 ~ key { for (i = 1; i < NF; i++) if ($i ~ key) { n = $(i + 1) + 0 } }
+        END {
+            if (n < 1) { printf "%s is zero — a PDES pass lost its coverage\n", key; exit 1 }
+            printf "    (%s: %d)\n", key, n
+        }' BENCH_simlint.json
+done
+grep -q '"monotonic"' BENCH_simlint.json
+grep -q '"channels"' BENCH_simlint.json
+grep -q '"lp"' BENCH_simlint.json
 
 echo "==> clippy"
 # clippy may be absent on minimal toolchains; the simlint + test gates

@@ -79,7 +79,26 @@ pub fn float_evidence(toks: &[Tok], def: &FnDef) -> Vec<LocalFact> {
     }
 
     let (start, end) = def.body_range;
-    let body = &toks[start.min(toks.len())..end.min(toks.len())];
+    scan_slice(&toks[start.min(toks.len())..end.min(toks.len())], &mut push);
+    out
+}
+
+/// First float evidence in a raw token slice, as `(line, col, what)` —
+/// the monotonic pass uses this to spot timestamps round-tripped
+/// through floats without building a full function-level fact.
+pub fn first_float_in_slice(body: &[Tok]) -> Option<(u32, u32, String)> {
+    let mut hit = None;
+    scan_slice(body, &mut |line, col, what| {
+        if hit.is_none() {
+            hit = Some((line, col, what));
+        }
+    });
+    hit
+}
+
+/// The shared token-level detector behind [`float_evidence`] and
+/// [`first_float_in_slice`].
+fn scan_slice(body: &[Tok], push: &mut impl FnMut(u32, u32, String)) {
     for (i, t) in body.iter().enumerate() {
         match t.kind {
             TokKind::Ident => {
@@ -123,7 +142,6 @@ pub fn float_evidence(toks: &[Tok], def: &FnDef) -> Vec<LocalFact> {
             _ => {}
         }
     }
-    out
 }
 
 const HINT: &str = "float rounding is platform/opt-level dependent; scheduling math must stay \

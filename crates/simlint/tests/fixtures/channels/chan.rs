@@ -1,0 +1,39 @@
+//! Channel-discipline fixtures: a declared-SPSC sender cloned, a send
+//! after the sender's drop, an undeclared channel, and a blocking
+//! `recv` reachable from the `Merge::pump` hot root.
+
+pub fn spawn_workers() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    let tx2 = tx.clone();
+    tx2.send(1);
+    tx.send(2);
+    let _ = rx.try_recv();
+}
+
+pub fn close_early() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    tx.send(1);
+    drop(tx);
+    tx.send(2);
+    let _ = rx.try_recv();
+}
+
+pub fn untracked() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    tx.send(3);
+    let _ = rx.try_recv();
+}
+
+pub struct Merge;
+
+impl Merge {
+    pub fn pump(&mut self) {
+        gather();
+    }
+}
+
+fn gather() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    tx.send(4);
+    let _ = rx.recv();
+}

@@ -1,0 +1,24 @@
+//! LP-partition fixtures: an unmapped field, a per-LP field holding a
+//! shareable handle, and a per-LP field both declared roots reach.
+
+pub struct Cluster {
+    queue: u64,
+    stats: Arc<Mutex<u64>>,
+    scratch: u64,
+    counter: u64,
+}
+
+impl Cluster {
+    pub fn step_rack(&mut self) {
+        self.queue += 1;
+        self.bump();
+    }
+
+    pub fn step_fabric(&mut self) {
+        self.bump();
+    }
+
+    fn bump(&mut self) {
+        self.counter += 1;
+    }
+}

@@ -1,0 +1,22 @@
+//! Wait-cycle fixture: the consumer blocks on `recv` holding the state
+//! lock that the only producer takes around its `send`.
+
+pub struct Pipe {
+    state: Mutex<u64>,
+    tx: Sender<u64>,
+    rx: Receiver<u64>,
+}
+
+impl Pipe {
+    pub fn consume(&self) {
+        let g = self.state.lock().unwrap();
+        let v = self.rx.recv().unwrap();
+        let _ = (g, v);
+    }
+
+    pub fn produce(&self) {
+        let g = self.state.lock().unwrap();
+        self.tx.send(1).unwrap();
+        drop(g);
+    }
+}

@@ -676,6 +676,7 @@ impl RackSim {
         self.q
             .schedule(now + self.cfg.rack.fabric_delay, Ev::TorArrive { pkt });
         let next = Ns((self.rng.exp(gap.as_nanos() as f64)).max(1.0) as u64);
+        // simlint: allow(non-monotonic-schedule): the exponential gap is clamped to >= 1.0 before the u64 conversion, so `now + next` is strictly in the future regardless of float rounding
         self.q.schedule(now + next, Ev::Chatter { server });
     }
 
